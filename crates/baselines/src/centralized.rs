@@ -1,0 +1,192 @@
+//! The centralized monitoring baseline.
+
+use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
+use mknn_index::GridIndex;
+use mknn_mobility::MovingObject;
+use mknn_net::{
+    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, UplinkMsg, Uplinks,
+};
+
+/// Centralized continuous kNN monitoring (the classic server-side
+/// architecture of SEA-CNN / CPM, reduced to its communication pattern):
+/// every device reports its position on every tick it moves, the server
+/// keeps a uniform grid index current and re-evaluates each query each tick.
+///
+/// Answers are exact with respect to true positions. The price is the Θ(N)
+/// uplink firehose — the quantity the distributed protocols eliminate.
+#[derive(Debug)]
+pub struct Centralized {
+    grid_res: u32,
+    index: GridIndex,
+    queries: Vec<QuerySpec>,
+    answers: Vec<Vec<ObjectId>>,
+    q_pos: Vec<Point>,
+    empty: Vec<ObjectId>,
+}
+
+impl Centralized {
+    /// Creates the baseline with a `grid_res × grid_res` server index.
+    pub fn new(grid_res: u32) -> Self {
+        Centralized {
+            grid_res,
+            index: GridIndex::new(Rect::square(1.0), 1, 1),
+            queries: Vec::new(),
+            answers: Vec::new(),
+            q_pos: Vec::new(),
+            empty: Vec::new(),
+        }
+    }
+
+    fn evaluate(&mut self, ops: &mut OpCounters) {
+        for (qi, spec) in self.queries.iter().enumerate() {
+            // k+1 then drop the focal object if it shows up.
+            let (nn, work) = self.index.knn_counted(self.q_pos[qi], spec.k + 1);
+            ops.server_ops += work;
+            self.answers[qi] = nn
+                .into_iter()
+                .filter(|n| n.id != spec.focal)
+                .take(spec.k)
+                .map(|n| n.id)
+                .collect();
+        }
+    }
+}
+
+impl Default for Centralized {
+    fn default() -> Self {
+        Centralized::new(64)
+    }
+}
+
+impl Protocol for Centralized {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn init(
+        &mut self,
+        bounds: Rect,
+        objects: &[MovingObject],
+        queries: &[QuerySpec],
+        _probe: &mut dyn ProbeService,
+        _outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.index = GridIndex::new(bounds, self.grid_res, self.grid_res);
+        for o in objects {
+            self.index.upsert(o.id, o.pos);
+            ops.server_ops += 1;
+        }
+        self.queries = queries.to_vec();
+        self.q_pos = queries.iter().map(|s| objects[s.focal.index()].pos).collect();
+        self.answers = vec![Vec::new(); queries.len()];
+        self.evaluate(ops);
+    }
+
+    fn client_tick(
+        &mut self,
+        _tick: Tick,
+        me: &MovingObject,
+        _inbox: &[DownlinkMsg],
+        up: &mut Uplinks,
+        ops: &mut OpCounters,
+    ) {
+        // A device reports whenever it moved this tick.
+        ops.client_ops += 1;
+        if me.vel != mknn_geom::Vector::ZERO {
+            up.send(me.id, UplinkMsg::Position { pos: me.pos, vel: me.vel });
+        }
+    }
+
+    fn server_tick(
+        &mut self,
+        _tick: Tick,
+        uplinks: &Uplinks,
+        _probe: &mut dyn ProbeService,
+        _outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        for (from, msg) in uplinks.iter() {
+            if let UplinkMsg::Position { pos, .. } = msg {
+                self.index.upsert(from, *pos);
+                ops.server_ops += 1;
+                for (qi, spec) in self.queries.iter().enumerate() {
+                    if spec.focal == from {
+                        self.q_pos[qi] = *pos;
+                    }
+                }
+            }
+        }
+        self.evaluate(ops);
+    }
+
+    fn answer(&self, query: QueryId) -> &[ObjectId] {
+        self.answers.get(query.index()).map_or(&self.empty, |a| a.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::{Circle, Vector};
+    use mknn_net::ObjReport;
+
+    struct NoProbe;
+    impl ProbeService for NoProbe {
+        fn probe(&mut self, _q: QueryId, _z: Circle, _e: ObjectId) -> Vec<ObjReport> {
+            panic!("centralized must not probe")
+        }
+        fn poll(&mut self, _q: QueryId, _id: ObjectId) -> Option<ObjReport> {
+            panic!("centralized must not poll")
+        }
+    }
+
+    fn objs() -> Vec<MovingObject> {
+        (0..6u32)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn tracks_answers_through_updates() {
+        let mut c = Centralized::new(8);
+        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 2 }];
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        c.init(Rect::square(100.0), &objs(), &queries, &mut NoProbe, &mut outbox, &mut ops);
+        assert_eq!(c.answer(QueryId(0)), &[ObjectId(1), ObjectId(2)]);
+
+        // Object 5 teleports right next to the focal.
+        let mut up = Uplinks::new();
+        up.send(ObjectId(5), UplinkMsg::Position { pos: Point::new(1.0, 0.0), vel: Vector::ZERO });
+        c.server_tick(1, &up, &mut NoProbe, &mut outbox, &mut ops);
+        assert_eq!(c.answer(QueryId(0)), &[ObjectId(5), ObjectId(1)]);
+    }
+
+    #[test]
+    fn moving_focal_recenters_query() {
+        let mut c = Centralized::new(8);
+        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 2 }];
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        c.init(Rect::square(100.0), &objs(), &queries, &mut NoProbe, &mut outbox, &mut ops);
+        let mut up = Uplinks::new();
+        up.send(ObjectId(0), UplinkMsg::Position { pos: Point::new(48.0, 0.0), vel: Vector::ZERO });
+        c.server_tick(1, &up, &mut NoProbe, &mut outbox, &mut ops);
+        assert_eq!(c.answer(QueryId(0)), &[ObjectId(5), ObjectId(4)]);
+    }
+
+    #[test]
+    fn stationary_devices_stay_silent() {
+        let mut c = Centralized::new(8);
+        let mut up = Uplinks::new();
+        let mut ops = OpCounters::default();
+        let me = MovingObject::at(ObjectId(3), Point::new(1.0, 1.0), 5.0);
+        c.client_tick(1, &me, &[], &mut up, &mut ops);
+        assert!(up.is_empty());
+        let mut moved = me;
+        moved.vel = Vector::new(1.0, 0.0);
+        c.client_tick(2, &moved, &[], &mut up, &mut ops);
+        assert_eq!(up.len(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The naive per-tick probing strawman.
+
+use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
+use mknn_mobility::MovingObject;
+use mknn_net::{
+    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, UplinkMsg, Uplinks,
+};
+
+/// Naive distributed processing: every tick, for every query, the server
+/// geocasts a probe over an adaptive zone around the query position and
+/// rebuilds the answer from the replies.
+///
+/// Exact and simple, but the probe fan-out (zone cells + ~k replies) is paid
+/// *every tick for every query*, even when nothing moved — the monitoring
+/// protocols exist precisely to amortize this.
+#[derive(Debug)]
+pub struct NaiveBroadcast {
+    /// Zone radius multiplier applied to the last k-th distance.
+    headroom: f64,
+    queries: Vec<QuerySpec>,
+    answers: Vec<Vec<ObjectId>>,
+    q_pos: Vec<Point>,
+    radius: Vec<f64>,
+    space_diag: f64,
+    empty: Vec<ObjectId>,
+}
+
+impl NaiveBroadcast {
+    /// Creates the baseline; `headroom > 1` is the zone over-size factor
+    /// that absorbs movement between ticks.
+    pub fn new(headroom: f64) -> Self {
+        assert!(headroom > 1.0);
+        NaiveBroadcast {
+            headroom,
+            queries: Vec::new(),
+            answers: Vec::new(),
+            q_pos: Vec::new(),
+            radius: Vec::new(),
+            space_diag: 1.0,
+            empty: Vec::new(),
+        }
+    }
+
+    fn evaluate(&mut self, probe: &mut dyn ProbeService, ops: &mut OpCounters) {
+        for (qi, spec) in self.queries.iter().enumerate() {
+            let center = self.q_pos[qi];
+            let mut r = self.radius[qi].clamp(1.0, self.space_diag);
+            let replies = loop {
+                let replies = probe.probe(spec.id, Circle::new(center, r), spec.focal);
+                ops.server_ops += replies.len() as u64 + 1;
+                if replies.len() >= spec.k || r >= self.space_diag {
+                    break replies;
+                }
+                r = (r * 2.0).min(self.space_diag);
+            };
+            let mut scored: Vec<(f64, ObjectId)> =
+                replies.iter().map(|o| (o.pos.dist_sq(center), o.id)).collect();
+            scored.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            self.answers[qi] = scored.iter().take(spec.k).map(|&(_, id)| id).collect();
+            // Next tick's zone: the current k-th distance plus headroom.
+            if let Some(&(d2, _)) = scored.get(spec.k.saturating_sub(1)) {
+                self.radius[qi] = d2.sqrt() * self.headroom;
+            }
+        }
+    }
+}
+
+impl Default for NaiveBroadcast {
+    fn default() -> Self {
+        NaiveBroadcast::new(1.5)
+    }
+}
+
+impl Protocol for NaiveBroadcast {
+    fn name(&self) -> &'static str {
+        "naive-probe"
+    }
+
+    fn init(
+        &mut self,
+        bounds: Rect,
+        objects: &[MovingObject],
+        queries: &[QuerySpec],
+        probe: &mut dyn ProbeService,
+        _outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.space_diag = bounds.min.dist(bounds.max);
+        self.queries = queries.to_vec();
+        self.q_pos = queries.iter().map(|s| objects[s.focal.index()].pos).collect();
+        self.radius = vec![self.space_diag * 0.02; queries.len()];
+        self.answers = vec![Vec::new(); queries.len()];
+        self.evaluate(probe, ops);
+    }
+
+    fn client_tick(
+        &mut self,
+        _tick: Tick,
+        me: &MovingObject,
+        _inbox: &[DownlinkMsg],
+        up: &mut Uplinks,
+        _ops: &mut OpCounters,
+    ) {
+        // Only focal devices speak unprompted (probe replies are handled by
+        // the harness's synchronous channel).
+        for (qi, spec) in self.queries.iter().enumerate() {
+            if spec.focal == me.id && me.vel != Vector::ZERO {
+                up.send(me.id, UplinkMsg::QueryMove { query: spec.id, pos: me.pos, vel: me.vel });
+                self.q_pos[qi] = me.pos; // client-side mirror; server reads uplink
+            }
+        }
+    }
+
+    fn server_tick(
+        &mut self,
+        _tick: Tick,
+        uplinks: &Uplinks,
+        probe: &mut dyn ProbeService,
+        _outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        for (from, msg) in uplinks.iter() {
+            if let UplinkMsg::QueryMove { query, pos, .. } = msg {
+                if let Some(q) = self.queries.get(query.index()) {
+                    if q.focal == from {
+                        self.q_pos[query.index()] = *pos;
+                    }
+                }
+            }
+        }
+        self.evaluate(probe, ops);
+    }
+
+    fn answer(&self, query: QueryId) -> &[ObjectId] {
+        self.answers.get(query.index()).map_or(&self.empty, |a| a.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_net::ObjReport;
+
+    struct TableProbe {
+        positions: Vec<Point>,
+        probes: u32,
+    }
+
+    impl ProbeService for TableProbe {
+        fn probe(&mut self, _q: QueryId, zone: Circle, exclude: ObjectId) -> Vec<ObjReport> {
+            self.probes += 1;
+            self.positions
+                .iter()
+                .enumerate()
+                .filter(|&(i, p)| ObjectId(i as u32) != exclude && zone.contains(*p))
+                .map(|(i, p)| ObjReport { id: ObjectId(i as u32), pos: *p, vel: Vector::ZERO })
+                .collect()
+        }
+        fn poll(&mut self, _q: QueryId, _id: ObjectId) -> Option<ObjReport> {
+            None
+        }
+    }
+
+    fn objs() -> Vec<MovingObject> {
+        (0..8u32)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 100.0, 0.0), 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn probes_until_k_found_then_tracks() {
+        let mut n = NaiveBroadcast::default();
+        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 3 }];
+        let mut probe = TableProbe { positions: objs().iter().map(|o| o.pos).collect(), probes: 0 };
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        n.init(Rect::square(10_000.0), &objs(), &queries, &mut probe, &mut outbox, &mut ops);
+        assert_eq!(n.answer(QueryId(0)), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert!(probe.probes >= 1);
+
+        // Every subsequent tick probes again even with zero movement.
+        let before = probe.probes;
+        let up = Uplinks::new();
+        n.server_tick(1, &up, &mut probe, &mut outbox, &mut ops);
+        assert!(probe.probes > before);
+        assert_eq!(n.answer(QueryId(0)), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
+    }
+
+    #[test]
+    fn query_move_recenters() {
+        let mut n = NaiveBroadcast::default();
+        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 2 }];
+        let mut probe = TableProbe { positions: objs().iter().map(|o| o.pos).collect(), probes: 0 };
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        n.init(Rect::square(10_000.0), &objs(), &queries, &mut probe, &mut outbox, &mut ops);
+        let mut up = Uplinks::new();
+        up.send(
+            ObjectId(0),
+            UplinkMsg::QueryMove { query: QueryId(0), pos: Point::new(690.0, 0.0), vel: Vector::ZERO },
+        );
+        n.server_tick(1, &up, &mut probe, &mut outbox, &mut ops);
+        assert_eq!(n.answer(QueryId(0)), &[ObjectId(7), ObjectId(6)]);
+    }
+}

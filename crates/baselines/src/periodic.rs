@@ -1,0 +1,219 @@
+//! The periodic (lazy) reporting baseline.
+
+use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
+use mknn_index::GridIndex;
+use mknn_mobility::MovingObject;
+use mknn_net::{
+    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, UplinkMsg, Uplinks,
+};
+
+/// Periodic centralized monitoring (YPK-CNN-style): each device reports its
+/// position every `period` ticks, staggered by device id so the uplink load
+/// is flat; the server re-evaluates queries each tick over its
+/// up-to-`period`-ticks-stale index.
+///
+/// Communication drops to `N / period` messages per tick, but answers are
+/// only *approximate* between a device's reports — the experiment harness
+/// measures the resulting error instead of asserting exactness
+/// ([`Protocol::guarantees_exact`] is `false`).
+#[derive(Debug)]
+pub struct Periodic {
+    period: u64,
+    grid_res: u32,
+    index: GridIndex,
+    queries: Vec<QuerySpec>,
+    answers: Vec<Vec<ObjectId>>,
+    q_pos: Vec<Point>,
+    /// Per-device position at its last report (devices skip a scheduled
+    /// report when they have not moved since).
+    last_reported: Vec<Point>,
+    empty: Vec<ObjectId>,
+}
+
+impl Periodic {
+    /// Creates the baseline reporting every `period` ticks on a
+    /// `grid_res × grid_res` index.
+    pub fn new(period: u64, grid_res: u32) -> Self {
+        assert!(period >= 1);
+        Periodic {
+            period,
+            grid_res,
+            index: GridIndex::new(Rect::square(1.0), 1, 1),
+            queries: Vec::new(),
+            answers: Vec::new(),
+            q_pos: Vec::new(),
+            last_reported: Vec::new(),
+            empty: Vec::new(),
+        }
+    }
+
+    /// The configured reporting period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    fn evaluate(&mut self, ops: &mut OpCounters) {
+        for (qi, spec) in self.queries.iter().enumerate() {
+            let (nn, work) = self.index.knn_counted(self.q_pos[qi], spec.k + 1);
+            ops.server_ops += work;
+            self.answers[qi] = nn
+                .into_iter()
+                .filter(|n| n.id != spec.focal)
+                .take(spec.k)
+                .map(|n| n.id)
+                .collect();
+        }
+    }
+}
+
+impl Protocol for Periodic {
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+
+    fn init(
+        &mut self,
+        bounds: Rect,
+        objects: &[MovingObject],
+        queries: &[QuerySpec],
+        _probe: &mut dyn ProbeService,
+        _outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.index = GridIndex::new(bounds, self.grid_res, self.grid_res);
+        self.last_reported = objects.iter().map(|o| o.pos).collect();
+        for o in objects {
+            self.index.upsert(o.id, o.pos);
+            ops.server_ops += 1;
+        }
+        self.queries = queries.to_vec();
+        self.q_pos = queries.iter().map(|s| objects[s.focal.index()].pos).collect();
+        self.answers = vec![Vec::new(); queries.len()];
+        self.evaluate(ops);
+    }
+
+    fn client_tick(
+        &mut self,
+        tick: Tick,
+        me: &MovingObject,
+        _inbox: &[DownlinkMsg],
+        up: &mut Uplinks,
+        ops: &mut OpCounters,
+    ) {
+        ops.client_ops += 1;
+        let scheduled = (tick + me.id.0 as u64).is_multiple_of(self.period);
+        if scheduled && self.last_reported[me.id.index()] != me.pos {
+            up.send(me.id, UplinkMsg::Position { pos: me.pos, vel: me.vel });
+            self.last_reported[me.id.index()] = me.pos;
+        }
+    }
+
+    fn server_tick(
+        &mut self,
+        _tick: Tick,
+        uplinks: &Uplinks,
+        _probe: &mut dyn ProbeService,
+        _outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        for (from, msg) in uplinks.iter() {
+            if let UplinkMsg::Position { pos, .. } = msg {
+                self.index.upsert(from, *pos);
+                ops.server_ops += 1;
+                for (qi, spec) in self.queries.iter().enumerate() {
+                    if spec.focal == from {
+                        self.q_pos[qi] = *pos;
+                    }
+                }
+            }
+        }
+        self.evaluate(ops);
+    }
+
+    fn answer(&self, query: QueryId) -> &[ObjectId] {
+        self.answers.get(query.index()).map_or(&self.empty, |a| a.as_slice())
+    }
+
+    fn effective_center(&self, query: QueryId) -> Option<Point> {
+        self.q_pos.get(query.index()).copied()
+    }
+
+    fn guarantees_exact(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::{Circle, Vector};
+    use mknn_net::ObjReport;
+
+    struct NoProbe;
+    impl ProbeService for NoProbe {
+        fn probe(&mut self, _q: QueryId, _z: Circle, _e: ObjectId) -> Vec<ObjReport> {
+            panic!("periodic must not probe")
+        }
+        fn poll(&mut self, _q: QueryId, _id: ObjectId) -> Option<ObjReport> {
+            panic!("periodic must not poll")
+        }
+    }
+
+    #[test]
+    fn reports_only_on_schedule() {
+        let mut p = Periodic::new(5, 8);
+        let objects: Vec<MovingObject> =
+            (0..3u32).map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64, 0.0), 5.0)).collect();
+        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 1 }];
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        p.init(Rect::square(100.0), &objects, &queries, &mut NoProbe, &mut outbox, &mut ops);
+
+        // Device 2 moves every tick but only reports when (tick + 2) % 5 == 0.
+        let mut reported_at = Vec::new();
+        for tick in 1..=10 {
+            let mut up = Uplinks::new();
+            let mut me = objects[2];
+            me.pos = Point::new(2.0 + tick as f64, 0.0);
+            me.vel = Vector::new(1.0, 0.0);
+            p.client_tick(tick, &me, &[], &mut up, &mut ops);
+            if !up.is_empty() {
+                reported_at.push(tick);
+            }
+        }
+        assert_eq!(reported_at, vec![3, 8]);
+    }
+
+    #[test]
+    fn unmoved_device_skips_scheduled_report() {
+        let mut p = Periodic::new(2, 8);
+        let objects =
+            vec![MovingObject::at(ObjectId(0), Point::ORIGIN, 5.0)];
+        let queries: [QuerySpec; 0] = [];
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        p.init(Rect::square(100.0), &objects, &queries, &mut NoProbe, &mut outbox, &mut ops);
+        let mut up = Uplinks::new();
+        p.client_tick(2, &objects[0], &[], &mut up, &mut ops);
+        assert!(up.is_empty());
+    }
+
+    #[test]
+    fn answers_are_stale_between_reports() {
+        let mut p = Periodic::new(10, 8);
+        let objects: Vec<MovingObject> = (0..4u32)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 5.0))
+            .collect();
+        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 1 }];
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        p.init(Rect::square(100.0), &objects, &queries, &mut NoProbe, &mut outbox, &mut ops);
+        assert_eq!(p.answer(QueryId(0)), &[ObjectId(1)]);
+        // Object 3 silently became closest; without a report the answer
+        // must still be the stale one.
+        let up = Uplinks::new();
+        p.server_tick(1, &up, &mut NoProbe, &mut outbox, &mut ops);
+        assert_eq!(p.answer(QueryId(0)), &[ObjectId(1)]);
+        assert!(!p.guarantees_exact());
+    }
+}

@@ -1,0 +1,119 @@
+//! Benchmarks for the spatial indexes: the server-side cost drivers of the
+//! centralized baseline (per-tick updates + kNN) and of snapshot queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use mknn_geom::{Circle, ObjectId, Point, Rect};
+use mknn_index::{bruteforce, GridIndex, RTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIDE: f64 = 10_000.0;
+
+fn cloud(n: usize, seed: u64) -> Vec<(ObjectId, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                ObjectId(i as u32),
+                Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE)),
+            )
+        })
+        .collect()
+}
+
+fn grid_of(points: &[(ObjectId, Point)]) -> GridIndex {
+    let mut g = GridIndex::new(Rect::square(SIDE), 64, 64);
+    for &(id, p) in points {
+        g.upsert(id, p);
+    }
+    g
+}
+
+fn bench_grid_updates(c: &mut Criterion) {
+    let points = cloud(10_000, 1);
+    let moves = cloud(10_000, 2);
+    c.bench_function("grid/upsert_move_10k", |b| {
+        b.iter_batched(
+            || grid_of(&points),
+            |mut g| {
+                for &(id, p) in &moves {
+                    g.upsert(id, p);
+                }
+                g
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_grid_knn(c: &mut Criterion) {
+    let g = grid_of(&cloud(10_000, 1));
+    let q = Point::new(5_000.0, 5_000.0);
+    for k in [1usize, 10, 100] {
+        c.bench_function(&format!("grid/knn_k{k}_n10k"), |b| {
+            b.iter(|| black_box(g.knn(black_box(q), k)))
+        });
+    }
+}
+
+fn bench_grid_range(c: &mut Criterion) {
+    let g = grid_of(&cloud(10_000, 1));
+    let zone = Circle::new(Point::new(5_000.0, 5_000.0), 400.0);
+    c.bench_function("grid/range_r400_n10k", |b| {
+        b.iter(|| black_box(g.range(black_box(&zone))))
+    });
+}
+
+fn bench_rtree_bulk_load(c: &mut Criterion) {
+    let points = cloud(10_000, 1);
+    c.bench_function("rtree/bulk_load_10k", |b| {
+        b.iter_batched(|| points.clone(), RTree::bulk_load, BatchSize::LargeInput)
+    });
+}
+
+fn bench_rtree_knn(c: &mut Criterion) {
+    let t = RTree::bulk_load(cloud(10_000, 1));
+    let q = Point::new(5_000.0, 5_000.0);
+    for k in [1usize, 10, 100] {
+        c.bench_function(&format!("rtree/knn_k{k}_n10k"), |b| {
+            b.iter(|| black_box(t.knn(black_box(q), k)))
+        });
+    }
+}
+
+fn bench_rtree_insert(c: &mut Criterion) {
+    let points = cloud(2_000, 1);
+    c.bench_function("rtree/insert_2k", |b| {
+        b.iter_batched(
+            || points.clone(),
+            |pts| {
+                let mut t = RTree::new();
+                for (id, p) in pts {
+                    t.insert(id, p);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_bruteforce_oracle(c: &mut Criterion) {
+    let points = cloud(10_000, 1);
+    let q = Point::new(5_000.0, 5_000.0);
+    c.bench_function("oracle/bruteforce_knn_k10_n10k", |b| {
+        b.iter(|| black_box(bruteforce::knn(points.iter().copied(), black_box(q), 10)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grid_updates,
+    bench_grid_knn,
+    bench_grid_range,
+    bench_rtree_bulk_load,
+    bench_rtree_knn,
+    bench_rtree_insert,
+    bench_bruteforce_oracle
+);
+criterion_main!(benches);

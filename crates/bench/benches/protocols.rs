@@ -1,0 +1,57 @@
+//! Whole-protocol throughput: wall-clock cost of simulating one tick of
+//! each monitoring method (client logic for every device + server logic +
+//! message routing), at a fixed mid-size workload.
+//!
+//! This is the in-process analogue of the paper's server-load measurements:
+//! the *relative* cost of the methods is the reproducible quantity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mknn_mobility::WorkloadSpec;
+use mknn_sim::{params_for, Method, SimConfig, Simulation, VerifyMode};
+
+fn config() -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec { n_objects: 4_000, space_side: 10_000.0, ..WorkloadSpec::default() },
+        n_queries: 20,
+        k: 10,
+        ticks: 0, // stepped manually
+        geo_cells: 64,
+        verify: VerifyMode::Off,
+    }
+}
+
+fn bench_method_step(c: &mut Criterion, method: Method) {
+    let cfg = config();
+    let mut group = c.benchmark_group("protocol_step");
+    group.sample_size(10);
+    group.bench_function(method.name(), |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(&cfg, method.build());
+                // Warm the protocol past its initial transient.
+                for _ in 0..5 {
+                    sim.step();
+                }
+                sim
+            },
+            |mut sim| {
+                for _ in 0..10 {
+                    sim.step();
+                }
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    let cfg = config();
+    for method in Method::standard_suite(params_for(&cfg)) {
+        bench_method_step(c, method);
+    }
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment regenerator CLI.
+//!
+//! ```text
+//! expt --exp e2            # one experiment, fast scale
+//! expt --exp all --full    # the whole suite at paper scale
+//! expt --list              # what exists
+//! ```
+//!
+//! Each experiment prints its table and writes
+//! `target/experiments/<id>.csv`.
+
+use mknn_bench::experiments::{self, Scale};
+use mknn_sim::{render_table, write_csv};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut full = false;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned();
+            }
+            "--full" => full = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("usage: expt --exp <id|all> [--full] | --list");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if list {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let Some(exp) = exp else {
+        eprintln!("usage: expt --exp <id|all> [--full] | --list");
+        std::process::exit(2);
+    };
+    let scale = Scale { full };
+    let ids: Vec<String> = if exp == "all" {
+        experiments::ALL.iter().map(|s| s.to_string()).collect()
+    } else if experiments::ALL.contains(&exp.as_str()) {
+        vec![exp]
+    } else {
+        eprintln!("unknown experiment {exp}; try --list");
+        std::process::exit(2);
+    };
+    let out_dir = PathBuf::from("target/experiments");
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let result = experiments::run(id, scale).expect("id validated above");
+        println!("\n=== {} ===", result.title);
+        print!("{}", render_table(&result.rows));
+        let csv = out_dir.join(format!("{id}.csv"));
+        if let Err(e) = write_csv(&csv, &result.rows) {
+            eprintln!("warning: could not write {}: {e}", csv.display());
+        } else {
+            println!("[written {} in {:.1}s]", csv.display(), started.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The reconstructed evaluation suite: one regenerator per figure/table.
+//!
+//! Every experiment prints a paper-style series table (one row per method ×
+//! x-value) and writes the same rows to `target/experiments/<id>.csv`. The
+//! expected *shapes* (who wins, how curves bend) are documented per
+//! experiment in DESIGN.md §4 and recorded against measurements in
+//! EXPERIMENTS.md.
+
+use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
+use mknn_sim::{params_for, run_episode, run_episodes_seeded, Method, MetricsSummary, SimConfig, VerifyMode};
+
+/// Experiment scale: `full` reproduces the paper-scale populations;
+/// fast mode (default) shrinks them ~6× for quick regeneration.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Run at full (paper) scale.
+    pub full: bool,
+}
+
+impl Scale {
+    fn base_n(&self) -> usize {
+        if self.full {
+            50_000
+        } else {
+            8_000
+        }
+    }
+
+    fn ticks(&self) -> u64 {
+        if self.full {
+            200
+        } else {
+            100
+        }
+    }
+
+    fn queries(&self) -> usize {
+        if self.full {
+            100
+        } else {
+            30
+        }
+    }
+
+    fn n_sweep(&self) -> Vec<usize> {
+        if self.full {
+            vec![10_000, 25_000, 50_000, 75_000, 100_000]
+        } else {
+            vec![2_000, 4_000, 8_000, 16_000]
+        }
+    }
+
+    fn q_sweep(&self) -> Vec<usize> {
+        if self.full {
+            vec![1, 10, 50, 100, 250, 500]
+        } else {
+            vec![1, 10, 30, 100]
+        }
+    }
+}
+
+/// The base configuration every experiment perturbs (Table E1).
+pub fn base_config(scale: Scale) -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec {
+            n_objects: scale.base_n(),
+            space_side: 10_000.0,
+            placement: Placement::Uniform,
+            speeds: SpeedDist::Uniform { min: 5.0, max: 20.0 },
+            motion: Motion::RandomWaypoint,
+            move_prob: 1.0,
+            seed: 42,
+            speed_overrides: Vec::new(),
+        },
+        n_queries: scale.queries(),
+        k: 10,
+        ticks: scale.ticks(),
+        geo_cells: 64,
+        verify: VerifyMode::Off,
+    }
+}
+
+/// One regenerated figure/table.
+#[derive(Debug)]
+pub struct ExpResult {
+    /// Experiment id ("e2", …).
+    pub id: &'static str,
+    /// Human title, matching DESIGN.md §4.
+    pub title: &'static str,
+    /// Rows, first row = header.
+    pub rows: Vec<Vec<String>>,
+}
+
+fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+const SERIES_HEADER: [&str; 10] = [
+    "x", "method", "msgs/tick", "up/tick", "down/tick", "bytes/tick", "srv-ops/tick",
+    "cli-ops/obj/tick", "us/tick", "exact",
+];
+
+fn series_row(x: &str, m: &mknn_sim::EpisodeMetrics) -> Vec<String> {
+    vec![
+        x.to_string(),
+        m.method.clone(),
+        fmt(m.msgs_per_tick()),
+        fmt(m.uplink_per_tick()),
+        fmt(m.downlink_per_tick()),
+        fmt(m.bytes_per_tick()),
+        fmt(m.server_ops_per_tick()),
+        fmt(m.client_ops_per_object_tick()),
+        fmt(m.proto_us_per_tick()),
+        fmt(m.exactness()),
+    ]
+}
+
+/// Runs a sweep: for each `(label, config)` runs the whole method suite.
+fn sweep(configs: Vec<(String, SimConfig)>) -> Vec<Vec<String>> {
+    let mut rows = vec![SERIES_HEADER.iter().map(|s| s.to_string()).collect()];
+    for (label, cfg) in configs {
+        for method in Method::standard_suite(params_for(&cfg)) {
+            let m = run_episode(&cfg, method);
+            rows.push(series_row(&label, &m));
+        }
+    }
+    rows
+}
+
+/// E1 — the simulation-parameter table.
+pub fn e1(scale: Scale) -> ExpResult {
+    let cfg = base_config(scale);
+    let p = params_for(&cfg);
+    let rows = vec![
+        vec!["parameter".into(), "value".into()],
+        vec!["space".into(), format!("{0} m × {0} m", cfg.workload.space_side)],
+        vec!["objects N".into(), cfg.workload.n_objects.to_string()],
+        vec!["queries Q".into(), cfg.n_queries.to_string()],
+        vec!["k".into(), cfg.k.to_string()],
+        vec!["object speed".into(), "uniform [5, 20] m/tick".into()],
+        vec!["motion model".into(), "random waypoint".into()],
+        vec!["move probability".into(), cfg.workload.move_prob.to_string()],
+        vec!["ticks".into(), cfg.ticks.to_string()],
+        vec!["geocast paging grid".into(), format!("{0} × {0}", cfg.geo_cells)],
+        vec!["threshold placement α".into(), p.alpha.to_string()],
+        vec!["query drift δ_q".into(), format!("{} m", p.query_drift)],
+        vec!["heartbeat H".into(), format!("{} ticks", p.heartbeat)],
+        vec!["geocast margin".into(), format!("{} m", p.margin())],
+        vec!["seed".into(), cfg.workload.seed.to_string()],
+    ];
+    ExpResult { id: "e1", title: "Table E1: simulation parameters", rows }
+}
+
+/// E2 — communication cost vs. number of objects N.
+pub fn e2(scale: Scale) -> ExpResult {
+    let configs = scale
+        .n_sweep()
+        .into_iter()
+        .map(|n| {
+            let mut cfg = base_config(scale);
+            cfg.workload.n_objects = n;
+            (n.to_string(), cfg)
+        })
+        .collect();
+    ExpResult { id: "e2", title: "Fig E2: communication vs. N", rows: sweep(configs) }
+}
+
+/// E3 — communication cost vs. k.
+pub fn e3(scale: Scale) -> ExpResult {
+    let configs = [1usize, 5, 10, 20, 50]
+        .into_iter()
+        .map(|k| {
+            let mut cfg = base_config(scale);
+            cfg.k = k;
+            (k.to_string(), cfg)
+        })
+        .collect();
+    ExpResult { id: "e3", title: "Fig E3: communication vs. k", rows: sweep(configs) }
+}
+
+/// E4 — communication cost vs. object speed.
+pub fn e4(scale: Scale) -> ExpResult {
+    let configs = [5.0, 10.0, 20.0, 40.0, 80.0]
+        .into_iter()
+        .map(|v| {
+            let mut cfg = base_config(scale);
+            cfg.workload.speeds = SpeedDist::Uniform { min: v * 0.25, max: v };
+            (format!("{v}"), cfg)
+        })
+        .collect();
+    ExpResult { id: "e4", title: "Fig E4: communication vs. object speed", rows: sweep(configs) }
+}
+
+/// E5 — communication cost vs. query (focal) speed, object speed fixed.
+pub fn e5(scale: Scale) -> ExpResult {
+    let configs = [0.0, 5.0, 10.0, 20.0, 40.0, 80.0]
+        .into_iter()
+        .map(|v| {
+            let mut cfg = base_config(scale);
+            cfg.workload.speeds = SpeedDist::Fixed(10.0);
+            cfg.workload.speed_overrides =
+                cfg.focal_ids().iter().map(|&id| (id, v)).collect();
+            (format!("{v}"), cfg)
+        })
+        .collect();
+    ExpResult { id: "e5", title: "Fig E5: communication vs. query speed", rows: sweep(configs) }
+}
+
+/// E6 — server load vs. N (ops proxy and wall time).
+pub fn e6(scale: Scale) -> ExpResult {
+    let mut rows = vec![vec![
+        "N".into(),
+        "method".into(),
+        "srv-ops/tick".into(),
+        "us/tick".into(),
+        "msgs/tick".into(),
+    ]];
+    for n in scale.n_sweep() {
+        let mut cfg = base_config(scale);
+        cfg.workload.n_objects = n;
+        for method in Method::standard_suite(params_for(&cfg)) {
+            let m = run_episode(&cfg, method);
+            rows.push(vec![
+                n.to_string(),
+                m.method.clone(),
+                fmt(m.server_ops_per_tick()),
+                fmt(m.proto_us_per_tick()),
+                fmt(m.msgs_per_tick()),
+            ]);
+        }
+    }
+    ExpResult { id: "e6", title: "Fig E6: server load vs. N", rows }
+}
+
+/// E7 — slack ablation: query-drift threshold δ_q and heartbeat H.
+pub fn e7(scale: Scale) -> ExpResult {
+    let mut rows = vec![vec![
+        "delta_q/v".into(),
+        "H".into(),
+        "method".into(),
+        "msgs/tick".into(),
+        "up/tick".into(),
+        "down/tick".into(),
+        "recall".into(),
+        "dist-err".into(),
+    ]];
+    let mut cfg = base_config(scale);
+    // Accuracy metrics need the oracle; shrink so Record stays affordable.
+    cfg.workload.n_objects = cfg.workload.n_objects.min(4_000);
+    cfg.n_queries = cfg.n_queries.min(20);
+    cfg.verify = VerifyMode::Record;
+    let v = cfg.workload.speeds.max_speed();
+    for drift_mult in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        for heartbeat in [5u64, 10, 20] {
+            let mut p = params_for(&cfg);
+            p.query_drift = drift_mult * v;
+            p.heartbeat = heartbeat;
+            for method in [Method::DknnSet(p), Method::DknnOrder(p)] {
+                let m = run_episode(&cfg, method);
+                rows.push(vec![
+                    format!("{drift_mult}"),
+                    heartbeat.to_string(),
+                    m.method.clone(),
+                    fmt(m.msgs_per_tick()),
+                    fmt(m.uplink_per_tick()),
+                    fmt(m.downlink_per_tick()),
+                    fmt(m.recall()),
+                    fmt(m.dist_error()),
+                ]);
+            }
+        }
+    }
+    ExpResult { id: "e7", title: "Fig E7: slack ablation (δ_q, H)", rows }
+}
+
+/// E8 — scalability in the number of concurrent queries.
+pub fn e8(scale: Scale) -> ExpResult {
+    let configs = scale
+        .q_sweep()
+        .into_iter()
+        .map(|q| {
+            let mut cfg = base_config(scale);
+            cfg.n_queries = q;
+            (q.to_string(), cfg)
+        })
+        .collect();
+    ExpResult { id: "e8", title: "Fig E8: scalability vs. #queries", rows: sweep(configs) }
+}
+
+/// E9 — client-side load per object per tick (safe-period-reduced region
+/// evaluations for the distributed methods; one report decision per tick
+/// for centralized).
+pub fn e9(scale: Scale) -> ExpResult {
+    let mut rows = vec![vec![
+        "N".into(),
+        "method".into(),
+        "cli-ops/obj/tick".into(),
+    ]];
+    for n in scale.n_sweep() {
+        let mut cfg = base_config(scale);
+        cfg.workload.n_objects = n;
+        for method in [
+            Method::DknnSet(params_for(&cfg)),
+            Method::DknnOrder(params_for(&cfg)),
+            Method::Centralized { res: 64 },
+        ] {
+            let m = run_episode(&cfg, method);
+            rows.push(vec![
+                n.to_string(),
+                m.method.clone(),
+                fmt(m.client_ops_per_object_tick()),
+            ]);
+        }
+    }
+    ExpResult { id: "e9", title: "Fig E9: client load", rows }
+}
+
+/// E10 — message-type breakdown at the default configuration.
+pub fn e10(scale: Scale) -> ExpResult {
+    use mknn_net::MsgKind;
+    let cfg = base_config(scale);
+    let mut rows = vec![{
+        let mut h = vec!["method".to_string(), "total".into()];
+        h.extend(MsgKind::ALL.iter().map(|k| k.label().to_string()));
+        h
+    }];
+    for method in Method::standard_suite(params_for(&cfg)) {
+        let m = run_episode(&cfg, method);
+        let mut row = vec![m.method.clone(), m.net.total_msgs().to_string()];
+        for kind in MsgKind::ALL {
+            row.push(m.net.by_kind.get(&kind).copied().unwrap_or(0).to_string());
+        }
+        rows.push(row);
+    }
+    ExpResult { id: "e10", title: "Table E10: message breakdown (whole episode)", rows }
+}
+
+/// E11 — exactness, recall against true positions, and distance error.
+pub fn e11(scale: Scale) -> ExpResult {
+    let mut cfg = base_config(scale);
+    cfg.workload.n_objects = cfg.workload.n_objects.min(4_000);
+    cfg.n_queries = cfg.n_queries.min(20);
+    cfg.verify = VerifyMode::Record;
+    let mut rows = vec![vec![
+        "method".into(),
+        "exact(eff)".into(),
+        "recall(true)".into(),
+        "dist-err(true)".into(),
+        "msgs/tick".into(),
+    ]];
+    let mut methods = Method::standard_suite(params_for(&cfg));
+    methods.push(Method::Periodic { period: 30, res: 64 });
+    for method in methods {
+        let m = run_episode(&cfg, method);
+        let label = if let Method::Periodic { period, .. } = method {
+            format!("{} (P={period})", m.method)
+        } else {
+            m.method.clone()
+        };
+        rows.push(vec![
+            label,
+            fmt(m.exactness()),
+            fmt(m.recall()),
+            fmt(m.dist_error()),
+            fmt(m.msgs_per_tick()),
+        ]);
+    }
+    ExpResult { id: "e11", title: "Table E11: answer quality", rows }
+}
+
+/// E12 — skewed (Gaussian hotspot) vs. uniform object distributions.
+pub fn e12(scale: Scale) -> ExpResult {
+    let mut configs = vec![("uniform".to_string(), base_config(scale))];
+    for sigma in [1000.0, 500.0, 250.0, 100.0] {
+        let mut cfg = base_config(scale);
+        cfg.workload.placement = Placement::Gaussian { clusters: 10, sigma };
+        configs.push((format!("gauss-{sigma}"), cfg));
+    }
+    ExpResult { id: "e12", title: "Fig E12: skew sensitivity", rows: sweep(configs) }
+}
+
+/// E13 — road-network workload.
+pub fn e13(scale: Scale) -> ExpResult {
+    let configs = scale
+        .n_sweep()
+        .into_iter()
+        .map(|n| {
+            let mut cfg = base_config(scale);
+            cfg.workload.n_objects = n;
+            cfg.workload.motion = Motion::RoadNetwork { nx: 20, ny: 20, drop_prob: 0.15 };
+            (n.to_string(), cfg)
+        })
+        .collect();
+    ExpResult { id: "e13", title: "Fig E13: road-network workload", rows: sweep(configs) }
+}
+
+/// E14 — buffer-size ablation for the buffered-candidate variant.
+pub fn e14(scale: Scale) -> ExpResult {
+    let cfg = base_config(scale);
+    let p = params_for(&cfg);
+    let mut rows = vec![vec![
+        "buffer".into(),
+        "method".into(),
+        "msgs/tick".into(),
+        "up/tick".into(),
+        "unicast/tick".into(),
+        "geocast/tick".into(),
+    ]];
+    let mut methods: Vec<(String, Method)> = vec![
+        ("order(b=0)".into(), Method::DknnOrder(p)),
+    ];
+    for b in [2usize, 4, 8, 16] {
+        methods.push((format!("{b}"), Method::DknnBuffer { params: p, buffer: b }));
+    }
+    for (label, method) in methods {
+        let m = run_episode(&cfg, method);
+        rows.push(vec![
+            label,
+            m.method.clone(),
+            fmt(m.msgs_per_tick()),
+            fmt(m.uplink_per_tick()),
+            fmt(m.net.downlink_unicast_msgs as f64 / m.ticks.max(1) as f64),
+            fmt(m.net.downlink_geocast_msgs as f64 / m.ticks.max(1) as f64),
+        ]);
+    }
+    ExpResult { id: "e14", title: "Fig E14: candidate-buffer ablation", rows }
+}
+
+/// E15 — headline table with dispersion: the default configuration
+/// repeated over five seeds, reported as mean ± sample standard deviation.
+pub fn e15(scale: Scale) -> ExpResult {
+    let mut cfg = base_config(scale);
+    // Multi-seed repetition at a quarter of the base population keeps the
+    // full-scale suite affordable while the dispersion estimate is what
+    // this table is about.
+    cfg.workload.n_objects = (cfg.workload.n_objects / 4).max(2_000);
+    let seeds = 5;
+    let mut rows = vec![vec![
+        "method".into(),
+        "msgs/tick".into(),
+        "up/tick".into(),
+        "bytes/tick".into(),
+        "srv-ops/tick".into(),
+        "cv(msgs)".into(),
+    ]];
+    for method in Method::standard_suite(params_for(&cfg)) {
+        let runs = run_episodes_seeded(&cfg, method, seeds);
+        let s = MetricsSummary::of(&runs);
+        rows.push(vec![
+            s.method.clone(),
+            s.msgs_per_tick.display(),
+            s.uplink_per_tick.display(),
+            s.bytes_per_tick.display(),
+            s.server_ops_per_tick.display(),
+            fmt(s.msgs_per_tick.cv()),
+        ]);
+    }
+    ExpResult { id: "e15", title: "Table E15: headline with dispersion (5 seeds)", rows }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
+    Some(match id {
+        "e1" => e1(scale),
+        "e2" => e2(scale),
+        "e3" => e3(scale),
+        "e4" => e4(scale),
+        "e5" => e5(scale),
+        "e6" => e6(scale),
+        "e7" => e7(scale),
+        "e8" => e8(scale),
+        "e9" => e9(scale),
+        "e10" => e10(scale),
+        "e11" => e11(scale),
+        "e12" => e12(scale),
+        "e13" => e13(scale),
+        "e14" => e14(scale),
+        "e15" => e15(scale),
+        _ => return None,
+    })
+}

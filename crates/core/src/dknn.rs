@@ -1,0 +1,129 @@
+//! The assembled DKNN protocol (client half + server half).
+
+use crate::{ClientHalf, DknnParams, Mode, ServerHalf};
+use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
+use mknn_net::{
+    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Uplinks,
+};
+use mknn_mobility::MovingObject;
+
+/// Distributed processing of moving k-nearest-neighbor queries — the
+/// reproduction of the target paper's contribution.
+///
+/// Two semantics levels share one machinery:
+///
+/// * **Set mode** ([`Dknn::set`]) maintains the exact kNN *set* using only
+///   region boundary crossings: a midpoint threshold `t` between the k-th
+///   and (k+1)-th neighbor makes the set invariant under silent movement on
+///   either side, so no position reports are needed until something crosses.
+/// * **Ordered mode** ([`Dknn::ordered`]) additionally maintains the exact
+///   neighbor *order* by assigning each member a response band (annulus);
+///   internal order changes surface as band crossings, which the server
+///   patches locally with at most one poll and two band installs.
+///
+/// Answers are exact with respect to the [effective query
+/// center](Protocol::effective_center), which the protocol keeps within
+/// [`DknnParams::query_drift`] meters of the focal object's true position.
+#[derive(Debug)]
+pub struct Dknn {
+    params: DknnParams,
+    mode: Mode,
+    client: ClientHalf,
+    server: ServerHalf,
+}
+
+impl Dknn {
+    /// Set-semantics protocol (cheapest messaging).
+    pub fn set(params: DknnParams) -> Self {
+        Self::with_mode(params, Mode::Set)
+    }
+
+    /// Order-preserving protocol.
+    pub fn ordered(params: DknnParams) -> Self {
+        Self::with_mode(params, Mode::Ordered)
+    }
+
+    fn with_mode(params: DknnParams, mode: Mode) -> Self {
+        params.validate().expect("invalid DknnParams");
+        Dknn { params, mode, client: ClientHalf::new(params, 0), server: ServerHalf::new(params, mode) }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DknnParams {
+        &self.params
+    }
+
+    /// Number of full refreshes performed so far (diagnostics).
+    pub fn refreshes(&self) -> u64 {
+        self.server.total_refreshes()
+    }
+
+    /// Number of locally patched band events (ordered mode diagnostics).
+    pub fn band_fixes(&self) -> u64 {
+        self.server.total_band_fixes()
+    }
+
+    /// Diagnostic: regions installed on device `idx` right now.
+    pub fn client_regions(&self, idx: usize) -> usize {
+        self.client.installed_regions(idx)
+    }
+}
+
+impl Protocol for Dknn {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            Mode::Set => "dknn-set",
+            Mode::Ordered => "dknn-order",
+        }
+    }
+
+    fn init(
+        &mut self,
+        bounds: Rect,
+        objects: &[MovingObject],
+        queries: &[QuerySpec],
+        _probe: &mut dyn ProbeService,
+        outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.client = ClientHalf::new(self.params, objects.len());
+        for spec in queries {
+            self.client.set_focal(spec.focal.index(), spec.id);
+        }
+        self.server.init(bounds, objects, queries, outbox, ops);
+    }
+
+    fn client_tick(
+        &mut self,
+        tick: Tick,
+        me: &MovingObject,
+        inbox: &[DownlinkMsg],
+        up: &mut Uplinks,
+        ops: &mut OpCounters,
+    ) {
+        self.client.tick(tick, me, inbox, up, ops);
+    }
+
+    fn server_tick(
+        &mut self,
+        tick: Tick,
+        uplinks: &Uplinks,
+        probe: &mut dyn ProbeService,
+        outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.server.tick(tick, uplinks, probe, outbox, ops);
+    }
+
+    fn answer(&self, query: QueryId) -> &[ObjectId] {
+        self.server.answer(query)
+    }
+
+    fn effective_center(&self, query: QueryId) -> Option<Point> {
+        self.server.effective_center(query)
+    }
+
+    fn ordered_answers(&self) -> bool {
+        self.mode == Mode::Ordered
+    }
+}

@@ -1,0 +1,120 @@
+//! Tunable parameters of the distributed protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the DKNN protocols (both set and ordered mode).
+///
+/// The defaults are sized for the default workload (10 km × 10 km space,
+/// object speeds ≤ 20 m/tick) and are swept by the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DknnParams {
+    /// Threshold placement inside the gap between the k-th and (k+1)-th
+    /// neighbor distance, in `(0, 1)`: the monitoring threshold is
+    /// `t = d_k + alpha · (d_{k+1} − d_k)`. `0.5` (midpoint) maximizes the
+    /// hysteresis on both sides.
+    pub alpha: f64,
+    /// Query drift threshold δ_q, in meters: the server re-centers and
+    /// re-broadcasts the region when the focal object's reported position
+    /// deviates more than this from the broadcast-predicted center. Smaller
+    /// values keep the *effective* query point closer to the true one at
+    /// the cost of more frequent region refreshes.
+    pub query_drift: f64,
+    /// Heartbeat period H, in ticks: the server re-geocasts the (unchanged)
+    /// region every H ticks so that devices approaching from afar learn it
+    /// before they can possibly enter. Part of the protocol's soundness
+    /// margin.
+    pub heartbeat: u64,
+    /// Known global bound on data-object speed, meters/tick (protocol
+    /// soundness input, not a tuning knob).
+    pub v_max_obj: f64,
+    /// Known global bound on query focal speed, meters/tick.
+    pub v_max_q: f64,
+    /// Growth factor for region-expansion probes when a probe zone yields
+    /// fewer than k+1 devices.
+    pub expand_factor: f64,
+    /// In ordered mode, the number of band events for one query in one tick
+    /// above which the server stops patching locally and performs a full
+    /// refresh instead.
+    pub band_escalation: u32,
+}
+
+impl Default for DknnParams {
+    fn default() -> Self {
+        DknnParams {
+            alpha: 0.5,
+            query_drift: 40.0,
+            heartbeat: 5,
+            v_max_obj: 20.0,
+            v_max_q: 20.0,
+            expand_factor: 2.0,
+            band_escalation: 3,
+        }
+    }
+}
+
+impl DknnParams {
+    /// The geocast safety margin added around every region install zone.
+    ///
+    /// Soundness: a device that does not hear an install is at distance
+    /// > `t + margin` from the broadcast center; within the next `H + 1`
+    /// > ticks (heartbeat period plus one tick of delivery lag) the relative
+    /// > displacement between the device and the predicted center is at most
+    /// > `(H + 1)(v_max_obj + v_max_q)`, so the device remains at distance
+    /// > `t + query_drift` — strictly outside the region — until a heartbeat
+    /// > reaches it.
+    pub fn margin(&self) -> f64 {
+        self.query_drift + (self.heartbeat as f64 + 1.0) * (self.v_max_obj + self.v_max_q)
+    }
+
+    /// Ticks after which a device drops a region it has not heard about.
+    /// Must exceed the heartbeat period plus delivery lag.
+    pub fn evict_after(&self) -> u64 {
+        self.heartbeat + 2
+    }
+
+    /// Validates parameter sanity; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.alpha && self.alpha < 1.0) {
+            return Err(format!("alpha must be in (0, 1), got {}", self.alpha));
+        }
+        if self.query_drift < 0.0 {
+            return Err("query_drift must be non-negative".into());
+        }
+        if self.heartbeat == 0 {
+            return Err("heartbeat must be at least 1 tick".into());
+        }
+        if self.expand_factor <= 1.0 {
+            return Err("expand_factor must exceed 1".into());
+        }
+        if self.v_max_obj < 0.0 || self.v_max_q < 0.0 {
+            return Err("speed bounds must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        DknnParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn margin_covers_heartbeat_travel() {
+        let p = DknnParams::default();
+        assert!(p.margin() >= (p.heartbeat + 1) as f64 * (p.v_max_obj + p.v_max_q));
+        assert!(p.evict_after() > p.heartbeat);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(DknnParams { alpha: 0.0, ..Default::default() }.validate().is_err());
+        assert!(DknnParams { alpha: 1.0, ..Default::default() }.validate().is_err());
+        assert!(DknnParams { heartbeat: 0, ..Default::default() }.validate().is_err());
+        assert!(DknnParams { expand_factor: 1.0, ..Default::default() }.validate().is_err());
+        assert!(DknnParams { query_drift: -1.0, ..Default::default() }.validate().is_err());
+    }
+}

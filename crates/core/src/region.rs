@@ -1,0 +1,69 @@
+//! The versioned monitoring region shared by server and clients.
+
+use mknn_geom::{Point, Tick, Vector};
+
+/// One broadcast *version* of a query's monitoring region.
+///
+/// Both halves of the protocol evaluate region membership against the same
+/// predicted center, computed with the identical expression below, so their
+/// geometric decisions agree bit-for-bit. Heartbeats re-send a version
+/// unchanged (same `ver`, `center`, `vel`) precisely to preserve this
+/// property — re-deriving the center at a later tick would perturb the
+/// floating-point trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionVersion {
+    /// Install tick — doubles as the version number (strictly increasing
+    /// per query).
+    pub ver: Tick,
+    /// Focal position the server knew at install time.
+    pub center: Point,
+    /// Focal velocity at install time; extrapolates the center.
+    pub vel: Vector,
+    /// Monitoring threshold: devices at distance ≤ `t` from the predicted
+    /// center are inside the region.
+    pub t: f64,
+}
+
+impl RegionVersion {
+    /// The region center predicted for tick `now` (≥ the install tick).
+    #[inline]
+    pub fn pred_center(&self, now: Tick) -> Point {
+        self.center + self.vel * (now.saturating_sub(self.ver)) as f64
+    }
+
+    /// Returns `true` when `p` is inside the region at tick `now`.
+    #[inline]
+    pub fn contains(&self, p: Point, now: Tick) -> bool {
+        p.dist_sq(self.pred_center(now)) <= self.t * self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_extrapolates_linearly() {
+        let r = RegionVersion {
+            ver: 10,
+            center: Point::new(100.0, 100.0),
+            vel: Vector::new(2.0, -1.0),
+            t: 50.0,
+        };
+        assert_eq!(r.pred_center(10), Point::new(100.0, 100.0));
+        assert_eq!(r.pred_center(15), Point::new(110.0, 95.0));
+    }
+
+    #[test]
+    fn contains_uses_predicted_center() {
+        let r = RegionVersion {
+            ver: 0,
+            center: Point::new(0.0, 0.0),
+            vel: Vector::new(10.0, 0.0),
+            t: 5.0,
+        };
+        assert!(r.contains(Point::new(0.0, 0.0), 0));
+        assert!(!r.contains(Point::new(0.0, 0.0), 1));
+        assert!(r.contains(Point::new(10.0, 3.0), 1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Annuli (rings) — the shape of per-object response bands.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// A closed annulus centered at `center`: all points `p` with
+/// `inner ≤ dist(center, p) ≤ outer`.
+///
+/// The order-preserving protocol ([`DknnOrder`]) installs one annulus per
+/// answer object: as long as the object stays inside its band, its *rank*
+/// among the k nearest neighbors cannot have changed, so it stays silent.
+///
+/// [`DknnOrder`]: https://docs.rs/mknn-core
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Annulus {
+    /// Center shared with the query's monitoring region.
+    pub center: Point,
+    /// Inner radius (≥ 0).
+    pub inner: f64,
+    /// Outer radius (≥ inner). `f64::INFINITY` expresses "everything beyond
+    /// `inner`", used for the outermost non-answer band.
+    pub outer: f64,
+}
+
+impl Annulus {
+    /// Creates an annulus. Panics (debug only) when radii are unordered or
+    /// negative.
+    #[inline]
+    pub fn new(center: Point, inner: f64, outer: f64) -> Self {
+        debug_assert!(inner >= 0.0, "inner radius must be non-negative");
+        debug_assert!(outer >= inner, "outer must not be smaller than inner");
+        Annulus { center, inner, outer }
+    }
+
+    /// Returns `true` when `p` lies inside the band (boundaries inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        let d2 = self.center.dist_sq(p);
+        d2 >= self.inner * self.inner && (self.outer.is_infinite() || d2 <= self.outer * self.outer)
+    }
+
+    /// Width of the band (`outer − inner`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.outer - self.inner
+    }
+
+    /// The distance `p` can travel (in any direction) before it can possibly
+    /// exit the band; `0` when `p` is already outside.
+    ///
+    /// This is the *safe distance* of the band: with a per-tick displacement
+    /// bound `v`, the object provably stays inside for `safe_dist / v` ticks.
+    #[inline]
+    pub fn safe_dist(&self, p: Point) -> f64 {
+        let d = self.center.dist(p);
+        if d < self.inner || (!self.outer.is_infinite() && d > self.outer) {
+            return 0.0;
+        }
+        let to_inner = d - self.inner;
+        if self.outer.is_infinite() {
+            to_inner
+        } else {
+            to_inner.min(self.outer - d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn contains_respects_both_radii() {
+        let a = Annulus::new(Point::ORIGIN, 2.0, 4.0);
+        assert!(!a.contains(Point::new(1.0, 0.0)));
+        assert!(a.contains(Point::new(2.0, 0.0)));
+        assert!(a.contains(Point::new(3.0, 0.0)));
+        assert!(a.contains(Point::new(4.0, 0.0)));
+        assert!(!a.contains(Point::new(4.5, 0.0)));
+    }
+
+    #[test]
+    fn unbounded_outer_band() {
+        let a = Annulus::new(Point::ORIGIN, 3.0, f64::INFINITY);
+        assert!(a.contains(Point::new(1e9, 0.0)));
+        assert!(!a.contains(Point::new(2.9, 0.0)));
+        assert!(approx_eq(a.safe_dist(Point::new(10.0, 0.0)), 7.0));
+    }
+
+    #[test]
+    fn safe_dist_is_min_gap() {
+        let a = Annulus::new(Point::ORIGIN, 2.0, 4.0);
+        assert!(approx_eq(a.safe_dist(Point::new(2.5, 0.0)), 0.5));
+        assert!(approx_eq(a.safe_dist(Point::new(3.8, 0.0)), 0.2));
+        assert!(approx_eq(a.safe_dist(Point::new(5.0, 0.0)), 0.0));
+        assert!(approx_eq(a.safe_dist(Point::new(0.0, 0.0)), 0.0));
+    }
+
+    #[test]
+    fn degenerate_band_contains_only_its_circle() {
+        let a = Annulus::new(Point::ORIGIN, 3.0, 3.0);
+        assert!(a.contains(Point::new(3.0, 0.0)));
+        assert!(!a.contains(Point::new(3.001, 0.0)));
+        assert!(approx_eq(a.width(), 0.0));
+    }
+}

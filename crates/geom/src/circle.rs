@@ -1,0 +1,142 @@
+//! Circles (disks) — the shape of monitoring regions and search ranges.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A closed disk: all points within `radius` of `center`.
+///
+/// In the distributed protocols a circle is the *monitoring region* of a
+/// query: the set of positions from which a data object could possibly be one
+/// of the query's k nearest neighbors before the next region refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the disk.
+    pub center: Point,
+    /// Radius of the disk (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle. Panics (debug only) on a negative radius.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "radius must be non-negative");
+        Circle { center, radius }
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_circle(&self, other: &Circle) -> bool {
+        if other.radius > self.radius {
+            return false;
+        }
+        let slack = self.radius - other.radius;
+        self.center.dist_sq(other.center) <= slack * slack
+    }
+
+    /// Returns `true` when the two disks share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let reach = self.radius + other.radius;
+        self.center.dist_sq(other.center) <= reach * reach
+    }
+
+    /// The tight axis-aligned bounding rectangle of the disk.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::from_coords(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Distance from `p` to the boundary circle; negative when `p` is inside.
+    ///
+    /// The protocols use this as the "safety margin" of an object with
+    /// respect to a monitoring region: an object moving at most `v` per tick
+    /// cannot cross the boundary for `|signed_boundary_dist| / v` ticks.
+    #[inline]
+    pub fn signed_boundary_dist(&self, p: Point) -> f64 {
+        self.center.dist(p) - self.radius
+    }
+
+    /// Grows (or shrinks, for negative `dr`) the radius by `dr`, clamping at
+    /// zero.
+    #[inline]
+    pub fn inflate(&self, dr: f64) -> Circle {
+        Circle::new(self.center, (self.radius + dr).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn contains_boundary() {
+        let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+        assert!(c.contains(Point::new(3.0, 4.0)));
+        assert!(c.contains(Point::new(5.0, 0.0)));
+        assert!(!c.contains(Point::new(3.0, 4.1)));
+    }
+
+    #[test]
+    fn contains_circle_cases() {
+        let outer = Circle::new(Point::new(0.0, 0.0), 10.0);
+        let inner = Circle::new(Point::new(3.0, 0.0), 6.0);
+        assert!(outer.contains_circle(&inner));
+        let crossing = Circle::new(Point::new(6.0, 0.0), 6.0);
+        assert!(!outer.contains_circle(&crossing));
+        assert!(outer.contains_circle(&outer));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point::new(2.0, 0.0), 1.0); // tangent
+        let c = Circle::new(Point::new(2.1, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        let c = Circle::new(Point::new(1.0, 2.0), 3.0);
+        assert_eq!(c.bounding_rect(), Rect::from_coords(-2.0, -1.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn signed_boundary_dist_sign() {
+        let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+        assert!(c.signed_boundary_dist(Point::new(1.0, 0.0)) < 0.0);
+        assert!(approx_eq(c.signed_boundary_dist(Point::new(5.0, 0.0)), 0.0));
+        assert!(approx_eq(c.signed_boundary_dist(Point::new(8.0, 0.0)), 3.0));
+    }
+
+    #[test]
+    fn inflate_clamps_at_zero() {
+        let c = Circle::new(Point::ORIGIN, 2.0);
+        assert!(approx_eq(c.inflate(1.0).radius, 3.0));
+        assert!(approx_eq(c.inflate(-5.0).radius, 0.0));
+    }
+
+    #[test]
+    fn area_of_unit_circle() {
+        assert!(approx_eq(Circle::new(Point::ORIGIN, 1.0).area(), std::f64::consts::PI));
+    }
+}

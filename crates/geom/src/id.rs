@@ -1,0 +1,77 @@
+//! Workspace-wide identifier types.
+//!
+//! These live in the base crate so that the index, mobility, network, and
+//! protocol crates can all name the same object/query identities without
+//! depending on each other.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Discrete simulation time, in ticks since the start of an episode.
+pub type Tick = u64;
+
+/// Identity of a moving data object (and of the device carrying it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Identity of a registered continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl ObjectId {
+    /// The raw index, for dense per-object arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QueryId {
+    /// The raw index, for dense per-query arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl From<u32> for QueryId {
+    fn from(v: u32) -> Self {
+        QueryId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ObjectId(7).to_string(), "o7");
+        assert_eq!(QueryId(3).to_string(), "q3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId::from(5).index(), 5);
+        assert_eq!(QueryId::from(9).index(), 9);
+    }
+}

@@ -1,0 +1,310 @@
+//! Points and vectors in the plane.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement (or velocity, in meters per tick) in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] in hot paths (index scans,
+    /// k-selection) — comparisons of squared distances are order-preserving
+    /// and avoid the square root.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// The vector pointing from `self` to `other`.
+    #[inline]
+    pub fn vector_to(&self, other: Point) -> Vector {
+        Vector::new(other.x - self.x, other.y - self.y)
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Componentwise clamp of this point into `[min, max]` on both axes.
+    #[inline]
+    pub fn clamp(&self, min: Point, max: Point) -> Point {
+        Point::new(self.x.clamp(min.x, max.x), self.y.clamp(min.y, max.y))
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vector {
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Creates a unit vector with the given heading, in radians measured
+    /// counter-clockwise from the positive x-axis.
+    #[inline]
+    pub fn from_heading(theta: f64) -> Self {
+        Vector::new(theta.cos(), theta.sin())
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Returns this vector scaled to unit length, or [`Vector::ZERO`] when
+    /// its norm is zero.
+    #[inline]
+    pub fn normalized(&self) -> Vector {
+        let n = self.norm();
+        if n == 0.0 {
+            Vector::ZERO
+        } else {
+            *self / n
+        }
+    }
+
+    /// Returns this vector with its norm capped at `max_norm`.
+    ///
+    /// Used by mobility models to enforce per-object speed limits.
+    #[inline]
+    pub fn capped(&self, max_norm: f64) -> Vector {
+        debug_assert!(max_norm >= 0.0);
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            *self * (max_norm / n)
+        } else {
+            *self
+        }
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Sub<Point> for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vector {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vector {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dist_is_sqrt_of_dist_sq() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!(approx_eq(a.dist_sq(b), 25.0));
+        assert!(approx_eq(a.dist(b), 5.0));
+    }
+
+    #[test]
+    fn dist_is_symmetric_and_zero_on_self() {
+        let a = Point::new(-3.5, 7.25);
+        let b = Point::new(10.0, -2.0);
+        assert!(approx_eq(a.dist(b), b.dist(a)));
+        assert!(approx_eq(a.dist(a), 0.0));
+    }
+
+    #[test]
+    fn point_plus_vector_translates() {
+        let p = Point::new(1.0, 1.0) + Vector::new(2.0, -0.5);
+        assert!(approx_eq(p.x, 3.0) && approx_eq(p.y, 0.5));
+    }
+
+    #[test]
+    fn point_difference_is_vector_to() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        let v = b - a;
+        assert_eq!(v, a.vector_to(b));
+        assert!(approx_eq(v.norm(), 5.0));
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 4.0);
+        let m = a.midpoint(b);
+        assert!(approx_eq(m.dist(a), m.dist(b)));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vector::new(3.0, 4.0).normalized();
+        assert!(approx_eq(v.norm(), 1.0));
+        assert_eq!(Vector::ZERO.normalized(), Vector::ZERO);
+    }
+
+    #[test]
+    fn capped_limits_speed() {
+        let v = Vector::new(30.0, 40.0).capped(5.0);
+        assert!(approx_eq(v.norm(), 5.0));
+        let w = Vector::new(0.3, 0.4).capped(5.0);
+        assert!(approx_eq(w.norm(), 0.5));
+    }
+
+    #[test]
+    fn from_heading_points_correctly() {
+        let east = Vector::from_heading(0.0);
+        assert!(approx_eq(east.x, 1.0) && approx_eq(east.y, 0.0));
+        let north = Vector::from_heading(std::f64::consts::FRAC_PI_2);
+        assert!(north.x.abs() < 1e-12 && approx_eq(north.y, 1.0));
+    }
+
+    #[test]
+    fn clamp_confines_to_box() {
+        let p = Point::new(-5.0, 120.0).clamp(Point::ORIGIN, Point::new(100.0, 100.0));
+        assert_eq!(p, Point::new(0.0, 100.0));
+    }
+
+    #[test]
+    fn dot_product_orthogonal_is_zero() {
+        assert!(approx_eq(Vector::new(1.0, 0.0).dot(Vector::new(0.0, 3.0)), 0.0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Axis-aligned rectangles.
+
+use crate::{Circle, Point, Vector};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]` (closed on all
+/// sides).
+///
+/// Used for the space bounds of a simulated world, for grid-index cells, and
+/// for R-tree minimum bounding rectangles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners. Panics (debug only) when the
+    /// corners are not ordered.
+    #[inline]
+    pub fn new(min: Point, max: Point) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "corners must be ordered");
+        Rect { min, max }
+    }
+
+    /// Creates a rectangle from coordinate extents.
+    #[inline]
+    pub fn from_coords(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// The square `[0, side] × [0, side]`.
+    #[inline]
+    pub fn square(side: f64) -> Self {
+        Rect::from_coords(0.0, 0.0, side, side)
+    }
+
+    /// A degenerate rectangle containing exactly `p`.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter (the classic R-tree "margin" measure).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Center point of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Returns `true` when the two rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The smallest rectangle covering both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The smallest rectangle covering `self` and the point `p`.
+    #[inline]
+    pub fn union_point(&self, p: Point) -> Rect {
+        self.union(&Rect::from_point(p))
+    }
+
+    /// Grows the rectangle by `r` on every side.
+    #[inline]
+    pub fn inflate(&self, r: f64) -> Rect {
+        Rect {
+            min: self.min - Vector::new(r, r),
+            max: self.max + Vector::new(r, r),
+        }
+    }
+
+    /// The point of this rectangle closest to `p` (equal to `p` when `p` is
+    /// inside).
+    #[inline]
+    pub fn closest_point(&self, p: Point) -> Point {
+        p.clamp(self.min, self.max)
+    }
+
+    /// Squared minimum distance from `p` to this rectangle (`0` when inside).
+    ///
+    /// This is the classic `MINDIST` pruning measure for best-first kNN
+    /// search on R-trees.
+    #[inline]
+    pub fn min_dist_sq(&self, p: Point) -> f64 {
+        self.closest_point(p).dist_sq(p)
+    }
+
+    /// Squared maximum distance from `p` to any point of this rectangle.
+    #[inline]
+    pub fn max_dist_sq(&self, p: Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+
+    /// Returns `true` when any point of this rectangle lies inside `circle`.
+    #[inline]
+    pub fn intersects_circle(&self, circle: &Circle) -> bool {
+        self.min_dist_sq(circle.center) <= circle.radius * circle.radius
+    }
+
+    /// Returns `true` when this rectangle lies entirely inside `circle`.
+    #[inline]
+    pub fn inside_circle(&self, circle: &Circle) -> bool {
+        self.max_dist_sq(circle.center) <= circle.radius * circle.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn unit() -> Rect {
+        Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        assert!(unit().contains(Point::new(0.0, 0.0)));
+        assert!(unit().contains(Point::new(1.0, 1.0)));
+        assert!(unit().contains(Point::new(0.5, 1.0)));
+        assert!(!unit().contains(Point::new(1.0 + 1e-9, 0.5)));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::from_coords(1.0, 1.0, 3.0, 3.0);
+        let c = Rect::from_coords(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersects(&b) && b.intersects(&a));
+        assert!(!a.intersects(&c) && !c.intersects(&a));
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        let a = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::from_coords(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::from_coords(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, Rect::from_coords(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn min_dist_zero_inside() {
+        assert!(approx_eq(unit().min_dist_sq(Point::new(0.5, 0.5)), 0.0));
+    }
+
+    #[test]
+    fn min_dist_to_corner() {
+        // Point diagonal from the (1,1) corner.
+        let d2 = unit().min_dist_sq(Point::new(4.0, 5.0));
+        assert!(approx_eq(d2, 9.0 + 16.0));
+    }
+
+    #[test]
+    fn min_dist_to_edge() {
+        let d2 = unit().min_dist_sq(Point::new(0.5, 3.0));
+        assert!(approx_eq(d2, 4.0));
+    }
+
+    #[test]
+    fn max_dist_reaches_far_corner() {
+        let d2 = unit().max_dist_sq(Point::new(0.0, 0.0));
+        assert!(approx_eq(d2, 2.0));
+        let d2 = unit().max_dist_sq(Point::new(2.0, 0.5));
+        // farthest corner is (0,0) or (0,1): dx=2, dy=0.5 -> 4.25
+        assert!(approx_eq(d2, 4.25));
+    }
+
+    #[test]
+    fn circle_intersection_cases() {
+        let c = Circle::new(Point::new(2.0, 0.5), 0.9);
+        assert!(!unit().intersects_circle(&c));
+        let c = Circle::new(Point::new(2.0, 0.5), 1.1);
+        assert!(unit().intersects_circle(&c));
+        let c = Circle::new(Point::new(0.5, 0.5), 10.0);
+        assert!(unit().inside_circle(&c));
+        let c = Circle::new(Point::new(0.5, 0.5), 0.6);
+        assert!(unit().intersects_circle(&c) && !unit().inside_circle(&c));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let r = unit().inflate(2.0);
+        assert_eq!(r, Rect::from_coords(-2.0, -2.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let r = Rect::from_coords(0.0, 0.0, 3.0, 4.0);
+        assert!(approx_eq(r.area(), 12.0));
+        assert!(approx_eq(r.margin(), 7.0));
+        assert_eq!(r.center(), Point::new(1.5, 2.0));
+    }
+}

@@ -1,0 +1,64 @@
+//! A totally ordered wrapper for finite `f64` values.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order, for use as a heap/sort key.
+///
+/// Distances in this workspace are always finite and non-NaN (coordinates are
+/// validated at world construction), so the total order simply delegates to
+/// `partial_cmp`; a NaN is a programming error and panics in debug builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        debug_assert!(!self.0.is_nan() && !other.0.is_nan(), "NaN distance");
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_like_f64() {
+        let mut v = vec![OrdF64(3.0), OrdF64(-1.0), OrdF64(2.5)];
+        v.sort();
+        assert_eq!(v, vec![OrdF64(-1.0), OrdF64(2.5), OrdF64(3.0)]);
+    }
+
+    #[test]
+    fn works_in_heaps() {
+        let mut h = std::collections::BinaryHeap::new();
+        h.push(OrdF64(1.0));
+        h.push(OrdF64(9.0));
+        h.push(OrdF64(4.0));
+        assert_eq!(h.pop(), Some(OrdF64(9.0)));
+    }
+}

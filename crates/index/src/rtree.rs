@@ -1,0 +1,766 @@
+//! An R-tree over point objects.
+//!
+//! Supports one-by-one insertion (least-enlargement descent, quadratic
+//! split), deletion with condensation, Sort-Tile-Recursive bulk loading, and
+//! exact best-first kNN search. The tree serves snapshot queries and acts as
+//! an independently implemented cross-check for the grid index.
+
+use crate::{bruteforce, KnnCollector, Neighbor, OrdF64};
+use mknn_geom::{Circle, ObjectId, Point, Rect};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum entries per node before a split.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries per node before condensation (≤ MAX/2).
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LeafEntry {
+    pos: Point,
+    id: ObjectId,
+}
+
+#[derive(Debug, Clone)]
+struct Child {
+    mbr: Rect,
+    node: Box<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<LeafEntry>),
+    Internal(Vec<Child>),
+}
+
+impl Node {
+    fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(es) => es
+                .iter()
+                .map(|e| Rect::from_point(e.pos))
+                .reduce(|a, b| a.union(&b)),
+            Node::Internal(cs) => cs.iter().map(|c| c.mbr).reduce(|a, b| a.union(&b)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(es) => es.len(),
+            Node::Internal(cs) => cs.len(),
+        }
+    }
+}
+
+/// An R-tree mapping point positions to [`ObjectId`]s.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree { root: Node::Leaf(Vec::new()), len: 0 }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tree holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk-loads a tree from `(id, position)` pairs using Sort-Tile-
+    /// Recursive packing. Produces a tree with near-full nodes, much better
+    /// packed than one built by repeated insertion.
+    pub fn bulk_load(mut items: Vec<(ObjectId, Point)>) -> Self {
+        let len = items.len();
+        if len == 0 {
+            return Self::new();
+        }
+        items.sort_unstable_by(|a, b| {
+            OrdF64(a.1.x).cmp(&OrdF64(b.1.x)).then(OrdF64(a.1.y).cmp(&OrdF64(b.1.y)))
+        });
+        // Tile into vertical slices, then pack each slice bottom-up by y.
+        // Chunk sizes are balanced (never a tiny trailing chunk) so that
+        // every non-root node respects the minimum fill.
+        let leaf_count = len.div_ceil(MAX_ENTRIES);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for slice in even_chunks(&items, slices.max(1)) {
+            let mut slice: Vec<_> = slice.to_vec();
+            slice.sort_unstable_by(|a, b| {
+                OrdF64(a.1.y).cmp(&OrdF64(b.1.y)).then(OrdF64(a.1.x).cmp(&OrdF64(b.1.x)))
+            });
+            let chunks = slice.len().div_ceil(MAX_ENTRIES);
+            for chunk in even_chunks(&slice, chunks.max(1)) {
+                leaves.push(Node::Leaf(
+                    chunk.iter().map(|&(id, pos)| LeafEntry { pos, id }).collect(),
+                ));
+            }
+        }
+        // Pack upper levels until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let group_count = level.len().div_ceil(MAX_ENTRIES);
+            let mut next = Vec::with_capacity(group_count);
+            let mut it = level.into_iter();
+            let sizes = even_chunk_sizes(it.len(), group_count);
+            for size in sizes {
+                let children: Vec<Child> = (&mut it)
+                    .take(size)
+                    .map(|node| {
+                        let mbr = node.mbr().expect("packed node is non-empty");
+                        Child { mbr, node: Box::new(node) }
+                    })
+                    .collect();
+                next.push(Node::Internal(children));
+            }
+            level = next;
+        }
+        RTree { root: level.pop().expect("at least one node"), len }
+    }
+
+    /// Inserts an entry. Duplicate `(id, position)` pairs are stored
+    /// verbatim; callers that need set semantics should `remove` first.
+    pub fn insert(&mut self, id: ObjectId, pos: Point) {
+        debug_assert!(pos.is_finite(), "position must be finite");
+        if let Some(sibling) = insert_rec(&mut self.root, pos, id) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            let left_mbr = old_root.mbr().expect("split node non-empty");
+            let right_mbr = sibling.mbr().expect("split sibling non-empty");
+            self.root = Node::Internal(vec![
+                Child { mbr: left_mbr, node: Box::new(old_root) },
+                Child { mbr: right_mbr, node: Box::new(sibling) },
+            ]);
+        }
+        self.len += 1;
+    }
+
+    /// Removes the entry `(id, pos)`. Returns `false` when absent.
+    ///
+    /// Underflowing nodes are dissolved and their remaining entries
+    /// reinserted (R-tree condensation).
+    pub fn remove(&mut self, id: ObjectId, pos: Point) -> bool {
+        let mut orphans = Vec::new();
+        let found = remove_rec(&mut self.root, pos, id, &mut orphans);
+        if !found {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Shrink a root that lost all but one child.
+        loop {
+            match &mut self.root {
+                Node::Internal(cs) if cs.len() == 1 => {
+                    let only = cs.pop().expect("one child");
+                    self.root = *only.node;
+                }
+                Node::Internal(cs) if cs.is_empty() => {
+                    self.root = Node::Leaf(Vec::new());
+                }
+                _ => break,
+            }
+        }
+        for e in orphans {
+            // Reinsertion does not change len: these entries were never
+            // counted as removed.
+            if let Some(sibling) = insert_rec(&mut self.root, e.pos, e.id) {
+                let old_root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+                let left_mbr = old_root.mbr().expect("non-empty");
+                let right_mbr = sibling.mbr().expect("non-empty");
+                self.root = Node::Internal(vec![
+                    Child { mbr: left_mbr, node: Box::new(old_root) },
+                    Child { mbr: right_mbr, node: Box::new(sibling) },
+                ]);
+            }
+        }
+        true
+    }
+
+    /// The k nearest entries to `q`, in canonical order (ascending
+    /// `(distance², id)`). Exact best-first traversal.
+    pub fn knn(&self, q: Point, k: usize) -> Vec<Neighbor> {
+        let mut coll = KnnCollector::new(k);
+        if k == 0 || self.len == 0 {
+            return coll.into_sorted();
+        }
+        // Min-heap keyed by (mindist², kind, id) — entries before nodes at
+        // equal key so results drain deterministically.
+        let mut heap: BinaryHeap<Reverse<HeapItem<'_>>> = BinaryHeap::new();
+        heap.push(Reverse(HeapItem {
+            key: OrdF64(self.root.mbr().map_or(0.0, |m| m.min_dist_sq(q))),
+            kind: HeapKind::Node(&self.root),
+        }));
+        while let Some(Reverse(item)) = heap.pop() {
+            if coll.is_full() && item.key.get() > coll.prune_bound_sq() {
+                break;
+            }
+            match item.kind {
+                HeapKind::Entry(id) => coll.offer(item.key.get(), id),
+                HeapKind::Node(Node::Leaf(es)) => {
+                    for e in es {
+                        heap.push(Reverse(HeapItem {
+                            key: OrdF64(e.pos.dist_sq(q)),
+                            kind: HeapKind::Entry(e.id),
+                        }));
+                    }
+                }
+                HeapKind::Node(Node::Internal(cs)) => {
+                    for c in cs {
+                        heap.push(Reverse(HeapItem {
+                            key: OrdF64(c.mbr.min_dist_sq(q)),
+                            kind: HeapKind::Node(&c.node),
+                        }));
+                    }
+                }
+            }
+        }
+        coll.into_sorted()
+    }
+
+    /// An iterator yielding *all* entries in ascending `(distance², id)`
+    /// order from `q` — incremental nearest-neighbor search (distance
+    /// browsing). Pulling k items costs the same traversal work as
+    /// [`RTree::knn`], but the consumer may stop — or keep going — at any
+    /// point without choosing k up front.
+    pub fn nearest_iter(&self, q: Point) -> NearestIter<'_> {
+        let mut heap = BinaryHeap::new();
+        if self.len > 0 {
+            heap.push(Reverse(HeapItem {
+                key: OrdF64(self.root.mbr().map_or(0.0, |m| m.min_dist_sq(q))),
+                kind: HeapKind::Node(&self.root),
+            }));
+        }
+        NearestIter { heap, q }
+    }
+
+    /// All entries within `range` (boundary inclusive), in canonical order.
+    pub fn range(&self, range: &Circle) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let r2 = range.radius * range.radius;
+        range_rec(&self.root, range, r2, &mut out);
+        out.sort_unstable_by(|a, b| {
+            (OrdF64(a.dist_sq), a.id).cmp(&(OrdF64(b.dist_sq), b.id))
+        });
+        out
+    }
+
+    /// Iterates over all `(id, position)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        let mut stack = vec![&self.root];
+        let mut pending: Vec<(ObjectId, Point)> = Vec::new();
+        std::iter::from_fn(move || loop {
+            if let Some(e) = pending.pop() {
+                return Some(e);
+            }
+            match stack.pop()? {
+                Node::Leaf(es) => pending.extend(es.iter().map(|e| (e.id, e.pos))),
+                Node::Internal(cs) => stack.extend(cs.iter().map(|c| c.node.as_ref())),
+            }
+        })
+    }
+
+    /// Height of the tree (a single leaf has height 1). Exposed for tests
+    /// and diagnostics.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal(cs) = node {
+            h += 1;
+            node = &cs[0].node;
+        }
+        h
+    }
+
+    /// Validates structural invariants (MBR containment, fan-out bounds).
+    /// Intended for tests; returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        check_rec(&self.root, true)?;
+        let counted = self.iter().count();
+        if counted != self.len {
+            return Err(format!("len {} but {} entries reachable", self.len, counted));
+        }
+        Ok(())
+    }
+
+    /// Cross-checks this tree's kNN against the brute-force oracle.
+    pub fn verify_knn(&self, q: Point, k: usize) -> bool {
+        let got = self.knn(q, k);
+        let want = bruteforce::knn(self.iter().collect::<Vec<_>>(), q, k);
+        got.len() == want.len()
+            && got.iter().zip(&want).all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
+    }
+}
+
+/// Incremental nearest-neighbor iterator over an [`RTree`]; see
+/// [`RTree::nearest_iter`].
+#[derive(Debug)]
+pub struct NearestIter<'a> {
+    heap: BinaryHeap<Reverse<HeapItem<'a>>>,
+    q: Point,
+}
+
+impl Iterator for NearestIter<'_> {
+    type Item = Neighbor;
+
+    fn next(&mut self) -> Option<Neighbor> {
+        while let Some(Reverse(item)) = self.heap.pop() {
+            match item.kind {
+                HeapKind::Entry(id) => {
+                    return Some(Neighbor { dist_sq: item.key.get(), id });
+                }
+                HeapKind::Node(Node::Leaf(es)) => {
+                    for e in es {
+                        self.heap.push(Reverse(HeapItem {
+                            key: OrdF64(e.pos.dist_sq(self.q)),
+                            kind: HeapKind::Entry(e.id),
+                        }));
+                    }
+                }
+                HeapKind::Node(Node::Internal(cs)) => {
+                    for c in cs {
+                        self.heap.push(Reverse(HeapItem {
+                            key: OrdF64(c.mbr.min_dist_sq(self.q)),
+                            kind: HeapKind::Node(&c.node),
+                        }));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[derive(Debug)]
+enum HeapKind<'a> {
+    Node(&'a Node),
+    Entry(ObjectId),
+}
+
+#[derive(Debug)]
+struct HeapItem<'a> {
+    key: OrdF64,
+    kind: HeapKind<'a>,
+}
+
+impl HeapItem<'_> {
+    /// Rank for deterministic ordering at equal keys: nodes expand before
+    /// entries drain (so an exact distance tie hidden in a subtree cannot be
+    /// out-ordered), then entries in ascending id order.
+    fn rank(&self) -> (u8, u32) {
+        match self.kind {
+            HeapKind::Node(_) => (0, 0),
+            HeapKind::Entry(id) => (1, id.0),
+        }
+    }
+}
+
+impl PartialEq for HeapItem<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.rank() == other.rank()
+    }
+}
+impl Eq for HeapItem<'_> {}
+impl PartialOrd for HeapItem<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.rank()).cmp(&(other.key, other.rank()))
+    }
+}
+
+/// Sizes of `count` balanced chunks covering `n` items (each size differs by
+/// at most one, none empty for `count ≤ n`).
+fn even_chunk_sizes(n: usize, count: usize) -> impl Iterator<Item = usize> {
+    let count = count.min(n.max(1)).max(1);
+    let base = n / count;
+    let rem = n % count;
+    (0..count).map(move |i| base + usize::from(i < rem))
+}
+
+/// Splits `items` into balanced contiguous chunks.
+fn even_chunks<T>(items: &[T], count: usize) -> impl Iterator<Item = &[T]> {
+    let mut rest = items;
+    even_chunk_sizes(items.len(), count).map(move |size| {
+        let (head, tail) = rest.split_at(size);
+        rest = tail;
+        head
+    })
+}
+
+/// Inserts into `node`; on overflow splits it in place and returns the new
+/// sibling.
+fn insert_rec(node: &mut Node, pos: Point, id: ObjectId) -> Option<Node> {
+    match node {
+        Node::Leaf(es) => {
+            es.push(LeafEntry { pos, id });
+            if es.len() > MAX_ENTRIES {
+                let items = std::mem::take(es);
+                let (a, b) = quadratic_split(items, |e| Rect::from_point(e.pos));
+                *es = a;
+                Some(Node::Leaf(b))
+            } else {
+                None
+            }
+        }
+        Node::Internal(cs) => {
+            let best = choose_subtree(cs, pos);
+            let split = insert_rec(&mut cs[best].node, pos, id);
+            cs[best].mbr = cs[best].node.mbr().expect("child non-empty");
+            if let Some(sibling) = split {
+                let mbr = sibling.mbr().expect("sibling non-empty");
+                cs.push(Child { mbr, node: Box::new(sibling) });
+            }
+            if cs.len() > MAX_ENTRIES {
+                let items = std::mem::take(cs);
+                let (a, b) = quadratic_split(items, |c| c.mbr);
+                *cs = a;
+                Some(Node::Internal(b))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Classic R-tree subtree choice: least area enlargement, then least area.
+fn choose_subtree(cs: &[Child], pos: Point) -> usize {
+    let mut best = 0;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for (i, c) in cs.iter().enumerate() {
+        let enlarged = c.mbr.union_point(pos);
+        let key = (enlarged.area() - c.mbr.area(), c.mbr.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split.
+fn quadratic_split<T>(mut items: Vec<T>, rect_of: impl Fn(&T) -> Rect) -> (Vec<T>, Vec<T>) {
+    debug_assert!(items.len() >= 2);
+    // Pick the two seeds wasting the most area when paired.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let ri = rect_of(&items[i]);
+            let rj = rect_of(&items[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Remove the later index first so the earlier stays valid (s1 < s2, and
+    // s1 can never be the swapped-in last element).
+    let seed2 = items.swap_remove(s2);
+    let seed1 = items.swap_remove(s1);
+    let mut g1 = vec![seed1];
+    let mut g2 = vec![seed2];
+    let mut r1 = rect_of(&g1[0]);
+    let mut r2 = rect_of(&g2[0]);
+    while let Some(item) = items.pop() {
+        // Force-assign when one group must absorb the entire remainder to
+        // reach the minimum fill. `g.len() + remaining` decreases by at most
+        // one per iteration, so testing equality catches it exactly once and
+        // then keeps routing every further item to the same group.
+        let remaining = items.len() + 1;
+        if g1.len() + remaining == MIN_ENTRIES {
+            r1 = r1.union(&rect_of(&item));
+            g1.push(item);
+            continue;
+        }
+        if g2.len() + remaining == MIN_ENTRIES {
+            r2 = r2.union(&rect_of(&item));
+            g2.push(item);
+            continue;
+        }
+        let r = rect_of(&item);
+        let d1 = r1.union(&r).area() - r1.area();
+        let d2 = r2.union(&r).area() - r2.area();
+        let to_first = d1 < d2 || (d1 == d2 && (r1.area() < r2.area() || (r1.area() == r2.area() && g1.len() <= g2.len())));
+        if to_first {
+            r1 = r1.union(&r);
+            g1.push(item);
+        } else {
+            r2 = r2.union(&r);
+            g2.push(item);
+        }
+    }
+    (g1, g2)
+}
+
+/// Removes `(id, pos)` below `node`. Dissolved-underflow leaf entries are
+/// appended to `orphans` for reinsertion. Returns whether the entry was
+/// found.
+fn remove_rec(node: &mut Node, pos: Point, id: ObjectId, orphans: &mut Vec<LeafEntry>) -> bool {
+    match node {
+        Node::Leaf(es) => {
+            if let Some(i) = es.iter().position(|e| e.id == id && e.pos == pos) {
+                es.swap_remove(i);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Internal(cs) => {
+            for i in 0..cs.len() {
+                if !cs[i].mbr.contains(pos) {
+                    continue;
+                }
+                if remove_rec(&mut cs[i].node, pos, id, orphans) {
+                    if cs[i].node.len() < MIN_ENTRIES {
+                        // Dissolve the underflowing child.
+                        let child = cs.swap_remove(i);
+                        collect_entries(*child.node, orphans);
+                    } else {
+                        cs[i].mbr = cs[i].node.mbr().expect("non-empty child");
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+fn collect_entries(node: Node, out: &mut Vec<LeafEntry>) {
+    match node {
+        Node::Leaf(es) => out.extend(es),
+        Node::Internal(cs) => {
+            for c in cs {
+                collect_entries(*c.node, out);
+            }
+        }
+    }
+}
+
+fn range_rec(node: &Node, range: &Circle, r2: f64, out: &mut Vec<Neighbor>) {
+    match node {
+        Node::Leaf(es) => {
+            for e in es {
+                let d2 = e.pos.dist_sq(range.center);
+                if d2 <= r2 {
+                    out.push(Neighbor { dist_sq: d2, id: e.id });
+                }
+            }
+        }
+        Node::Internal(cs) => {
+            for c in cs {
+                if c.mbr.intersects_circle(range) {
+                    range_rec(&c.node, range, r2, out);
+                }
+            }
+        }
+    }
+}
+
+fn check_rec(node: &Node, is_root: bool) -> Result<usize, String> {
+    match node {
+        Node::Leaf(es) => {
+            if !is_root && es.len() < MIN_ENTRIES {
+                return Err(format!("leaf underflow: {} entries", es.len()));
+            }
+            if es.len() > MAX_ENTRIES {
+                return Err(format!("leaf overflow: {} entries", es.len()));
+            }
+            Ok(1)
+        }
+        Node::Internal(cs) => {
+            if cs.is_empty() || (!is_root && cs.len() < MIN_ENTRIES) || cs.len() > MAX_ENTRIES {
+                return Err(format!("internal fan-out {} out of bounds", cs.len()));
+            }
+            let mut depth = None;
+            for c in cs {
+                let actual = c.node.mbr().ok_or("empty child node")?;
+                if !c.mbr.contains_rect(&actual) {
+                    return Err(format!("stored MBR {:?} does not cover {:?}", c.mbr, actual));
+                }
+                let d = check_rec(&c.node, false)?;
+                if *depth.get_or_insert(d) != d {
+                    return Err("unbalanced tree".into());
+                }
+            }
+            Ok(depth.unwrap_or(0) + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: u32) -> Vec<(ObjectId, Point)> {
+        // Deterministic pseudo-random scatter (LCG).
+        let mut state = 0x2545F4914F6CDD1Du64;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((state >> 33) % 10_000) as f64 / 10.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((state >> 33) % 10_000) as f64 / 10.0;
+                (ObjectId(i), Point::new(x, y))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_knn_matches_oracle() {
+        let mut t = RTree::new();
+        for (id, p) in cloud(300) {
+            t.insert(id, p);
+        }
+        t.check_invariants().unwrap();
+        for k in [1, 3, 10, 50] {
+            assert!(t.verify_knn(Point::new(500.0, 500.0), k), "k = {k}");
+            assert!(t.verify_knn(Point::new(-100.0, 2000.0), k), "outside, k = {k}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_oracle() {
+        let t = RTree::bulk_load(cloud(1000));
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+        for k in [1, 7, 64] {
+            assert!(t.verify_knn(Point::new(123.0, 456.0), k));
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_packed() {
+        let t = RTree::bulk_load(cloud(1000));
+        let by_insert = {
+            let mut t = RTree::new();
+            for (id, p) in cloud(1000) {
+                t.insert(id, p);
+            }
+            t
+        };
+        assert!(t.height() <= by_insert.height());
+        assert!(t.height() <= 4, "1000 points should pack into ≤ 4 levels");
+    }
+
+    #[test]
+    fn remove_deletes_and_condenses() {
+        let mut t = RTree::new();
+        let pts = cloud(200);
+        for &(id, p) in &pts {
+            t.insert(id, p);
+        }
+        for &(id, p) in pts.iter().take(150) {
+            assert!(t.remove(id, p), "remove {id}");
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), 50);
+        assert!(t.verify_knn(Point::new(500.0, 500.0), 10));
+        // Removing something absent fails cleanly.
+        assert!(!t.remove(ObjectId(0), pts[0].1));
+    }
+
+    #[test]
+    fn remove_to_empty_and_reuse() {
+        let mut t = RTree::new();
+        let pts = cloud(40);
+        for &(id, p) in &pts {
+            t.insert(id, p);
+        }
+        for &(id, p) in &pts {
+            assert!(t.remove(id, p));
+        }
+        assert!(t.is_empty());
+        t.insert(ObjectId(0), Point::new(1.0, 1.0));
+        assert_eq!(t.knn(Point::ORIGIN, 1)[0].id, ObjectId(0));
+    }
+
+    #[test]
+    fn range_matches_bruteforce() {
+        let pts = cloud(500);
+        let t = RTree::bulk_load(pts.clone());
+        let c = Circle::new(Point::new(400.0, 600.0), 250.0);
+        let got = t.range(&c);
+        let want = bruteforce::range(pts, &c);
+        assert_eq!(got.len(), want.len());
+        assert!(got.iter().zip(&want).all(|(a, b)| a.id == b.id));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::new();
+        assert!(t.knn(Point::ORIGIN, 5).is_empty());
+        assert!(t.range(&Circle::new(Point::ORIGIN, 100.0)).is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_positions_are_all_found() {
+        let mut t = RTree::new();
+        for i in 0..20u32 {
+            t.insert(ObjectId(i), Point::new(5.0, 5.0));
+        }
+        let nn = t.knn(Point::new(5.0, 5.0), 20);
+        assert_eq!(nn.len(), 20);
+        // Canonical order breaks the all-equal-distance tie by id.
+        assert!(nn.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn nearest_iter_yields_canonical_order() {
+        let pts = cloud(400);
+        let t = RTree::bulk_load(pts.clone());
+        let q = Point::new(321.0, 654.0);
+        let all: Vec<_> = t.nearest_iter(q).collect();
+        assert_eq!(all.len(), 400);
+        let want = bruteforce::knn(pts, q, 400);
+        for (a, b) in all.iter().zip(&want) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.dist_sq, b.dist_sq);
+        }
+    }
+
+    #[test]
+    fn nearest_iter_can_stop_early_and_matches_knn() {
+        let t = RTree::bulk_load(cloud(300));
+        let q = Point::new(10.0, 990.0);
+        let first7: Vec<_> = t.nearest_iter(q).take(7).collect();
+        let knn7 = t.knn(q, 7);
+        assert_eq!(first7.iter().map(|n| n.id).collect::<Vec<_>>(),
+                   knn7.iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nearest_iter_on_empty_tree() {
+        let t = RTree::new();
+        assert_eq!(t.nearest_iter(Point::ORIGIN).count(), 0);
+    }
+
+    #[test]
+    fn single_entry_bulk_load() {
+        let t = RTree::bulk_load(vec![(ObjectId(0), Point::new(3.0, 4.0))]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.knn(Point::ORIGIN, 1)[0].dist_sq, 25.0);
+    }
+}

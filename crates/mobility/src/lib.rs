@@ -1,0 +1,34 @@
+//! Moving-object mobility models and workload generators.
+//!
+//! The target paper evaluates on synthetic moving-object workloads
+//! (Brinkhoff-style network-based generators and uniform/skewed free-space
+//! generators were the norm for the ICDE 2005–2007 kNN-monitoring
+//! literature). No proprietary GPS traces are available, so this crate
+//! implements the closest synthetic equivalents, all fully deterministic
+//! under a seed:
+//!
+//! * [`RandomWaypoint`] — each object repeatedly picks a uniform waypoint
+//!   and travels to it at a per-leg speed,
+//! * [`RandomWalk`] — persistent headings with random turns, reflecting at
+//!   the space boundary,
+//! * [`RoadNetwork`] + [`RoadMotion`] — objects move along the edges of a
+//!   synthetic grid road network, routed via shortest paths to random
+//!   destinations,
+//! * [`Placement`] — uniform or Gaussian-cluster (hotspot) initial
+//!   positions,
+//! * [`WorkloadSpec`] → [`World`] — a reproducible, steppable world used by
+//!   the simulation harness.
+
+#![deny(missing_docs)]
+
+mod model;
+mod object;
+mod roadnet;
+mod workload;
+mod world;
+
+pub use model::{MotionModel, RandomWalk, RandomWaypoint, Stationary};
+pub use object::MovingObject;
+pub use roadnet::{RoadMotion, RoadNetwork};
+pub use workload::{Motion, Placement, SpeedDist, WorkloadSpec};
+pub use world::World;

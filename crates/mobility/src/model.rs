@@ -1,0 +1,296 @@
+//! Free-space motion models.
+
+use crate::MovingObject;
+use mknn_geom::{Point, Rect, Vector};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A motion model advances objects one tick at a time.
+///
+/// Models may keep per-object auxiliary state (waypoints, route progress)
+/// indexed by the object's position in the world's object vector; `init` is
+/// called exactly once with the full population before the first step.
+pub trait MotionModel {
+    /// Prepares per-object state. Default: nothing.
+    fn init(&mut self, _objects: &mut [MovingObject], _bounds: Rect, _rng: &mut StdRng) {}
+
+    /// Advances object `idx` by one tick. Implementations must keep
+    /// `obj.pos` inside `bounds` and `obj.vel.norm() ≤ obj.max_speed`.
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut StdRng);
+
+    /// Human-readable model name (for experiment logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Objects that never move. Useful for landmark datasets and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stationary;
+
+impl MotionModel for Stationary {
+    fn step(&mut self, _idx: usize, obj: &mut MovingObject, _bounds: Rect, _rng: &mut StdRng) {
+        obj.vel = Vector::ZERO;
+    }
+
+    fn name(&self) -> &'static str {
+        "stationary"
+    }
+}
+
+/// The classic random-waypoint model: each object repeatedly picks a
+/// uniformly random waypoint in the space and travels toward it in a
+/// straight line at a per-leg speed drawn from `[min_speed_frac·v_max,
+/// v_max]`, pausing `pause_ticks` on arrival.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    /// Fraction of the object's `max_speed` used as the per-leg minimum.
+    pub min_speed_frac: f64,
+    /// Ticks to wait at each waypoint before departing again.
+    pub pause_ticks: u32,
+    legs: Vec<Leg>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    target: Point,
+    speed: f64,
+    pause_left: u32,
+}
+
+impl RandomWaypoint {
+    /// Creates the model with the given per-leg minimum-speed fraction and
+    /// pause duration.
+    pub fn new(min_speed_frac: f64, pause_ticks: u32) -> Self {
+        debug_assert!((0.0..=1.0).contains(&min_speed_frac));
+        RandomWaypoint { min_speed_frac, pause_ticks, legs: Vec::new() }
+    }
+
+    fn fresh_leg(&self, obj: &MovingObject, bounds: Rect, rng: &mut StdRng) -> Leg {
+        let target = Point::new(
+            rng.gen_range(bounds.min.x..=bounds.max.x),
+            rng.gen_range(bounds.min.y..=bounds.max.y),
+        );
+        let lo = self.min_speed_frac * obj.max_speed;
+        let speed = if obj.max_speed > 0.0 && lo < obj.max_speed {
+            rng.gen_range(lo..=obj.max_speed)
+        } else {
+            obj.max_speed
+        };
+        Leg { target, speed, pause_left: 0 }
+    }
+}
+
+impl Default for RandomWaypoint {
+    fn default() -> Self {
+        RandomWaypoint::new(0.25, 0)
+    }
+}
+
+impl MotionModel for RandomWaypoint {
+    fn init(&mut self, objects: &mut [MovingObject], bounds: Rect, rng: &mut StdRng) {
+        self.legs = objects.iter().map(|o| self.fresh_leg(o, bounds, rng)).collect();
+    }
+
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut StdRng) {
+        let mut leg = self.legs[idx];
+        if leg.pause_left > 0 {
+            leg.pause_left -= 1;
+            obj.vel = Vector::ZERO;
+            self.legs[idx] = leg;
+            return;
+        }
+        let to_target = obj.pos.vector_to(leg.target);
+        let dist = to_target.norm();
+        if dist <= leg.speed || dist == 0.0 {
+            // Arrive this tick, then schedule the next leg.
+            obj.vel = to_target;
+            obj.pos = leg.target;
+            leg = self.fresh_leg(obj, bounds, rng);
+            leg.pause_left = self.pause_ticks;
+        } else {
+            // Clamp against 1-ulp overshoot when the target sits exactly on
+            // the space boundary; `vel` must stay equal to the applied
+            // displacement.
+            let next = (obj.pos + to_target * (leg.speed / dist)).clamp(bounds.min, bounds.max);
+            obj.vel = next - obj.pos;
+            obj.pos = next;
+        }
+        self.legs[idx] = leg;
+        debug_assert!(bounds.contains(obj.pos));
+    }
+
+    fn name(&self) -> &'static str {
+        "random-waypoint"
+    }
+}
+
+/// A random walk with persistent headings: each tick the object turns with
+/// probability `turn_prob` to a fresh uniform heading, moves at its
+/// per-object cruise speed, and reflects off the space boundary.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    /// Probability of choosing a new heading on any given tick.
+    pub turn_prob: f64,
+    /// Fraction of `max_speed` used as the per-object minimum cruise speed.
+    pub min_speed_frac: f64,
+    cruise: Vec<f64>,
+    /// Persistent per-object heading vectors (kept apart from the reported
+    /// velocity, which must equal the applied displacement).
+    heading: Vec<Vector>,
+}
+
+impl RandomWalk {
+    /// Creates the model.
+    pub fn new(turn_prob: f64, min_speed_frac: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&turn_prob));
+        RandomWalk { turn_prob, min_speed_frac, cruise: Vec::new(), heading: Vec::new() }
+    }
+}
+
+impl Default for RandomWalk {
+    fn default() -> Self {
+        RandomWalk::new(0.1, 0.25)
+    }
+}
+
+impl MotionModel for RandomWalk {
+    fn init(&mut self, objects: &mut [MovingObject], _bounds: Rect, rng: &mut StdRng) {
+        self.cruise.clear();
+        self.heading.clear();
+        for o in objects.iter_mut() {
+            let lo = self.min_speed_frac * o.max_speed;
+            let speed = if o.max_speed > 0.0 && lo < o.max_speed {
+                rng.gen_range(lo..=o.max_speed)
+            } else {
+                o.max_speed
+            };
+            let heading =
+                Vector::from_heading(rng.gen_range(0.0..std::f64::consts::TAU)) * speed;
+            o.vel = heading;
+            self.cruise.push(speed);
+            self.heading.push(heading);
+        }
+    }
+
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut StdRng) {
+        let speed = self.cruise[idx];
+        let mut heading = if rng.gen_bool(self.turn_prob) || obj.vel == Vector::ZERO {
+            Vector::from_heading(rng.gen_range(0.0..std::f64::consts::TAU)) * speed
+        } else {
+            self.heading[idx]
+        };
+        let mut next = obj.pos + heading;
+        // Reflect at the boundary (component-wise mirror). The clamped step
+        // may be shorter than the cruise speed; `obj.vel` must report the
+        // displacement actually applied (the protocols reconstruct the
+        // previous position as `pos − vel`), so the mirrored heading is kept
+        // separately for the next tick.
+        if next.x < bounds.min.x || next.x > bounds.max.x {
+            heading.x = -heading.x;
+            next.x = next.x.clamp(bounds.min.x, bounds.max.x);
+        }
+        if next.y < bounds.min.y || next.y > bounds.max.y {
+            heading.y = -heading.y;
+            next.y = next.y.clamp(bounds.min.y, bounds.max.y);
+        }
+        self.heading[idx] = heading;
+        obj.vel = next - obj.pos;
+        obj.pos = next;
+        debug_assert!(bounds.contains(obj.pos));
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::ObjectId;
+    use rand::SeedableRng;
+
+    fn run_model(mut model: impl MotionModel, ticks: usize) -> Vec<MovingObject> {
+        let bounds = Rect::square(100.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut objs: Vec<MovingObject> = (0..20)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(50.0, 50.0), 5.0))
+            .collect();
+        model.init(&mut objs, bounds, &mut rng);
+        for _ in 0..ticks {
+            #[allow(clippy::needless_range_loop)] // the model API is index-based
+            for i in 0..objs.len() {
+                let mut o = objs[i];
+                model.step(i, &mut o, bounds, &mut rng);
+                objs[i] = o;
+            }
+        }
+        objs
+    }
+
+    fn assert_in_bounds_and_speed_capped(objs: &[MovingObject]) {
+        let bounds = Rect::square(100.0);
+        for o in objs {
+            assert!(bounds.contains(o.pos), "{:?} escaped", o);
+            assert!(o.speed() <= o.max_speed + 1e-9, "{:?} too fast", o);
+        }
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let objs = run_model(Stationary, 50);
+        assert!(objs.iter().all(|o| o.pos == Point::new(50.0, 50.0)));
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_bounds() {
+        let objs = run_model(RandomWaypoint::default(), 500);
+        assert_in_bounds_and_speed_capped(&objs);
+        // After 500 ticks at speed ≥ 1.25, objects must have dispersed.
+        let moved = objs.iter().filter(|o| o.pos != Point::new(50.0, 50.0)).count();
+        assert!(moved > 15);
+    }
+
+    #[test]
+    fn random_waypoint_pauses_at_waypoints() {
+        let mut model = RandomWaypoint::new(1.0, 3);
+        let bounds = Rect::square(10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut objs = vec![MovingObject::at(ObjectId(0), Point::new(5.0, 5.0), 100.0)];
+        model.init(&mut objs, bounds, &mut rng);
+        // Speed 100 in a 10×10 world: every step arrives, then pauses 3.
+        let mut o = objs[0];
+        model.step(0, &mut o, bounds, &mut rng); // arrival tick
+        let arrived_at = o.pos;
+        for _ in 0..3 {
+            model.step(0, &mut o, bounds, &mut rng);
+            assert_eq!(o.pos, arrived_at, "should pause");
+            assert_eq!(o.vel, Vector::ZERO);
+        }
+        model.step(0, &mut o, bounds, &mut rng);
+        assert_ne!(o.pos, arrived_at, "should depart after pause");
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let objs = run_model(RandomWalk::default(), 500);
+        assert_in_bounds_and_speed_capped(&objs);
+    }
+
+    #[test]
+    fn random_walk_reflects_instead_of_sticking() {
+        let mut model = RandomWalk::new(0.0, 1.0); // never turn, full speed
+        let bounds = Rect::square(100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut objs = vec![MovingObject::at(ObjectId(0), Point::new(99.0, 50.0), 4.0)];
+        model.init(&mut objs, bounds, &mut rng);
+        let mut o = objs[0];
+        o.vel = Vector::new(4.0, 0.0); // force a wall hit
+        let mut xs = Vec::new();
+        for _ in 0..10 {
+            model.step(0, &mut o, bounds, &mut rng);
+            xs.push(o.pos.x);
+        }
+        assert!(xs.iter().any(|&x| x < 99.0), "should bounce back: {xs:?}");
+        assert!(xs.iter().all(|&x| x <= 100.0));
+    }
+}

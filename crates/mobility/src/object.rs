@@ -1,0 +1,46 @@
+//! The state of one moving object.
+
+use mknn_geom::{ObjectId, Point, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth state of one moving object (the device's own knowledge of
+/// itself — protocols only ever see what the object chooses to report).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovingObject {
+    /// Identity of the object.
+    pub id: ObjectId,
+    /// Current true position.
+    pub pos: Point,
+    /// Displacement applied on the last tick the object moved (its current
+    /// velocity estimate, in meters per tick).
+    pub vel: Vector,
+    /// The object's maximum speed, in meters per tick. Mobility models never
+    /// exceed it; protocols may use it to bound future displacement.
+    pub max_speed: f64,
+}
+
+impl MovingObject {
+    /// Creates an object at rest.
+    pub fn at(id: ObjectId, pos: Point, max_speed: f64) -> Self {
+        debug_assert!(max_speed >= 0.0);
+        MovingObject { id, pos, vel: Vector::ZERO, max_speed }
+    }
+
+    /// Current speed (norm of the velocity), in meters per tick.
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.vel.norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_rest_has_zero_speed() {
+        let o = MovingObject::at(ObjectId(1), Point::new(2.0, 3.0), 10.0);
+        assert_eq!(o.speed(), 0.0);
+        assert_eq!(o.pos, Point::new(2.0, 3.0));
+    }
+}

@@ -1,0 +1,372 @@
+//! A synthetic road network and network-constrained motion.
+//!
+//! Stands in for the Brinkhoff generator over real city maps: a grid of
+//! bidirectional roads (optionally with randomly removed edges to break the
+//! symmetry), objects routed along shortest paths to random destinations.
+//! Distances remain Euclidean — the target paper's query semantics are
+//! Euclidean; the network only shapes the *movement*, which is what gives
+//! network workloads their characteristic locality and anisotropy.
+
+use crate::{MotionModel, MovingObject};
+use mknn_geom::{Point, Rect, Vector};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A node index into a [`RoadNetwork`].
+pub type NodeId = u32;
+
+/// An undirected road network embedded in the plane.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl RoadNetwork {
+    /// Builds an `nx × ny` lattice of roads covering `bounds`, then removes
+    /// each interior edge independently with probability `drop_prob`
+    /// (connectivity is preserved by keeping the full boundary ring and by
+    /// never disconnecting a node's last edge).
+    pub fn grid(bounds: Rect, nx: u32, ny: u32, drop_prob: f64, rng: &mut StdRng) -> Self {
+        assert!(nx >= 2 && ny >= 2, "need at least a 2×2 lattice");
+        let n = (nx * ny) as usize;
+        let mut nodes = Vec::with_capacity(n);
+        for j in 0..ny {
+            for i in 0..nx {
+                // Compute the lattice fractions first: `(w * i) / (n-1)`
+                // rounds differently from `w * (i / (n-1))` and can land one
+                // ulp outside the bounds at the far edge.
+                let fx = i as f64 / (nx - 1) as f64;
+                let fy = j as f64 / (ny - 1) as f64;
+                nodes.push(
+                    Point::new(
+                        bounds.min.x + bounds.width() * fx,
+                        bounds.min.y + bounds.height() * fy,
+                    )
+                    .clamp(bounds.min, bounds.max),
+                );
+            }
+        }
+        let id = |i: u32, j: u32| (j * nx + i) as NodeId;
+        let mut net = RoadNetwork { nodes, adj: vec![Vec::new(); n] };
+        for j in 0..ny {
+            for i in 0..nx {
+                if i + 1 < nx {
+                    net.try_add_edge(id(i, j), id(i + 1, j), j == 0 || j == ny - 1, drop_prob, rng);
+                }
+                if j + 1 < ny {
+                    net.try_add_edge(id(i, j), id(i, j + 1), i == 0 || i == nx - 1, drop_prob, rng);
+                }
+            }
+        }
+        net
+    }
+
+    fn try_add_edge(&mut self, a: NodeId, b: NodeId, keep: bool, drop_prob: f64, rng: &mut StdRng) {
+        let endangered =
+            self.adj[a as usize].is_empty() || self.adj[b as usize].is_empty();
+        if keep || endangered || !rng.gen_bool(drop_prob) {
+            self.adj[a as usize].push(b);
+            self.adj[b as usize].push(a);
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Position of node `n`.
+    #[inline]
+    pub fn position(&self, n: NodeId) -> Point {
+        self.nodes[n as usize]
+    }
+
+    /// Neighbors of node `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n as usize]
+    }
+
+    /// The node nearest to `p` (linear scan; networks are small relative to
+    /// object populations).
+    pub fn nearest_node(&self, p: Point) -> NodeId {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &q) in self.nodes.iter().enumerate() {
+            let d = p.dist_sq(q);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best as NodeId
+    }
+
+    /// Shortest path (by Euclidean edge length) from `from` to `to`,
+    /// returned as the node sequence *excluding* `from`. Empty when
+    /// `from == to`; `None` when unreachable.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from as usize] = 0.0;
+        heap.push(Reverse((OrdKey(0.0), from)));
+        while let Some(Reverse((OrdKey(d), u))) = heap.pop() {
+            if u == to {
+                break;
+            }
+            if d > dist[u as usize] {
+                continue;
+            }
+            let up = self.nodes[u as usize];
+            for &v in &self.adj[u as usize] {
+                let nd = d + up.dist(self.nodes[v as usize]);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    prev[v as usize] = u;
+                    heap.push(Reverse((OrdKey(nd), v)));
+                }
+            }
+        }
+        if dist[to as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while prev[cur as usize] != from {
+            cur = prev[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// A uniformly random node.
+    pub fn random_node(&self, rng: &mut StdRng) -> NodeId {
+        rng.gen_range(0..self.nodes.len() as u32)
+    }
+}
+
+/// Total-order key for Dijkstra's heap (finite distances only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdKey(f64);
+impl Eq for OrdKey {}
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Network-constrained motion: each object follows shortest paths between
+/// successive random destination nodes at a per-object cruise speed.
+#[derive(Debug, Clone)]
+pub struct RoadMotion {
+    net: RoadNetwork,
+    /// Fraction of `max_speed` used as the per-object minimum cruise speed.
+    pub min_speed_frac: f64,
+    routes: Vec<Route>,
+}
+
+#[derive(Debug, Clone)]
+struct Route {
+    /// Remaining nodes to visit, in travel order (reversed storage: the next
+    /// node is `path.last()`).
+    path: Vec<NodeId>,
+    speed: f64,
+}
+
+impl RoadMotion {
+    /// Creates the model over `net`.
+    pub fn new(net: RoadNetwork, min_speed_frac: f64) -> Self {
+        RoadMotion { net, min_speed_frac, routes: Vec::new() }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    fn fresh_route(&self, from: NodeId, speed: f64, rng: &mut StdRng) -> Route {
+        // Retry a few times in case a random destination is unreachable
+        // (cannot happen on the generated grids, but stay robust).
+        for _ in 0..8 {
+            let dest = self.net.random_node(rng);
+            if let Some(mut path) = self.net.shortest_path(from, dest) {
+                if !path.is_empty() {
+                    path.reverse(); // travel order = pop from the back
+                    return Route { path, speed };
+                }
+            }
+        }
+        // Degenerate fallback: wander to any neighbor.
+        let next = self.net.neighbors(from).first().copied().unwrap_or(from);
+        Route { path: vec![next], speed }
+    }
+}
+
+impl MotionModel for RoadMotion {
+    fn init(&mut self, objects: &mut [MovingObject], _bounds: Rect, rng: &mut StdRng) {
+        self.routes = objects
+            .iter_mut()
+            .map(|o| {
+                // Snap the object onto the network.
+                let node = self.net.nearest_node(o.pos);
+                o.pos = self.net.position(node);
+                let lo = self.min_speed_frac * o.max_speed;
+                let speed = if o.max_speed > 0.0 && lo < o.max_speed {
+                    rng.gen_range(lo..=o.max_speed)
+                } else {
+                    o.max_speed
+                };
+                self.fresh_route(node, speed, rng)
+            })
+            .collect();
+    }
+
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, _bounds: Rect, rng: &mut StdRng) {
+        let mut route = std::mem::replace(
+            &mut self.routes[idx],
+            Route { path: Vec::new(), speed: 0.0 },
+        );
+        let mut budget = route.speed;
+        obj.vel = Vector::ZERO;
+        let start = obj.pos;
+        while budget > 0.0 {
+            let Some(&next) = route.path.last() else {
+                // Destination reached: plan the next trip.
+                let here = self.net.nearest_node(obj.pos);
+                let speed = route.speed;
+                route = self.fresh_route(here, speed, rng);
+                continue;
+            };
+            let target = self.net.position(next);
+            let to_target = obj.pos.vector_to(target);
+            let dist = to_target.norm();
+            if dist <= budget {
+                obj.pos = target;
+                budget -= dist;
+                route.path.pop();
+                if route.path.is_empty() {
+                    break; // arrive; replan next tick
+                }
+            } else {
+                obj.pos += to_target * (budget / dist);
+                budget = 0.0;
+            }
+        }
+        // Road nodes lie inside the bounds, but edge interpolation can
+        // overshoot by an ulp; keep the position/velocity contract intact.
+        obj.pos = obj.pos.clamp(_bounds.min, _bounds.max);
+        obj.vel = obj.pos - start;
+        self.routes[idx] = route;
+    }
+
+    fn name(&self) -> &'static str {
+        "road-network"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::ObjectId;
+    use rand::SeedableRng;
+
+    fn net() -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(5);
+        RoadNetwork::grid(Rect::square(100.0), 5, 5, 0.2, &mut rng)
+    }
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = RoadNetwork::grid(Rect::square(100.0), 4, 3, 0.0, &mut rng);
+        assert_eq!(full.node_count(), 12);
+        // 3 rows × 3 horizontal + 4 cols × 2 vertical = 9 + 8 = 17 edges.
+        assert_eq!(full.edge_count(), 17);
+        assert_eq!(full.position(0), Point::new(0.0, 0.0));
+        assert_eq!(full.position(11), Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn dropped_edges_keep_connectivity() {
+        let n = net();
+        for target in 0..n.node_count() as u32 {
+            assert!(n.shortest_path(0, target).is_some(), "node {target} unreachable");
+        }
+    }
+
+    #[test]
+    fn shortest_path_on_full_grid_is_manhattan() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = RoadNetwork::grid(Rect::square(100.0), 5, 5, 0.0, &mut rng);
+        // From corner (0) to opposite corner (24): length 8 edges of 25 each.
+        let path = full.shortest_path(0, 24).unwrap();
+        assert_eq!(path.len(), 8);
+        let mut len = 0.0;
+        let mut prev = full.position(0);
+        for &n in &path {
+            len += prev.dist(full.position(n));
+            prev = full.position(n);
+        }
+        assert!((len - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_node_snaps() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = RoadNetwork::grid(Rect::square(100.0), 5, 5, 0.0, &mut rng);
+        assert_eq!(full.nearest_node(Point::new(1.0, 2.0)), 0);
+        assert_eq!(full.nearest_node(Point::new(99.0, 99.0)), 24);
+    }
+
+    #[test]
+    fn objects_travel_along_roads() {
+        let mut model = RoadMotion::new(net(), 0.5);
+        let bounds = Rect::square(100.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut objs: Vec<MovingObject> = (0..10)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 9.0, 40.0), 8.0))
+            .collect();
+        model.init(&mut objs, bounds, &mut rng);
+        for _ in 0..200 {
+            #[allow(clippy::needless_range_loop)] // the model API is index-based
+            for i in 0..objs.len() {
+                let mut o = objs[i];
+                model.step(i, &mut o, bounds, &mut rng);
+                assert!(o.speed() <= o.max_speed + 1e-9);
+                assert!(bounds.contains(o.pos));
+                objs[i] = o;
+            }
+        }
+        // Positions should lie on grid lines (x or y a multiple of 25).
+        for o in &objs {
+            let on_x = (o.pos.x / 25.0 - (o.pos.x / 25.0).round()).abs() < 1e-6;
+            let on_y = (o.pos.y / 25.0 - (o.pos.y / 25.0).round()).abs() < 1e-6;
+            assert!(on_x || on_y, "{:?} is off-road", o.pos);
+        }
+    }
+
+    #[test]
+    fn shortest_path_same_node_is_empty() {
+        assert_eq!(net().shortest_path(3, 3), Some(vec![]));
+    }
+}

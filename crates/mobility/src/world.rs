@@ -1,0 +1,156 @@
+//! A steppable world of moving objects.
+
+use crate::{MotionModel, MovingObject};
+use mknn_geom::{ObjectId, Point, Rect, Tick};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Ground truth for one simulation episode: the object population, the
+/// motion model driving it, and the current tick.
+///
+/// The world is *not* what protocols observe — they only see the messages
+/// objects choose to send. The simulation harness reads the world directly
+/// only to run client-side logic (each device knows its own position) and to
+/// compute oracle answers for verification.
+pub struct World {
+    bounds: Rect,
+    objects: Vec<MovingObject>,
+    model: Box<dyn MotionModel>,
+    move_prob: f64,
+    rng: StdRng,
+    tick: Tick,
+}
+
+impl World {
+    /// Assembles a world. Prefer [`crate::WorkloadSpec::build`].
+    pub fn new(
+        bounds: Rect,
+        objects: Vec<MovingObject>,
+        model: Box<dyn MotionModel>,
+        move_prob: f64,
+        rng: StdRng,
+    ) -> Self {
+        debug_assert!((0.0..=1.0).contains(&move_prob));
+        World { bounds, objects, model, move_prob, rng, tick: 0 }
+    }
+
+    /// The space rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Current tick (0 before the first [`World::step`]).
+    #[inline]
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// All objects, indexed by `ObjectId::index()`.
+    #[inline]
+    pub fn objects(&self) -> &[MovingObject] {
+        &self.objects
+    }
+
+    /// One object by id.
+    #[inline]
+    pub fn object(&self, id: ObjectId) -> &MovingObject {
+        &self.objects[id.index()]
+    }
+
+    /// True position of `id` right now.
+    #[inline]
+    pub fn position(&self, id: ObjectId) -> Point {
+        self.objects[id.index()].pos
+    }
+
+    /// `(id, position)` pairs for oracle computations.
+    pub fn snapshot(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.objects.iter().map(|o| (o.id, o.pos))
+    }
+
+    /// Advances every object by one tick. Each object moves with probability
+    /// `move_prob` (independently per tick); objects that skip a tick keep
+    /// their position and report zero velocity.
+    pub fn step(&mut self) {
+        self.tick += 1;
+        for i in 0..self.objects.len() {
+            if self.move_prob >= 1.0 || self.rng.gen_bool(self.move_prob) {
+                let mut obj = self.objects[i];
+                self.model.step(i, &mut obj, self.bounds, &mut self.rng);
+                self.objects[i] = obj;
+            } else {
+                self.objects[i].vel = mknn_geom::Vector::ZERO;
+            }
+        }
+    }
+
+    /// The motion model's name, for logs.
+    pub fn model_name(&self) -> &'static str {
+        self.model.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stationary, WorkloadSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_advances_tick() {
+        let mut w = WorkloadSpec { n_objects: 10, ..WorkloadSpec::default() }.build();
+        assert_eq!(w.tick(), 0);
+        w.step();
+        w.step();
+        assert_eq!(w.tick(), 2);
+    }
+
+    #[test]
+    fn move_prob_zero_freezes_world() {
+        let spec = WorkloadSpec { n_objects: 20, move_prob: 0.0, ..WorkloadSpec::default() };
+        let mut w = spec.build();
+        let before: Vec<_> = w.objects().to_vec();
+        for _ in 0..10 {
+            w.step();
+        }
+        let after: Vec<_> = w.objects().to_vec();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.pos, a.pos);
+        }
+    }
+
+    #[test]
+    fn move_prob_half_moves_some() {
+        let spec = WorkloadSpec { n_objects: 200, move_prob: 0.5, ..WorkloadSpec::default() };
+        let mut w = spec.build();
+        let before: Vec<_> = w.objects().to_vec();
+        w.step();
+        let moved = w
+            .objects()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a.pos != b.pos)
+            .count();
+        assert!(moved > 40 && moved < 160, "moved = {moved}");
+    }
+
+    #[test]
+    fn stationary_world_snapshot_is_stable() {
+        let objs = vec![
+            MovingObject::at(ObjectId(0), Point::new(1.0, 1.0), 0.0),
+            MovingObject::at(ObjectId(1), Point::new(2.0, 2.0), 0.0),
+        ];
+        let mut w = World::new(
+            Rect::square(10.0),
+            objs,
+            Box::new(Stationary),
+            1.0,
+            StdRng::seed_from_u64(0),
+        );
+        w.step();
+        assert_eq!(w.position(ObjectId(0)), Point::new(1.0, 1.0));
+        assert_eq!(w.snapshot().count(), 2);
+        assert_eq!(w.model_name(), "stationary");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the mobility substrate: physical invariants hold for
+//! every model under every seed.
+
+use mknn_geom::Point;
+use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
+use proptest::prelude::*;
+
+fn spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        (5usize..150),
+        (200.0..2_000.0f64),
+        prop_oneof![
+            Just(Motion::Stationary),
+            Just(Motion::RandomWaypoint),
+            Just(Motion::RandomWalk),
+            Just(Motion::RoadNetwork { nx: 4, ny: 4, drop_prob: 0.2 }),
+        ],
+        prop_oneof![
+            (0.1..40.0f64).prop_map(SpeedDist::Fixed),
+            (0.1..10.0f64, 10.0..40.0f64).prop_map(|(min, max)| SpeedDist::Uniform { min, max }),
+            Just(SpeedDist::Classes { slow: 2.0, medium: 10.0, fast: 30.0 }),
+        ],
+        prop_oneof![
+            Just(Placement::Uniform),
+            (1usize..5, 10.0..300.0f64)
+                .prop_map(|(clusters, sigma)| Placement::Gaussian { clusters, sigma }),
+        ],
+        (0.0..=1.0f64),
+        any::<u64>(),
+    )
+        .prop_map(|(n_objects, space_side, motion, speeds, placement, move_prob, seed)| {
+            WorkloadSpec {
+                n_objects,
+                space_side,
+                motion,
+                speeds,
+                placement,
+                move_prob,
+                seed,
+                speed_overrides: Vec::new(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn objects_never_escape_nor_speed(spec in spec()) {
+        let mut w = spec.build();
+        let bounds = w.bounds();
+        for _ in 0..40 {
+            let before: Vec<Point> = w.objects().iter().map(|o| o.pos).collect();
+            w.step();
+            for (o, prev) in w.objects().iter().zip(&before) {
+                prop_assert!(bounds.contains(o.pos), "{:?} escaped {:?}", o, bounds);
+                // The tick displacement respects the per-object speed bound.
+                let moved = o.pos.dist(*prev);
+                prop_assert!(
+                    moved <= o.max_speed + 1e-6,
+                    "object {} moved {moved} > cap {}",
+                    o.id, o.max_speed
+                );
+                // The advertised velocity equals the actual displacement.
+                prop_assert!((o.vel.norm() - moved).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical(spec in spec()) {
+        let mut a = spec.build();
+        let mut b = spec.build();
+        for _ in 0..25 {
+            a.step();
+            b.step();
+        }
+        prop_assert_eq!(a.objects(), b.objects());
+    }
+
+    #[test]
+    fn speed_distribution_respects_bounds(spec in spec()) {
+        let w = spec.build();
+        let cap = spec.speeds.max_speed();
+        for o in w.objects() {
+            prop_assert!(o.max_speed <= cap + 1e-9);
+            prop_assert!(o.max_speed >= 0.0);
+        }
+    }
+
+    #[test]
+    fn move_prob_zero_is_a_freeze_frame(mut spec in spec()) {
+        spec.move_prob = 0.0;
+        let mut w = spec.build();
+        let before: Vec<Point> = w.objects().iter().map(|o| o.pos).collect();
+        for _ in 0..10 {
+            w.step();
+        }
+        for (o, prev) in w.objects().iter().zip(&before) {
+            prop_assert_eq!(o.pos, *prev);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated communication substrate for distributed moving-object query
+//! processing.
+//!
+//! The target paper's evaluation platform — mobile devices with uplink
+//! (device → server) and downlink (server → device, unicast or geocast)
+//! channels — is hardware this reproduction does not have. This crate is the
+//! documented substitution: an in-process message fabric with **full message
+//! and byte accounting**, which preserves exactly the quantities the paper's
+//! evaluation measures (messages per timestamp, bytes, fan-out of geocasts)
+//! while abstracting away radio physics that the protocols never observe.
+//!
+//! Contents:
+//!
+//! * [`UplinkMsg`] / [`DownlinkMsg`] — the complete wire vocabulary of every
+//!   protocol in the workspace, with a deterministic byte-size model,
+//! * [`Recipient`] — unicast, geocast (circular zone), broadcast,
+//! * [`Uplinks`] / [`Outbox`] — per-tick mailboxes filled by client and
+//!   server logic,
+//! * [`NetStats`] / [`OpCounters`] — the metric counters every experiment
+//!   reports,
+//! * [`Protocol`] — the contract a monitoring method implements; the
+//!   simulation harness drives it and routes its messages.
+
+#![deny(missing_docs)]
+
+mod msg;
+mod proto;
+mod stats;
+
+pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, UplinkMsg};
+pub use proto::{ObjReport, Outbox, ProbeService, Protocol, Uplinks};
+pub use stats::{NetStats, OpCounters};

@@ -1,0 +1,294 @@
+//! The wire vocabulary: every message any protocol in the workspace sends,
+//! with a deterministic byte-size model.
+
+use mknn_geom::{Circle, ObjectId, Point, QueryId, Vector};
+use serde::{Deserialize, Serialize};
+
+/// A registered continuous moving-kNN query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Identity of the query.
+    pub id: QueryId,
+    /// The focal object the query travels with. The k nearest neighbors are
+    /// computed around this object's current position; the focal object
+    /// itself is excluded from its own answer.
+    pub focal: ObjectId,
+    /// Number of neighbors to maintain.
+    pub k: usize,
+}
+
+/// Size, in bytes, of the fixed per-message header (ids, kind tag, tick).
+const HEADER: usize = 12;
+/// Size of an encoded point or vector.
+const COORD: usize = 16;
+/// Size of an encoded scalar.
+const SCALAR: usize = 8;
+
+/// Device → server messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UplinkMsg {
+    /// Periodic full location report (the centralized baseline's firehose,
+    /// also used by periodic baselines on their reporting ticks).
+    Position {
+        /// Current position.
+        pos: Point,
+        /// Current velocity.
+        vel: Vector,
+    },
+    /// The device crossed *into* a query's monitoring region.
+    Enter {
+        /// Which query's region was crossed.
+        query: QueryId,
+        /// Install tick of the region version the device evaluated (lets
+        /// the server detect events issued against stale versions).
+        ver: mknn_geom::Tick,
+        /// Position at the crossing tick.
+        pos: Point,
+        /// Velocity at the crossing tick.
+        vel: Vector,
+    },
+    /// The device crossed *out of* a query's monitoring region.
+    Leave {
+        /// Which query's region was left.
+        query: QueryId,
+        /// Install tick of the region version the device evaluated.
+        ver: mknn_geom::Tick,
+        /// Position at the crossing tick (lets the server keep a fresh
+        /// last-known position for re-entry estimation).
+        pos: Point,
+    },
+    /// The device crossed a boundary of its assigned response band.
+    BandCross {
+        /// Which query the band belongs to.
+        query: QueryId,
+        /// Install tick of the region version the band was issued under.
+        ver: mknn_geom::Tick,
+        /// Position at the crossing tick.
+        pos: Point,
+        /// Velocity at the crossing tick.
+        vel: Vector,
+    },
+    /// Reply to a server [`DownlinkMsg::Probe`].
+    ProbeReply {
+        /// Which query's probe is being answered.
+        query: QueryId,
+        /// Current position.
+        pos: Point,
+        /// Current velocity.
+        vel: Vector,
+    },
+    /// The query focal object drifted beyond its reporting threshold.
+    QueryMove {
+        /// Which query moved.
+        query: QueryId,
+        /// New focal position.
+        pos: Point,
+        /// Focal velocity.
+        vel: Vector,
+    },
+}
+
+impl UplinkMsg {
+    /// Encoded size under the byte model (documented in DESIGN.md §S4).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            UplinkMsg::Position { .. } => HEADER + 2 * COORD,
+            UplinkMsg::Enter { .. } => HEADER + 2 * COORD + SCALAR,
+            UplinkMsg::Leave { .. } => HEADER + COORD + SCALAR,
+            UplinkMsg::BandCross { .. } => HEADER + 2 * COORD + SCALAR,
+            UplinkMsg::ProbeReply { .. } => HEADER + 2 * COORD,
+            UplinkMsg::QueryMove { .. } => HEADER + 2 * COORD,
+        }
+    }
+
+    /// Stable label for per-kind tallies.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            UplinkMsg::Position { .. } => MsgKind::Position,
+            UplinkMsg::Enter { .. } => MsgKind::Enter,
+            UplinkMsg::Leave { .. } => MsgKind::Leave,
+            UplinkMsg::BandCross { .. } => MsgKind::BandCross,
+            UplinkMsg::ProbeReply { .. } => MsgKind::ProbeReply,
+            UplinkMsg::QueryMove { .. } => MsgKind::QueryMove,
+        }
+    }
+}
+
+/// Server → device messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DownlinkMsg {
+    /// Installs (or refreshes) a query's monitoring region on every device
+    /// in the geocast zone. Devices evaluate it locally each tick.
+    InstallRegion {
+        /// The query being monitored.
+        query: QueryId,
+        /// Install tick: identifies the region *version*. A heartbeat
+        /// re-sends the same version unchanged (so client-side center
+        /// prediction stays bit-identical to the server's).
+        ver: mknn_geom::Tick,
+        /// Region center (the focal position the server last knew).
+        center: Point,
+        /// Focal velocity at install time; devices advance the center by it
+        /// when predicting the region's current placement.
+        vel: Vector,
+        /// Region radius (`d_k + slack`).
+        r_out: f64,
+    },
+    /// Uninstalls a query's region (query deregistered).
+    RemoveRegion {
+        /// The query to drop.
+        query: QueryId,
+    },
+    /// One-shot probe: every device in the geocast zone must reply with a
+    /// [`UplinkMsg::ProbeReply`]. Used for initial evaluation and region
+    /// expansion after answer invalidation.
+    Probe {
+        /// The query on whose behalf the probe runs.
+        query: QueryId,
+        /// Probe zone.
+        zone: Circle,
+    },
+    /// Installs a response band (annulus around the region center) on one
+    /// candidate device: stay silent while inside it.
+    SetBand {
+        /// The query the band belongs to.
+        query: QueryId,
+        /// Install tick of the region version this band belongs to.
+        ver: mknn_geom::Tick,
+        /// Inner band radius.
+        inner: f64,
+        /// Outer band radius (may be `f64::INFINITY` for the outermost
+        /// non-answer band).
+        outer: f64,
+    },
+    /// Removes a previously installed band from one device.
+    ClearBand {
+        /// The query whose band to clear.
+        query: QueryId,
+    },
+}
+
+impl DownlinkMsg {
+    /// Encoded size under the byte model.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            DownlinkMsg::InstallRegion { .. } => HEADER + 2 * COORD + 2 * SCALAR,
+            DownlinkMsg::RemoveRegion { .. } => HEADER,
+            DownlinkMsg::Probe { .. } => HEADER + COORD + SCALAR,
+            DownlinkMsg::SetBand { .. } => HEADER + 3 * SCALAR,
+            DownlinkMsg::ClearBand { .. } => HEADER,
+        }
+    }
+
+    /// Stable label for per-kind tallies.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            DownlinkMsg::InstallRegion { .. } => MsgKind::InstallRegion,
+            DownlinkMsg::RemoveRegion { .. } => MsgKind::RemoveRegion,
+            DownlinkMsg::Probe { .. } => MsgKind::Probe,
+            DownlinkMsg::SetBand { .. } => MsgKind::SetBand,
+            DownlinkMsg::ClearBand { .. } => MsgKind::ClearBand,
+        }
+    }
+}
+
+/// Who a downlink is addressed to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recipient {
+    /// One device.
+    One(ObjectId),
+    /// Every device currently inside the zone. Charged per overlapped grid
+    /// cell by the harness (the infrastructure pages each cell once).
+    Geocast(Circle),
+    /// Every device in the system (charged as one system-wide broadcast per
+    /// the byte model; used only by the naive baseline).
+    Broadcast,
+}
+
+/// Message kind labels for per-kind tallies (Experiment E10's breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MsgKind {
+    Position,
+    Enter,
+    Leave,
+    BandCross,
+    ProbeReply,
+    QueryMove,
+    InstallRegion,
+    RemoveRegion,
+    Probe,
+    SetBand,
+    ClearBand,
+}
+
+impl MsgKind {
+    /// All kinds, uplinks first (for stable table layouts).
+    pub const ALL: [MsgKind; 11] = [
+        MsgKind::Position,
+        MsgKind::Enter,
+        MsgKind::Leave,
+        MsgKind::BandCross,
+        MsgKind::ProbeReply,
+        MsgKind::QueryMove,
+        MsgKind::InstallRegion,
+        MsgKind::RemoveRegion,
+        MsgKind::Probe,
+        MsgKind::SetBand,
+        MsgKind::ClearBand,
+    ];
+
+    /// Short column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::Position => "pos",
+            MsgKind::Enter => "enter",
+            MsgKind::Leave => "leave",
+            MsgKind::BandCross => "band",
+            MsgKind::ProbeReply => "probe-re",
+            MsgKind::QueryMove => "q-move",
+            MsgKind::InstallRegion => "install",
+            MsgKind::RemoveRegion => "remove",
+            MsgKind::Probe => "probe",
+            MsgKind::SetBand => "set-band",
+            MsgKind::ClearBand => "clr-band",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::Point;
+
+    #[test]
+    fn sizes_are_positive_and_header_dominated() {
+        let up = UplinkMsg::Leave { query: QueryId(0), ver: 0, pos: Point::ORIGIN };
+        assert_eq!(up.size_bytes(), 36);
+        let down = DownlinkMsg::RemoveRegion { query: QueryId(0) };
+        assert_eq!(down.size_bytes(), 12);
+        let install = DownlinkMsg::InstallRegion {
+            query: QueryId(0),
+            ver: 0,
+            center: Point::ORIGIN,
+            vel: Vector::ZERO,
+            r_out: 1.0,
+        };
+        assert!(install.size_bytes() > down.size_bytes());
+    }
+
+    #[test]
+    fn kinds_are_distinct_per_variant() {
+        let a = UplinkMsg::Position { pos: Point::ORIGIN, vel: Vector::ZERO }.kind();
+        let b =
+            UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::ORIGIN, vel: Vector::ZERO }
+                .kind();
+        assert_ne!(a, b);
+        assert_eq!(MsgKind::ALL.len(), 11);
+        // Labels are unique.
+        let mut labels: Vec<_> = MsgKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 11);
+    }
+}

@@ -1,0 +1,238 @@
+//! The protocol contract between the simulation harness and a monitoring
+//! method.
+//!
+//! A [`Protocol`] implementation bundles *both* halves of a distributed
+//! method — the per-device client logic and the server logic — inside one
+//! value, because the harness executes everything in-process. Distribution
+//! is enforced by **information discipline**, which implementations must
+//! follow and which the message-conservation tests check:
+//!
+//! * `client_tick` may read only the device's own ground-truth state
+//!   ([`mknn_mobility::MovingObject`]), that device's protocol state, and
+//!   the downlinks addressed to it; it communicates exclusively through
+//!   [`Uplinks`].
+//! * `server_tick` may read only server state and the tick's uplinks; it
+//!   communicates exclusively through the [`Outbox`] and the synchronous
+//!   [`ProbeService`] (which itself charges messages for every probe and
+//!   reply).
+
+use crate::{DownlinkMsg, QuerySpec, Recipient, UplinkMsg};
+use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
+use mknn_mobility::MovingObject;
+
+/// A device's reply to a probe, as collected by the harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjReport {
+    /// The replying device.
+    pub id: ObjectId,
+    /// Its position at the probe tick.
+    pub pos: Point,
+    /// Its velocity at the probe tick.
+    pub vel: Vector,
+}
+
+/// The per-tick batch of device → server messages.
+#[derive(Debug, Default)]
+pub struct Uplinks {
+    items: Vec<(ObjectId, UplinkMsg)>,
+}
+
+impl Uplinks {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one message from `from`.
+    pub fn send(&mut self, from: ObjectId, msg: UplinkMsg) {
+        self.items.push((from, msg));
+    }
+
+    /// The queued messages, in send order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &UplinkMsg)> {
+        self.items.iter().map(|(id, m)| (*id, m))
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drops all messages (harness-internal, between ticks).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// The per-tick batch of server → device messages.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    items: Vec<(Recipient, DownlinkMsg)>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one downlink.
+    pub fn send(&mut self, to: Recipient, msg: DownlinkMsg) {
+        self.items.push((to, msg));
+    }
+
+    /// The queued downlinks, in send order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Recipient, &DownlinkMsg)> {
+        self.items.iter().map(|(r, m)| (r, m))
+    }
+
+    /// Number of queued downlinks.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drops all downlinks (harness-internal, between ticks).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// Synchronous probe channel provided by the harness.
+///
+/// A probe models the geocast-request / unicast-reply round trip the server
+/// performs when it must (re)discover the population of a zone — initial
+/// evaluation and region expansion. The harness charges the geocast and
+/// every reply to [`crate::NetStats`] before returning, so probes are never
+/// free.
+pub trait ProbeService {
+    /// Geocasts a probe over `zone` on behalf of `query` and returns the
+    /// replies of every device inside it (excluding `exclude`, the focal
+    /// object, which does not answer its own query's probes).
+    fn probe(&mut self, query: QueryId, zone: Circle, exclude: ObjectId) -> Vec<ObjReport>;
+
+    /// Unicast position request to one device (charged as one downlink
+    /// probe plus one uplink reply). Returns `None` for unknown devices.
+    fn poll(&mut self, query: QueryId, id: ObjectId) -> Option<ObjReport>;
+}
+
+/// A continuous moving-kNN monitoring method (client + server halves).
+pub trait Protocol {
+    /// Short method name used in experiment tables ("dknn-set",
+    /// "centralized", …).
+    fn name(&self) -> &'static str;
+
+    /// One-time setup at tick 0: the server learns the query specs and may
+    /// run initial probes; devices learn the static protocol parameters
+    /// (grid geometry, thresholds) that real deployments ship at
+    /// registration time.
+    fn init(
+        &mut self,
+        bounds: Rect,
+        objects: &[MovingObject],
+        queries: &[QuerySpec],
+        probe: &mut dyn ProbeService,
+        outbox: &mut Outbox,
+        ops: &mut crate::OpCounters,
+    );
+
+    /// Client logic for one device at tick `tick`, after the world moved.
+    /// `inbox` holds the downlinks addressed to this device from the
+    /// previous server tick (and installs from `init` on the first tick).
+    fn client_tick(
+        &mut self,
+        tick: Tick,
+        me: &MovingObject,
+        inbox: &[DownlinkMsg],
+        up: &mut Uplinks,
+        ops: &mut crate::OpCounters,
+    );
+
+    /// Server logic for tick `tick`, consuming the tick's uplinks.
+    fn server_tick(
+        &mut self,
+        tick: Tick,
+        uplinks: &Uplinks,
+        probe: &mut dyn ProbeService,
+        outbox: &mut Outbox,
+        ops: &mut crate::OpCounters,
+    );
+
+    /// The currently maintained answer of `query`: neighbor ids in
+    /// canonical order (ascending distance, ties by id). The slice length
+    /// may be < k only when fewer than k objects exist.
+    fn answer(&self, query: QueryId) -> &[ObjectId];
+
+    /// The query position the maintained answer is exact *with respect to*.
+    ///
+    /// Centralized methods return `None`: their answer refers to the focal
+    /// object's true current position. Distributed methods return the
+    /// broadcast-predicted region center — the protocol guarantees it stays
+    /// within the configured drift threshold of the true focal position, and
+    /// the harness verifies exactness against it.
+    fn effective_center(&self, query: QueryId) -> Option<Point> {
+        let _ = query;
+        None
+    }
+
+    /// Whether the maintained answer preserves the *order* of the k
+    /// neighbors (`true`) or only the set (`false`). Controls how the
+    /// harness verifies answers against the oracle.
+    fn ordered_answers(&self) -> bool {
+        true
+    }
+
+    /// Whether the method guarantees tick-exact answers (with respect to
+    /// [`Protocol::effective_center`]). Approximate methods (periodic
+    /// re-evaluation) return `false`; the harness then records their
+    /// accuracy instead of asserting it.
+    fn guarantees_exact(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgKind;
+
+    #[test]
+    fn mailboxes_queue_in_order() {
+        let mut up = Uplinks::new();
+        assert!(up.is_empty());
+        up.send(ObjectId(1), UplinkMsg::Leave { query: QueryId(0), ver: 0, pos: Point::ORIGIN });
+        up.send(
+            ObjectId(2),
+            UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::ORIGIN, vel: Vector::ZERO },
+        );
+        assert_eq!(up.len(), 2);
+        let froms: Vec<_> = up.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(froms, vec![1, 2]);
+        let kinds: Vec<_> = up.iter().map(|(_, m)| m.kind()).collect();
+        assert_eq!(kinds, vec![MsgKind::Leave, MsgKind::Enter]);
+        up.clear();
+        assert!(up.is_empty());
+    }
+
+    #[test]
+    fn outbox_addresses_all_recipient_forms() {
+        let mut out = Outbox::new();
+        out.send(Recipient::One(ObjectId(3)), DownlinkMsg::ClearBand { query: QueryId(0) });
+        out.send(
+            Recipient::Geocast(Circle::new(Point::ORIGIN, 5.0)),
+            DownlinkMsg::RemoveRegion { query: QueryId(0) },
+        );
+        out.send(Recipient::Broadcast, DownlinkMsg::RemoveRegion { query: QueryId(1) });
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out.iter().next().unwrap().0, Recipient::One(_)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Metric counters: the quantities every experiment reports.
+
+use crate::MsgKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::AddAssign;
+
+/// Communication counters, maintained by the simulation harness as it routes
+/// messages (protocols cannot under-report their own traffic).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Device → server messages.
+    pub uplink_msgs: u64,
+    /// Device → server bytes.
+    pub uplink_bytes: u64,
+    /// Server → device unicast messages.
+    pub downlink_unicast_msgs: u64,
+    /// Geocast *transmissions*: one per grid cell the geocast zone overlaps
+    /// (the infrastructure pages each cell once, regardless of how many
+    /// devices listen).
+    pub downlink_geocast_msgs: u64,
+    /// System-wide broadcasts.
+    pub downlink_broadcast_msgs: u64,
+    /// Server → device bytes across unicast, geocast and broadcast
+    /// transmissions.
+    pub downlink_bytes: u64,
+    /// Per message-kind tallies (logical messages, not transmissions).
+    pub by_kind: BTreeMap<MsgKind, u64>,
+}
+
+impl NetStats {
+    /// Total logical + transmission message count, the paper family's
+    /// headline "communication cost" metric.
+    pub fn total_msgs(&self) -> u64 {
+        self.uplink_msgs
+            + self.downlink_unicast_msgs
+            + self.downlink_geocast_msgs
+            + self.downlink_broadcast_msgs
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink_bytes + self.downlink_bytes
+    }
+
+    /// Records one uplink message.
+    pub fn count_uplink(&mut self, kind: MsgKind, bytes: usize) {
+        self.uplink_msgs += 1;
+        self.uplink_bytes += bytes as u64;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records one unicast downlink.
+    pub fn count_unicast(&mut self, kind: MsgKind, bytes: usize) {
+        self.downlink_unicast_msgs += 1;
+        self.downlink_bytes += bytes as u64;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records one geocast of `cells` cell-transmissions.
+    pub fn count_geocast(&mut self, kind: MsgKind, bytes: usize, cells: usize) {
+        self.downlink_geocast_msgs += cells as u64;
+        self.downlink_bytes += (bytes * cells) as u64;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records one system-wide broadcast.
+    pub fn count_broadcast(&mut self, kind: MsgKind, bytes: usize) {
+        self.downlink_broadcast_msgs += 1;
+        self.downlink_bytes += bytes as u64;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+}
+
+impl AddAssign<&NetStats> for NetStats {
+    fn add_assign(&mut self, rhs: &NetStats) {
+        self.uplink_msgs += rhs.uplink_msgs;
+        self.uplink_bytes += rhs.uplink_bytes;
+        self.downlink_unicast_msgs += rhs.downlink_unicast_msgs;
+        self.downlink_geocast_msgs += rhs.downlink_geocast_msgs;
+        self.downlink_broadcast_msgs += rhs.downlink_broadcast_msgs;
+        self.downlink_bytes += rhs.downlink_bytes;
+        for (k, v) in &rhs.by_kind {
+            *self.by_kind.entry(*k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Computation counters: a hardware-independent proxy for server and client
+/// load (distance computations, heap and index operations). Incremented by
+/// protocol code; wall-clock equivalents are measured by the Criterion
+/// benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Operations performed by server-side logic.
+    pub server_ops: u64,
+    /// Operations performed across all device-side logic.
+    pub client_ops: u64,
+}
+
+impl AddAssign for OpCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.server_ops += rhs.server_ops;
+        self.client_ops += rhs.client_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_accumulates() {
+        let mut s = NetStats::default();
+        s.count_uplink(MsgKind::Enter, 44);
+        s.count_uplink(MsgKind::Enter, 44);
+        s.count_unicast(MsgKind::SetBand, 28);
+        s.count_geocast(MsgKind::InstallRegion, 52, 9);
+        s.count_broadcast(MsgKind::Probe, 36);
+        assert_eq!(s.uplink_msgs, 2);
+        assert_eq!(s.uplink_bytes, 88);
+        assert_eq!(s.downlink_unicast_msgs, 1);
+        assert_eq!(s.downlink_geocast_msgs, 9);
+        assert_eq!(s.downlink_broadcast_msgs, 1);
+        assert_eq!(s.downlink_bytes, 28 + 52 * 9 + 36);
+        assert_eq!(s.total_msgs(), 2 + 1 + 9 + 1);
+        assert_eq!(s.by_kind[&MsgKind::Enter], 2);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = NetStats::default();
+        a.count_uplink(MsgKind::Leave, 28);
+        let mut b = NetStats::default();
+        b.count_uplink(MsgKind::Leave, 28);
+        b.count_unicast(MsgKind::ClearBand, 12);
+        a += &b;
+        assert_eq!(a.uplink_msgs, 2);
+        assert_eq!(a.by_kind[&MsgKind::Leave], 2);
+        assert_eq!(a.downlink_unicast_msgs, 1);
+    }
+
+    #[test]
+    fn op_counters_add() {
+        let mut a = OpCounters { server_ops: 1, client_ops: 2 };
+        a += OpCounters { server_ops: 10, client_ops: 20 };
+        assert_eq!(a, OpCounters { server_ops: 11, client_ops: 22 });
+    }
+}

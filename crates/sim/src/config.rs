@@ -1,0 +1,102 @@
+//! Simulation episode configuration.
+
+use mknn_mobility::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// How strictly the oracle verifies maintained answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerifyMode {
+    /// No verification (fast; for large sweeps where correctness has been
+    /// established separately).
+    Off,
+    /// Verify every query every tick and *record* the outcome in the
+    /// metrics.
+    Record,
+    /// Like `Record`, but panic on the first exactness violation of a
+    /// method that [`mknn_net::Protocol::guarantees_exact`]. Used by tests.
+    Assert,
+}
+
+/// Everything that defines one simulation episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The moving-object workload.
+    pub workload: WorkloadSpec,
+    /// Number of registered MkNN queries. Focal objects are spread evenly
+    /// over the object id space.
+    pub n_queries: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Episode length in ticks.
+    pub ticks: u64,
+    /// Infrastructure paging grid (geocast fan-out accounting): a geocast
+    /// is charged once per grid cell its zone overlaps.
+    pub geo_cells: u32,
+    /// Oracle verification mode.
+    pub verify: VerifyMode,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            workload: WorkloadSpec::default(),
+            n_queries: 100,
+            k: 10,
+            ticks: 200,
+            geo_cells: 64,
+            verify: VerifyMode::Record,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small configuration for unit/integration tests: quick, but large
+    /// enough to exercise every protocol path.
+    pub fn small() -> Self {
+        SimConfig {
+            workload: WorkloadSpec { n_objects: 400, space_side: 1_000.0, ..WorkloadSpec::default() },
+            n_queries: 5,
+            k: 4,
+            ticks: 60,
+            geo_cells: 16,
+            verify: VerifyMode::Assert,
+        }
+    }
+
+    /// The focal object ids for the configured query count, spread evenly
+    /// across the population.
+    pub fn focal_ids(&self) -> Vec<u32> {
+        let n = self.workload.n_objects.max(1);
+        let q = self.n_queries;
+        (0..q).map(|i| ((i * n) / q.max(1)) as u32 % n as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn focal_ids_are_spread_and_unique_when_possible() {
+        let cfg = SimConfig {
+            n_queries: 10,
+            workload: WorkloadSpec { n_objects: 1000, ..WorkloadSpec::default() },
+            ..SimConfig::default()
+        };
+        let ids = cfg.focal_ids();
+        assert_eq!(ids.len(), 10);
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert_eq!(ids[0], 0);
+        assert_eq!(ids[5], 500);
+    }
+
+    #[test]
+    fn config_round_trips_serde() {
+        let cfg = SimConfig::default();
+        let s = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,376 @@
+//! The simulation engine: world + infrastructure + protocol driver.
+
+use crate::{check_answer, EpisodeMetrics, SimConfig, VerifyMode};
+use mknn_geom::{ObjectId, QueryId, Tick};
+use mknn_index::GridIndex;
+use mknn_mobility::World;
+use mknn_net::{
+    DownlinkMsg, MsgKind, NetStats, ObjReport, OpCounters, Outbox, ProbeService, Protocol,
+    QuerySpec, Recipient, UplinkMsg, Uplinks,
+};
+use std::time::Instant;
+
+/// The harness's synchronous probe channel: answers from true positions,
+/// charging every probe geocast/unicast and every reply before returning.
+struct EngineProbe<'a> {
+    infra: &'a GridIndex,
+    world: &'a World,
+    stats: &'a mut NetStats,
+}
+
+impl ProbeService for EngineProbe<'_> {
+    fn probe(
+        &mut self,
+        query: QueryId,
+        zone: mknn_geom::Circle,
+        exclude: ObjectId,
+    ) -> Vec<ObjReport> {
+        let msg = DownlinkMsg::Probe { query, zone };
+        let cells = self.infra.cells_overlapping(&zone);
+        self.stats.count_geocast(MsgKind::Probe, msg.size_bytes(), cells);
+        let mut out = Vec::new();
+        for n in self.infra.range(&zone) {
+            if n.id == exclude {
+                continue;
+            }
+            let o = self.world.object(n.id);
+            let reply = UplinkMsg::ProbeReply { query, pos: o.pos, vel: o.vel };
+            self.stats.count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+            out.push(ObjReport { id: n.id, pos: o.pos, vel: o.vel });
+        }
+        out
+    }
+
+    fn poll(&mut self, query: QueryId, id: ObjectId) -> Option<ObjReport> {
+        if id.index() >= self.world.objects().len() {
+            return None;
+        }
+        let o = self.world.object(id);
+        let ask = DownlinkMsg::Probe {
+            query,
+            zone: mknn_geom::Circle::new(o.pos, 0.0),
+        };
+        self.stats.count_unicast(MsgKind::Probe, ask.size_bytes());
+        let reply = UplinkMsg::ProbeReply { query, pos: o.pos, vel: o.vel };
+        self.stats.count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+        Some(ObjReport { id, pos: o.pos, vel: o.vel })
+    }
+}
+
+/// A running episode: steps the world, drives the protocol, routes and
+/// charges all traffic, and verifies answers.
+pub struct Simulation {
+    world: World,
+    proto: Box<dyn Protocol>,
+    specs: Vec<QuerySpec>,
+    infra: GridIndex,
+    inboxes: Vec<Vec<DownlinkMsg>>,
+    verify: VerifyMode,
+    metrics: EpisodeMetrics,
+    tick: Tick,
+    planned_ticks: u64,
+    series: Option<crate::TickSeries>,
+}
+
+impl Simulation {
+    /// Builds the world from `config`, registers the queries, and runs the
+    /// protocol's init handshake (its traffic is charged like any other).
+    pub fn new(config: &SimConfig, mut proto: Box<dyn Protocol>) -> Self {
+        let world = config.workload.build();
+        let bounds = world.bounds();
+        let specs: Vec<QuerySpec> = config
+            .focal_ids()
+            .iter()
+            .enumerate()
+            .map(|(i, &focal)| QuerySpec {
+                id: QueryId(i as u32),
+                focal: ObjectId(focal),
+                k: config.k,
+            })
+            .collect();
+        let mut infra = GridIndex::new(bounds, config.geo_cells, config.geo_cells);
+        for o in world.objects() {
+            infra.upsert(o.id, o.pos);
+        }
+        let mut metrics = EpisodeMetrics {
+            method: proto.name().to_string(),
+            ticks: 0,
+            n_objects: config.workload.n_objects,
+            n_queries: config.n_queries,
+            k: config.k,
+            ..EpisodeMetrics::default()
+        };
+        let mut inboxes: Vec<Vec<DownlinkMsg>> = vec![Vec::new(); world.objects().len()];
+
+        // Init handshake at tick 0.
+        let mut outbox = Outbox::new();
+        let mut ops = OpCounters::default();
+        let t0 = Instant::now();
+        {
+            let mut probe =
+                EngineProbe { infra: &infra, world: &world, stats: &mut metrics.net };
+            proto.init(bounds, world.objects(), &specs, &mut probe, &mut outbox, &mut ops);
+        }
+        metrics.proto_seconds += t0.elapsed().as_secs_f64();
+        metrics.ops += ops;
+        route(&outbox, &infra, &mut inboxes, &mut metrics.net);
+
+        Simulation {
+            world,
+            proto,
+            specs,
+            infra,
+            inboxes,
+            verify: config.verify,
+            metrics,
+            tick: 0,
+            planned_ticks: config.ticks,
+            series: None,
+        }
+    }
+
+    /// Turns on per-tick time-series recording (see [`crate::TickSeries`]).
+    /// Call before stepping; recording an already-running episode starts
+    /// from the current tick.
+    pub fn record_series(&mut self) {
+        if self.series.is_none() {
+            self.series = Some(crate::TickSeries::new());
+        }
+    }
+
+    /// The recorded time series, when [`Simulation::record_series`] was
+    /// called.
+    pub fn series(&self) -> Option<&crate::TickSeries> {
+        self.series.as_ref()
+    }
+
+    /// The registered query specs.
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// The maintained answer of `query` right now.
+    pub fn answer(&self, query: QueryId) -> &[ObjectId] {
+        self.proto.answer(query)
+    }
+
+    /// Immutable access to the ground-truth world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &EpisodeMetrics {
+        &self.metrics
+    }
+
+    /// Advances the episode by one tick.
+    pub fn step(&mut self) {
+        let before = self.series.is_some().then(|| self.metrics.clone());
+        self.tick += 1;
+        self.metrics.ticks = self.tick;
+        self.world.step();
+        for o in self.world.objects() {
+            self.infra.upsert(o.id, o.pos);
+        }
+
+        let mut ops = OpCounters::default();
+        let mut uplinks = Uplinks::new();
+        let t0 = Instant::now();
+
+        // Client phase: each device acts on its own state + inbox.
+        for i in 0..self.world.objects().len() {
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            let me = self.world.objects()[i];
+            self.proto.client_tick(self.tick, &me, &inbox, &mut uplinks, &mut ops);
+        }
+        for (_, msg) in uplinks.iter() {
+            self.metrics.net.count_uplink(msg.kind(), msg.size_bytes());
+        }
+
+        // Server phase.
+        let mut outbox = Outbox::new();
+        {
+            let mut probe = EngineProbe {
+                infra: &self.infra,
+                world: &self.world,
+                stats: &mut self.metrics.net,
+            };
+            self.proto.server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
+        }
+        self.metrics.proto_seconds += t0.elapsed().as_secs_f64();
+        self.metrics.ops += ops;
+
+        route(&outbox, &self.infra, &mut self.inboxes, &mut self.metrics.net);
+
+        if self.verify != VerifyMode::Off {
+            self.verify_answers();
+        }
+
+        if let (Some(series), Some(before)) = (self.series.as_mut(), before) {
+            series.push(crate::delta_sample(self.tick, &before, &self.metrics));
+        }
+    }
+
+    fn verify_answers(&mut self) {
+        for spec in &self.specs {
+            let answer = self.proto.answer(spec.id);
+            let true_center = self.world.position(spec.focal);
+            let effective = self.proto.effective_center(spec.id).unwrap_or(true_center);
+            let ck = check_answer(
+                &self.world,
+                spec.focal,
+                spec.k,
+                answer,
+                effective,
+                true_center,
+                self.proto.ordered_answers(),
+            );
+            self.metrics.exact_checks += 1;
+            self.metrics.exact_ok += u64::from(ck.exact);
+            self.metrics.recall_sum += ck.recall_vs_true;
+            self.metrics.dist_error_sum += ck.dist_error;
+            if self.verify == VerifyMode::Assert && self.proto.guarantees_exact() && !ck.exact {
+                let oracle: Vec<_> = mknn_index::bruteforce::knn(
+                    self.world.snapshot().filter(|&(id, _)| id != spec.focal),
+                    effective,
+                    spec.k,
+                )
+                .iter()
+                .map(|n| (n.id, n.dist()))
+                .collect();
+                panic!(
+                    "{}: inexact answer for {} at tick {}: got {:?}, oracle {:?} (effective {:?})",
+                    self.proto.name(),
+                    spec.id,
+                    self.tick,
+                    answer,
+                    oracle,
+                    effective,
+                );
+            }
+        }
+    }
+
+    /// Runs the configured number of ticks and returns the final metrics.
+    pub fn run(mut self) -> EpisodeMetrics {
+        for _ in 0..self.planned_ticks {
+            self.step();
+        }
+        self.metrics
+    }
+}
+
+/// Routes an outbox: charges every transmission and fills device inboxes.
+fn route(
+    outbox: &Outbox,
+    infra: &GridIndex,
+    inboxes: &mut [Vec<DownlinkMsg>],
+    stats: &mut NetStats,
+) {
+    for (recipient, msg) in outbox.iter() {
+        match *recipient {
+            Recipient::One(id) => {
+                stats.count_unicast(msg.kind(), msg.size_bytes());
+                if let Some(inbox) = inboxes.get_mut(id.index()) {
+                    inbox.push(*msg);
+                }
+            }
+            Recipient::Geocast(zone) => {
+                let cells = infra.cells_overlapping(&zone);
+                stats.count_geocast(msg.kind(), msg.size_bytes(), cells);
+                for n in infra.range(&zone) {
+                    inboxes[n.id.index()].push(*msg);
+                }
+            }
+            Recipient::Broadcast => {
+                stats.count_broadcast(msg.kind(), msg.size_bytes());
+                for inbox in inboxes.iter_mut() {
+                    inbox.push(*msg);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_baselines::Centralized;
+    use mknn_core::{Dknn, DknnParams};
+
+    #[test]
+    fn centralized_runs_exactly() {
+        let cfg = SimConfig::small();
+        let sim = Simulation::new(&cfg, Box::new(Centralized::new(16)));
+        let m = sim.run();
+        assert_eq!(m.exactness(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        // The firehose: roughly one uplink per moving object per tick.
+        assert!(m.uplink_per_tick() > cfg.workload.n_objects as f64 * 0.5);
+    }
+
+    #[test]
+    fn dknn_set_is_exact_and_cheaper() {
+        let cfg = SimConfig::small();
+        let params = DknnParams {
+            v_max_obj: 20.0,
+            v_max_q: 20.0,
+            ..DknnParams::default()
+        };
+        let m = Simulation::new(&cfg, Box::new(Dknn::set(params))).run();
+        assert_eq!(m.exactness(), 1.0, "set protocol must be exact: {m:?}");
+        let c = Simulation::new(&cfg, Box::new(Centralized::new(16))).run();
+        assert!(
+            m.net.uplink_msgs < c.net.uplink_msgs,
+            "distributed uplink {} should undercut centralized {}",
+            m.net.uplink_msgs,
+            c.net.uplink_msgs
+        );
+    }
+
+    #[test]
+    fn dknn_ordered_is_exact() {
+        let cfg = SimConfig::small();
+        let m = Simulation::new(&cfg, Box::new(Dknn::ordered(DknnParams::default()))).run();
+        assert_eq!(m.exactness(), 1.0, "{m:?}");
+    }
+
+    #[test]
+    fn dknn_buffered_is_exact() {
+        let cfg = SimConfig::small();
+        let m = Simulation::new(
+            &cfg,
+            Box::new(mknn_core::DknnBuffered::new(DknnParams::default(), 4)),
+        )
+        .run();
+        assert_eq!(m.exactness(), 1.0, "{m:?}");
+    }
+
+    #[test]
+    fn series_recording_matches_totals() {
+        let cfg = SimConfig::small();
+        let mut sim = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default())));
+        sim.record_series();
+        for _ in 0..cfg.ticks {
+            sim.step();
+        }
+        let series = sim.series().unwrap();
+        assert_eq!(series.len(), cfg.ticks as usize);
+        // Per-tick deltas must sum back to the episode totals minus the
+        // init traffic (recording starts after init).
+        let up_sum: u64 = series.samples().iter().map(|s| s.uplink).sum();
+        assert_eq!(up_sum, sim.metrics().net.uplink_msgs);
+        let checked: u64 = series.samples().iter().map(|s| s.checked_queries).sum();
+        assert_eq!(checked, sim.metrics().exact_checks);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let cfg = SimConfig::small();
+        let a = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default()))).run();
+        let b = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default()))).run();
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.ops, b.ops);
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulation harness: drives any [`mknn_net::Protocol`] over a
+//! [`mknn_mobility::World`], routes and charges every message, verifies
+//! answers against a brute-force oracle, and aggregates the metrics the
+//! experiments report.
+//!
+//! The harness is the "physical world + network infrastructure" of the
+//! evaluation: it alone sees true positions. Protocols observe nothing but
+//! their own messages.
+
+#![deny(missing_docs)]
+
+mod config;
+mod engine;
+mod metrics;
+mod oracle;
+mod runner;
+mod series;
+mod stats;
+mod table;
+
+pub use config::{SimConfig, VerifyMode};
+pub use engine::Simulation;
+pub use metrics::EpisodeMetrics;
+pub use oracle::{check_answer, AnswerCheck};
+pub use runner::{params_for, run_episode, run_episodes_seeded, Method};
+pub use series::{delta_sample, TickSample, TickSeries};
+pub use stats::{percentile, MetricsSummary, Summary};
+pub use table::{render_table, write_csv};

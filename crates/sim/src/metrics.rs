@@ -1,0 +1,137 @@
+//! Aggregated episode metrics.
+
+use mknn_net::{NetStats, OpCounters};
+use serde::{Deserialize, Serialize};
+
+/// Everything an experiment reports about one simulation episode.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpisodeMetrics {
+    /// Protocol name.
+    pub method: String,
+    /// Ticks simulated (excluding init).
+    pub ticks: u64,
+    /// Object population.
+    pub n_objects: usize,
+    /// Registered queries.
+    pub n_queries: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Communication totals over the episode (including init traffic).
+    pub net: NetStats,
+    /// Computation totals.
+    pub ops: OpCounters,
+    /// Oracle checks performed (`verify != Off`).
+    pub exact_checks: u64,
+    /// Checks that found the answer exact w.r.t. the effective center.
+    pub exact_ok: u64,
+    /// Sum of per-check recall against the true-position kNN.
+    pub recall_sum: f64,
+    /// Sum of per-check relative distance error against the true kNN.
+    pub dist_error_sum: f64,
+    /// Wall-clock seconds spent inside protocol code (client + server),
+    /// excluding world stepping and oracle checks.
+    pub proto_seconds: f64,
+}
+
+impl EpisodeMetrics {
+    /// Total messages (all directions, transmissions) per tick.
+    pub fn msgs_per_tick(&self) -> f64 {
+        self.net.total_msgs() as f64 / self.ticks.max(1) as f64
+    }
+
+    /// Uplink messages per tick.
+    pub fn uplink_per_tick(&self) -> f64 {
+        self.net.uplink_msgs as f64 / self.ticks.max(1) as f64
+    }
+
+    /// Downlink transmissions per tick (unicast + geocast cells +
+    /// broadcast).
+    pub fn downlink_per_tick(&self) -> f64 {
+        (self.net.downlink_unicast_msgs
+            + self.net.downlink_geocast_msgs
+            + self.net.downlink_broadcast_msgs) as f64
+            / self.ticks.max(1) as f64
+    }
+
+    /// Bytes (both directions) per tick.
+    pub fn bytes_per_tick(&self) -> f64 {
+        self.net.total_bytes() as f64 / self.ticks.max(1) as f64
+    }
+
+    /// Server operations per tick.
+    pub fn server_ops_per_tick(&self) -> f64 {
+        self.ops.server_ops as f64 / self.ticks.max(1) as f64
+    }
+
+    /// Client operations per object per tick.
+    pub fn client_ops_per_object_tick(&self) -> f64 {
+        self.ops.client_ops as f64 / (self.ticks.max(1) * self.n_objects.max(1) as u64) as f64
+    }
+
+    /// Fraction of verified (query, tick) pairs with an exact answer.
+    pub fn exactness(&self) -> f64 {
+        if self.exact_checks == 0 {
+            f64::NAN
+        } else {
+            self.exact_ok as f64 / self.exact_checks as f64
+        }
+    }
+
+    /// Mean recall against the true-position kNN.
+    pub fn recall(&self) -> f64 {
+        if self.exact_checks == 0 {
+            f64::NAN
+        } else {
+            self.recall_sum / self.exact_checks as f64
+        }
+    }
+
+    /// Mean relative distance error against the true-position kNN.
+    pub fn dist_error(&self) -> f64 {
+        if self.exact_checks == 0 {
+            f64::NAN
+        } else {
+            self.dist_error_sum / self.exact_checks as f64
+        }
+    }
+
+    /// Protocol wall-clock microseconds per tick.
+    pub fn proto_us_per_tick(&self) -> f64 {
+        self.proto_seconds * 1e6 / self.ticks.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tick_rates_divide_by_ticks() {
+        let mut m = EpisodeMetrics { ticks: 10, n_objects: 5, ..Default::default() };
+        m.net.uplink_msgs = 100;
+        m.net.uplink_bytes = 4_400;
+        m.ops = OpCounters { server_ops: 50, client_ops: 200 };
+        assert_eq!(m.uplink_per_tick(), 10.0);
+        assert_eq!(m.msgs_per_tick(), 10.0);
+        assert_eq!(m.server_ops_per_tick(), 5.0);
+        assert_eq!(m.client_ops_per_object_tick(), 4.0);
+        assert_eq!(m.bytes_per_tick(), 440.0);
+    }
+
+    #[test]
+    fn quality_rates_handle_zero_checks() {
+        let m = EpisodeMetrics::default();
+        assert!(m.exactness().is_nan());
+        assert!(m.recall().is_nan());
+        let m2 = EpisodeMetrics {
+            exact_checks: 4,
+            exact_ok: 3,
+            recall_sum: 3.2,
+            dist_error_sum: 0.4,
+            ..Default::default()
+        };
+        assert_eq!(m2.exactness(), 0.75);
+        assert_eq!(m2.recall(), 0.8);
+        assert!((m2.dist_error() - 0.1).abs() < 1e-12);
+    }
+}

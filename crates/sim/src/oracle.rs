@@ -1,0 +1,175 @@
+//! Brute-force oracle verification of maintained answers.
+
+use mknn_geom::{ObjectId, Point};
+use mknn_index::bruteforce;
+use mknn_mobility::World;
+
+/// Distance tolerance for tie handling: answers that differ from the oracle
+/// only in members at (floating-point-)equal distance are considered exact,
+/// because no geometric protocol can distinguish exact ties.
+const TIE_EPS: f64 = 1e-9;
+
+/// Result of checking one query's answer at one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerCheck {
+    /// The maintained answer is an exact kNN (set- or order-wise, per the
+    /// method's semantics) at the *effective* query center.
+    pub exact: bool,
+    /// Overlap with the true-position kNN set, in `[0, 1]` — the accuracy
+    /// experiments' headline number (1.0 means the answer is also perfect
+    /// with respect to the focal object's true position).
+    pub recall_vs_true: f64,
+    /// Relative distance error vs. the true kNN: `(Σ d_answer / Σ d_true) − 1`,
+    /// clamped at 0. Zero when the answer is distance-optimal.
+    pub dist_error: f64,
+}
+
+/// Verifies `answer` for a query with focal `focal` and parameter `k`.
+///
+/// `effective` is the query point the method claims exactness for;
+/// `true_center` is the focal object's true position. `ordered` selects
+/// sequence (vs. set) comparison.
+pub fn check_answer(
+    world: &World,
+    focal: ObjectId,
+    k: usize,
+    answer: &[ObjectId],
+    effective: Point,
+    true_center: Point,
+    ordered: bool,
+) -> AnswerCheck {
+    let population = || world.snapshot().filter(|&(id, _)| id != focal);
+
+    // --- exactness at the effective center -------------------------------
+    let oracle = bruteforce::knn(population(), effective, k);
+    let exact = if answer.len() != oracle.len() {
+        false
+    } else {
+        let d_of = |id: ObjectId| world.position(id).dist(effective);
+        let d_k = oracle.last().map_or(0.0, |n| n.dist());
+        // Every answered member must be at least as close as the k-th oracle
+        // distance (ties allowed)…
+        let members_ok = answer.iter().all(|&id| d_of(id) <= d_k + TIE_EPS);
+        // …and in ordered mode the reported sequence must be non-decreasing.
+        let order_ok = !ordered
+            || answer.windows(2).all(|w| d_of(w[0]) <= d_of(w[1]) + TIE_EPS);
+        // Distance multisets must agree (catches wrong members hiding
+        // behind an equal count).
+        let mut a_d: Vec<f64> = answer.iter().map(|&id| d_of(id)).collect();
+        let mut o_d: Vec<f64> = oracle.iter().map(|n| n.dist()).collect();
+        a_d.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+        o_d.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+        let dists_ok = a_d.iter().zip(&o_d).all(|(a, o)| (a - o).abs() <= TIE_EPS);
+        members_ok && order_ok && dists_ok
+    };
+
+    // --- accuracy at the true center --------------------------------------
+    let truth = bruteforce::knn(population(), true_center, k);
+    let truth_ids: std::collections::BTreeSet<ObjectId> = truth.iter().map(|n| n.id).collect();
+    let hit = answer.iter().filter(|id| truth_ids.contains(id)).count();
+    let recall_vs_true =
+        if truth.is_empty() { 1.0 } else { hit as f64 / truth.len() as f64 };
+    let sum_true: f64 = truth.iter().map(|n| n.dist()).sum();
+    let sum_answer: f64 =
+        answer.iter().map(|&id| world.position(id).dist(true_center)).sum();
+    let dist_error = if sum_true > 0.0 && answer.len() == truth.len() {
+        (sum_answer / sum_true - 1.0).max(0.0)
+    } else {
+        0.0
+    };
+
+    AnswerCheck { exact, recall_vs_true, dist_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::Rect;
+    use mknn_mobility::{MovingObject, Stationary, World};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_world() -> World {
+        let objs: Vec<MovingObject> = (0..6u32)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 0.0))
+            .collect();
+        World::new(Rect::square(100.0), objs, Box::new(Stationary), 1.0, StdRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn exact_answer_passes() {
+        let w = line_world();
+        let q = Point::new(0.0, 0.0);
+        let ck = check_answer(&w, ObjectId(0), 2, &[ObjectId(1), ObjectId(2)], q, q, true);
+        assert!(ck.exact);
+        assert_eq!(ck.recall_vs_true, 1.0);
+        assert_eq!(ck.dist_error, 0.0);
+    }
+
+    #[test]
+    fn wrong_member_fails_exactness() {
+        let w = line_world();
+        let q = Point::new(0.0, 0.0);
+        let ck = check_answer(&w, ObjectId(0), 2, &[ObjectId(1), ObjectId(3)], q, q, false);
+        assert!(!ck.exact);
+        assert_eq!(ck.recall_vs_true, 0.5);
+        assert!(ck.dist_error > 0.0);
+    }
+
+    #[test]
+    fn wrong_order_fails_only_in_ordered_mode() {
+        let w = line_world();
+        let q = Point::new(0.0, 0.0);
+        let swapped = [ObjectId(2), ObjectId(1)];
+        assert!(!check_answer(&w, ObjectId(0), 2, &swapped, q, q, true).exact);
+        assert!(check_answer(&w, ObjectId(0), 2, &swapped, q, q, false).exact);
+    }
+
+    #[test]
+    fn tie_swap_counts_as_exact() {
+        // Objects 1 and 2 equidistant from the query point.
+        let objs = vec![
+            MovingObject::at(ObjectId(0), Point::new(0.0, 0.0), 0.0),
+            MovingObject::at(ObjectId(1), Point::new(5.0, 0.0), 0.0),
+            MovingObject::at(ObjectId(2), Point::new(-5.0, 0.0), 0.0),
+            MovingObject::at(ObjectId(3), Point::new(50.0, 0.0), 0.0),
+        ];
+        let w = World::new(
+            Rect::square(100.0),
+            objs,
+            Box::new(Stationary),
+            1.0,
+            StdRng::seed_from_u64(0),
+        );
+        let q = Point::new(0.0, 0.0);
+        // Canonical oracle picks id 1 for k=1; id 2 is an equally valid answer.
+        let ck = check_answer(&w, ObjectId(0), 1, &[ObjectId(2)], q, q, true);
+        assert!(ck.exact);
+    }
+
+    #[test]
+    fn effective_vs_true_center_distinction() {
+        let w = line_world();
+        // Answer exact at the effective center (8,0) — nearest is object 1 —
+        // but the true center (22,0) has object 2 nearest.
+        let ck = check_answer(
+            &w,
+            ObjectId(0),
+            1,
+            &[ObjectId(1)],
+            Point::new(8.0, 0.0),
+            Point::new(22.0, 0.0),
+            true,
+        );
+        assert!(ck.exact);
+        assert_eq!(ck.recall_vs_true, 0.0);
+    }
+
+    #[test]
+    fn short_answer_fails() {
+        let w = line_world();
+        let q = Point::new(0.0, 0.0);
+        let ck = check_answer(&w, ObjectId(0), 3, &[ObjectId(1)], q, q, false);
+        assert!(!ck.exact);
+    }
+}

@@ -1,0 +1,138 @@
+//! Method factory and episode runner used by experiments and examples.
+
+use crate::{EpisodeMetrics, SimConfig, Simulation};
+use mknn_baselines::{Centralized, NaiveBroadcast, Periodic};
+use mknn_core::{Dknn, DknnBuffered, DknnParams};
+use mknn_net::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// A monitoring method with its configuration, ready to be instantiated for
+/// an episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Distributed protocol, set semantics.
+    DknnSet(DknnParams),
+    /// Distributed protocol, order-preserving semantics.
+    DknnOrder(DknnParams),
+    /// Buffered-candidate distributed protocol (order-preserving, region
+    /// decoupled from the answer boundary via a candidate buffer).
+    DknnBuffer {
+        /// Protocol parameters.
+        params: DknnParams,
+        /// Spare candidates beyond k.
+        buffer: usize,
+    },
+    /// Centralized per-tick reporting with a `res × res` server grid.
+    Centralized {
+        /// Server grid resolution.
+        res: u32,
+    },
+    /// Periodic reporting every `period` ticks.
+    Periodic {
+        /// Reporting period in ticks.
+        period: u64,
+        /// Server grid resolution.
+        res: u32,
+    },
+    /// Per-tick adaptive probing strawman.
+    Naive {
+        /// Zone over-size factor.
+        headroom: f64,
+    },
+}
+
+impl Method {
+    /// The default comparison set used by most experiments.
+    pub fn standard_suite(params: DknnParams) -> Vec<Method> {
+        vec![
+            Method::DknnSet(params),
+            Method::DknnOrder(params),
+            Method::DknnBuffer { params, buffer: 3 },
+            Method::Centralized { res: 64 },
+            Method::Periodic { period: 10, res: 64 },
+            Method::Naive { headroom: 1.5 },
+        ]
+    }
+
+    /// Instantiates the protocol.
+    pub fn build(&self) -> Box<dyn Protocol> {
+        match *self {
+            Method::DknnSet(p) => Box::new(Dknn::set(p)),
+            Method::DknnOrder(p) => Box::new(Dknn::ordered(p)),
+            Method::DknnBuffer { params, buffer } => Box::new(DknnBuffered::new(params, buffer)),
+            Method::Centralized { res } => Box::new(Centralized::new(res)),
+            Method::Periodic { period, res } => Box::new(Periodic::new(period, res)),
+            Method::Naive { headroom } => Box::new(NaiveBroadcast::new(headroom)),
+        }
+    }
+
+    /// Display name (matches [`Protocol::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::DknnSet(_) => "dknn-set",
+            Method::DknnOrder(_) => "dknn-order",
+            Method::DknnBuffer { .. } => "dknn-buffer",
+            Method::Centralized { .. } => "centralized",
+            Method::Periodic { .. } => "periodic",
+            Method::Naive { .. } => "naive-probe",
+        }
+    }
+}
+
+/// Runs one full episode of `method` under `config`.
+pub fn run_episode(config: &SimConfig, method: Method) -> EpisodeMetrics {
+    Simulation::new(config, method.build()).run()
+}
+
+/// Runs `seeds` independent repetitions (seed, seed+1, …) of `method` and
+/// returns the per-seed metrics, for aggregation with
+/// [`crate::MetricsSummary`].
+pub fn run_episodes_seeded(config: &SimConfig, method: Method, seeds: u64) -> Vec<EpisodeMetrics> {
+    (0..seeds.max(1))
+        .map(|i| {
+            let mut cfg = config.clone();
+            cfg.workload.seed = config.workload.seed.wrapping_add(i);
+            run_episode(&cfg, method)
+        })
+        .collect()
+}
+
+/// Derives DKNN parameters sized for a workload's speed bounds (the
+/// protocol's soundness inputs come from the registration contract, so
+/// experiments derive them from the workload spec).
+pub fn params_for(config: &SimConfig) -> DknnParams {
+    let v = config.workload.speeds.max_speed();
+    DknnParams {
+        v_max_obj: v,
+        v_max_q: v,
+        query_drift: 2.0 * v,
+        ..DknnParams::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_method_builds_and_runs() {
+        let mut cfg = SimConfig::small();
+        cfg.ticks = 15;
+        cfg.workload.n_objects = 150;
+        for method in Method::standard_suite(params_for(&cfg)) {
+            let m = run_episode(&cfg, method);
+            assert_eq!(m.ticks, 15, "{}", method.name());
+            assert_eq!(m.method, method.name());
+            assert!(m.net.total_msgs() > 0, "{} sent nothing", method.name());
+        }
+    }
+
+    #[test]
+    fn params_for_scales_with_speed() {
+        let mut cfg = SimConfig::small();
+        cfg.workload.speeds = mknn_mobility::SpeedDist::Fixed(7.0);
+        let p = params_for(&cfg);
+        assert_eq!(p.v_max_obj, 7.0);
+        assert_eq!(p.query_drift, 14.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-tick metric time series.
+//!
+//! Episode totals hide transients — the burst after init, refresh storms
+//! when a hotspot forms, quiet stretches where the protocol is fully
+//! silent. A [`TickSeries`] records the per-tick deltas of the headline
+//! counters so experiments (and the plotting pipeline behind the paper-style
+//! figures) can look at traffic *over time*, not just its mean.
+
+use crate::EpisodeMetrics;
+use mknn_geom::Tick;
+use serde::{Deserialize, Serialize};
+
+/// One tick's snapshot of the headline counters (deltas, not cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TickSample {
+    /// Tick number (1-based; init traffic is not part of the series).
+    pub tick: Tick,
+    /// Uplink messages this tick.
+    pub uplink: u64,
+    /// Downlink transmissions (unicast + geocast cells + broadcast) this
+    /// tick.
+    pub downlink: u64,
+    /// Bytes both directions this tick.
+    pub bytes: u64,
+    /// Server ops this tick.
+    pub server_ops: u64,
+    /// Queries whose answer was exact this tick (only populated when the
+    /// episode verifies).
+    pub exact_queries: u64,
+    /// Queries checked this tick.
+    pub checked_queries: u64,
+}
+
+/// A recorded episode timeline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TickSeries {
+    samples: Vec<TickSample>,
+}
+
+impl TickSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample (called by the engine each tick when recording is
+    /// on).
+    pub fn push(&mut self, sample: TickSample) {
+        debug_assert!(
+            self.samples.last().map_or(true, |last| last.tick < sample.tick),
+            "samples must arrive in tick order"
+        );
+        self.samples.push(sample);
+    }
+
+    /// All samples in tick order.
+    pub fn samples(&self) -> &[TickSample] {
+        &self.samples
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The tick with the highest total message count (burst detection), or
+    /// `None` when empty.
+    pub fn peak_msgs(&self) -> Option<TickSample> {
+        self.samples.iter().copied().max_by_key(|s| s.uplink + s.downlink)
+    }
+
+    /// Mean total messages per tick over the recorded window.
+    pub fn mean_msgs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let total: u64 = self.samples.iter().map(|s| s.uplink + s.downlink).sum();
+        total as f64 / self.samples.len() as f64
+    }
+
+    /// Peak-to-mean ratio of total messages — 1.0 means perfectly smooth
+    /// traffic, large values mean bursts. NaN when empty.
+    pub fn burstiness(&self) -> f64 {
+        match self.peak_msgs() {
+            Some(peak) => (peak.uplink + peak.downlink) as f64 / self.mean_msgs(),
+            None => f64::NAN,
+        }
+    }
+
+    /// Rows for [`crate::write_csv`] (header + one row per tick).
+    pub fn to_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![vec![
+            "tick".to_string(),
+            "uplink".into(),
+            "downlink".into(),
+            "bytes".into(),
+            "server_ops".into(),
+            "exact_queries".into(),
+            "checked_queries".into(),
+        ]];
+        for s in &self.samples {
+            rows.push(vec![
+                s.tick.to_string(),
+                s.uplink.to_string(),
+                s.downlink.to_string(),
+                s.bytes.to_string(),
+                s.server_ops.to_string(),
+                s.exact_queries.to_string(),
+                s.checked_queries.to_string(),
+            ]);
+        }
+        rows
+    }
+}
+
+/// Computes the per-tick delta sample between two cumulative metric
+/// snapshots (engine-internal helper, public for tests).
+pub fn delta_sample(tick: Tick, before: &EpisodeMetrics, after: &EpisodeMetrics) -> TickSample {
+    let down = |m: &EpisodeMetrics| {
+        m.net.downlink_unicast_msgs + m.net.downlink_geocast_msgs + m.net.downlink_broadcast_msgs
+    };
+    TickSample {
+        tick,
+        uplink: after.net.uplink_msgs - before.net.uplink_msgs,
+        downlink: down(after) - down(before),
+        bytes: after.net.total_bytes() - before.net.total_bytes(),
+        server_ops: after.ops.server_ops - before.ops.server_ops,
+        exact_queries: after.exact_ok - before.exact_ok,
+        checked_queries: after.exact_checks - before.exact_checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tick: Tick, up: u64, down: u64) -> TickSample {
+        TickSample { tick, uplink: up, downlink: down, ..Default::default() }
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = TickSeries::new();
+        assert!(s.is_empty());
+        assert!(s.mean_msgs().is_nan());
+        s.push(sample(1, 10, 0));
+        s.push(sample(2, 0, 0));
+        s.push(sample(3, 50, 30));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean_msgs(), 30.0);
+        assert_eq!(s.peak_msgs().unwrap().tick, 3);
+        assert!((s.burstiness() - 80.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_rows_round_numbers() {
+        let mut s = TickSeries::new();
+        s.push(sample(1, 3, 4));
+        let rows = s.to_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], "tick");
+        assert_eq!(rows[1][..3], ["1".to_string(), "3".into(), "4".into()]);
+    }
+
+    #[test]
+    fn delta_sample_subtracts() {
+        let mut before = EpisodeMetrics::default();
+        before.net.uplink_msgs = 10;
+        before.ops.server_ops = 100;
+        let mut after = before.clone();
+        after.net.uplink_msgs = 17;
+        after.net.downlink_unicast_msgs = 2;
+        after.net.uplink_bytes = 44;
+        after.ops.server_ops = 130;
+        after.exact_checks = 5;
+        after.exact_ok = 4;
+        let d = delta_sample(9, &before, &after);
+        assert_eq!(d.tick, 9);
+        assert_eq!(d.uplink, 7);
+        assert_eq!(d.downlink, 2);
+        assert_eq!(d.bytes, 44);
+        assert_eq!(d.server_ops, 30);
+        assert_eq!(d.exact_queries, 4);
+        assert_eq!(d.checked_queries, 5);
+    }
+}

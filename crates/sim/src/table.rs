@@ -1,0 +1,106 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders rows as an aligned plain-text table (first row = header).
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            if i + 1 == cols {
+                let _ = write!(out, "{cell:<w$}");
+            } else {
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes rows as CSV (comma-separated, quotes around cells containing
+/// commas or quotes), creating parent directories as needed.
+pub fn write_csv(path: &Path, rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut s = String::new();
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        s.push_str(&line.join(","));
+        s.push('\n');
+    }
+    std::fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["method".into(), "msgs".into()],
+            vec!["dknn-set".into(), "9.1".into()],
+            vec!["centralized".into(), "400".into()],
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].starts_with("---"));
+        // All "msgs" values start at the same column.
+        let col = lines[0].find("msgs").unwrap();
+        assert_eq!(lines[2].find("9.1").unwrap(), col);
+        assert_eq!(lines[3].find("400").unwrap(), col);
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let dir = std::env::temp_dir().join("mknn-table-test");
+        let path = dir.join("out.csv");
+        let rows = vec![
+            vec!["a".into(), "b,c".into()],
+            vec!["d\"e".into(), "f".into()],
+        ];
+        write_csv(&path, &rows).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "a,\"b,c\"\n\"d\"\"e\",f\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+}

@@ -1,0 +1,65 @@
+//! Highway convoy monitoring — the motivating scenario of the paper's
+//! introduction: vehicles on a road network, each query vehicle continuously
+//! tracking its k nearest peers (think convoy keeping, cooperative cruise,
+//! or hazard warning propagation).
+//!
+//! Objects move along a synthetic road grid (the Brinkhoff-generator
+//! substitute), so the spatial distribution is anisotropic and clustered on
+//! road segments — a harder regime for region-based monitoring than uniform
+//! free space.
+//!
+//! ```text
+//! cargo run --release --example highway_convoy
+//! ```
+
+use moving_knn::prelude::*;
+
+fn main() {
+    let config = SimConfig {
+        workload: WorkloadSpec {
+            n_objects: 3_000,
+            space_side: 8_000.0,
+            // A 12 × 12 road lattice with 20% of interior segments removed:
+            // dead ends and detours, like a real city grid.
+            motion: Motion::RoadNetwork { nx: 12, ny: 12, drop_prob: 0.2 },
+            speeds: SpeedDist::Classes { slow: 6.0, medium: 12.0, fast: 18.0 },
+            ..WorkloadSpec::default()
+        },
+        n_queries: 6,
+        k: 5,
+        ticks: 150,
+        verify: VerifyMode::Record,
+        ..SimConfig::default()
+    };
+
+    println!("convoy monitoring on a road network: {} vehicles, {} queries, k = {}\n",
+        config.workload.n_objects, config.n_queries, config.k);
+
+    // Run all three distributed variants and the centralized reference over
+    // the *identical* world (same seed ⇒ same trajectories).
+    let params = params_for(&config);
+    let methods = [
+        Method::DknnSet(params),
+        Method::DknnOrder(params),
+        Method::DknnBuffer { params, buffer: 6 },
+        Method::Centralized { res: 64 },
+    ];
+
+    println!("{:<12} {:>10} {:>10} {:>10} {:>8}", "method", "up/tick", "down/tick", "bytes/tick", "exact");
+    for method in methods {
+        let m = run_episode(&config, method);
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.0} {:>8.3}",
+            m.method,
+            m.uplink_per_tick(),
+            m.downlink_per_tick(),
+            m.bytes_per_tick(),
+            m.exactness(),
+        );
+        assert_eq!(m.exactness(), 1.0, "{} must stay exact on road networks", m.method);
+    }
+
+    println!("\nAll methods verified tick-exact against the brute-force oracle.");
+    println!("The distributed variants spend uplink only on region/band crossings —");
+    println!("on roads, crossings cluster at intersections where traffic mixes.");
+}

@@ -1,0 +1,210 @@
+//! End-to-end exactness: every protocol that claims exact answers is
+//! oracle-verified at every tick (`VerifyMode::Assert` panics inside the
+//! harness on the first violation) across the workload grid — motion
+//! models, speed regimes, skew, k extremes, and population edge cases.
+
+use moving_knn::prelude::*;
+
+fn base() -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec {
+            n_objects: 300,
+            space_side: 1_000.0,
+            ..WorkloadSpec::default()
+        },
+        n_queries: 4,
+        k: 5,
+        ticks: 50,
+        geo_cells: 16,
+        verify: VerifyMode::Assert,
+    }
+}
+
+fn exact_methods(cfg: &SimConfig) -> Vec<Method> {
+    let p = params_for(cfg);
+    vec![
+        Method::DknnSet(p),
+        Method::DknnOrder(p),
+        Method::DknnBuffer { params: p, buffer: 4 },
+        Method::Centralized { res: 16 },
+        Method::Naive { headroom: 1.5 },
+    ]
+}
+
+fn assert_all_exact(cfg: &SimConfig) {
+    for method in exact_methods(cfg) {
+        let m = run_episode(cfg, method);
+        assert_eq!(m.exactness(), 1.0, "{} inexact under {:?}", method.name(), cfg.workload);
+    }
+}
+
+#[test]
+fn exact_under_random_waypoint() {
+    assert_all_exact(&base());
+}
+
+#[test]
+fn exact_under_random_walk() {
+    let mut cfg = base();
+    cfg.workload.motion = Motion::RandomWalk;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_on_road_network() {
+    let mut cfg = base();
+    cfg.workload.motion = Motion::RoadNetwork { nx: 6, ny: 6, drop_prob: 0.2 };
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_under_gaussian_skew() {
+    let mut cfg = base();
+    cfg.workload.placement = Placement::Gaussian { clusters: 3, sigma: 60.0 };
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_at_high_speed() {
+    let mut cfg = base();
+    // 8% of the space side per tick — brutal churn.
+    cfg.workload.speeds = SpeedDist::Uniform { min: 40.0, max: 80.0 };
+    cfg.ticks = 30;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_when_almost_nothing_moves() {
+    let mut cfg = base();
+    cfg.workload.move_prob = 0.05;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_in_frozen_world() {
+    let mut cfg = base();
+    cfg.workload.motion = Motion::Stationary;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_k_equals_one() {
+    let mut cfg = base();
+    cfg.k = 1;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_k_exceeding_population() {
+    let mut cfg = base();
+    cfg.workload.n_objects = 12;
+    cfg.n_queries = 2;
+    cfg.k = 30; // more than the 11 possible neighbors
+    cfg.ticks = 25;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_tiny_population() {
+    let mut cfg = base();
+    cfg.workload.n_objects = 5;
+    cfg.n_queries = 1;
+    cfg.k = 2;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_many_overlapping_queries() {
+    let mut cfg = base();
+    cfg.n_queries = 25; // dense: every 12th object is a focal
+    cfg.ticks = 30;
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_mixed_speed_classes() {
+    let mut cfg = base();
+    cfg.workload.speeds = SpeedDist::Classes { slow: 2.0, medium: 10.0, fast: 25.0 };
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_slow_queries_fast_objects() {
+    let mut cfg = base();
+    cfg.workload.speeds = SpeedDist::Fixed(20.0);
+    cfg.workload.speed_overrides = cfg.focal_ids().iter().map(|&id| (id, 1.0)).collect();
+    assert_all_exact(&cfg);
+}
+
+#[test]
+fn exact_with_fast_queries_slow_objects() {
+    let mut cfg = base();
+    cfg.workload.speeds = SpeedDist::Fixed(4.0);
+    cfg.workload.speed_overrides = cfg.focal_ids().iter().map(|&id| (id, 40.0)).collect();
+    // The protocol's soundness inputs must cover the fastest device.
+    let mut p = params_for(&cfg);
+    p.v_max_q = 40.0;
+    p.v_max_obj = 40.0;
+    for method in [Method::DknnSet(p), Method::DknnOrder(p), Method::DknnBuffer { params: p, buffer: 4 }] {
+        let m = run_episode(&cfg, method);
+        assert_eq!(m.exactness(), 1.0, "{}", method.name());
+    }
+}
+
+#[test]
+fn exact_under_tight_heartbeat_and_drift() {
+    let cfg = base();
+    let mut p = params_for(&cfg);
+    p.heartbeat = 1;
+    p.query_drift = 5.0;
+    for method in [Method::DknnSet(p), Method::DknnOrder(p)] {
+        let m = run_episode(&cfg, method);
+        assert_eq!(m.exactness(), 1.0, "{}", method.name());
+    }
+}
+
+#[test]
+fn exact_under_loose_heartbeat() {
+    let mut cfg = base();
+    cfg.ticks = 60;
+    let mut p = params_for(&cfg);
+    p.heartbeat = 30; // huge margin, rare heartbeats
+    for method in [Method::DknnSet(p), Method::DknnBuffer { params: p, buffer: 4 }] {
+        let m = run_episode(&cfg, method);
+        assert_eq!(m.exactness(), 1.0, "{}", method.name());
+    }
+}
+
+#[test]
+fn exact_with_extreme_alpha_placements() {
+    let cfg = base();
+    for alpha in [0.05, 0.95] {
+        let mut p = params_for(&cfg);
+        p.alpha = alpha;
+        for method in [Method::DknnSet(p), Method::DknnOrder(p)] {
+            let m = run_episode(&cfg, method);
+            assert_eq!(m.exactness(), 1.0, "{} at alpha {alpha}", method.name());
+        }
+    }
+}
+
+#[test]
+fn exact_on_coarse_and_fine_paging_grids() {
+    for cells in [4u32, 128] {
+        let mut cfg = base();
+        cfg.geo_cells = cells;
+        assert_all_exact(&cfg);
+    }
+}
+
+#[test]
+fn periodic_is_measurably_inexact_but_degrades_gracefully() {
+    let mut cfg = base();
+    cfg.verify = VerifyMode::Record;
+    let fast = run_episode(&cfg, Method::Periodic { period: 2, res: 16 });
+    let slow = run_episode(&cfg, Method::Periodic { period: 25, res: 16 });
+    assert!(fast.recall() > slow.recall(), "shorter period must be more accurate");
+    assert!(fast.recall() > 0.5, "a 2-tick period should stay close to the truth");
+    assert!((0.0..=1.0).contains(&slow.recall()));
+    assert!(fast.net.uplink_msgs > slow.net.uplink_msgs);
+}

@@ -1,0 +1,133 @@
+//! Property-based end-to-end verification: random small worlds, random
+//! protocol parameters, every tick oracle-checked (the harness panics on
+//! the first inexact answer of an exactness-guaranteeing method).
+
+use moving_knn::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_objects: usize,
+    n_queries: usize,
+    k: usize,
+    ticks: u64,
+    seed: u64,
+    motion: Motion,
+    v_max: f64,
+    move_prob: f64,
+    alpha: f64,
+    heartbeat: u64,
+    drift_mult: f64,
+    buffer: usize,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (10usize..120),
+        (1usize..5),
+        (1usize..8),
+        (15u64..40),
+        any::<u64>(),
+        prop_oneof![
+            Just(Motion::RandomWaypoint),
+            Just(Motion::RandomWalk),
+            Just(Motion::Stationary),
+        ],
+        (1.0..40.0f64),
+        (0.0..=1.0f64),
+        (0.1..0.9f64),
+        (1u64..12),
+        (0.5..6.0f64),
+        (2usize..8),
+    )
+        .prop_map(
+            |(n_objects, n_queries, k, ticks, seed, motion, v_max, move_prob, alpha, heartbeat, drift_mult, buffer)| {
+                Scenario {
+                    n_objects,
+                    n_queries,
+                    k,
+                    ticks,
+                    seed,
+                    motion,
+                    v_max,
+                    move_prob,
+                    alpha,
+                    heartbeat,
+                    drift_mult,
+                    buffer,
+                }
+            },
+        )
+}
+
+fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
+    let cfg = SimConfig {
+        workload: WorkloadSpec {
+            n_objects: s.n_objects,
+            space_side: 800.0,
+            speeds: SpeedDist::Uniform { min: s.v_max * 0.2, max: s.v_max },
+            motion: s.motion,
+            move_prob: s.move_prob,
+            seed: s.seed,
+            ..WorkloadSpec::default()
+        },
+        n_queries: s.n_queries,
+        k: s.k,
+        ticks: s.ticks,
+        geo_cells: 8,
+        verify: VerifyMode::Assert,
+    };
+    let params = DknnParams {
+        alpha: s.alpha,
+        heartbeat: s.heartbeat,
+        query_drift: s.drift_mult * s.v_max,
+        v_max_obj: s.v_max,
+        v_max_q: s.v_max,
+        ..DknnParams::default()
+    };
+    (cfg, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dknn_set_exact_on_random_worlds(s in scenario()) {
+        let (cfg, params) = config_of(&s);
+        let m = run_episode(&cfg, Method::DknnSet(params));
+        prop_assert_eq!(m.exactness(), 1.0);
+    }
+
+    #[test]
+    fn dknn_ordered_exact_on_random_worlds(s in scenario()) {
+        let (cfg, params) = config_of(&s);
+        let m = run_episode(&cfg, Method::DknnOrder(params));
+        prop_assert_eq!(m.exactness(), 1.0);
+    }
+
+    #[test]
+    fn dknn_buffered_exact_on_random_worlds(s in scenario()) {
+        let (cfg, params) = config_of(&s);
+        let m = run_episode(&cfg, Method::DknnBuffer { params, buffer: s.buffer });
+        prop_assert_eq!(m.exactness(), 1.0);
+    }
+
+    #[test]
+    fn centralized_and_naive_exact_on_random_worlds(s in scenario()) {
+        let (cfg, _) = config_of(&s);
+        for method in [Method::Centralized { res: 8 }, Method::Naive { headroom: 1.3 }] {
+            let m = run_episode(&cfg, method);
+            prop_assert_eq!(m.exactness(), 1.0, "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn periodic_recall_recorded_not_asserted(s in scenario()) {
+        let (mut cfg, _) = config_of(&s);
+        cfg.verify = VerifyMode::Record;
+        let m = run_episode(&cfg, Method::Periodic { period: 7, res: 8 });
+        // Recall is a proper fraction and is recorded for every check.
+        prop_assert!(m.exact_checks > 0);
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+    }
+}
