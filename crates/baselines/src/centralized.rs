@@ -78,7 +78,10 @@ impl Protocol for Centralized {
             ops.server_ops += 1;
         }
         self.queries = queries.to_vec();
-        self.q_pos = queries.iter().map(|s| objects[s.focal.index()].pos).collect();
+        self.q_pos = queries
+            .iter()
+            .map(|s| objects[s.focal.index()].pos)
+            .collect();
         self.answers = vec![Vec::new(); queries.len()];
         self.evaluate(ops);
     }
@@ -94,7 +97,13 @@ impl Protocol for Centralized {
         // A device reports whenever it moved this tick.
         ops.client_ops += 1;
         if me.vel != mknn_geom::Vector::ZERO {
-            up.send(me.id, UplinkMsg::Position { pos: me.pos, vel: me.vel });
+            up.send(
+                me.id,
+                UplinkMsg::Position {
+                    pos: me.pos,
+                    vel: me.vel,
+                },
+            );
         }
     }
 
@@ -121,7 +130,9 @@ impl Protocol for Centralized {
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.answers.get(query.index()).map_or(&self.empty, |a| a.as_slice())
+        self.answers
+            .get(query.index())
+            .map_or(&self.empty, |a| a.as_slice())
     }
 }
 
@@ -150,15 +161,32 @@ mod tests {
     #[test]
     fn tracks_answers_through_updates() {
         let mut c = Centralized::new(8);
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 2 }];
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k: 2,
+        }];
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        c.init(Rect::square(100.0), &objs(), &queries, &mut NoProbe, &mut outbox, &mut ops);
+        c.init(
+            Rect::square(100.0),
+            &objs(),
+            &queries,
+            &mut NoProbe,
+            &mut outbox,
+            &mut ops,
+        );
         assert_eq!(c.answer(QueryId(0)), &[ObjectId(1), ObjectId(2)]);
 
         // Object 5 teleports right next to the focal.
         let mut up = Uplinks::new();
-        up.send(ObjectId(5), UplinkMsg::Position { pos: Point::new(1.0, 0.0), vel: Vector::ZERO });
+        up.send(
+            ObjectId(5),
+            UplinkMsg::Position {
+                pos: Point::new(1.0, 0.0),
+                vel: Vector::ZERO,
+            },
+        );
         c.server_tick(1, &up, &mut NoProbe, &mut outbox, &mut ops);
         assert_eq!(c.answer(QueryId(0)), &[ObjectId(5), ObjectId(1)]);
     }
@@ -166,12 +194,29 @@ mod tests {
     #[test]
     fn moving_focal_recenters_query() {
         let mut c = Centralized::new(8);
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 2 }];
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k: 2,
+        }];
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        c.init(Rect::square(100.0), &objs(), &queries, &mut NoProbe, &mut outbox, &mut ops);
+        c.init(
+            Rect::square(100.0),
+            &objs(),
+            &queries,
+            &mut NoProbe,
+            &mut outbox,
+            &mut ops,
+        );
         let mut up = Uplinks::new();
-        up.send(ObjectId(0), UplinkMsg::Position { pos: Point::new(48.0, 0.0), vel: Vector::ZERO });
+        up.send(
+            ObjectId(0),
+            UplinkMsg::Position {
+                pos: Point::new(48.0, 0.0),
+                vel: Vector::ZERO,
+            },
+        );
         c.server_tick(1, &up, &mut NoProbe, &mut outbox, &mut ops);
         assert_eq!(c.answer(QueryId(0)), &[ObjectId(5), ObjectId(4)]);
     }

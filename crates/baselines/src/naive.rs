@@ -53,9 +53,11 @@ impl NaiveBroadcast {
                 }
                 r = (r * 2.0).min(self.space_diag);
             };
-            let mut scored: Vec<(f64, ObjectId)> =
-                replies.iter().map(|o| (o.pos.dist_sq(center), o.id)).collect();
-            scored.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut scored: Vec<(f64, ObjectId)> = replies
+                .iter()
+                .map(|o| (o.pos.dist_sq(center), o.id))
+                .collect();
+            scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
             self.answers[qi] = scored.iter().take(spec.k).map(|&(_, id)| id).collect();
             // Next tick's zone: the current k-th distance plus headroom.
             if let Some(&(d2, _)) = scored.get(spec.k.saturating_sub(1)) {
@@ -87,7 +89,10 @@ impl Protocol for NaiveBroadcast {
     ) {
         self.space_diag = bounds.min.dist(bounds.max);
         self.queries = queries.to_vec();
-        self.q_pos = queries.iter().map(|s| objects[s.focal.index()].pos).collect();
+        self.q_pos = queries
+            .iter()
+            .map(|s| objects[s.focal.index()].pos)
+            .collect();
         self.radius = vec![self.space_diag * 0.02; queries.len()];
         self.answers = vec![Vec::new(); queries.len()];
         self.evaluate(probe, ops);
@@ -105,7 +110,14 @@ impl Protocol for NaiveBroadcast {
         // the harness's synchronous channel).
         for (qi, spec) in self.queries.iter().enumerate() {
             if spec.focal == me.id && me.vel != Vector::ZERO {
-                up.send(me.id, UplinkMsg::QueryMove { query: spec.id, pos: me.pos, vel: me.vel });
+                up.send(
+                    me.id,
+                    UplinkMsg::QueryMove {
+                        query: spec.id,
+                        pos: me.pos,
+                        vel: me.vel,
+                    },
+                );
                 self.q_pos[qi] = me.pos; // client-side mirror; server reads uplink
             }
         }
@@ -132,7 +144,9 @@ impl Protocol for NaiveBroadcast {
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.answers.get(query.index()).map_or(&self.empty, |a| a.as_slice())
+        self.answers
+            .get(query.index())
+            .map_or(&self.empty, |a| a.as_slice())
     }
 }
 
@@ -153,7 +167,11 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|&(i, p)| ObjectId(i as u32) != exclude && zone.contains(*p))
-                .map(|(i, p)| ObjReport { id: ObjectId(i as u32), pos: *p, vel: Vector::ZERO })
+                .map(|(i, p)| ObjReport {
+                    id: ObjectId(i as u32),
+                    pos: *p,
+                    vel: Vector::ZERO,
+                })
                 .collect()
         }
         fn poll(&mut self, _q: QueryId, _id: ObjectId) -> Option<ObjReport> {
@@ -170,12 +188,29 @@ mod tests {
     #[test]
     fn probes_until_k_found_then_tracks() {
         let mut n = NaiveBroadcast::default();
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 3 }];
-        let mut probe = TableProbe { positions: objs().iter().map(|o| o.pos).collect(), probes: 0 };
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k: 3,
+        }];
+        let mut probe = TableProbe {
+            positions: objs().iter().map(|o| o.pos).collect(),
+            probes: 0,
+        };
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        n.init(Rect::square(10_000.0), &objs(), &queries, &mut probe, &mut outbox, &mut ops);
-        assert_eq!(n.answer(QueryId(0)), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
+        n.init(
+            Rect::square(10_000.0),
+            &objs(),
+            &queries,
+            &mut probe,
+            &mut outbox,
+            &mut ops,
+        );
+        assert_eq!(
+            n.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
         assert!(probe.probes >= 1);
 
         // Every subsequent tick probes again even with zero movement.
@@ -183,21 +218,42 @@ mod tests {
         let up = Uplinks::new();
         n.server_tick(1, &up, &mut probe, &mut outbox, &mut ops);
         assert!(probe.probes > before);
-        assert_eq!(n.answer(QueryId(0)), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert_eq!(
+            n.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
     }
 
     #[test]
     fn query_move_recenters() {
         let mut n = NaiveBroadcast::default();
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 2 }];
-        let mut probe = TableProbe { positions: objs().iter().map(|o| o.pos).collect(), probes: 0 };
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k: 2,
+        }];
+        let mut probe = TableProbe {
+            positions: objs().iter().map(|o| o.pos).collect(),
+            probes: 0,
+        };
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        n.init(Rect::square(10_000.0), &objs(), &queries, &mut probe, &mut outbox, &mut ops);
+        n.init(
+            Rect::square(10_000.0),
+            &objs(),
+            &queries,
+            &mut probe,
+            &mut outbox,
+            &mut ops,
+        );
         let mut up = Uplinks::new();
         up.send(
             ObjectId(0),
-            UplinkMsg::QueryMove { query: QueryId(0), pos: Point::new(690.0, 0.0), vel: Vector::ZERO },
+            UplinkMsg::QueryMove {
+                query: QueryId(0),
+                pos: Point::new(690.0, 0.0),
+                vel: Vector::ZERO,
+            },
         );
         n.server_tick(1, &up, &mut probe, &mut outbox, &mut ops);
         assert_eq!(n.answer(QueryId(0)), &[ObjectId(7), ObjectId(6)]);

@@ -87,7 +87,10 @@ impl Protocol for Periodic {
             ops.server_ops += 1;
         }
         self.queries = queries.to_vec();
-        self.q_pos = queries.iter().map(|s| objects[s.focal.index()].pos).collect();
+        self.q_pos = queries
+            .iter()
+            .map(|s| objects[s.focal.index()].pos)
+            .collect();
         self.answers = vec![Vec::new(); queries.len()];
         self.evaluate(ops);
     }
@@ -103,7 +106,13 @@ impl Protocol for Periodic {
         ops.client_ops += 1;
         let scheduled = (tick + me.id.0 as u64).is_multiple_of(self.period);
         if scheduled && self.last_reported[me.id.index()] != me.pos {
-            up.send(me.id, UplinkMsg::Position { pos: me.pos, vel: me.vel });
+            up.send(
+                me.id,
+                UplinkMsg::Position {
+                    pos: me.pos,
+                    vel: me.vel,
+                },
+            );
             self.last_reported[me.id.index()] = me.pos;
         }
     }
@@ -131,7 +140,9 @@ impl Protocol for Periodic {
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.answers.get(query.index()).map_or(&self.empty, |a| a.as_slice())
+        self.answers
+            .get(query.index())
+            .map_or(&self.empty, |a| a.as_slice())
     }
 
     fn effective_center(&self, query: QueryId) -> Option<Point> {
@@ -162,12 +173,24 @@ mod tests {
     #[test]
     fn reports_only_on_schedule() {
         let mut p = Periodic::new(5, 8);
-        let objects: Vec<MovingObject> =
-            (0..3u32).map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64, 0.0), 5.0)).collect();
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 1 }];
+        let objects: Vec<MovingObject> = (0..3u32)
+            .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64, 0.0), 5.0))
+            .collect();
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k: 1,
+        }];
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        p.init(Rect::square(100.0), &objects, &queries, &mut NoProbe, &mut outbox, &mut ops);
+        p.init(
+            Rect::square(100.0),
+            &objects,
+            &queries,
+            &mut NoProbe,
+            &mut outbox,
+            &mut ops,
+        );
 
         // Device 2 moves every tick but only reports when (tick + 2) % 5 == 0.
         let mut reported_at = Vec::new();
@@ -187,12 +210,18 @@ mod tests {
     #[test]
     fn unmoved_device_skips_scheduled_report() {
         let mut p = Periodic::new(2, 8);
-        let objects =
-            vec![MovingObject::at(ObjectId(0), Point::ORIGIN, 5.0)];
+        let objects = vec![MovingObject::at(ObjectId(0), Point::ORIGIN, 5.0)];
         let queries: [QuerySpec; 0] = [];
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        p.init(Rect::square(100.0), &objects, &queries, &mut NoProbe, &mut outbox, &mut ops);
+        p.init(
+            Rect::square(100.0),
+            &objects,
+            &queries,
+            &mut NoProbe,
+            &mut outbox,
+            &mut ops,
+        );
         let mut up = Uplinks::new();
         p.client_tick(2, &objects[0], &[], &mut up, &mut ops);
         assert!(up.is_empty());
@@ -204,10 +233,21 @@ mod tests {
         let objects: Vec<MovingObject> = (0..4u32)
             .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 5.0))
             .collect();
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k: 1 }];
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k: 1,
+        }];
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        p.init(Rect::square(100.0), &objects, &queries, &mut NoProbe, &mut outbox, &mut ops);
+        p.init(
+            Rect::square(100.0),
+            &objects,
+            &queries,
+            &mut NoProbe,
+            &mut outbox,
+            &mut ops,
+        );
         assert_eq!(p.answer(QueryId(0)), &[ObjectId(1)]);
         // Object 3 silently became closest; without a report the answer
         // must still be the stale one.

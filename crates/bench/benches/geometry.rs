@@ -1,98 +1,77 @@
 //! Micro-benchmarks for the geometry kernel — the inner loops of both the
 //! client-side region checks and the server-side selection.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mknn_geom::{Annulus, Circle, LinearMotion, Point, Rect, Vector};
+use mknn_util::bench::{black_box, Suite};
 
 fn pts(n: usize) -> Vec<Point> {
     // Deterministic LCG scatter; no RNG dependency needed here.
     let mut state = 0x9E3779B97F4A7C15u64;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 33) % 10_000) as f64;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((state >> 33) % 10_000) as f64;
             Point::new(x, y)
         })
         .collect()
 }
 
-fn bench_distance(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("geometry");
     let points = pts(1024);
     let q = Point::new(5_000.0, 5_000.0);
-    c.bench_function("geom/dist_sq_1024", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for p in &points {
-                acc += black_box(p).dist_sq(q);
-            }
-            black_box(acc)
-        })
-    });
-}
 
-fn bench_region_check(c: &mut Criterion) {
+    suite.bench("dist_sq_1024", || {
+        let mut acc = 0.0;
+        for p in &points {
+            acc += black_box(p).dist_sq(q);
+        }
+        black_box(acc)
+    });
+
     // The per-device, per-tick client check: one predicted center, one
     // squared distance, one comparison.
-    let points = pts(1024);
     let circle = Circle::new(Point::new(5_000.0, 5_000.0), 500.0);
-    c.bench_function("geom/region_contains_1024", |b| {
-        b.iter(|| {
-            let mut inside = 0u32;
-            for p in &points {
-                inside += u32::from(circle.contains(black_box(*p)));
-            }
-            black_box(inside)
-        })
+    suite.bench("region_contains_1024", || {
+        let mut inside = 0u32;
+        for p in &points {
+            inside += u32::from(circle.contains(black_box(*p)));
+        }
+        black_box(inside)
     });
-}
 
-fn bench_band_check(c: &mut Criterion) {
-    let points = pts(1024);
     let band = Annulus::new(Point::new(5_000.0, 5_000.0), 300.0, 600.0);
-    c.bench_function("geom/band_contains_1024", |b| {
-        b.iter(|| {
-            let mut inside = 0u32;
-            for p in &points {
-                inside += u32::from(band.contains(black_box(*p)));
-            }
-            black_box(inside)
-        })
+    suite.bench("band_contains_1024", || {
+        let mut inside = 0u32;
+        for p in &points {
+            inside += u32::from(band.contains(black_box(*p)));
+        }
+        black_box(inside)
     });
-}
 
-fn bench_crossing_time(c: &mut Criterion) {
     let a = LinearMotion::new(Point::new(0.0, 0.0), Vector::new(3.0, 1.0));
     let b_m = LinearMotion::new(Point::new(400.0, -200.0), Vector::new(-2.0, 2.5));
-    c.bench_function("geom/first_time_beyond", |b| {
-        b.iter(|| black_box(a.first_time_beyond(black_box(&b_m), 250.0)))
+    suite.bench("first_time_beyond", || {
+        black_box(a.first_time_beyond(black_box(&b_m), 250.0))
     });
-}
 
-fn bench_rect_mindist(c: &mut Criterion) {
     let rects: Vec<Rect> = pts(256)
         .into_iter()
         .map(|p| Rect::new(p, Point::new(p.x + 120.0, p.y + 80.0)))
         .collect();
-    let q = Point::new(5_000.0, 5_000.0);
-    c.bench_function("geom/rect_min_dist_256", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for r in &rects {
-                acc += black_box(r).min_dist_sq(q);
-            }
-            black_box(acc)
-        })
+    suite.bench("rect_min_dist_256", || {
+        let mut acc = 0.0;
+        for r in &rects {
+            acc += black_box(r).min_dist_sq(q);
+        }
+        black_box(acc)
     });
-}
 
-criterion_group!(
-    benches,
-    bench_distance,
-    bench_region_check,
-    bench_band_check,
-    bench_crossing_time,
-    bench_rect_mindist
-);
-criterion_main!(benches);
+    suite.finish();
+}

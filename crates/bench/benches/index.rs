@@ -1,16 +1,15 @@
 //! Benchmarks for the spatial indexes: the server-side cost drivers of the
 //! centralized baseline (per-tick updates + kNN) and of snapshot queries.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use mknn_geom::{Circle, ObjectId, Point, Rect};
 use mknn_index::{bruteforce, GridIndex, RTree};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mknn_util::bench::{black_box, Suite};
+use mknn_util::Rng;
 
 const SIDE: f64 = 10_000.0;
 
 fn cloud(n: usize, seed: u64) -> Vec<(ObjectId, Point)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
             (
@@ -29,91 +28,67 @@ fn grid_of(points: &[(ObjectId, Point)]) -> GridIndex {
     g
 }
 
-fn bench_grid_updates(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("index");
     let points = cloud(10_000, 1);
     let moves = cloud(10_000, 2);
-    c.bench_function("grid/upsert_move_10k", |b| {
-        b.iter_batched(
-            || grid_of(&points),
-            |mut g| {
-                for &(id, p) in &moves {
-                    g.upsert(id, p);
-                }
-                g
-            },
-            BatchSize::LargeInput,
-        )
-    });
-}
-
-fn bench_grid_knn(c: &mut Criterion) {
-    let g = grid_of(&cloud(10_000, 1));
     let q = Point::new(5_000.0, 5_000.0);
+
+    suite.bench_with_setup(
+        "grid/upsert_move_10k",
+        8,
+        || grid_of(&points),
+        |mut g| {
+            for &(id, p) in &moves {
+                g.upsert(id, p);
+            }
+            g
+        },
+    );
+
+    let g = grid_of(&points);
     for k in [1usize, 10, 100] {
-        c.bench_function(&format!("grid/knn_k{k}_n10k"), |b| {
-            b.iter(|| black_box(g.knn(black_box(q), k)))
+        suite.bench(&format!("grid/knn_k{k}_n10k"), || {
+            black_box(g.knn(black_box(q), k))
         });
     }
-}
 
-fn bench_grid_range(c: &mut Criterion) {
-    let g = grid_of(&cloud(10_000, 1));
     let zone = Circle::new(Point::new(5_000.0, 5_000.0), 400.0);
-    c.bench_function("grid/range_r400_n10k", |b| {
-        b.iter(|| black_box(g.range(black_box(&zone))))
+    suite.bench("grid/range_r400_n10k", || {
+        black_box(g.range(black_box(&zone)))
     });
-}
 
-fn bench_rtree_bulk_load(c: &mut Criterion) {
-    let points = cloud(10_000, 1);
-    c.bench_function("rtree/bulk_load_10k", |b| {
-        b.iter_batched(|| points.clone(), RTree::bulk_load, BatchSize::LargeInput)
-    });
-}
+    suite.bench_with_setup(
+        "rtree/bulk_load_10k",
+        8,
+        || points.clone(),
+        RTree::bulk_load,
+    );
 
-fn bench_rtree_knn(c: &mut Criterion) {
-    let t = RTree::bulk_load(cloud(10_000, 1));
-    let q = Point::new(5_000.0, 5_000.0);
+    let t = RTree::bulk_load(points.clone());
     for k in [1usize, 10, 100] {
-        c.bench_function(&format!("rtree/knn_k{k}_n10k"), |b| {
-            b.iter(|| black_box(t.knn(black_box(q), k)))
+        suite.bench(&format!("rtree/knn_k{k}_n10k"), || {
+            black_box(t.knn(black_box(q), k))
         });
     }
-}
 
-fn bench_rtree_insert(c: &mut Criterion) {
-    let points = cloud(2_000, 1);
-    c.bench_function("rtree/insert_2k", |b| {
-        b.iter_batched(
-            || points.clone(),
-            |pts| {
-                let mut t = RTree::new();
-                for (id, p) in pts {
-                    t.insert(id, p);
-                }
-                t
-            },
-            BatchSize::LargeInput,
-        )
+    let small = cloud(2_000, 1);
+    suite.bench_with_setup(
+        "rtree/insert_2k",
+        8,
+        || small.clone(),
+        |pts| {
+            let mut t = RTree::new();
+            for (id, p) in pts {
+                t.insert(id, p);
+            }
+            t
+        },
+    );
+
+    suite.bench("oracle/bruteforce_knn_k10_n10k", || {
+        black_box(bruteforce::knn(points.iter().copied(), black_box(q), 10))
     });
-}
 
-fn bench_bruteforce_oracle(c: &mut Criterion) {
-    let points = cloud(10_000, 1);
-    let q = Point::new(5_000.0, 5_000.0);
-    c.bench_function("oracle/bruteforce_knn_k10_n10k", |b| {
-        b.iter(|| black_box(bruteforce::knn(points.iter().copied(), black_box(q), 10)))
-    });
+    suite.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_grid_updates,
-    bench_grid_knn,
-    bench_grid_range,
-    bench_rtree_bulk_load,
-    bench_rtree_knn,
-    bench_rtree_insert,
-    bench_bruteforce_oracle
-);
-criterion_main!(benches);

@@ -5,13 +5,17 @@
 //! This is the in-process analogue of the paper's server-load measurements:
 //! the *relative* cost of the methods is the reproducible quantity.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mknn_mobility::WorkloadSpec;
 use mknn_sim::{params_for, Method, SimConfig, Simulation, VerifyMode};
+use mknn_util::bench::{Config, Suite};
 
 fn config() -> SimConfig {
     SimConfig {
-        workload: WorkloadSpec { n_objects: 4_000, space_side: 10_000.0, ..WorkloadSpec::default() },
+        workload: WorkloadSpec {
+            n_objects: 4_000,
+            space_side: 10_000.0,
+            ..WorkloadSpec::default()
+        },
         n_queries: 20,
         k: 10,
         ticks: 0, // stepped manually
@@ -20,12 +24,18 @@ fn config() -> SimConfig {
     }
 }
 
-fn bench_method_step(c: &mut Criterion, method: Method) {
+fn main() {
+    // Whole-episode steps are expensive; sample less, like the former
+    // criterion `sample_size(10)` group setting.
+    let mut suite = Suite::new("protocols").with_config(Config {
+        samples: 10,
+        ..Config::default()
+    });
     let cfg = config();
-    let mut group = c.benchmark_group("protocol_step");
-    group.sample_size(10);
-    group.bench_function(method.name(), |b| {
-        b.iter_batched(
+    for method in Method::standard_suite(params_for(&cfg)) {
+        suite.bench_with_setup(
+            &format!("protocol_step/{}", method.name()),
+            2,
             || {
                 let mut sim = Simulation::new(&cfg, method.build());
                 // Warm the protocol past its initial transient.
@@ -40,18 +50,7 @@ fn bench_method_step(c: &mut Criterion, method: Method) {
                 }
                 sim
             },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
-}
-
-fn bench_all(c: &mut Criterion) {
-    let cfg = config();
-    for method in Method::standard_suite(params_for(&cfg)) {
-        bench_method_step(c, method);
+        );
     }
+    suite.finish();
 }
-
-criterion_group!(benches, bench_all);
-criterion_main!(benches);

@@ -4,20 +4,52 @@
 //! expt --exp e2            # one experiment, fast scale
 //! expt --exp all --full    # the whole suite at paper scale
 //! expt --list              # what exists
+//! expt --seed 42           # deterministic JSON smoke run (CI gate)
 //! ```
 //!
 //! Each experiment prints its table and writes
-//! `target/experiments/<id>.csv`.
+//! `target/experiments/<id>.csv`. The `--seed` smoke mode runs one small
+//! episode per method and prints the metrics as JSON; its output is
+//! byte-identical across runs of the same seed (wall-clock fields are
+//! zeroed), which the verification script uses as a determinism gate.
 
 use mknn_bench::experiments::{self, Scale};
 use mknn_sim::{render_table, write_csv};
 use std::path::PathBuf;
+
+/// Runs a tiny verified episode of every standard method under `seed` and
+/// prints one JSON document. Everything nondeterministic (wall-clock) is
+/// zeroed, so identical seeds must produce identical bytes.
+fn run_smoke(seed: u64) {
+    use mknn_sim::{run_episode, SimConfig, VerifyMode};
+    use mknn_util::json::{Json, ToJson};
+
+    let mut cfg = SimConfig::small();
+    cfg.workload.seed = seed;
+    cfg.verify = VerifyMode::Record;
+    let methods = mknn_sim::Method::standard_suite(mknn_sim::params_for(&cfg));
+    let episodes: Vec<Json> = methods
+        .iter()
+        .map(|&m| {
+            let mut metrics = run_episode(&cfg, m);
+            metrics.proto_seconds = 0.0; // wall clock is not reproducible
+            metrics.to_json()
+        })
+        .collect();
+    let doc = Json::object([
+        ("seed", seed.to_json()),
+        ("config", cfg.to_json()),
+        ("episodes", Json::Arr(episodes)),
+    ]);
+    println!("{}", doc.render_pretty());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp: Option<String> = None;
     let mut full = false;
     let mut list = false;
+    let mut smoke_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -27,8 +59,15 @@ fn main() {
             }
             "--full" => full = true,
             "--list" => list = true,
+            "--seed" | "--smoke" => {
+                i += 1;
+                smoke_seed = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("usage: expt --exp <id|all> [--full] | --list");
+                println!("usage: expt --exp <id|all> [--full] | --list | --seed <n>");
                 return;
             }
             other => {
@@ -44,8 +83,12 @@ fn main() {
         }
         return;
     }
+    if let Some(seed) = smoke_seed {
+        run_smoke(seed);
+        return;
+    }
     let Some(exp) = exp else {
-        eprintln!("usage: expt --exp <id|all> [--full] | --list");
+        eprintln!("usage: expt --exp <id|all> [--full] | --list | --seed <n>");
         std::process::exit(2);
     };
     let scale = Scale { full };
@@ -67,7 +110,11 @@ fn main() {
         if let Err(e) = write_csv(&csv, &result.rows) {
             eprintln!("warning: could not write {}: {e}", csv.display());
         } else {
-            println!("[written {} in {:.1}s]", csv.display(), started.elapsed().as_secs_f64());
+            println!(
+                "[written {} in {:.1}s]",
+                csv.display(),
+                started.elapsed().as_secs_f64()
+            );
         }
     }
 }

@@ -7,7 +7,9 @@
 //! EXPERIMENTS.md.
 
 use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
-use mknn_sim::{params_for, run_episode, run_episodes_seeded, Method, MetricsSummary, SimConfig, VerifyMode};
+use mknn_sim::{
+    params_for, run_episode, run_episodes_seeded, Method, MetricsSummary, SimConfig, VerifyMode,
+};
 
 /// Experiment scale: `full` reproduces the paper-scale populations;
 /// fast mode (default) shrinks them ~6× for quick regeneration.
@@ -66,7 +68,10 @@ pub fn base_config(scale: Scale) -> SimConfig {
             n_objects: scale.base_n(),
             space_side: 10_000.0,
             placement: Placement::Uniform,
-            speeds: SpeedDist::Uniform { min: 5.0, max: 20.0 },
+            speeds: SpeedDist::Uniform {
+                min: 5.0,
+                max: 20.0,
+            },
             motion: Motion::RandomWaypoint,
             move_prob: 1.0,
             seed: 42,
@@ -106,8 +111,16 @@ fn fmt(v: f64) -> String {
 }
 
 const SERIES_HEADER: [&str; 10] = [
-    "x", "method", "msgs/tick", "up/tick", "down/tick", "bytes/tick", "srv-ops/tick",
-    "cli-ops/obj/tick", "us/tick", "exact",
+    "x",
+    "method",
+    "msgs/tick",
+    "up/tick",
+    "down/tick",
+    "bytes/tick",
+    "srv-ops/tick",
+    "cli-ops/obj/tick",
+    "us/tick",
+    "exact",
 ];
 
 fn series_row(x: &str, m: &mknn_sim::EpisodeMetrics) -> Vec<String> {
@@ -143,22 +156,35 @@ pub fn e1(scale: Scale) -> ExpResult {
     let p = params_for(&cfg);
     let rows = vec![
         vec!["parameter".into(), "value".into()],
-        vec!["space".into(), format!("{0} m × {0} m", cfg.workload.space_side)],
+        vec![
+            "space".into(),
+            format!("{0} m × {0} m", cfg.workload.space_side),
+        ],
         vec!["objects N".into(), cfg.workload.n_objects.to_string()],
         vec!["queries Q".into(), cfg.n_queries.to_string()],
         vec!["k".into(), cfg.k.to_string()],
         vec!["object speed".into(), "uniform [5, 20] m/tick".into()],
         vec!["motion model".into(), "random waypoint".into()],
-        vec!["move probability".into(), cfg.workload.move_prob.to_string()],
+        vec![
+            "move probability".into(),
+            cfg.workload.move_prob.to_string(),
+        ],
         vec!["ticks".into(), cfg.ticks.to_string()],
-        vec!["geocast paging grid".into(), format!("{0} × {0}", cfg.geo_cells)],
+        vec![
+            "geocast paging grid".into(),
+            format!("{0} × {0}", cfg.geo_cells),
+        ],
         vec!["threshold placement α".into(), p.alpha.to_string()],
         vec!["query drift δ_q".into(), format!("{} m", p.query_drift)],
         vec!["heartbeat H".into(), format!("{} ticks", p.heartbeat)],
         vec!["geocast margin".into(), format!("{} m", p.margin())],
         vec!["seed".into(), cfg.workload.seed.to_string()],
     ];
-    ExpResult { id: "e1", title: "Table E1: simulation parameters", rows }
+    ExpResult {
+        id: "e1",
+        title: "Table E1: simulation parameters",
+        rows,
+    }
 }
 
 /// E2 — communication cost vs. number of objects N.
@@ -172,7 +198,11 @@ pub fn e2(scale: Scale) -> ExpResult {
             (n.to_string(), cfg)
         })
         .collect();
-    ExpResult { id: "e2", title: "Fig E2: communication vs. N", rows: sweep(configs) }
+    ExpResult {
+        id: "e2",
+        title: "Fig E2: communication vs. N",
+        rows: sweep(configs),
+    }
 }
 
 /// E3 — communication cost vs. k.
@@ -185,7 +215,11 @@ pub fn e3(scale: Scale) -> ExpResult {
             (k.to_string(), cfg)
         })
         .collect();
-    ExpResult { id: "e3", title: "Fig E3: communication vs. k", rows: sweep(configs) }
+    ExpResult {
+        id: "e3",
+        title: "Fig E3: communication vs. k",
+        rows: sweep(configs),
+    }
 }
 
 /// E4 — communication cost vs. object speed.
@@ -194,11 +228,18 @@ pub fn e4(scale: Scale) -> ExpResult {
         .into_iter()
         .map(|v| {
             let mut cfg = base_config(scale);
-            cfg.workload.speeds = SpeedDist::Uniform { min: v * 0.25, max: v };
+            cfg.workload.speeds = SpeedDist::Uniform {
+                min: v * 0.25,
+                max: v,
+            };
             (format!("{v}"), cfg)
         })
         .collect();
-    ExpResult { id: "e4", title: "Fig E4: communication vs. object speed", rows: sweep(configs) }
+    ExpResult {
+        id: "e4",
+        title: "Fig E4: communication vs. object speed",
+        rows: sweep(configs),
+    }
 }
 
 /// E5 — communication cost vs. query (focal) speed, object speed fixed.
@@ -208,12 +249,15 @@ pub fn e5(scale: Scale) -> ExpResult {
         .map(|v| {
             let mut cfg = base_config(scale);
             cfg.workload.speeds = SpeedDist::Fixed(10.0);
-            cfg.workload.speed_overrides =
-                cfg.focal_ids().iter().map(|&id| (id, v)).collect();
+            cfg.workload.speed_overrides = cfg.focal_ids().iter().map(|&id| (id, v)).collect();
             (format!("{v}"), cfg)
         })
         .collect();
-    ExpResult { id: "e5", title: "Fig E5: communication vs. query speed", rows: sweep(configs) }
+    ExpResult {
+        id: "e5",
+        title: "Fig E5: communication vs. query speed",
+        rows: sweep(configs),
+    }
 }
 
 /// E6 — server load vs. N (ops proxy and wall time).
@@ -239,7 +283,11 @@ pub fn e6(scale: Scale) -> ExpResult {
             ]);
         }
     }
-    ExpResult { id: "e6", title: "Fig E6: server load vs. N", rows }
+    ExpResult {
+        id: "e6",
+        title: "Fig E6: server load vs. N",
+        rows,
+    }
 }
 
 /// E7 — slack ablation: query-drift threshold δ_q and heartbeat H.
@@ -280,7 +328,11 @@ pub fn e7(scale: Scale) -> ExpResult {
             }
         }
     }
-    ExpResult { id: "e7", title: "Fig E7: slack ablation (δ_q, H)", rows }
+    ExpResult {
+        id: "e7",
+        title: "Fig E7: slack ablation (δ_q, H)",
+        rows,
+    }
 }
 
 /// E8 — scalability in the number of concurrent queries.
@@ -294,18 +346,18 @@ pub fn e8(scale: Scale) -> ExpResult {
             (q.to_string(), cfg)
         })
         .collect();
-    ExpResult { id: "e8", title: "Fig E8: scalability vs. #queries", rows: sweep(configs) }
+    ExpResult {
+        id: "e8",
+        title: "Fig E8: scalability vs. #queries",
+        rows: sweep(configs),
+    }
 }
 
 /// E9 — client-side load per object per tick (safe-period-reduced region
 /// evaluations for the distributed methods; one report decision per tick
 /// for centralized).
 pub fn e9(scale: Scale) -> ExpResult {
-    let mut rows = vec![vec![
-        "N".into(),
-        "method".into(),
-        "cli-ops/obj/tick".into(),
-    ]];
+    let mut rows = vec![vec!["N".into(), "method".into(), "cli-ops/obj/tick".into()]];
     for n in scale.n_sweep() {
         let mut cfg = base_config(scale);
         cfg.workload.n_objects = n;
@@ -322,7 +374,11 @@ pub fn e9(scale: Scale) -> ExpResult {
             ]);
         }
     }
-    ExpResult { id: "e9", title: "Fig E9: client load", rows }
+    ExpResult {
+        id: "e9",
+        title: "Fig E9: client load",
+        rows,
+    }
 }
 
 /// E10 — message-type breakdown at the default configuration.
@@ -342,7 +398,11 @@ pub fn e10(scale: Scale) -> ExpResult {
         }
         rows.push(row);
     }
-    ExpResult { id: "e10", title: "Table E10: message breakdown (whole episode)", rows }
+    ExpResult {
+        id: "e10",
+        title: "Table E10: message breakdown (whole episode)",
+        rows,
+    }
 }
 
 /// E11 — exactness, recall against true positions, and distance error.
@@ -359,7 +419,10 @@ pub fn e11(scale: Scale) -> ExpResult {
         "msgs/tick".into(),
     ]];
     let mut methods = Method::standard_suite(params_for(&cfg));
-    methods.push(Method::Periodic { period: 30, res: 64 });
+    methods.push(Method::Periodic {
+        period: 30,
+        res: 64,
+    });
     for method in methods {
         let m = run_episode(&cfg, method);
         let label = if let Method::Periodic { period, .. } = method {
@@ -375,7 +438,11 @@ pub fn e11(scale: Scale) -> ExpResult {
             fmt(m.msgs_per_tick()),
         ]);
     }
-    ExpResult { id: "e11", title: "Table E11: answer quality", rows }
+    ExpResult {
+        id: "e11",
+        title: "Table E11: answer quality",
+        rows,
+    }
 }
 
 /// E12 — skewed (Gaussian hotspot) vs. uniform object distributions.
@@ -383,10 +450,17 @@ pub fn e12(scale: Scale) -> ExpResult {
     let mut configs = vec![("uniform".to_string(), base_config(scale))];
     for sigma in [1000.0, 500.0, 250.0, 100.0] {
         let mut cfg = base_config(scale);
-        cfg.workload.placement = Placement::Gaussian { clusters: 10, sigma };
+        cfg.workload.placement = Placement::Gaussian {
+            clusters: 10,
+            sigma,
+        };
         configs.push((format!("gauss-{sigma}"), cfg));
     }
-    ExpResult { id: "e12", title: "Fig E12: skew sensitivity", rows: sweep(configs) }
+    ExpResult {
+        id: "e12",
+        title: "Fig E12: skew sensitivity",
+        rows: sweep(configs),
+    }
 }
 
 /// E13 — road-network workload.
@@ -397,11 +471,19 @@ pub fn e13(scale: Scale) -> ExpResult {
         .map(|n| {
             let mut cfg = base_config(scale);
             cfg.workload.n_objects = n;
-            cfg.workload.motion = Motion::RoadNetwork { nx: 20, ny: 20, drop_prob: 0.15 };
+            cfg.workload.motion = Motion::RoadNetwork {
+                nx: 20,
+                ny: 20,
+                drop_prob: 0.15,
+            };
             (n.to_string(), cfg)
         })
         .collect();
-    ExpResult { id: "e13", title: "Fig E13: road-network workload", rows: sweep(configs) }
+    ExpResult {
+        id: "e13",
+        title: "Fig E13: road-network workload",
+        rows: sweep(configs),
+    }
 }
 
 /// E14 — buffer-size ablation for the buffered-candidate variant.
@@ -416,11 +498,15 @@ pub fn e14(scale: Scale) -> ExpResult {
         "unicast/tick".into(),
         "geocast/tick".into(),
     ]];
-    let mut methods: Vec<(String, Method)> = vec![
-        ("order(b=0)".into(), Method::DknnOrder(p)),
-    ];
+    let mut methods: Vec<(String, Method)> = vec![("order(b=0)".into(), Method::DknnOrder(p))];
     for b in [2usize, 4, 8, 16] {
-        methods.push((format!("{b}"), Method::DknnBuffer { params: p, buffer: b }));
+        methods.push((
+            format!("{b}"),
+            Method::DknnBuffer {
+                params: p,
+                buffer: b,
+            },
+        ));
     }
     for (label, method) in methods {
         let m = run_episode(&cfg, method);
@@ -433,7 +519,11 @@ pub fn e14(scale: Scale) -> ExpResult {
             fmt(m.net.downlink_geocast_msgs as f64 / m.ticks.max(1) as f64),
         ]);
     }
-    ExpResult { id: "e14", title: "Fig E14: candidate-buffer ablation", rows }
+    ExpResult {
+        id: "e14",
+        title: "Fig E14: candidate-buffer ablation",
+        rows,
+    }
 }
 
 /// E15 — headline table with dispersion: the default configuration
@@ -465,13 +555,16 @@ pub fn e15(scale: Scale) -> ExpResult {
             fmt(s.msgs_per_tick.cv()),
         ]);
     }
-    ExpResult { id: "e15", title: "Table E15: headline with dispersion (5 seeds)", rows }
+    ExpResult {
+        id: "e15",
+        title: "Table E15: headline with dispersion (5 seeds)",
+        rows,
+    }
 }
 
 /// All experiment ids in order.
 pub const ALL: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id.

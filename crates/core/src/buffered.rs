@@ -119,20 +119,36 @@ impl DknnBuffered {
         reports.sort_unstable_by(|a, b| {
             let da = a.pos.dist_sq(c);
             let db = b.pos.dist_sq(c);
-            da.partial_cmp(&db).unwrap().then(a.id.cmp(&b.id))
+            da.total_cmp(&db).then(a.id.cmp(&b.id))
         });
         let target = k + self.buffer;
-        let kept = reports.len().min(target);
+        let mut kept = reports.len().min(target);
+        // Region containment is `d <= r_out`, so every report tied (in
+        // distance) with the last kept one must be banded too: grid-like
+        // worlds produce exact ties, and r_out degenerates to d_last when
+        // d_next == d_last, which would leave the tied objects inside the
+        // region with no band — free to move without ever reporting.
+        if kept > 0 {
+            let d_edge = reports[kept - 1].pos.dist(c);
+            while kept < reports.len() && reports[kept].pos.dist(c) <= d_edge + 1e-9 {
+                kept += 1;
+            }
+        }
         let dists: Vec<f64> = reports[..kept].iter().map(|r| r.pos.dist(c)).collect();
         let d_last = dists.last().copied().unwrap_or(0.0);
-        let r_out = match reports.get(target) {
+        let r_out = match reports.get(kept) {
             Some(next) => {
                 let d_next = next.pos.dist(c);
                 d_last + self.params.alpha * (d_next - d_last)
             }
             None => d_last + (0.1 * d_last).max(1.0),
         };
-        q.ver = RegionVersion { ver: now, center: c, vel: q.q_vel, t: r_out };
+        q.ver = RegionVersion {
+            ver: now,
+            center: c,
+            vel: q.q_vel,
+            t: r_out,
+        };
         q.last_broadcast = now;
         q.needs_refresh = false;
         q.refreshes += 1;
@@ -148,12 +164,29 @@ impl DknnBuffered {
         );
         q.cands.clear();
         for i in 0..kept {
-            let inner = if i == 0 { 0.0 } else { (dists[i - 1] + dists[i]) * 0.5 };
-            let outer = if i + 1 == kept { r_out } else { (dists[i] + dists[i + 1]) * 0.5 };
-            q.cands.push(Candidate { id: reports[i].id, inner, outer });
+            let inner = if i == 0 {
+                0.0
+            } else {
+                (dists[i - 1] + dists[i]) * 0.5
+            };
+            let outer = if i + 1 == kept {
+                r_out
+            } else {
+                (dists[i] + dists[i + 1]) * 0.5
+            };
+            q.cands.push(Candidate {
+                id: reports[i].id,
+                inner,
+                outer,
+            });
             outbox.send(
                 Recipient::One(reports[i].id),
-                DownlinkMsg::SetBand { query: q.spec.id, ver: now, inner, outer },
+                DownlinkMsg::SetBand {
+                    query: q.spec.id,
+                    ver: now,
+                    inner,
+                    outer,
+                },
             );
         }
         q.rebuild_answer();
@@ -222,14 +255,26 @@ impl DknnBuffered {
                 None => {
                     // A hole (or the open space near 0 / r_out after
                     // removals).
-                    let at =
-                        q.cands.iter().position(|m| m.inner >= d).unwrap_or(q.cands.len());
+                    let at = q
+                        .cands
+                        .iter()
+                        .position(|m| m.inner >= d)
+                        .unwrap_or(q.cands.len());
                     let inner = if at == 0 { 0.0 } else { q.cands[at - 1].outer };
-                    let outer = if at == q.cands.len() { q.ver.t } else { q.cands[at].inner };
+                    let outer = if at == q.cands.len() {
+                        q.ver.t
+                    } else {
+                        q.cands[at].inner
+                    };
                     q.cands.insert(at, Candidate { id, inner, outer });
                     outbox.send(
                         Recipient::One(id),
-                        DownlinkMsg::SetBand { query: q.spec.id, ver: q.ver.ver, inner, outer },
+                        DownlinkMsg::SetBand {
+                            query: q.spec.id,
+                            ver: q.ver.ver,
+                            inner,
+                            outer,
+                        },
                     );
                     q.local_fixes += 1;
                 }
@@ -260,9 +305,21 @@ impl DknnBuffered {
                         break;
                     }
                     let mid = (d + d_j) * 0.5;
-                    let (lo_id, hi_id) = if d < d_j { (id, owner.id) } else { (owner.id, id) };
-                    let lo = Candidate { id: lo_id, inner: owner.inner, outer: mid };
-                    let hi = Candidate { id: hi_id, inner: mid, outer: owner.outer };
+                    let (lo_id, hi_id) = if d < d_j {
+                        (id, owner.id)
+                    } else {
+                        (owner.id, id)
+                    };
+                    let lo = Candidate {
+                        id: lo_id,
+                        inner: owner.inner,
+                        outer: mid,
+                    };
+                    let hi = Candidate {
+                        id: hi_id,
+                        inner: mid,
+                        outer: owner.outer,
+                    };
                     q.cands[j] = lo;
                     q.cands.insert(j + 1, hi);
                     for m in [lo, hi] {
@@ -324,7 +381,12 @@ impl Protocol for DknnBuffered {
             let focal = &objects[spec.focal.index()];
             self.queries.push(BufQuery {
                 spec: *spec,
-                ver: RegionVersion { ver: 0, center: focal.pos, vel: focal.vel, t: 0.0 },
+                ver: RegionVersion {
+                    ver: 0,
+                    center: focal.pos,
+                    vel: focal.vel,
+                    t: 0.0,
+                },
                 q_pos: focal.pos,
                 q_vel: focal.vel,
                 cands: Vec::new(),
@@ -339,7 +401,11 @@ impl Protocol for DknnBuffered {
             let mut reports: Vec<ObjReport> = objects
                 .iter()
                 .filter(|o| o.id != spec.focal)
-                .map(|o| ObjReport { id: o.id, pos: o.pos, vel: o.vel })
+                .map(|o| ObjReport {
+                    id: o.id,
+                    pos: o.pos,
+                    vel: o.vel,
+                })
                 .collect();
             ops.server_ops += reports.len() as u64;
             self.establish(i, &mut reports, 0, outbox, ops);
@@ -383,12 +449,16 @@ impl Protocol for DknnBuffered {
                         }
                     }
                 }
-                UplinkMsg::Enter { query, ver, pos, .. } => {
+                UplinkMsg::Enter {
+                    query, ver, pos, ..
+                } => {
                     let max_cands = self
                         .queries
                         .get(query.index())
                         .map(|q| q.spec.k + 2 * self.buffer);
-                    let Some(q) = self.queries.get_mut(query.index()) else { continue };
+                    let Some(q) = self.queries.get_mut(query.index()) else {
+                        continue;
+                    };
                     ops.server_ops += 1;
                     if ver != q.ver.ver {
                         heals.push((from, query));
@@ -402,12 +472,9 @@ impl Protocol for DknnBuffered {
                     // it scales with the number of banded candidates (unlike
                     // the basic protocol, several events per tick are normal
                     // here).
-                    let escalation = self.params.band_escalation as usize
-                        + q.spec.k
-                        + 2 * self.buffer;
-                    if q.events_tick as usize > escalation
-                        || q.cands.iter().any(|c| c.id == from)
-                    {
+                    let escalation =
+                        self.params.band_escalation as usize + q.spec.k + 2 * self.buffer;
+                    if q.events_tick as usize > escalation || q.cands.iter().any(|c| c.id == from) {
                         q.needs_refresh = true;
                         continue;
                     }
@@ -418,7 +485,9 @@ impl Protocol for DknnBuffered {
                     }
                 }
                 UplinkMsg::Leave { query, ver, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else { continue };
+                    let Some(q) = self.queries.get_mut(query.index()) else {
+                        continue;
+                    };
                     ops.server_ops += 1;
                     if ver != q.ver.ver {
                         heals.push((from, query));
@@ -433,8 +502,12 @@ impl Protocol for DknnBuffered {
                         }
                     }
                 }
-                UplinkMsg::BandCross { query, ver, pos, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else { continue };
+                UplinkMsg::BandCross {
+                    query, ver, pos, ..
+                } => {
+                    let Some(q) = self.queries.get_mut(query.index()) else {
+                        continue;
+                    };
                     ops.server_ops += 1;
                     if ver != q.ver.ver {
                         heals.push((from, query));
@@ -444,9 +517,8 @@ impl Protocol for DknnBuffered {
                         continue;
                     }
                     q.events_tick += 1;
-                    let escalation = self.params.band_escalation as usize
-                        + q.spec.k
-                        + 2 * self.buffer;
+                    let escalation =
+                        self.params.band_escalation as usize + q.spec.k + 2 * self.buffer;
                     if q.events_tick as usize > escalation {
                         q.needs_refresh = true;
                         continue;
@@ -513,11 +585,15 @@ impl Protocol for DknnBuffered {
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.queries.get(query.index()).map_or(&self.empty, |q| q.answer.as_slice())
+        self.queries
+            .get(query.index())
+            .map_or(&self.empty, |q| q.answer.as_slice())
     }
 
     fn effective_center(&self, query: QueryId) -> Option<Point> {
-        self.queries.get(query.index()).map(|q| q.ver.pred_center(self.current_tick))
+        self.queries
+            .get(query.index())
+            .map(|q| q.ver.pred_center(self.current_tick))
     }
 
     fn ordered_answers(&self) -> bool {
@@ -539,20 +615,30 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|&(i, p)| ObjectId(i as u32) != exclude && zone.contains(*p))
-                .map(|(i, p)| ObjReport { id: ObjectId(i as u32), pos: *p, vel: Vector::ZERO })
+                .map(|(i, p)| ObjReport {
+                    id: ObjectId(i as u32),
+                    pos: *p,
+                    vel: Vector::ZERO,
+                })
                 .collect()
         }
         fn poll(&mut self, _q: QueryId, id: ObjectId) -> Option<ObjReport> {
-            self.positions
-                .get(id.index())
-                .map(|p| ObjReport { id, pos: *p, vel: Vector::ZERO })
+            self.positions.get(id.index()).map(|p| ObjReport {
+                id,
+                pos: *p,
+                vel: Vector::ZERO,
+            })
         }
     }
 
     fn world() -> Vec<MovingObject> {
         let mut v = vec![MovingObject::at(ObjectId(0), Point::ORIGIN, 20.0)];
         for i in 1..12u32 {
-            v.push(MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 20.0));
+            v.push(MovingObject::at(
+                ObjectId(i),
+                Point::new(i as f64 * 10.0, 0.0),
+                20.0,
+            ));
         }
         v
     }
@@ -561,7 +647,11 @@ mod tests {
         let mut p = DknnBuffered::new(DknnParams::default(), buffer);
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k }];
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k,
+        }];
         struct NoProbe;
         impl ProbeService for NoProbe {
             fn probe(&mut self, _q: QueryId, _z: Circle, _e: ObjectId) -> Vec<ObjReport> {
@@ -571,14 +661,24 @@ mod tests {
                 panic!()
             }
         }
-        p.init(Rect::square(10_000.0), &world(), &queries, &mut NoProbe, &mut outbox, &mut ops);
+        p.init(
+            Rect::square(10_000.0),
+            &world(),
+            &queries,
+            &mut NoProbe,
+            &mut outbox,
+            &mut ops,
+        );
         (p, outbox, ops)
     }
 
     #[test]
     fn init_buffers_beyond_k() {
         let (p, outbox, _) = setup(3, 2);
-        assert_eq!(p.answer(QueryId(0)), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert_eq!(
+            p.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
         // Region boundary lies between the 5th and 6th object (50 and 60).
         let q = &p.queries[0];
         assert_eq!(q.cands.len(), 5);
@@ -594,16 +694,30 @@ mod tests {
     #[test]
     fn member_leave_promotes_buffer_without_messages() {
         let (mut p, _, mut ops) = setup(3, 2);
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         let mut up = Uplinks::new();
-        up.send(ObjectId(2), UplinkMsg::Leave { query: QueryId(0), ver: 0, pos: Point::new(70.0, 0.0) });
+        up.send(
+            ObjectId(2),
+            UplinkMsg::Leave {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::new(70.0, 0.0),
+            },
+        );
         let mut outbox = Outbox::new();
         p.server_tick(1, &up, &mut probe, &mut outbox, &mut ops);
         // Candidate 4 slides into the answer; no refresh, no probe traffic.
-        assert_eq!(p.answer(QueryId(0)), &[ObjectId(1), ObjectId(3), ObjectId(4)]);
+        assert_eq!(
+            p.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(3), ObjectId(4)]
+        );
         assert_eq!(p.refreshes(), 0);
         assert!(
-            !outbox.iter().any(|(_, m)| matches!(m, DownlinkMsg::InstallRegion { .. })),
+            !outbox
+                .iter()
+                .any(|(_, m)| matches!(m, DownlinkMsg::InstallRegion { .. })),
             "no geocast expected"
         );
     }
@@ -617,11 +731,19 @@ mod tests {
         let mut up = Uplinks::new();
         up.send(
             ObjectId(12),
-            UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::new(12.0, 0.0), vel: Vector::ZERO },
+            UplinkMsg::Enter {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::new(12.0, 0.0),
+                vel: Vector::ZERO,
+            },
         );
         let mut outbox = Outbox::new();
         p.server_tick(1, &up, &mut probe, &mut outbox, &mut ops);
-        assert_eq!(p.answer(QueryId(0)), &[ObjectId(1), ObjectId(12), ObjectId(2)]);
+        assert_eq!(
+            p.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(12), ObjectId(2)]
+        );
         assert_eq!(p.refreshes(), 0);
         assert!(p.local_fixes() >= 1);
     }
@@ -629,13 +751,19 @@ mod tests {
     #[test]
     fn buffer_exhaustion_triggers_grow_refresh() {
         let (mut p, _, mut ops) = setup(3, 2);
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         // All five candidates leave in successive ticks.
         for (tick, id) in [1u64, 2, 3].iter().zip([1u32, 2, 3]) {
             let mut up = Uplinks::new();
             up.send(
                 ObjectId(id),
-                UplinkMsg::Leave { query: QueryId(0), ver: p.queries[0].ver.ver, pos: Point::new(999.0, 0.0) },
+                UplinkMsg::Leave {
+                    query: QueryId(0),
+                    ver: p.queries[0].ver.ver,
+                    pos: Point::new(999.0, 0.0),
+                },
             );
             let mut outbox = Outbox::new();
             p.server_tick(*tick, &up, &mut probe, &mut outbox, &mut ops);

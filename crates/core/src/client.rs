@@ -58,7 +58,10 @@ pub struct ClientHalf {
 impl ClientHalf {
     /// Creates client state for `n` devices.
     pub fn new(params: DknnParams, n: usize) -> Self {
-        ClientHalf { params, states: vec![ClientState::default(); n] }
+        ClientHalf {
+            params,
+            states: vec![ClientState::default(); n],
+        }
     }
 
     /// Registers `device` as the focal object of `query` (done at query
@@ -90,11 +93,22 @@ impl ClientHalf {
         //    issued under them).
         for msg in inbox {
             match *msg {
-                DownlinkMsg::InstallRegion { query, ver, center, vel, r_out } => {
+                DownlinkMsg::InstallRegion {
+                    query,
+                    ver,
+                    center,
+                    vel,
+                    r_out,
+                } => {
                     if st.focal_of.contains(&query) {
                         continue; // my own query; I am excluded from it
                     }
-                    let fresh = RegionVersion { ver, center, vel, t: r_out };
+                    let fresh = RegionVersion {
+                        ver,
+                        center,
+                        vel,
+                        t: r_out,
+                    };
                     match st.regions.iter_mut().find(|r| r.query == query) {
                         Some(r) if r.ver.ver == ver => r.last_heard = now, // heartbeat
                         Some(r) if r.ver.ver > ver => {} // out-of-date copy; ignore
@@ -123,9 +137,16 @@ impl ClientHalf {
                 DownlinkMsg::RemoveRegion { query } => {
                     st.regions.retain(|r| r.query != query);
                 }
-                DownlinkMsg::SetBand { query, ver, inner, outer } => {
-                    if let Some(r) =
-                        st.regions.iter_mut().find(|r| r.query == query && r.ver.ver == ver)
+                DownlinkMsg::SetBand {
+                    query,
+                    ver,
+                    inner,
+                    outer,
+                } => {
+                    if let Some(r) = st
+                        .regions
+                        .iter_mut()
+                        .find(|r| r.query == query && r.ver.ver == ver)
                     {
                         r.band = Some((inner, outer));
                         r.safe_until = 0;
@@ -147,7 +168,14 @@ impl ClientHalf {
         //    current (one small message per tick the focal actually moved).
         for &q in &st.focal_of {
             if me.vel != mknn_geom::Vector::ZERO {
-                up.send(me.id, UplinkMsg::QueryMove { query: q, pos: me.pos, vel: me.vel });
+                up.send(
+                    me.id,
+                    UplinkMsg::QueryMove {
+                        query: q,
+                        pos: me.pos,
+                        vel: me.vel,
+                    },
+                );
             }
         }
 
@@ -184,10 +212,22 @@ impl ClientHalf {
                 if inside_now {
                     up.send(
                         me.id,
-                        UplinkMsg::Enter { query: r.query, ver: r.ver.ver, pos: me.pos, vel: me.vel },
+                        UplinkMsg::Enter {
+                            query: r.query,
+                            ver: r.ver.ver,
+                            pos: me.pos,
+                            vel: me.vel,
+                        },
                     );
                 } else {
-                    up.send(me.id, UplinkMsg::Leave { query: r.query, ver: r.ver.ver, pos: me.pos });
+                    up.send(
+                        me.id,
+                        UplinkMsg::Leave {
+                            query: r.query,
+                            ver: r.ver.ver,
+                            pos: me.pos,
+                        },
+                    );
                     r.band = None;
                 }
             } else if inside_now {
@@ -310,7 +350,14 @@ mod tests {
         c.tick(2, &me, &[], &mut up, &mut ops);
         let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
         assert!(
-            matches!(msgs[..], [UplinkMsg::Leave { query: QueryId(0), ver: 0, .. }]),
+            matches!(
+                msgs[..],
+                [UplinkMsg::Leave {
+                    query: QueryId(0),
+                    ver: 0,
+                    ..
+                }]
+            ),
             "{msgs:?}"
         );
         up.clear();
@@ -318,7 +365,14 @@ mod tests {
         let me = device(0, 99.5, 0.0, -1.5, 0.0);
         c.tick(3, &me, &[], &mut up, &mut ops);
         let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
-        assert!(matches!(msgs[..], [UplinkMsg::Enter { query: QueryId(0), ver: 0, .. }]));
+        assert!(matches!(
+            msgs[..],
+            [UplinkMsg::Enter {
+                query: QueryId(0),
+                ver: 0,
+                ..
+            }]
+        ));
     }
 
     #[test]
@@ -363,15 +417,29 @@ mod tests {
         let mut c = ClientHalf::new(DknnParams::default(), 1);
         let mut up = Uplinks::new();
         let mut ops = OpCounters::default();
-        let band = DownlinkMsg::SetBand { query: QueryId(0), ver: 0, inner: 20.0, outer: 40.0 };
+        let band = DownlinkMsg::SetBand {
+            query: QueryId(0),
+            ver: 0,
+            inner: 20.0,
+            outer: 40.0,
+        };
         let me = device(0, 30.0, 0.0, 0.0, 0.0);
-        c.tick(1, &me, &[install(0, 0, 0.0, 0.0, 100.0), band], &mut up, &mut ops);
+        c.tick(
+            1,
+            &me,
+            &[install(0, 0, 0.0, 0.0, 100.0), band],
+            &mut up,
+            &mut ops,
+        );
         assert!(up.is_empty());
         // Drift inward across the inner boundary.
         let me = device(0, 19.0, 0.0, -11.0, 0.0);
         c.tick(2, &me, &[], &mut up, &mut ops);
         let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
-        assert!(matches!(msgs[..], [UplinkMsg::BandCross { .. }]), "{msgs:?}");
+        assert!(
+            matches!(msgs[..], [UplinkMsg::BandCross { .. }]),
+            "{msgs:?}"
+        );
         up.clear();
         // Band cleared: staying put emits nothing further.
         let me = device(0, 19.0, 0.0, 0.0, 0.0);
@@ -384,9 +452,20 @@ mod tests {
         let mut c = ClientHalf::new(DknnParams::default(), 1);
         let mut up = Uplinks::new();
         let mut ops = OpCounters::default();
-        let stale_band = DownlinkMsg::SetBand { query: QueryId(0), ver: 7, inner: 0.0, outer: 1.0 };
+        let stale_band = DownlinkMsg::SetBand {
+            query: QueryId(0),
+            ver: 7,
+            inner: 0.0,
+            outer: 1.0,
+        };
         let me = device(0, 30.0, 0.0, 0.0, 0.0);
-        c.tick(1, &me, &[install(0, 9, 0.0, 0.0, 100.0), stale_band], &mut up, &mut ops);
+        c.tick(
+            1,
+            &me,
+            &[install(0, 9, 0.0, 0.0, 100.0), stale_band],
+            &mut up,
+            &mut ops,
+        );
         // The band does not attach, so no BandCross can fire.
         let me = device(0, 35.0, 0.0, 5.0, 0.0);
         c.tick(2, &me, &[], &mut up, &mut ops);
@@ -399,8 +478,19 @@ mod tests {
         let mut up = Uplinks::new();
         let mut ops = OpCounters::default();
         let me = device(0, 30.0, 0.0, 0.0, 0.0);
-        let band = DownlinkMsg::SetBand { query: QueryId(0), ver: 0, inner: 25.0, outer: 35.0 };
-        c.tick(1, &me, &[install(0, 0, 0.0, 0.0, 100.0), band], &mut up, &mut ops);
+        let band = DownlinkMsg::SetBand {
+            query: QueryId(0),
+            ver: 0,
+            inner: 25.0,
+            outer: 35.0,
+        };
+        c.tick(
+            1,
+            &me,
+            &[install(0, 0, 0.0, 0.0, 100.0), band],
+            &mut up,
+            &mut ops,
+        );
         // New version arrives; old band must not survive.
         c.tick(2, &me, &[install(0, 2, 0.0, 0.0, 90.0)], &mut up, &mut ops);
         assert_eq!(c.region_of(0, QueryId(0)).unwrap().0, 2);
@@ -453,9 +543,24 @@ mod tests {
         let mut up = Uplinks::new();
         let mut ops = OpCounters::default();
         let me = device(0, 10.0, 0.0, 5.0, 0.0);
-        c.tick(1, &me, &[install(0, 0, 10.0, 0.0, 100.0)], &mut up, &mut ops);
+        c.tick(
+            1,
+            &me,
+            &[install(0, 0, 10.0, 0.0, 100.0)],
+            &mut up,
+            &mut ops,
+        );
         let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
-        assert!(matches!(msgs[..], [UplinkMsg::QueryMove { query: QueryId(0), .. }]), "{msgs:?}");
+        assert!(
+            matches!(
+                msgs[..],
+                [UplinkMsg::QueryMove {
+                    query: QueryId(0),
+                    ..
+                }]
+            ),
+            "{msgs:?}"
+        );
         assert_eq!(c.installed_regions(0), 0, "must not monitor own query");
         up.clear();
         // Not moving → no report.

@@ -2,10 +2,8 @@
 
 use crate::{ClientHalf, DknnParams, Mode, ServerHalf};
 use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
-use mknn_net::{
-    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Uplinks,
-};
 use mknn_mobility::MovingObject;
+use mknn_net::{DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Uplinks};
 
 /// Distributed processing of moving k-nearest-neighbor queries — the
 /// reproduction of the target paper's contribution.
@@ -45,7 +43,12 @@ impl Dknn {
 
     fn with_mode(params: DknnParams, mode: Mode) -> Self {
         params.validate().expect("invalid DknnParams");
-        Dknn { params, mode, client: ClientHalf::new(params, 0), server: ServerHalf::new(params, mode) }
+        Dknn {
+            params,
+            mode,
+            client: ClientHalf::new(params, 0),
+            server: ServerHalf::new(params, mode),
+        }
     }
 
     /// The configured parameters.

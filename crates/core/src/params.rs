@@ -1,12 +1,12 @@
 //! Tunable parameters of the distributed protocols.
 
-use serde::{Deserialize, Serialize};
+use mknn_util::impl_json_struct;
 
 /// Parameters of the DKNN protocols (both set and ordered mode).
 ///
 /// The defaults are sized for the default workload (10 km × 10 km space,
 /// object speeds ≤ 20 m/tick) and are swept by the ablation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DknnParams {
     /// Threshold placement inside the gap between the k-th and (k+1)-th
     /// neighbor distance, in `(0, 1)`: the monitoring threshold is
@@ -37,6 +37,16 @@ pub struct DknnParams {
     /// refresh instead.
     pub band_escalation: u32,
 }
+
+impl_json_struct!(DknnParams {
+    alpha,
+    query_drift,
+    heartbeat,
+    v_max_obj,
+    v_max_q,
+    expand_factor,
+    band_escalation,
+});
 
 impl Default for DknnParams {
     fn default() -> Self {
@@ -110,11 +120,47 @@ mod tests {
     }
 
     #[test]
+    fn params_round_trip_through_json() {
+        let p = DknnParams {
+            alpha: 0.25,
+            heartbeat: 9,
+            ..Default::default()
+        };
+        let back: DknnParams = mknn_util::from_str(&mknn_util::to_string(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
     fn validation_rejects_bad_values() {
-        assert!(DknnParams { alpha: 0.0, ..Default::default() }.validate().is_err());
-        assert!(DknnParams { alpha: 1.0, ..Default::default() }.validate().is_err());
-        assert!(DknnParams { heartbeat: 0, ..Default::default() }.validate().is_err());
-        assert!(DknnParams { expand_factor: 1.0, ..Default::default() }.validate().is_err());
-        assert!(DknnParams { query_drift: -1.0, ..Default::default() }.validate().is_err());
+        assert!(DknnParams {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DknnParams {
+            alpha: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DknnParams {
+            heartbeat: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DknnParams {
+            expand_factor: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DknnParams {
+            query_drift: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -90,12 +90,21 @@ impl ServerHalf {
             let mut reports: Vec<ObjReport> = objects
                 .iter()
                 .filter(|o| o.id != spec.focal)
-                .map(|o| ObjReport { id: o.id, pos: o.pos, vel: o.vel })
+                .map(|o| ObjReport {
+                    id: o.id,
+                    pos: o.pos,
+                    vel: o.vel,
+                })
                 .collect();
             ops.server_ops += reports.len() as u64;
             let mut q = ServerQuery {
                 spec: *spec,
-                ver: RegionVersion { ver: 0, center: focal.pos, vel: focal.vel, t: 0.0 },
+                ver: RegionVersion {
+                    ver: 0,
+                    center: focal.pos,
+                    vel: focal.vel,
+                    t: 0.0,
+                },
                 q_pos: focal.pos,
                 q_vel: focal.vel,
                 members: Vec::new(),
@@ -123,12 +132,16 @@ impl ServerHalf {
 
     /// The maintained answer of `query` (member order).
     pub fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.queries.get(query.index()).map_or(&self.empty, |q| q.answer.as_slice())
+        self.queries
+            .get(query.index())
+            .map_or(&self.empty, |q| q.answer.as_slice())
     }
 
     /// The effective query center the current answer refers to.
     pub fn effective_center(&self, query: QueryId) -> Option<Point> {
-        self.queries.get(query.index()).map(|q| q.ver.pred_center(self.current_tick))
+        self.queries
+            .get(query.index())
+            .map(|q| q.ver.pred_center(self.current_tick))
     }
 
     /// Total refreshes across queries (experiments/diagnostics).
@@ -167,7 +180,9 @@ impl ServerHalf {
                     }
                 }
                 UplinkMsg::Enter { query, ver, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else { continue };
+                    let Some(q) = self.queries.get_mut(query.index()) else {
+                        continue;
+                    };
                     ops.server_ops += 1;
                     if ver != q.ver.ver {
                         heals.push((from, query));
@@ -178,7 +193,9 @@ impl ServerHalf {
                     q.needs_refresh = true;
                 }
                 UplinkMsg::Leave { query, ver, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else { continue };
+                    let Some(q) = self.queries.get_mut(query.index()) else {
+                        continue;
+                    };
                     ops.server_ops += 1;
                     if ver != q.ver.ver {
                         heals.push((from, query));
@@ -190,8 +207,12 @@ impl ServerHalf {
                     // A non-member inside the region (distance tie at the
                     // threshold) leaving is irrelevant to the answer.
                 }
-                UplinkMsg::BandCross { query, ver, pos, .. } => {
-                    let Some(qi) = self.queries.get_mut(query.index()) else { continue };
+                UplinkMsg::BandCross {
+                    query, ver, pos, ..
+                } => {
+                    let Some(qi) = self.queries.get_mut(query.index()) else {
+                        continue;
+                    };
                     if ver != qi.ver.ver {
                         heals.push((from, query));
                         continue;
@@ -220,12 +241,21 @@ impl ServerHalf {
                 q.needs_refresh = true;
             }
             if q.needs_refresh {
-                refresh(q, now, drift, self.space_diag, self.params, self.mode, probe, outbox, ops);
+                refresh(
+                    q,
+                    now,
+                    drift,
+                    self.space_diag,
+                    self.params,
+                    self.mode,
+                    probe,
+                    outbox,
+                    ops,
+                );
             } else if now.saturating_sub(q.last_broadcast) >= self.params.heartbeat {
                 // Heartbeat: re-send the *identical* version; only the
                 // geocast zone is re-centered on the predicted position.
-                let zone =
-                    Circle::new(q.ver.pred_center(now), q.ver.t + self.params.margin());
+                let zone = Circle::new(q.ver.pred_center(now), q.ver.t + self.params.margin());
                 outbox.send(
                     Recipient::Geocast(zone),
                     DownlinkMsg::InstallRegion {
@@ -319,7 +349,12 @@ pub(crate) fn establish(
         // Fewer than k+1 devices exist: any threshold beyond d_k is sound.
         None => d_k + (0.1 * d_k).max(1.0),
     };
-    q.ver = RegionVersion { ver: now, center: c, vel, t };
+    q.ver = RegionVersion {
+        ver: now,
+        center: c,
+        vel,
+        t,
+    };
     q.last_broadcast = now;
     q.needs_refresh = false;
     outbox.send(
@@ -336,13 +371,30 @@ pub(crate) fn establish(
     // consecutive member distances.
     q.members.clear();
     for i in 0..kept {
-        let inner = if i == 0 { 0.0 } else { (dists[i - 1] + dists[i]) * 0.5 };
-        let outer = if i + 1 == kept { t } else { (dists[i] + dists[i + 1]) * 0.5 };
-        q.members.push(Member { id: reports[i].id, inner, outer });
+        let inner = if i == 0 {
+            0.0
+        } else {
+            (dists[i - 1] + dists[i]) * 0.5
+        };
+        let outer = if i + 1 == kept {
+            t
+        } else {
+            (dists[i] + dists[i + 1]) * 0.5
+        };
+        q.members.push(Member {
+            id: reports[i].id,
+            inner,
+            outer,
+        });
         if mode == Mode::Ordered {
             outbox.send(
                 Recipient::One(reports[i].id),
-                DownlinkMsg::SetBand { query: q.spec.id, ver: now, inner, outer },
+                DownlinkMsg::SetBand {
+                    query: q.spec.id,
+                    ver: now,
+                    inner,
+                    outer,
+                },
             );
         }
     }
@@ -384,16 +436,44 @@ fn handle_band_cross(
     };
     let me = q.members.remove(idx);
     // Where did it land?
-    match q.members.iter().position(|m| d_i > m.inner && d_i <= m.outer) {
+    match q
+        .members
+        .iter()
+        .position(|m| d_i > m.inner && d_i <= m.outer)
+    {
         None => {
             // A hole left by an earlier departure: claim it.
-            let at = q.members.iter().position(|m| m.inner >= d_i).unwrap_or(q.members.len());
-            let inner = if at == 0 { 0.0 } else { q.members[at - 1].outer };
-            let outer = if at == q.members.len() { q.ver.t } else { q.members[at].inner };
-            q.members.insert(at, Member { id: me.id, inner, outer });
+            let at = q
+                .members
+                .iter()
+                .position(|m| m.inner >= d_i)
+                .unwrap_or(q.members.len());
+            let inner = if at == 0 {
+                0.0
+            } else {
+                q.members[at - 1].outer
+            };
+            let outer = if at == q.members.len() {
+                q.ver.t
+            } else {
+                q.members[at].inner
+            };
+            q.members.insert(
+                at,
+                Member {
+                    id: me.id,
+                    inner,
+                    outer,
+                },
+            );
             outbox.send(
                 Recipient::One(me.id),
-                DownlinkMsg::SetBand { query: q.spec.id, ver: q.ver.ver, inner, outer },
+                DownlinkMsg::SetBand {
+                    query: q.spec.id,
+                    ver: q.ver.ver,
+                    inner,
+                    outer,
+                },
             );
             q.local_band_fixes += 1;
         }
@@ -423,9 +503,21 @@ fn handle_band_cross(
                 return;
             }
             let mid = (d_i + d_j) * 0.5;
-            let (lo_id, hi_id) = if d_i < d_j { (me.id, owner.id) } else { (owner.id, me.id) };
-            let lo = Member { id: lo_id, inner: owner.inner, outer: mid };
-            let hi = Member { id: hi_id, inner: mid, outer: owner.outer };
+            let (lo_id, hi_id) = if d_i < d_j {
+                (me.id, owner.id)
+            } else {
+                (owner.id, me.id)
+            };
+            let lo = Member {
+                id: lo_id,
+                inner: owner.inner,
+                outer: mid,
+            };
+            let hi = Member {
+                id: hi_id,
+                inner: mid,
+                outer: owner.outer,
+            };
             q.members[j] = lo;
             q.members.insert(j + 1, hi);
             for m in [lo, hi] {
@@ -462,14 +554,20 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|&(i, p)| ObjectId(i as u32) != exclude && zone.contains(*p))
-                .map(|(i, p)| ObjReport { id: ObjectId(i as u32), pos: *p, vel: Vector::ZERO })
+                .map(|(i, p)| ObjReport {
+                    id: ObjectId(i as u32),
+                    pos: *p,
+                    vel: Vector::ZERO,
+                })
                 .collect()
         }
 
         fn poll(&mut self, _q: QueryId, id: ObjectId) -> Option<ObjReport> {
-            self.positions
-                .get(id.index())
-                .map(|p| ObjReport { id, pos: *p, vel: Vector::ZERO })
+            self.positions.get(id.index()).map(|p| ObjReport {
+                id,
+                pos: *p,
+                vel: Vector::ZERO,
+            })
         }
     }
 
@@ -477,7 +575,11 @@ mod tests {
         // Focal (id 0) at origin; objects on the x axis at 10, 20, …, 90.
         let mut v = vec![MovingObject::at(ObjectId(0), Point::ORIGIN, 20.0)];
         for i in 1..10u32 {
-            v.push(MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 20.0));
+            v.push(MovingObject::at(
+                ObjectId(i),
+                Point::new(i as f64 * 10.0, 0.0),
+                20.0,
+            ));
         }
         v
     }
@@ -486,15 +588,28 @@ mod tests {
         let mut s = ServerHalf::new(DknnParams::default(), mode);
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
-        let queries = [QuerySpec { id: QueryId(0), focal: ObjectId(0), k }];
-        s.init(Rect::square(10_000.0), &world(), &queries, &mut outbox, &mut ops);
+        let queries = [QuerySpec {
+            id: QueryId(0),
+            focal: ObjectId(0),
+            k,
+        }];
+        s.init(
+            Rect::square(10_000.0),
+            &world(),
+            &queries,
+            &mut outbox,
+            &mut ops,
+        );
         (s, outbox, ops)
     }
 
     #[test]
     fn init_establishes_knn_and_threshold() {
         let (s, outbox, _) = setup(3, Mode::Set);
-        assert_eq!(s.answer(QueryId(0)), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert_eq!(
+            s.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
         let q = &s.queries[0];
         // d_3 = 30, d_4 = 40 → midpoint threshold 35.
         assert!((q.ver.t - 35.0).abs() < 1e-9);
@@ -515,7 +630,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(bands, vec![(1, 0.0, 15.0), (2, 15.0, 25.0), (3, 25.0, 35.0)]);
+        assert_eq!(
+            bands,
+            vec![(1, 0.0, 15.0), (2, 15.0, 25.0), (3, 25.0, 35.0)]
+        );
         assert_eq!(s.answer(QueryId(0)).len(), 3);
     }
 
@@ -535,16 +653,25 @@ mod tests {
                 .collect(),
         };
         let mut up = Uplinks::new();
-        up.send(ObjectId(1), UplinkMsg::Leave { query: QueryId(0), ver: 0, pos: Point::new(40.0, 0.0) });
+        up.send(
+            ObjectId(1),
+            UplinkMsg::Leave {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::new(40.0, 0.0),
+            },
+        );
         let mut outbox = Outbox::new();
         s.tick(5, &up, &mut probe, &mut outbox, &mut ops);
-        assert_eq!(s.answer(QueryId(0)), &[ObjectId(2), ObjectId(3), ObjectId(4)]);
+        assert_eq!(
+            s.answer(QueryId(0)),
+            &[ObjectId(2), ObjectId(3), ObjectId(4)]
+        );
         assert_eq!(s.total_refreshes(), 1);
         // A new install must have been broadcast under version 5.
-        assert!(outbox.iter().any(|(_, m)| matches!(
-            m,
-            DownlinkMsg::InstallRegion { ver: 5, .. }
-        )));
+        assert!(outbox
+            .iter()
+            .any(|(_, m)| matches!(m, DownlinkMsg::InstallRegion { ver: 5, .. })));
     }
 
     #[test]
@@ -556,19 +683,36 @@ mod tests {
         let mut up = Uplinks::new();
         up.send(
             ObjectId(10),
-            UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::new(5.0, 0.0), vel: Vector::ZERO },
+            UplinkMsg::Enter {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::new(5.0, 0.0),
+                vel: Vector::ZERO,
+            },
         );
         let mut outbox = Outbox::new();
         s.tick(3, &up, &mut probe, &mut outbox, &mut ops);
-        assert_eq!(s.answer(QueryId(0)), &[ObjectId(10), ObjectId(1), ObjectId(2)]);
+        assert_eq!(
+            s.answer(QueryId(0)),
+            &[ObjectId(10), ObjectId(1), ObjectId(2)]
+        );
     }
 
     #[test]
     fn stale_version_event_is_healed_not_refreshed() {
         let (mut s, _, mut ops) = setup(3, Mode::Set);
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         let mut up = Uplinks::new();
-        up.send(ObjectId(7), UplinkMsg::Leave { query: QueryId(0), ver: 99, pos: Point::ORIGIN });
+        up.send(
+            ObjectId(7),
+            UplinkMsg::Leave {
+                query: QueryId(0),
+                ver: 99,
+                pos: Point::ORIGIN,
+            },
+        );
         let mut outbox = Outbox::new();
         s.tick(4, &up, &mut probe, &mut outbox, &mut ops);
         assert_eq!(s.total_refreshes(), 0);
@@ -585,18 +729,27 @@ mod tests {
     #[test]
     fn query_drift_forces_recenter() {
         let (mut s, _, mut ops) = setup(3, Mode::Set);
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         let mut up = Uplinks::new();
         // Focal reports a big jump (beyond query_drift = 40).
         up.send(
             ObjectId(0),
-            UplinkMsg::QueryMove { query: QueryId(0), pos: Point::new(85.0, 0.0), vel: Vector::ZERO },
+            UplinkMsg::QueryMove {
+                query: QueryId(0),
+                pos: Point::new(85.0, 0.0),
+                vel: Vector::ZERO,
+            },
         );
         let mut outbox = Outbox::new();
         s.tick(2, &up, &mut probe, &mut outbox, &mut ops);
         assert_eq!(s.total_refreshes(), 1);
         // New nearest from x = 85: objects at 80, 90, 70.
-        assert_eq!(s.answer(QueryId(0)), &[ObjectId(8), ObjectId(9), ObjectId(7)]);
+        assert_eq!(
+            s.answer(QueryId(0)),
+            &[ObjectId(8), ObjectId(9), ObjectId(7)]
+        );
         assert_eq!(s.effective_center(QueryId(0)), Some(Point::new(85.0, 0.0)));
     }
 
@@ -604,7 +757,9 @@ mod tests {
     fn heartbeat_rebroadcasts_same_version() {
         let p = DknnParams::default();
         let (mut s, _, mut ops) = setup(3, Mode::Set);
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         let up = Uplinks::new();
         let mut saw_heartbeat = false;
         for now in 1..=(p.heartbeat + 1) {
@@ -627,7 +782,9 @@ mod tests {
         let (mut s, _, mut ops) = setup(3, Mode::Ordered);
         // Member 3 (band (25, 35]) moved to x = 12 — into member 1's band
         // (0, 15]. Member 1 polls at its registered x = 10.
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         let mut up = Uplinks::new();
         up.send(
             ObjectId(3),
@@ -643,7 +800,10 @@ mod tests {
         assert_eq!(s.total_refreshes(), 0, "local patch expected");
         assert_eq!(s.total_band_fixes(), 1);
         // New order: 1 (d=10), 3 (d=12), 2 (d=20).
-        assert_eq!(s.answer(QueryId(0)), &[ObjectId(1), ObjectId(3), ObjectId(2)]);
+        assert_eq!(
+            s.answer(QueryId(0)),
+            &[ObjectId(1), ObjectId(3), ObjectId(2)]
+        );
         // Both affected devices got fresh bands.
         let band_targets: Vec<u32> = outbox
             .iter()
@@ -658,7 +818,9 @@ mod tests {
     #[test]
     fn band_cross_out_of_region_escalates() {
         let (mut s, _, mut ops) = setup(3, Mode::Ordered);
-        let mut probe = TableProbe { positions: world().iter().map(|o| o.pos).collect() };
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
         let mut up = Uplinks::new();
         up.send(
             ObjectId(3),

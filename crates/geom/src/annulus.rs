@@ -1,7 +1,6 @@
 //! Annuli (rings) — the shape of per-object response bands.
 
 use crate::Point;
-use serde::{Deserialize, Serialize};
 
 /// A closed annulus centered at `center`: all points `p` with
 /// `inner ≤ dist(center, p) ≤ outer`.
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// among the k nearest neighbors cannot have changed, so it stays silent.
 ///
 /// [`DknnOrder`]: https://docs.rs/mknn-core
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Annulus {
     /// Center shared with the query's monitoring region.
     pub center: Point,
@@ -23,18 +22,47 @@ pub struct Annulus {
 }
 
 impl Annulus {
-    /// Creates an annulus. Panics (debug only) when radii are unordered or
-    /// negative.
+    /// Creates an annulus.
+    ///
+    /// Panics when the radii are unordered, negative, or NaN, or when the
+    /// center has a NaN coordinate. (A NaN band would silently report
+    /// `contains == false` for *every* point, making an object fall out of
+    /// its band each tick — a protocol bug that must fail loudly instead.)
     #[inline]
     pub fn new(center: Point, inner: f64, outer: f64) -> Self {
-        debug_assert!(inner >= 0.0, "inner radius must be non-negative");
-        debug_assert!(outer >= inner, "outer must not be smaller than inner");
-        Annulus { center, inner, outer }
+        assert!(
+            !center.x.is_nan() && !center.y.is_nan(),
+            "annulus center must not be NaN"
+        );
+        // `NaN >= 0.0` and `NaN >= inner` are false, so these also reject
+        // NaN radii.
+        assert!(
+            inner >= 0.0,
+            "inner radius must be non-negative (got {inner})"
+        );
+        assert!(
+            outer >= inner,
+            "outer must not be smaller than inner (got inner={inner}, outer={outer})"
+        );
+        Annulus {
+            center,
+            inner,
+            outer,
+        }
     }
 
     /// Returns `true` when `p` lies inside the band (boundaries inclusive).
+    ///
+    /// A point with a NaN coordinate is outside every band.
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
+        debug_assert!(
+            !self.center.x.is_nan()
+                && !self.center.y.is_nan()
+                && !self.inner.is_nan()
+                && !self.outer.is_nan(),
+            "annulus was corrupted with NaN after construction"
+        );
         let d2 = self.center.dist_sq(p);
         d2 >= self.inner * self.inner && (self.outer.is_infinite() || d2 <= self.outer * self.outer)
     }
@@ -103,5 +131,35 @@ mod tests {
         assert!(a.contains(Point::new(3.0, 0.0)));
         assert!(!a.contains(Point::new(3.001, 0.0)));
         assert!(approx_eq(a.width(), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner radius must be non-negative")]
+    fn nan_inner_radius_is_rejected() {
+        Annulus::new(Point::ORIGIN, f64::NAN, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outer must not be smaller than inner")]
+    fn nan_outer_radius_is_rejected() {
+        Annulus::new(Point::ORIGIN, 2.0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "annulus center must not be NaN")]
+    fn nan_center_is_rejected() {
+        Annulus::new(Point::new(f64::NAN, 0.0), 2.0, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner radius must be non-negative")]
+    fn negative_inner_radius_is_rejected() {
+        Annulus::new(Point::ORIGIN, -1.0, 4.0);
+    }
+
+    #[test]
+    fn nan_point_is_outside_every_band() {
+        let a = Annulus::new(Point::ORIGIN, 0.0, f64::INFINITY);
+        assert!(!a.contains(Point::new(f64::NAN, 0.0)));
     }
 }

@@ -1,14 +1,13 @@
 //! Circles (disks) — the shape of monitoring regions and search ranges.
 
 use crate::{Point, Rect};
-use serde::{Deserialize, Serialize};
 
 /// A closed disk: all points within `radius` of `center`.
 ///
 /// In the distributed protocols a circle is the *monitoring region* of a
 /// query: the set of positions from which a data object could possibly be one
 /// of the query's k nearest neighbors before the next region refresh.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Circle {
     /// Center of the disk.
     pub center: Point,
@@ -137,6 +136,9 @@ mod tests {
 
     #[test]
     fn area_of_unit_circle() {
-        assert!(approx_eq(Circle::new(Point::ORIGIN, 1.0).area(), std::f64::consts::PI));
+        assert!(approx_eq(
+            Circle::new(Point::ORIGIN, 1.0).area(),
+            std::f64::consts::PI
+        ));
     }
 }

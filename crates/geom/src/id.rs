@@ -4,18 +4,17 @@
 //! protocol crates can all name the same object/query identities without
 //! depending on each other.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Discrete simulation time, in ticks since the start of an episode.
 pub type Tick = u64;
 
 /// Identity of a moving data object (and of the device carrying it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub u32);
 
 /// Identity of a registered continuous query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u32);
 
 impl ObjectId {

@@ -22,13 +22,14 @@
 mod annulus;
 mod circle;
 mod id;
+mod json;
 mod motion;
 mod point;
 mod rect;
 
 pub use annulus::Annulus;
-pub use id::{ObjectId, QueryId, Tick};
 pub use circle::Circle;
+pub use id::{ObjectId, QueryId, Tick};
 pub use motion::{LinearMotion, ThresholdCrossing};
 pub use point::{Point, Vector};
 pub use rect::Rect;

@@ -8,10 +8,9 @@
 //! every tick.
 
 use crate::{Point, Vector};
-use serde::{Deserialize, Serialize};
 
 /// A point moving with constant velocity: `position(t) = origin + velocity·t`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearMotion {
     /// Position at local time `t = 0`.
     pub origin: Point,
@@ -40,7 +39,10 @@ impl LinearMotion {
     /// A stationary point.
     #[inline]
     pub const fn stationary(origin: Point) -> Self {
-        LinearMotion { origin, velocity: Vector::ZERO }
+        LinearMotion {
+            origin,
+            velocity: Vector::ZERO,
+        }
     }
 
     /// Position at time `t` (ticks after `origin` was sampled).

@@ -1,10 +1,9 @@
 //! Points and vectors in the plane.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A position in the plane, in meters.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -13,7 +12,7 @@ pub struct Point {
 }
 
 /// A displacement (or velocity, in meters per tick) in the plane.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vector {
     /// Horizontal component.
     pub x: f64,
@@ -305,6 +304,9 @@ mod tests {
 
     #[test]
     fn dot_product_orthogonal_is_zero() {
-        assert!(approx_eq(Vector::new(1.0, 0.0).dot(Vector::new(0.0, 3.0)), 0.0));
+        assert!(approx_eq(
+            Vector::new(1.0, 0.0).dot(Vector::new(0.0, 3.0)),
+            0.0
+        ));
     }
 }

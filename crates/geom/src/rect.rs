@@ -1,14 +1,13 @@
 //! Axis-aligned rectangles.
 
 use crate::{Circle, Point, Vector};
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]` (closed on all
 /// sides).
 ///
 /// Used for the space bounds of a simulated world, for grid-index cells, and
 /// for R-tree minimum bounding rectangles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Lower-left corner.
     pub min: Point,

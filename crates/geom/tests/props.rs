@@ -1,96 +1,136 @@
-//! Property-based tests for the geometry kernel.
+//! Property-based tests for the geometry kernel (mknn-util `check` harness).
 
 use mknn_geom::{Annulus, Circle, LinearMotion, Point, Rect, ThresholdCrossing, Vector};
-use proptest::prelude::*;
+use mknn_util::check::forall;
+use mknn_util::Rng;
 
-fn pt() -> impl Strategy<Value = Point> {
-    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+/// Default case count per property (proptest's former default was 256).
+const CASES: u64 = 256;
+
+fn pt(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(-1e4..1e4), rng.gen_range(-1e4..1e4))
 }
 
-fn vel() -> impl Strategy<Value = Vector> {
-    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Vector::new(x, y))
+fn vel(rng: &mut Rng) -> Vector {
+    Vector::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0))
 }
 
-fn rect() -> impl Strategy<Value = Rect> {
-    (pt(), 0.0..500.0f64, 0.0..500.0f64)
-        .prop_map(|(p, w, h)| Rect::new(p, Point::new(p.x + w, p.y + h)))
+fn rect(rng: &mut Rng) -> Rect {
+    let p = pt(rng);
+    let w = rng.gen_range(0.0..500.0);
+    let h = rng.gen_range(0.0..500.0);
+    Rect::new(p, Point::new(p.x + w, p.y + h))
 }
 
-proptest! {
-    #[test]
-    fn dist_triangle_inequality(a in pt(), b in pt(), c in pt()) {
-        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6);
-    }
+#[test]
+fn dist_triangle_inequality() {
+    forall(CASES, |rng| {
+        let (a, b, c) = (pt(rng), pt(rng), pt(rng));
+        assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6);
+    });
+}
 
-    #[test]
-    fn dist_symmetry(a in pt(), b in pt()) {
-        prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-9);
-    }
+#[test]
+fn dist_symmetry() {
+    forall(CASES, |rng| {
+        let (a, b) = (pt(rng), pt(rng));
+        assert!((a.dist(b) - b.dist(a)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn rect_min_dist_consistent_with_contains(r in rect(), p in pt()) {
+#[test]
+fn rect_min_dist_consistent_with_contains() {
+    forall(CASES, |rng| {
+        let (r, p) = (rect(rng), pt(rng));
         if r.contains(p) {
-            prop_assert!(r.min_dist_sq(p) == 0.0);
+            assert!(r.min_dist_sq(p) == 0.0);
         } else {
-            prop_assert!(r.min_dist_sq(p) > 0.0);
+            assert!(r.min_dist_sq(p) > 0.0);
         }
         // min_dist is realized by the closest point.
         let cp = r.closest_point(p);
-        prop_assert!(r.contains(cp));
-        prop_assert!((cp.dist_sq(p) - r.min_dist_sq(p)).abs() < 1e-9);
-    }
+        assert!(r.contains(cp));
+        assert!((cp.dist_sq(p) - r.min_dist_sq(p)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn rect_min_le_max_dist(r in rect(), p in pt()) {
-        prop_assert!(r.min_dist_sq(p) <= r.max_dist_sq(p) + 1e-9);
+#[test]
+fn rect_min_le_max_dist() {
+    forall(CASES, |rng| {
+        let (r, p) = (rect(rng), pt(rng));
+        assert!(r.min_dist_sq(p) <= r.max_dist_sq(p) + 1e-9);
         // All four corners are within max_dist.
-        for corner in [r.min, r.max, Point::new(r.min.x, r.max.y), Point::new(r.max.x, r.min.y)] {
-            prop_assert!(corner.dist_sq(p) <= r.max_dist_sq(p) + 1e-6);
+        for corner in [
+            r.min,
+            r.max,
+            Point::new(r.min.x, r.max.y),
+            Point::new(r.max.x, r.min.y),
+        ] {
+            assert!(corner.dist_sq(p) <= r.max_dist_sq(p) + 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rect_union_contains_operands(a in rect(), b in rect()) {
+#[test]
+fn rect_union_contains_operands() {
+    forall(CASES, |rng| {
+        let (a, b) = (rect(rng), rect(rng));
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-    }
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+    });
+}
 
-    #[test]
-    fn circle_rect_intersection_agrees_with_sampling(r in rect(), c in pt(), rad in 0.0..500.0f64) {
+#[test]
+fn circle_rect_intersection_agrees_with_sampling() {
+    forall(CASES, |rng| {
+        let (r, c) = (rect(rng), pt(rng));
+        let rad = rng.gen_range(0.0..500.0);
         let circle = Circle::new(c, rad);
         // If the closest rect point is in the circle they must intersect.
         let cp = r.closest_point(c);
-        prop_assert_eq!(r.intersects_circle(&circle), circle.contains(cp));
-    }
+        assert_eq!(r.intersects_circle(&circle), circle.contains(cp));
+    });
+}
 
-    #[test]
-    fn annulus_safe_dist_is_safe(center in pt(), p in pt(), inner in 0.0..100.0f64, width in 0.0..100.0f64,
-                                 dir in 0.0..std::f64::consts::TAU) {
+#[test]
+fn annulus_safe_dist_is_safe() {
+    forall(CASES, |rng| {
+        let (center, p) = (pt(rng), pt(rng));
+        let inner = rng.gen_range(0.0..100.0);
+        let width = rng.gen_range(0.0..100.0);
+        let dir = rng.gen_range(0.0..std::f64::consts::TAU);
         let band = Annulus::new(center, inner, inner + width);
         let s = band.safe_dist(p);
         if s > 1e-7 {
-            prop_assert!(band.contains(p));
+            assert!(band.contains(p));
             // Moving strictly less than the safe distance keeps us inside.
             let q = p + Vector::from_heading(dir) * (s * 0.999);
-            prop_assert!(band.contains(q));
+            assert!(band.contains(q));
         }
-    }
+    });
+}
 
-    #[test]
-    fn crossing_times_match_simulation(p in pt(), q in pt(), vp in vel(), vq in vel(), thr in 1.0..2000.0f64) {
+#[test]
+fn crossing_times_match_simulation() {
+    forall(CASES, |rng| {
+        let (p, q, vp, vq) = (pt(rng), pt(rng), vel(rng), vel(rng));
+        let thr = rng.gen_range(1.0..2000.0);
         let mp = LinearMotion::new(p, vp);
         let mq = LinearMotion::new(q, vq);
         match mp.first_time_beyond(&mq, thr) {
             ThresholdCrossing::At(t) => {
-                prop_assert!(t >= 0.0);
+                assert!(t >= 0.0);
                 let d = mp.position_at(t).dist(mq.position_at(t));
-                prop_assert!(d >= thr - 1e-4, "at crossing time distance {} < threshold {}", d, thr);
+                assert!(
+                    d >= thr - 1e-4,
+                    "at crossing time distance {d} < threshold {thr}"
+                );
                 if t > 1e-6 {
                     // Just before the crossing we must still be within.
                     let t0 = (t - 1e-3).max(0.0);
                     let d0 = mp.position_at(t0).dist(mq.position_at(t0));
-                    prop_assert!(d0 <= thr + 1.0);
+                    assert!(d0 <= thr + 1.0);
                 }
             }
             ThresholdCrossing::Never => {
@@ -98,47 +138,61 @@ proptest! {
                 for i in 0..50 {
                     let t = i as f64 * 7.3;
                     let d = mp.position_at(t).dist(mq.position_at(t));
-                    prop_assert!(d <= thr + 1e-4, "claimed Never but d({t}) = {d} > {thr}");
+                    assert!(d <= thr + 1e-4, "claimed Never but d({t}) = {d} > {thr}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn entry_time_matches_simulation(p in pt(), q in pt(), vp in vel(), vq in vel(), thr in 1.0..2000.0f64) {
+#[test]
+fn entry_time_matches_simulation() {
+    forall(CASES, |rng| {
+        let (p, q, vp, vq) = (pt(rng), pt(rng), vel(rng), vel(rng));
+        let thr = rng.gen_range(1.0..2000.0);
         let mp = LinearMotion::new(p, vp);
         let mq = LinearMotion::new(q, vq);
         match mp.first_time_within(&mq, thr) {
             ThresholdCrossing::At(t) => {
-                prop_assert!(t >= 0.0);
+                assert!(t >= 0.0);
                 let d = mp.position_at(t).dist(mq.position_at(t));
-                prop_assert!(d <= thr + 1e-4, "at entry time distance {} > threshold {}", d, thr);
+                assert!(
+                    d <= thr + 1e-4,
+                    "at entry time distance {d} > threshold {thr}"
+                );
             }
             ThresholdCrossing::Never => {
                 for i in 0..50 {
                     let t = i as f64 * 7.3;
                     let d = mp.position_at(t).dist(mq.position_at(t));
-                    prop_assert!(d >= thr - 1e-4, "claimed Never but d({t}) = {d} < {thr}");
+                    assert!(d >= thr - 1e-4, "claimed Never but d({t}) = {d} < {thr}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn closest_approach_is_lower_bound(p in pt(), q in pt(), vp in vel(), vq in vel()) {
+#[test]
+fn closest_approach_is_lower_bound() {
+    forall(CASES, |rng| {
+        let (p, q, vp, vq) = (pt(rng), pt(rng), vel(rng), vel(rng));
         let mp = LinearMotion::new(p, vp);
         let mq = LinearMotion::new(q, vq);
         let (t_star, d_min) = mp.closest_approach(&mq);
-        prop_assert!(t_star >= 0.0);
+        assert!(t_star >= 0.0);
         for i in 0..50 {
             let t = i as f64 * 3.1;
             let d = mp.position_at(t).dist(mq.position_at(t));
-            prop_assert!(d >= d_min - 1e-6);
+            assert!(d >= d_min - 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn safe_ticks_are_conservative(p in pt(), q in pt(), vp in vel(), vq in vel(), thr in 1.0..2000.0f64) {
+#[test]
+fn safe_ticks_are_conservative() {
+    forall(CASES, |rng| {
+        let (p, q, vp, vq) = (pt(rng), pt(rng), vel(rng), vel(rng));
+        let thr = rng.gen_range(1.0..2000.0);
         let mp = LinearMotion::new(p, vp);
         let mq = LinearMotion::new(q, vq);
         let ticks = mp.safe_ticks_within(&mq, thr);
@@ -146,8 +200,8 @@ proptest! {
             let horizon = ticks.min(100);
             for t in 0..=horizon {
                 let d = mp.position_at(t as f64).dist(mq.position_at(t as f64));
-                prop_assert!(d <= thr + 1e-4, "unsafe at tick {t}: {d} > {thr}");
+                assert!(d <= thr + 1e-4, "unsafe at tick {t}: {d} > {thr}");
             }
         }
-    }
+    });
 }

@@ -42,7 +42,10 @@ impl GridIndex {
     /// Panics when `cols` or `rows` is zero or `bounds` is degenerate.
     pub fn new(bounds: Rect, cols: u32, rows: u32) -> Self {
         assert!(cols > 0 && rows > 0, "grid must have at least one cell");
-        assert!(bounds.width() > 0.0 && bounds.height() > 0.0, "bounds must have area");
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "bounds must have area"
+        );
         GridIndex {
             bounds,
             cols,
@@ -153,7 +156,11 @@ impl GridIndex {
     fn attach(&mut self, id: ObjectId, pos: Point, cell: u32) {
         let members = &mut self.cells[cell as usize];
         members.push(id);
-        self.slots[id.index()] = Some(Slot { pos, cell, idx: (members.len() - 1) as u32 });
+        self.slots[id.index()] = Some(Slot {
+            pos,
+            cell,
+            idx: (members.len() - 1) as u32,
+        });
     }
 
     fn detach(&mut self, id: ObjectId, slot: Slot) {
@@ -337,7 +344,10 @@ impl GridIndex {
         let got = self.knn(q, k);
         let want = bruteforce::knn(self.iter(), q, k);
         got.len() == want.len()
-            && got.iter().zip(&want).all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
+            && got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
     }
 }
 
@@ -436,9 +446,15 @@ mod tests {
     fn cells_overlapping_counts_fanout() {
         let g = grid();
         // A circle inside one cell.
-        assert_eq!(g.cells_overlapping(&Circle::new(Point::new(5.0, 5.0), 2.0)), 1);
+        assert_eq!(
+            g.cells_overlapping(&Circle::new(Point::new(5.0, 5.0), 2.0)),
+            1
+        );
         // A circle covering everything.
-        assert_eq!(g.cells_overlapping(&Circle::new(Point::new(50.0, 50.0), 500.0)), 100);
+        assert_eq!(
+            g.cells_overlapping(&Circle::new(Point::new(50.0, 50.0), 500.0)),
+            100
+        );
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub struct KdTree {
 impl KdTree {
     /// Builds the tree from a snapshot.
     pub fn build(points: Vec<(ObjectId, Point)>) -> Self {
-        let mut items: Vec<Item> =
-            points.into_iter().map(|(id, pos)| Item { pos, id }).collect();
+        let mut items: Vec<Item> = points
+            .into_iter()
+            .map(|(id, pos)| Item { pos, id })
+            .collect();
         if !items.is_empty() {
             build_rec(&mut items, 0);
         }
@@ -72,7 +74,10 @@ impl KdTree {
         let got = self.knn(q, k);
         let want = bruteforce::knn(self.items.iter().map(|i| (i.id, i.pos)), q, k);
         got.len() == want.len()
-            && got.iter().zip(&want).all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
+            && got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
     }
 }
 
@@ -132,7 +137,10 @@ fn range_rec(items: &[Item], depth: usize, range: &Circle, r2: f64, out: &mut Ve
     let node = items[mid];
     let d2 = node.pos.dist_sq(range.center);
     if d2 <= r2 {
-        out.push(Neighbor { dist_sq: d2, id: node.id });
+        out.push(Neighbor {
+            dist_sq: d2,
+            id: node.id,
+        });
     }
     let diff = axis_key(range.center, axis) - axis_key(node.pos, axis);
     if diff <= range.radius {
@@ -165,7 +173,10 @@ mod tests {
         let t = KdTree::build(cloud(500));
         for k in [1, 5, 17, 100] {
             assert!(t.verify_knn(Point::new(500.0, 500.0), k), "k = {k}");
-            assert!(t.verify_knn(Point::new(-50.0, 1200.0), k), "outside, k = {k}");
+            assert!(
+                t.verify_knn(Point::new(-50.0, 1200.0), k),
+                "outside, k = {k}"
+            );
         }
     }
 
@@ -192,7 +203,9 @@ mod tests {
 
     #[test]
     fn duplicate_coordinates() {
-        let pts: Vec<_> = (0..50).map(|i| (ObjectId(i), Point::new(5.0, 5.0))).collect();
+        let pts: Vec<_> = (0..50)
+            .map(|i| (ObjectId(i), Point::new(5.0, 5.0)))
+            .collect();
         let t = KdTree::build(pts);
         let nn = t.knn(Point::new(5.0, 5.0), 50);
         assert_eq!(nn.len(), 50);
@@ -201,7 +214,9 @@ mod tests {
 
     #[test]
     fn collinear_points() {
-        let pts: Vec<_> = (0..100).map(|i| (ObjectId(i), Point::new(i as f64, 0.0))).collect();
+        let pts: Vec<_> = (0..100)
+            .map(|i| (ObjectId(i), Point::new(i as f64, 0.0)))
+            .collect();
         let t = KdTree::build(pts);
         assert!(t.verify_knn(Point::new(37.4, 0.0), 7));
     }

@@ -35,7 +35,10 @@ pub struct KnnCollector {
 impl KnnCollector {
     /// Creates a collector for the `k` nearest. `k = 0` collects nothing.
     pub fn new(k: usize) -> Self {
-        KnnCollector { k, heap: BinaryHeap::with_capacity(k + 1) }
+        KnnCollector {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offers a candidate; keeps it only if it is among the best k seen.
@@ -64,7 +67,10 @@ impl KnnCollector {
         if self.heap.len() < self.k {
             f64::INFINITY
         } else {
-            self.heap.peek().map(|(d, _)| d.get()).unwrap_or(f64::INFINITY)
+            self.heap
+                .peek()
+                .map(|(d, _)| d.get())
+                .unwrap_or(f64::INFINITY)
         }
     }
 
@@ -91,7 +97,12 @@ impl KnnCollector {
     pub fn into_sorted(self) -> Vec<Neighbor> {
         let mut v: Vec<_> = self.heap.into_vec();
         v.sort_unstable();
-        v.into_iter().map(|(d, id)| Neighbor { dist_sq: d.get(), id }).collect()
+        v.into_iter()
+            .map(|(d, id)| Neighbor {
+                dist_sq: d.get(),
+                id,
+            })
+            .collect()
     }
 }
 
@@ -156,7 +167,10 @@ mod tests {
 
     #[test]
     fn dist_is_sqrt() {
-        let n = Neighbor { dist_sq: 25.0, id: ObjectId(0) };
+        let n = Neighbor {
+            dist_sq: 25.0,
+            id: ObjectId(0),
+        };
         assert_eq!(n.dist(), 5.0);
     }
 }

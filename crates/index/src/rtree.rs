@@ -68,7 +68,10 @@ impl Default for RTree {
 impl RTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        RTree { root: Node::Leaf(Vec::new()), len: 0 }
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
     }
 
     /// Number of stored entries.
@@ -92,7 +95,9 @@ impl RTree {
             return Self::new();
         }
         items.sort_unstable_by(|a, b| {
-            OrdF64(a.1.x).cmp(&OrdF64(b.1.x)).then(OrdF64(a.1.y).cmp(&OrdF64(b.1.y)))
+            OrdF64(a.1.x)
+                .cmp(&OrdF64(b.1.x))
+                .then(OrdF64(a.1.y).cmp(&OrdF64(b.1.y)))
         });
         // Tile into vertical slices, then pack each slice bottom-up by y.
         // Chunk sizes are balanced (never a tiny trailing chunk) so that
@@ -103,12 +108,17 @@ impl RTree {
         for slice in even_chunks(&items, slices.max(1)) {
             let mut slice: Vec<_> = slice.to_vec();
             slice.sort_unstable_by(|a, b| {
-                OrdF64(a.1.y).cmp(&OrdF64(b.1.y)).then(OrdF64(a.1.x).cmp(&OrdF64(b.1.x)))
+                OrdF64(a.1.y)
+                    .cmp(&OrdF64(b.1.y))
+                    .then(OrdF64(a.1.x).cmp(&OrdF64(b.1.x)))
             });
             let chunks = slice.len().div_ceil(MAX_ENTRIES);
             for chunk in even_chunks(&slice, chunks.max(1)) {
                 leaves.push(Node::Leaf(
-                    chunk.iter().map(|&(id, pos)| LeafEntry { pos, id }).collect(),
+                    chunk
+                        .iter()
+                        .map(|&(id, pos)| LeafEntry { pos, id })
+                        .collect(),
                 ));
             }
         }
@@ -124,14 +134,20 @@ impl RTree {
                     .take(size)
                     .map(|node| {
                         let mbr = node.mbr().expect("packed node is non-empty");
-                        Child { mbr, node: Box::new(node) }
+                        Child {
+                            mbr,
+                            node: Box::new(node),
+                        }
                     })
                     .collect();
                 next.push(Node::Internal(children));
             }
             level = next;
         }
-        RTree { root: level.pop().expect("at least one node"), len }
+        RTree {
+            root: level.pop().expect("at least one node"),
+            len,
+        }
     }
 
     /// Inserts an entry. Duplicate `(id, position)` pairs are stored
@@ -144,8 +160,14 @@ impl RTree {
             let left_mbr = old_root.mbr().expect("split node non-empty");
             let right_mbr = sibling.mbr().expect("split sibling non-empty");
             self.root = Node::Internal(vec![
-                Child { mbr: left_mbr, node: Box::new(old_root) },
-                Child { mbr: right_mbr, node: Box::new(sibling) },
+                Child {
+                    mbr: left_mbr,
+                    node: Box::new(old_root),
+                },
+                Child {
+                    mbr: right_mbr,
+                    node: Box::new(sibling),
+                },
             ]);
         }
         self.len += 1;
@@ -184,8 +206,14 @@ impl RTree {
                 let left_mbr = old_root.mbr().expect("non-empty");
                 let right_mbr = sibling.mbr().expect("non-empty");
                 self.root = Node::Internal(vec![
-                    Child { mbr: left_mbr, node: Box::new(old_root) },
-                    Child { mbr: right_mbr, node: Box::new(sibling) },
+                    Child {
+                        mbr: left_mbr,
+                        node: Box::new(old_root),
+                    },
+                    Child {
+                        mbr: right_mbr,
+                        node: Box::new(sibling),
+                    },
                 ]);
             }
         }
@@ -254,9 +282,7 @@ impl RTree {
         let mut out = Vec::new();
         let r2 = range.radius * range.radius;
         range_rec(&self.root, range, r2, &mut out);
-        out.sort_unstable_by(|a, b| {
-            (OrdF64(a.dist_sq), a.id).cmp(&(OrdF64(b.dist_sq), b.id))
-        });
+        out.sort_unstable_by(|a, b| (OrdF64(a.dist_sq), a.id).cmp(&(OrdF64(b.dist_sq), b.id)));
         out
     }
 
@@ -293,7 +319,10 @@ impl RTree {
         check_rec(&self.root, true)?;
         let counted = self.iter().count();
         if counted != self.len {
-            return Err(format!("len {} but {} entries reachable", self.len, counted));
+            return Err(format!(
+                "len {} but {} entries reachable",
+                self.len, counted
+            ));
         }
         Ok(())
     }
@@ -303,7 +332,10 @@ impl RTree {
         let got = self.knn(q, k);
         let want = bruteforce::knn(self.iter().collect::<Vec<_>>(), q, k);
         got.len() == want.len()
-            && got.iter().zip(&want).all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
+            && got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.id == b.id && a.dist_sq == b.dist_sq)
     }
 }
 
@@ -322,7 +354,10 @@ impl Iterator for NearestIter<'_> {
         while let Some(Reverse(item)) = self.heap.pop() {
             match item.kind {
                 HeapKind::Entry(id) => {
-                    return Some(Neighbor { dist_sq: item.key.get(), id });
+                    return Some(Neighbor {
+                        dist_sq: item.key.get(),
+                        id,
+                    });
                 }
                 HeapKind::Node(Node::Leaf(es)) => {
                     for e in es {
@@ -427,7 +462,10 @@ fn insert_rec(node: &mut Node, pos: Point, id: ObjectId) -> Option<Node> {
             cs[best].mbr = cs[best].node.mbr().expect("child non-empty");
             if let Some(sibling) = split {
                 let mbr = sibling.mbr().expect("sibling non-empty");
-                cs.push(Child { mbr, node: Box::new(sibling) });
+                cs.push(Child {
+                    mbr,
+                    node: Box::new(sibling),
+                });
             }
             if cs.len() > MAX_ENTRIES {
                 let items = std::mem::take(cs);
@@ -500,7 +538,9 @@ fn quadratic_split<T>(mut items: Vec<T>, rect_of: impl Fn(&T) -> Rect) -> (Vec<T
         let r = rect_of(&item);
         let d1 = r1.union(&r).area() - r1.area();
         let d2 = r2.union(&r).area() - r2.area();
-        let to_first = d1 < d2 || (d1 == d2 && (r1.area() < r2.area() || (r1.area() == r2.area() && g1.len() <= g2.len())));
+        let to_first = d1 < d2
+            || (d1 == d2
+                && (r1.area() < r2.area() || (r1.area() == r2.area() && g1.len() <= g2.len())));
         if to_first {
             r1 = r1.union(&r);
             g1.push(item);
@@ -563,7 +603,10 @@ fn range_rec(node: &Node, range: &Circle, r2: f64, out: &mut Vec<Neighbor>) {
             for e in es {
                 let d2 = e.pos.dist_sq(range.center);
                 if d2 <= r2 {
-                    out.push(Neighbor { dist_sq: d2, id: e.id });
+                    out.push(Neighbor {
+                        dist_sq: d2,
+                        id: e.id,
+                    });
                 }
             }
         }
@@ -596,7 +639,10 @@ fn check_rec(node: &Node, is_root: bool) -> Result<usize, String> {
             for c in cs {
                 let actual = c.node.mbr().ok_or("empty child node")?;
                 if !c.mbr.contains_rect(&actual) {
-                    return Err(format!("stored MBR {:?} does not cover {:?}", c.mbr, actual));
+                    return Err(format!(
+                        "stored MBR {:?} does not cover {:?}",
+                        c.mbr, actual
+                    ));
                 }
                 let d = check_rec(&c.node, false)?;
                 if *depth.get_or_insert(d) != d {
@@ -617,9 +663,13 @@ mod tests {
         let mut state = 0x2545F4914F6CDD1Du64;
         (0..n)
             .map(|i| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((state >> 33) % 10_000) as f64 / 10.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((state >> 33) % 10_000) as f64 / 10.0;
                 (ObjectId(i), Point::new(x, y))
             })
@@ -635,7 +685,10 @@ mod tests {
         t.check_invariants().unwrap();
         for k in [1, 3, 10, 50] {
             assert!(t.verify_knn(Point::new(500.0, 500.0), k), "k = {k}");
-            assert!(t.verify_knn(Point::new(-100.0, 2000.0), k), "outside, k = {k}");
+            assert!(
+                t.verify_knn(Point::new(-100.0, 2000.0), k),
+                "outside, k = {k}"
+            );
         }
     }
 
@@ -747,8 +800,10 @@ mod tests {
         let q = Point::new(10.0, 990.0);
         let first7: Vec<_> = t.nearest_iter(q).take(7).collect();
         let knn7 = t.knn(q, 7);
-        assert_eq!(first7.iter().map(|n| n.id).collect::<Vec<_>>(),
-                   knn7.iter().map(|n| n.id).collect::<Vec<_>>());
+        assert_eq!(
+            first7.iter().map(|n| n.id).collect::<Vec<_>>(),
+            knn7.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,48 +1,64 @@
-//! Property-based tests: every index agrees with the brute-force oracle.
+//! Property-based tests: every index agrees with the brute-force oracle
+//! (mknn-util `check` harness).
 
 use mknn_geom::{Circle, ObjectId, Point, Rect};
 use mknn_index::{bruteforce, GridIndex, KdTree, RTree};
-use proptest::prelude::*;
+use mknn_util::check::forall;
+use mknn_util::Rng;
+
+/// Cases per property (matches the former proptest config of 64).
+const CASES: u64 = 64;
 
 const SIDE: f64 = 1000.0;
 
-fn pt() -> impl Strategy<Value = Point> {
-    (0.0..SIDE, 0.0..SIDE).prop_map(|(x, y)| Point::new(x, y))
+fn pt(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE))
 }
 
-fn world(max: usize) -> impl Strategy<Value = Vec<(ObjectId, Point)>> {
-    prop::collection::vec(pt(), 0..max)
-        .prop_map(|ps| ps.into_iter().enumerate().map(|(i, p)| (ObjectId(i as u32), p)).collect())
+fn world(rng: &mut Rng, max: usize) -> Vec<(ObjectId, Point)> {
+    let n = rng.gen_range(0usize..max);
+    (0..n).map(|i| (ObjectId(i as u32), pt(rng))).collect()
 }
 
 fn ids(nn: &[mknn_index::Neighbor]) -> Vec<u32> {
     nn.iter().map(|n| n.id.0).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn grid_knn_equals_bruteforce(w in world(200), q in pt(), k in 0usize..20) {
+#[test]
+fn grid_knn_equals_bruteforce() {
+    forall(CASES, |rng| {
+        let w = world(rng, 200);
+        let q = pt(rng);
+        let k = rng.gen_range(0usize..20);
         let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
         for &(id, p) in &w {
             g.upsert(id, p);
         }
         let got = g.knn(q, k);
         let want = bruteforce::knn(w.clone(), q, k);
-        prop_assert_eq!(ids(&got), ids(&want));
-    }
+        assert_eq!(ids(&got), ids(&want));
+    });
+}
 
-    #[test]
-    fn rtree_knn_equals_bruteforce(w in world(200), q in pt(), k in 0usize..20) {
+#[test]
+fn rtree_knn_equals_bruteforce() {
+    forall(CASES, |rng| {
+        let w = world(rng, 200);
+        let q = pt(rng);
+        let k = rng.gen_range(0usize..20);
         let t = RTree::bulk_load(w.clone());
         let got = t.knn(q, k);
         let want = bruteforce::knn(w.clone(), q, k);
-        prop_assert_eq!(ids(&got), ids(&want));
-    }
+        assert_eq!(ids(&got), ids(&want));
+    });
+}
 
-    #[test]
-    fn rtree_incremental_equals_bulk(w in world(120), q in pt(), k in 1usize..10) {
+#[test]
+fn rtree_incremental_equals_bulk() {
+    forall(CASES, |rng| {
+        let w = world(rng, 120);
+        let q = pt(rng);
+        let k = rng.gen_range(1usize..10);
         let bulk = RTree::bulk_load(w.clone());
         let mut inc = RTree::new();
         for &(id, p) in &w {
@@ -50,76 +66,126 @@ proptest! {
         }
         inc.check_invariants().unwrap();
         bulk.check_invariants().unwrap();
-        prop_assert_eq!(ids(&bulk.knn(q, k)), ids(&inc.knn(q, k)));
-    }
+        assert_eq!(ids(&bulk.knn(q, k)), ids(&inc.knn(q, k)));
+    });
+}
 
-    #[test]
-    fn kdtree_knn_equals_bruteforce(w in world(200), q in pt(), k in 0usize..20) {
+#[test]
+fn kdtree_knn_equals_bruteforce() {
+    forall(CASES, |rng| {
+        let w = world(rng, 200);
+        let q = pt(rng);
+        let k = rng.gen_range(0usize..20);
         let t = KdTree::build(w.clone());
-        prop_assert_eq!(ids(&t.knn(q, k)), ids(&bruteforce::knn(w.clone(), q, k)));
-    }
+        assert_eq!(ids(&t.knn(q, k)), ids(&bruteforce::knn(w.clone(), q, k)));
+    });
+}
 
-    #[test]
-    fn kdtree_range_equals_bruteforce(w in world(200), q in pt(), r in 0.0..SIDE) {
+#[test]
+fn kdtree_range_equals_bruteforce() {
+    forall(CASES, |rng| {
+        let w = world(rng, 200);
+        let q = pt(rng);
+        let r = rng.gen_range(0.0..SIDE);
         let t = KdTree::build(w.clone());
         let c = Circle::new(q, r);
-        prop_assert_eq!(ids(&t.range(&c)), ids(&bruteforce::range(w.clone(), &c)));
-    }
+        assert_eq!(ids(&t.range(&c)), ids(&bruteforce::range(w.clone(), &c)));
+    });
+}
 
-    #[test]
-    fn three_indexes_agree(w in world(150), q in pt(), k in 1usize..12) {
+#[test]
+fn three_indexes_agree() {
+    forall(CASES, |rng| {
+        let w = world(rng, 150);
+        let q = pt(rng);
+        let k = rng.gen_range(1usize..12);
         let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
         for &(id, p) in &w {
             g.upsert(id, p);
         }
         let r = RTree::bulk_load(w.clone());
         let kd = KdTree::build(w.clone());
-        prop_assert_eq!(ids(&g.knn(q, k)), ids(&r.knn(q, k)));
-        prop_assert_eq!(ids(&r.knn(q, k)), ids(&kd.knn(q, k)));
-    }
+        assert_eq!(ids(&g.knn(q, k)), ids(&r.knn(q, k)));
+        assert_eq!(ids(&r.knn(q, k)), ids(&kd.knn(q, k)));
+    });
+}
 
-    #[test]
-    fn nearest_iter_prefix_equals_knn(w in world(150), q in pt(), k in 0usize..20) {
+#[test]
+fn nearest_iter_prefix_equals_knn() {
+    forall(CASES, |rng| {
+        let w = world(rng, 150);
+        let q = pt(rng);
+        let k = rng.gen_range(0usize..20);
         let t = RTree::bulk_load(w.clone());
         let prefix: Vec<u32> = t.nearest_iter(q).take(k).map(|n| n.id.0).collect();
-        prop_assert_eq!(prefix, ids(&t.knn(q, k)));
-    }
+        assert_eq!(prefix, ids(&t.knn(q, k)));
+    });
+}
 
-    #[test]
-    fn grid_range_equals_bruteforce(w in world(200), q in pt(), r in 0.0..SIDE) {
+#[test]
+fn grid_range_equals_bruteforce() {
+    forall(CASES, |rng| {
+        let w = world(rng, 200);
+        let q = pt(rng);
+        let r = rng.gen_range(0.0..SIDE);
         let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
         for &(id, p) in &w {
             g.upsert(id, p);
         }
         let c = Circle::new(q, r);
-        prop_assert_eq!(ids(&g.range(&c)), ids(&bruteforce::range(w.clone(), &c)));
-    }
+        assert_eq!(ids(&g.range(&c)), ids(&bruteforce::range(w.clone(), &c)));
+    });
+}
 
-    #[test]
-    fn rtree_range_equals_bruteforce(w in world(200), q in pt(), r in 0.0..SIDE) {
+#[test]
+fn rtree_range_equals_bruteforce() {
+    forall(CASES, |rng| {
+        let w = world(rng, 200);
+        let q = pt(rng);
+        let r = rng.gen_range(0.0..SIDE);
         let t = RTree::bulk_load(w.clone());
         let c = Circle::new(q, r);
-        prop_assert_eq!(ids(&t.range(&c)), ids(&bruteforce::range(w.clone(), &c)));
-    }
+        assert_eq!(ids(&t.range(&c)), ids(&bruteforce::range(w.clone(), &c)));
+    });
+}
 
-    #[test]
-    fn grid_survives_random_moves(w in world(100), moves in prop::collection::vec((0usize..100, pt()), 0..200), q in pt(), k in 1usize..8) {
+#[test]
+fn grid_survives_random_moves() {
+    forall(CASES, |rng| {
+        let w = world(rng, 100);
+        let n_moves = rng.gen_range(0usize..200);
+        let moves: Vec<(usize, Point)> = (0..n_moves)
+            .map(|_| (rng.gen_range(0usize..100), pt(rng)))
+            .collect();
+        let q = pt(rng);
+        let k = rng.gen_range(1usize..8);
         let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
         let mut truth: Vec<(ObjectId, Point)> = w.clone();
         for &(id, p) in &w {
             g.upsert(id, p);
         }
         for (raw, p) in moves {
-            if truth.is_empty() { break; }
+            if truth.is_empty() {
+                break;
+            }
             let i = raw % truth.len();
             truth[i].1 = p;
             g.upsert(truth[i].0, p);
         }
-        prop_assert_eq!(ids(&g.knn(q, k)), ids(&bruteforce::knn(truth.clone(), q, k)));
-    }
+        assert_eq!(
+            ids(&g.knn(q, k)),
+            ids(&bruteforce::knn(truth.clone(), q, k))
+        );
+    });
+}
 
-    #[test]
-    fn rtree_survives_insert_delete_interleaving(w in world(120), ops in prop::collection::vec(any::<bool>(), 0..120), q in pt()) {
+#[test]
+fn rtree_survives_insert_delete_interleaving() {
+    forall(CASES, |rng| {
+        let w = world(rng, 120);
+        let n_ops = rng.gen_range(0usize..120);
+        let ops: Vec<bool> = (0..n_ops).map(|_| rng.gen_bool(0.5)).collect();
+        let q = pt(rng);
         let mut t = RTree::new();
         let mut live: Vec<(ObjectId, Point)> = Vec::new();
         let mut pending = w.clone();
@@ -131,16 +197,21 @@ proptest! {
                 }
             } else {
                 let (id, p) = live.swap_remove(live.len() / 2);
-                prop_assert!(t.remove(id, p));
+                assert!(t.remove(id, p));
             }
         }
         t.check_invariants().unwrap();
-        prop_assert_eq!(t.len(), live.len());
-        prop_assert_eq!(ids(&t.knn(q, 5)), ids(&bruteforce::knn(live.clone(), q, 5)));
-    }
+        assert_eq!(t.len(), live.len());
+        assert_eq!(ids(&t.knn(q, 5)), ids(&bruteforce::knn(live.clone(), q, 5)));
+    });
+}
 
-    #[test]
-    fn grid_estimate_radius_covers_k(w in world(300), q in pt(), k in 1usize..30) {
+#[test]
+fn grid_estimate_radius_covers_k() {
+    forall(CASES, |rng| {
+        let w = world(rng, 300);
+        let q = pt(rng);
+        let k = rng.gen_range(1usize..30);
         let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
         for &(id, p) in &w {
             g.upsert(id, p);
@@ -148,7 +219,7 @@ proptest! {
         let r = g.estimate_knn_radius(q, k);
         let kth = bruteforce::kth_dist(w.clone(), q, k);
         if kth.is_finite() {
-            prop_assert!(r >= kth, "estimate {r} < true k-th distance {kth}");
+            assert!(r >= kth, "estimate {r} < true k-th distance {kth}");
         }
-    }
+    });
 }

@@ -21,6 +21,7 @@
 
 #![deny(missing_docs)]
 
+mod json;
 mod model;
 mod object;
 mod roadnet;

@@ -2,8 +2,7 @@
 
 use crate::MovingObject;
 use mknn_geom::{Point, Rect, Vector};
-use rand::rngs::StdRng;
-use rand::Rng;
+use mknn_util::Rng;
 
 /// A motion model advances objects one tick at a time.
 ///
@@ -12,11 +11,11 @@ use rand::Rng;
 /// called exactly once with the full population before the first step.
 pub trait MotionModel {
     /// Prepares per-object state. Default: nothing.
-    fn init(&mut self, _objects: &mut [MovingObject], _bounds: Rect, _rng: &mut StdRng) {}
+    fn init(&mut self, _objects: &mut [MovingObject], _bounds: Rect, _rng: &mut Rng) {}
 
     /// Advances object `idx` by one tick. Implementations must keep
     /// `obj.pos` inside `bounds` and `obj.vel.norm() ≤ obj.max_speed`.
-    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut StdRng);
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut Rng);
 
     /// Human-readable model name (for experiment logs).
     fn name(&self) -> &'static str;
@@ -27,7 +26,7 @@ pub trait MotionModel {
 pub struct Stationary;
 
 impl MotionModel for Stationary {
-    fn step(&mut self, _idx: usize, obj: &mut MovingObject, _bounds: Rect, _rng: &mut StdRng) {
+    fn step(&mut self, _idx: usize, obj: &mut MovingObject, _bounds: Rect, _rng: &mut Rng) {
         obj.vel = Vector::ZERO;
     }
 
@@ -61,10 +60,14 @@ impl RandomWaypoint {
     /// pause duration.
     pub fn new(min_speed_frac: f64, pause_ticks: u32) -> Self {
         debug_assert!((0.0..=1.0).contains(&min_speed_frac));
-        RandomWaypoint { min_speed_frac, pause_ticks, legs: Vec::new() }
+        RandomWaypoint {
+            min_speed_frac,
+            pause_ticks,
+            legs: Vec::new(),
+        }
     }
 
-    fn fresh_leg(&self, obj: &MovingObject, bounds: Rect, rng: &mut StdRng) -> Leg {
+    fn fresh_leg(&self, obj: &MovingObject, bounds: Rect, rng: &mut Rng) -> Leg {
         let target = Point::new(
             rng.gen_range(bounds.min.x..=bounds.max.x),
             rng.gen_range(bounds.min.y..=bounds.max.y),
@@ -75,7 +78,11 @@ impl RandomWaypoint {
         } else {
             obj.max_speed
         };
-        Leg { target, speed, pause_left: 0 }
+        Leg {
+            target,
+            speed,
+            pause_left: 0,
+        }
     }
 }
 
@@ -86,11 +93,14 @@ impl Default for RandomWaypoint {
 }
 
 impl MotionModel for RandomWaypoint {
-    fn init(&mut self, objects: &mut [MovingObject], bounds: Rect, rng: &mut StdRng) {
-        self.legs = objects.iter().map(|o| self.fresh_leg(o, bounds, rng)).collect();
+    fn init(&mut self, objects: &mut [MovingObject], bounds: Rect, rng: &mut Rng) {
+        self.legs = objects
+            .iter()
+            .map(|o| self.fresh_leg(o, bounds, rng))
+            .collect();
     }
 
-    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut StdRng) {
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut Rng) {
         let mut leg = self.legs[idx];
         if leg.pause_left > 0 {
             leg.pause_left -= 1;
@@ -142,7 +152,12 @@ impl RandomWalk {
     /// Creates the model.
     pub fn new(turn_prob: f64, min_speed_frac: f64) -> Self {
         debug_assert!((0.0..=1.0).contains(&turn_prob));
-        RandomWalk { turn_prob, min_speed_frac, cruise: Vec::new(), heading: Vec::new() }
+        RandomWalk {
+            turn_prob,
+            min_speed_frac,
+            cruise: Vec::new(),
+            heading: Vec::new(),
+        }
     }
 }
 
@@ -153,7 +168,7 @@ impl Default for RandomWalk {
 }
 
 impl MotionModel for RandomWalk {
-    fn init(&mut self, objects: &mut [MovingObject], _bounds: Rect, rng: &mut StdRng) {
+    fn init(&mut self, objects: &mut [MovingObject], _bounds: Rect, rng: &mut Rng) {
         self.cruise.clear();
         self.heading.clear();
         for o in objects.iter_mut() {
@@ -163,15 +178,14 @@ impl MotionModel for RandomWalk {
             } else {
                 o.max_speed
             };
-            let heading =
-                Vector::from_heading(rng.gen_range(0.0..std::f64::consts::TAU)) * speed;
+            let heading = Vector::from_heading(rng.gen_range(0.0..std::f64::consts::TAU)) * speed;
             o.vel = heading;
             self.cruise.push(speed);
             self.heading.push(heading);
         }
     }
 
-    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut StdRng) {
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, bounds: Rect, rng: &mut Rng) {
         let speed = self.cruise[idx];
         let mut heading = if rng.gen_bool(self.turn_prob) || obj.vel == Vector::ZERO {
             Vector::from_heading(rng.gen_range(0.0..std::f64::consts::TAU)) * speed
@@ -207,11 +221,10 @@ impl MotionModel for RandomWalk {
 mod tests {
     use super::*;
     use mknn_geom::ObjectId;
-    use rand::SeedableRng;
 
     fn run_model(mut model: impl MotionModel, ticks: usize) -> Vec<MovingObject> {
         let bounds = Rect::square(100.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut objs: Vec<MovingObject> = (0..20)
             .map(|i| MovingObject::at(ObjectId(i), Point::new(50.0, 50.0), 5.0))
             .collect();
@@ -246,7 +259,10 @@ mod tests {
         let objs = run_model(RandomWaypoint::default(), 500);
         assert_in_bounds_and_speed_capped(&objs);
         // After 500 ticks at speed ≥ 1.25, objects must have dispersed.
-        let moved = objs.iter().filter(|o| o.pos != Point::new(50.0, 50.0)).count();
+        let moved = objs
+            .iter()
+            .filter(|o| o.pos != Point::new(50.0, 50.0))
+            .count();
         assert!(moved > 15);
     }
 
@@ -254,7 +270,7 @@ mod tests {
     fn random_waypoint_pauses_at_waypoints() {
         let mut model = RandomWaypoint::new(1.0, 3);
         let bounds = Rect::square(10.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut objs = vec![MovingObject::at(ObjectId(0), Point::new(5.0, 5.0), 100.0)];
         model.init(&mut objs, bounds, &mut rng);
         // Speed 100 in a 10×10 world: every step arrives, then pauses 3.
@@ -280,7 +296,7 @@ mod tests {
     fn random_walk_reflects_instead_of_sticking() {
         let mut model = RandomWalk::new(0.0, 1.0); // never turn, full speed
         let bounds = Rect::square(100.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut objs = vec![MovingObject::at(ObjectId(0), Point::new(99.0, 50.0), 4.0)];
         model.init(&mut objs, bounds, &mut rng);
         let mut o = objs[0];

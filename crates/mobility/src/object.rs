@@ -1,11 +1,10 @@
 //! The state of one moving object.
 
 use mknn_geom::{ObjectId, Point, Vector};
-use serde::{Deserialize, Serialize};
 
 /// Ground-truth state of one moving object (the device's own knowledge of
 /// itself — protocols only ever see what the object chooses to report).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MovingObject {
     /// Identity of the object.
     pub id: ObjectId,
@@ -23,7 +22,12 @@ impl MovingObject {
     /// Creates an object at rest.
     pub fn at(id: ObjectId, pos: Point, max_speed: f64) -> Self {
         debug_assert!(max_speed >= 0.0);
-        MovingObject { id, pos, vel: Vector::ZERO, max_speed }
+        MovingObject {
+            id,
+            pos,
+            vel: Vector::ZERO,
+            max_speed,
+        }
     }
 
     /// Current speed (norm of the velocity), in meters per tick.

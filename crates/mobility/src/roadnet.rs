@@ -9,8 +9,7 @@
 
 use crate::{MotionModel, MovingObject};
 use mknn_geom::{Point, Rect, Vector};
-use rand::rngs::StdRng;
-use rand::Rng;
+use mknn_util::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -29,7 +28,7 @@ impl RoadNetwork {
     /// each interior edge independently with probability `drop_prob`
     /// (connectivity is preserved by keeping the full boundary ring and by
     /// never disconnecting a node's last edge).
-    pub fn grid(bounds: Rect, nx: u32, ny: u32, drop_prob: f64, rng: &mut StdRng) -> Self {
+    pub fn grid(bounds: Rect, nx: u32, ny: u32, drop_prob: f64, rng: &mut Rng) -> Self {
         assert!(nx >= 2 && ny >= 2, "need at least a 2×2 lattice");
         let n = (nx * ny) as usize;
         let mut nodes = Vec::with_capacity(n);
@@ -50,23 +49,37 @@ impl RoadNetwork {
             }
         }
         let id = |i: u32, j: u32| (j * nx + i) as NodeId;
-        let mut net = RoadNetwork { nodes, adj: vec![Vec::new(); n] };
+        let mut net = RoadNetwork {
+            nodes,
+            adj: vec![Vec::new(); n],
+        };
         for j in 0..ny {
             for i in 0..nx {
                 if i + 1 < nx {
-                    net.try_add_edge(id(i, j), id(i + 1, j), j == 0 || j == ny - 1, drop_prob, rng);
+                    net.try_add_edge(
+                        id(i, j),
+                        id(i + 1, j),
+                        j == 0 || j == ny - 1,
+                        drop_prob,
+                        rng,
+                    );
                 }
                 if j + 1 < ny {
-                    net.try_add_edge(id(i, j), id(i, j + 1), i == 0 || i == nx - 1, drop_prob, rng);
+                    net.try_add_edge(
+                        id(i, j),
+                        id(i, j + 1),
+                        i == 0 || i == nx - 1,
+                        drop_prob,
+                        rng,
+                    );
                 }
             }
         }
         net
     }
 
-    fn try_add_edge(&mut self, a: NodeId, b: NodeId, keep: bool, drop_prob: f64, rng: &mut StdRng) {
-        let endangered =
-            self.adj[a as usize].is_empty() || self.adj[b as usize].is_empty();
+    fn try_add_edge(&mut self, a: NodeId, b: NodeId, keep: bool, drop_prob: f64, rng: &mut Rng) {
+        let endangered = self.adj[a as usize].is_empty() || self.adj[b as usize].is_empty();
         if keep || endangered || !rng.gen_bool(drop_prob) {
             self.adj[a as usize].push(b);
             self.adj[b as usize].push(a);
@@ -155,7 +168,7 @@ impl RoadNetwork {
     }
 
     /// A uniformly random node.
-    pub fn random_node(&self, rng: &mut StdRng) -> NodeId {
+    pub fn random_node(&self, rng: &mut Rng) -> NodeId {
         rng.gen_range(0..self.nodes.len() as u32)
     }
 }
@@ -171,7 +184,7 @@ impl PartialOrd for OrdKey {
 }
 impl Ord for OrdKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -196,7 +209,11 @@ struct Route {
 impl RoadMotion {
     /// Creates the model over `net`.
     pub fn new(net: RoadNetwork, min_speed_frac: f64) -> Self {
-        RoadMotion { net, min_speed_frac, routes: Vec::new() }
+        RoadMotion {
+            net,
+            min_speed_frac,
+            routes: Vec::new(),
+        }
     }
 
     /// The underlying network.
@@ -204,7 +221,7 @@ impl RoadMotion {
         &self.net
     }
 
-    fn fresh_route(&self, from: NodeId, speed: f64, rng: &mut StdRng) -> Route {
+    fn fresh_route(&self, from: NodeId, speed: f64, rng: &mut Rng) -> Route {
         // Retry a few times in case a random destination is unreachable
         // (cannot happen on the generated grids, but stay robust).
         for _ in 0..8 {
@@ -218,12 +235,15 @@ impl RoadMotion {
         }
         // Degenerate fallback: wander to any neighbor.
         let next = self.net.neighbors(from).first().copied().unwrap_or(from);
-        Route { path: vec![next], speed }
+        Route {
+            path: vec![next],
+            speed,
+        }
     }
 }
 
 impl MotionModel for RoadMotion {
-    fn init(&mut self, objects: &mut [MovingObject], _bounds: Rect, rng: &mut StdRng) {
+    fn init(&mut self, objects: &mut [MovingObject], _bounds: Rect, rng: &mut Rng) {
         self.routes = objects
             .iter_mut()
             .map(|o| {
@@ -241,10 +261,13 @@ impl MotionModel for RoadMotion {
             .collect();
     }
 
-    fn step(&mut self, idx: usize, obj: &mut MovingObject, _bounds: Rect, rng: &mut StdRng) {
+    fn step(&mut self, idx: usize, obj: &mut MovingObject, _bounds: Rect, rng: &mut Rng) {
         let mut route = std::mem::replace(
             &mut self.routes[idx],
-            Route { path: Vec::new(), speed: 0.0 },
+            Route {
+                path: Vec::new(),
+                speed: 0.0,
+            },
         );
         let mut budget = route.speed;
         obj.vel = Vector::ZERO;
@@ -288,16 +311,15 @@ impl MotionModel for RoadMotion {
 mod tests {
     use super::*;
     use mknn_geom::ObjectId;
-    use rand::SeedableRng;
 
     fn net() -> RoadNetwork {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         RoadNetwork::grid(Rect::square(100.0), 5, 5, 0.2, &mut rng)
     }
 
     #[test]
     fn grid_has_expected_shape() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let full = RoadNetwork::grid(Rect::square(100.0), 4, 3, 0.0, &mut rng);
         assert_eq!(full.node_count(), 12);
         // 3 rows × 3 horizontal + 4 cols × 2 vertical = 9 + 8 = 17 edges.
@@ -310,13 +332,16 @@ mod tests {
     fn dropped_edges_keep_connectivity() {
         let n = net();
         for target in 0..n.node_count() as u32 {
-            assert!(n.shortest_path(0, target).is_some(), "node {target} unreachable");
+            assert!(
+                n.shortest_path(0, target).is_some(),
+                "node {target} unreachable"
+            );
         }
     }
 
     #[test]
     fn shortest_path_on_full_grid_is_manhattan() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let full = RoadNetwork::grid(Rect::square(100.0), 5, 5, 0.0, &mut rng);
         // From corner (0) to opposite corner (24): length 8 edges of 25 each.
         let path = full.shortest_path(0, 24).unwrap();
@@ -332,7 +357,7 @@ mod tests {
 
     #[test]
     fn nearest_node_snaps() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let full = RoadNetwork::grid(Rect::square(100.0), 5, 5, 0.0, &mut rng);
         assert_eq!(full.nearest_node(Point::new(1.0, 2.0)), 0);
         assert_eq!(full.nearest_node(Point::new(99.0, 99.0)), 24);
@@ -342,7 +367,7 @@ mod tests {
     fn objects_travel_along_roads() {
         let mut model = RoadMotion::new(net(), 0.5);
         let bounds = Rect::square(100.0);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let mut objs: Vec<MovingObject> = (0..10)
             .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 9.0, 40.0), 8.0))
             .collect();

@@ -5,12 +5,10 @@ use crate::{
     World,
 };
 use mknn_geom::{ObjectId, Point, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use mknn_util::Rng;
 
 /// How initial positions are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {
     /// Uniform over the space.
     Uniform,
@@ -26,7 +24,7 @@ pub enum Placement {
 }
 
 /// Distribution of per-object maximum speeds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpeedDist {
     /// All objects share one maximum speed.
     Fixed(f64),
@@ -51,7 +49,7 @@ pub enum SpeedDist {
 
 impl SpeedDist {
     /// Draws one per-object maximum speed.
-    pub fn sample(&self, i: usize, rng: &mut StdRng) -> f64 {
+    pub fn sample(&self, i: usize, rng: &mut Rng) -> f64 {
         match *self {
             SpeedDist::Fixed(v) => v,
             SpeedDist::Uniform { min, max } => {
@@ -81,7 +79,7 @@ impl SpeedDist {
 }
 
 /// Which motion model drives the objects.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Motion {
     /// Objects never move.
     Stationary,
@@ -102,7 +100,7 @@ pub enum Motion {
 }
 
 /// A complete, reproducible description of a moving-object workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of moving objects.
     pub n_objects: usize,
@@ -123,7 +121,7 @@ pub struct WorkloadSpec {
     /// Per-object maximum-speed overrides `(object id, max speed)`, applied
     /// after sampling and before motion-model initialization. Used by the
     /// experiments to give query focal objects a speed of their own.
-    #[serde(default)]
+    /// Defaults to empty when absent from a JSON document.
     pub speed_overrides: Vec<(u32, f64)>,
 }
 
@@ -133,7 +131,10 @@ impl Default for WorkloadSpec {
             n_objects: 10_000,
             space_side: 10_000.0,
             placement: Placement::Uniform,
-            speeds: SpeedDist::Uniform { min: 5.0, max: 20.0 },
+            speeds: SpeedDist::Uniform {
+                min: 5.0,
+                max: 20.0,
+            },
             motion: Motion::RandomWaypoint,
             move_prob: 1.0,
             seed: 42,
@@ -152,7 +153,7 @@ impl WorkloadSpec {
     /// the motion model, and initializes per-object model state.
     pub fn build(&self) -> World {
         let bounds = self.bounds();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut objects: Vec<MovingObject> = {
             let positions = self.draw_positions(bounds, &mut rng);
             positions
@@ -181,7 +182,7 @@ impl WorkloadSpec {
         World::new(bounds, objects, model, self.move_prob, rng)
     }
 
-    fn draw_positions(&self, bounds: Rect, rng: &mut StdRng) -> Vec<Point> {
+    fn draw_positions(&self, bounds: Rect, rng: &mut Rng) -> Vec<Point> {
         match self.placement {
             Placement::Uniform => (0..self.n_objects)
                 .map(|_| {
@@ -204,10 +205,8 @@ impl WorkloadSpec {
                 (0..self.n_objects)
                     .map(|i| {
                         let c = centers[i % clusters];
-                        let p = Point::new(
-                            c.x + gaussian(rng) * sigma,
-                            c.y + gaussian(rng) * sigma,
-                        );
+                        let p =
+                            Point::new(c.x + rng.normal(0.0, sigma), c.y + rng.normal(0.0, sigma));
                         p.clamp(bounds.min, bounds.max)
                     })
                     .collect()
@@ -216,21 +215,16 @@ impl WorkloadSpec {
     }
 }
 
-/// A standard-normal sample via Box–Muller (keeps `rand` usage to the plain
-/// `Rng` API so no distribution crates are needed).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn default_spec_builds() {
-        let spec = WorkloadSpec { n_objects: 100, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            n_objects: 100,
+            ..WorkloadSpec::default()
+        };
         let w = spec.build();
         assert_eq!(w.objects().len(), 100);
         for o in w.objects() {
@@ -241,7 +235,10 @@ mod tests {
 
     #[test]
     fn same_seed_same_world() {
-        let spec = WorkloadSpec { n_objects: 50, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            n_objects: 50,
+            ..WorkloadSpec::default()
+        };
         let a = spec.build();
         let b = spec.build();
         assert_eq!(a.objects(), b.objects());
@@ -249,8 +246,14 @@ mod tests {
 
     #[test]
     fn different_seed_different_world() {
-        let spec = WorkloadSpec { n_objects: 50, ..WorkloadSpec::default() };
-        let other = WorkloadSpec { seed: 43, ..spec.clone() };
+        let spec = WorkloadSpec {
+            n_objects: 50,
+            ..WorkloadSpec::default()
+        };
+        let other = WorkloadSpec {
+            seed: 43,
+            ..spec.clone()
+        };
         assert_ne!(spec.build().objects(), other.build().objects());
     }
 
@@ -258,7 +261,10 @@ mod tests {
     fn gaussian_placement_is_clustered() {
         let spec = WorkloadSpec {
             n_objects: 1000,
-            placement: Placement::Gaussian { clusters: 2, sigma: 100.0 },
+            placement: Placement::Gaussian {
+                clusters: 2,
+                sigma: 100.0,
+            },
             ..WorkloadSpec::default()
         };
         let w = spec.build();
@@ -274,8 +280,12 @@ mod tests {
 
     #[test]
     fn speed_classes_cycle() {
-        let d = SpeedDist::Classes { slow: 1.0, medium: 2.0, fast: 3.0 };
-        let mut rng = StdRng::seed_from_u64(0);
+        let d = SpeedDist::Classes {
+            slow: 1.0,
+            medium: 2.0,
+            fast: 3.0,
+        };
+        let mut rng = Rng::seed_from_u64(0);
         assert_eq!(d.sample(0, &mut rng), 1.0);
         assert_eq!(d.sample(1, &mut rng), 2.0);
         assert_eq!(d.sample(2, &mut rng), 3.0);
@@ -283,10 +293,10 @@ mod tests {
     }
 
     #[test]
-    fn spec_round_trips_through_serde() {
+    fn spec_round_trips_through_json() {
         let spec = WorkloadSpec::default();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        let json = mknn_util::to_string(&spec);
+        let back: WorkloadSpec = mknn_util::from_str(&json).unwrap();
         assert_eq!(spec, back);
     }
 
@@ -307,7 +317,11 @@ mod tests {
     fn road_network_spec_builds_on_roads() {
         let spec = WorkloadSpec {
             n_objects: 60,
-            motion: Motion::RoadNetwork { nx: 6, ny: 6, drop_prob: 0.1 },
+            motion: Motion::RoadNetwork {
+                nx: 6,
+                ny: 6,
+                drop_prob: 0.1,
+            },
             ..WorkloadSpec::default()
         };
         let mut w = spec.build();

@@ -2,8 +2,7 @@
 
 use crate::{MotionModel, MovingObject};
 use mknn_geom::{ObjectId, Point, Rect, Tick};
-use rand::rngs::StdRng;
-use rand::Rng;
+use mknn_util::Rng;
 
 /// Ground truth for one simulation episode: the object population, the
 /// motion model driving it, and the current tick.
@@ -17,7 +16,7 @@ pub struct World {
     objects: Vec<MovingObject>,
     model: Box<dyn MotionModel>,
     move_prob: f64,
-    rng: StdRng,
+    rng: Rng,
     tick: Tick,
 }
 
@@ -28,10 +27,17 @@ impl World {
         objects: Vec<MovingObject>,
         model: Box<dyn MotionModel>,
         move_prob: f64,
-        rng: StdRng,
+        rng: Rng,
     ) -> Self {
         debug_assert!((0.0..=1.0).contains(&move_prob));
-        World { bounds, objects, model, move_prob, rng, tick: 0 }
+        World {
+            bounds,
+            objects,
+            model,
+            move_prob,
+            rng,
+            tick: 0,
+        }
     }
 
     /// The space rectangle.
@@ -95,11 +101,14 @@ impl World {
 mod tests {
     use super::*;
     use crate::{Stationary, WorkloadSpec};
-    use rand::SeedableRng;
 
     #[test]
     fn step_advances_tick() {
-        let mut w = WorkloadSpec { n_objects: 10, ..WorkloadSpec::default() }.build();
+        let mut w = WorkloadSpec {
+            n_objects: 10,
+            ..WorkloadSpec::default()
+        }
+        .build();
         assert_eq!(w.tick(), 0);
         w.step();
         w.step();
@@ -108,7 +117,11 @@ mod tests {
 
     #[test]
     fn move_prob_zero_freezes_world() {
-        let spec = WorkloadSpec { n_objects: 20, move_prob: 0.0, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            n_objects: 20,
+            move_prob: 0.0,
+            ..WorkloadSpec::default()
+        };
         let mut w = spec.build();
         let before: Vec<_> = w.objects().to_vec();
         for _ in 0..10 {
@@ -122,7 +135,11 @@ mod tests {
 
     #[test]
     fn move_prob_half_moves_some() {
-        let spec = WorkloadSpec { n_objects: 200, move_prob: 0.5, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            n_objects: 200,
+            move_prob: 0.5,
+            ..WorkloadSpec::default()
+        };
         let mut w = spec.build();
         let before: Vec<_> = w.objects().to_vec();
         w.step();
@@ -146,7 +163,7 @@ mod tests {
             objs,
             Box::new(Stationary),
             1.0,
-            StdRng::seed_from_u64(0),
+            Rng::seed_from_u64(0),
         );
         w.step();
         assert_eq!(w.position(ObjectId(0)), Point::new(1.0, 1.0));

@@ -1,95 +1,116 @@
 //! Property tests for the mobility substrate: physical invariants hold for
-//! every model under every seed.
+//! every model under every seed (mknn-util `check` harness).
 
 use mknn_geom::Point;
 use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
-use proptest::prelude::*;
+use mknn_util::check::forall;
+use mknn_util::Rng;
 
-fn spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        (5usize..150),
-        (200.0..2_000.0f64),
-        prop_oneof![
-            Just(Motion::Stationary),
-            Just(Motion::RandomWaypoint),
-            Just(Motion::RandomWalk),
-            Just(Motion::RoadNetwork { nx: 4, ny: 4, drop_prob: 0.2 }),
-        ],
-        prop_oneof![
-            (0.1..40.0f64).prop_map(SpeedDist::Fixed),
-            (0.1..10.0f64, 10.0..40.0f64).prop_map(|(min, max)| SpeedDist::Uniform { min, max }),
-            Just(SpeedDist::Classes { slow: 2.0, medium: 10.0, fast: 30.0 }),
-        ],
-        prop_oneof![
-            Just(Placement::Uniform),
-            (1usize..5, 10.0..300.0f64)
-                .prop_map(|(clusters, sigma)| Placement::Gaussian { clusters, sigma }),
-        ],
-        (0.0..=1.0f64),
-        any::<u64>(),
-    )
-        .prop_map(|(n_objects, space_side, motion, speeds, placement, move_prob, seed)| {
-            WorkloadSpec {
-                n_objects,
-                space_side,
-                motion,
-                speeds,
-                placement,
-                move_prob,
-                seed,
-                speed_overrides: Vec::new(),
-            }
-        })
+/// Cases per property (matches the former proptest config of 48).
+const CASES: u64 = 48;
+
+fn spec(rng: &mut Rng) -> WorkloadSpec {
+    let n_objects = rng.gen_range(5usize..150);
+    let space_side = rng.gen_range(200.0..2_000.0);
+    let motion = match rng.gen_range(0u32..4) {
+        0 => Motion::Stationary,
+        1 => Motion::RandomWaypoint,
+        2 => Motion::RandomWalk,
+        _ => Motion::RoadNetwork {
+            nx: 4,
+            ny: 4,
+            drop_prob: 0.2,
+        },
+    };
+    let speeds = match rng.gen_range(0u32..3) {
+        0 => SpeedDist::Fixed(rng.gen_range(0.1..40.0)),
+        1 => SpeedDist::Uniform {
+            min: rng.gen_range(0.1..10.0),
+            max: rng.gen_range(10.0..40.0),
+        },
+        _ => SpeedDist::Classes {
+            slow: 2.0,
+            medium: 10.0,
+            fast: 30.0,
+        },
+    };
+    let placement = if rng.gen_bool(0.5) {
+        Placement::Uniform
+    } else {
+        Placement::Gaussian {
+            clusters: rng.gen_range(1usize..5),
+            sigma: rng.gen_range(10.0..300.0),
+        }
+    };
+    WorkloadSpec {
+        n_objects,
+        space_side,
+        motion,
+        speeds,
+        placement,
+        move_prob: rng.gen_range(0.0..=1.0),
+        seed: rng.next_u64(),
+        speed_overrides: Vec::new(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn objects_never_escape_nor_speed(spec in spec()) {
+#[test]
+fn objects_never_escape_nor_speed() {
+    forall(CASES, |rng| {
+        let spec = spec(rng);
         let mut w = spec.build();
         let bounds = w.bounds();
         for _ in 0..40 {
             let before: Vec<Point> = w.objects().iter().map(|o| o.pos).collect();
             w.step();
             for (o, prev) in w.objects().iter().zip(&before) {
-                prop_assert!(bounds.contains(o.pos), "{:?} escaped {:?}", o, bounds);
+                assert!(bounds.contains(o.pos), "{:?} escaped {:?}", o, bounds);
                 // The tick displacement respects the per-object speed bound.
                 let moved = o.pos.dist(*prev);
-                prop_assert!(
+                assert!(
                     moved <= o.max_speed + 1e-6,
                     "object {} moved {moved} > cap {}",
-                    o.id, o.max_speed
+                    o.id,
+                    o.max_speed
                 );
                 // The advertised velocity equals the actual displacement.
-                prop_assert!((o.vel.norm() - moved).abs() < 1e-6);
+                assert!((o.vel.norm() - moved).abs() < 1e-6);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn replay_is_bit_identical(spec in spec()) {
+#[test]
+fn replay_is_bit_identical() {
+    forall(CASES, |rng| {
+        let spec = spec(rng);
         let mut a = spec.build();
         let mut b = spec.build();
         for _ in 0..25 {
             a.step();
             b.step();
         }
-        prop_assert_eq!(a.objects(), b.objects());
-    }
+        assert_eq!(a.objects(), b.objects());
+    });
+}
 
-    #[test]
-    fn speed_distribution_respects_bounds(spec in spec()) {
+#[test]
+fn speed_distribution_respects_bounds() {
+    forall(CASES, |rng| {
+        let spec = spec(rng);
         let w = spec.build();
         let cap = spec.speeds.max_speed();
         for o in w.objects() {
-            prop_assert!(o.max_speed <= cap + 1e-9);
-            prop_assert!(o.max_speed >= 0.0);
+            assert!(o.max_speed <= cap + 1e-9);
+            assert!(o.max_speed >= 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn move_prob_zero_is_a_freeze_frame(mut spec in spec()) {
+#[test]
+fn move_prob_zero_is_a_freeze_frame() {
+    forall(CASES, |rng| {
+        let mut spec = spec(rng);
         spec.move_prob = 0.0;
         let mut w = spec.build();
         let before: Vec<Point> = w.objects().iter().map(|o| o.pos).collect();
@@ -97,7 +118,7 @@ proptest! {
             w.step();
         }
         for (o, prev) in w.objects().iter().zip(&before) {
-            prop_assert_eq!(o.pos, *prev);
+            assert_eq!(o.pos, *prev);
         }
-    }
+    });
 }

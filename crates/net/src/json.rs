@@ -1,0 +1,155 @@
+//! JSON conversions for wire vocabulary and counters.
+//!
+//! [`MsgKind`] serializes as its variant name (matching the former serde
+//! unit-variant encoding), so the per-kind tally map becomes a plain JSON
+//! object keyed by kind name.
+
+use crate::{MsgKind, NetStats, OpCounters, QuerySpec};
+use mknn_util::impl_json_struct;
+use mknn_util::json::{FromJson, Json, JsonError, ToJson};
+use std::collections::BTreeMap;
+
+impl_json_struct!(QuerySpec { id, focal, k });
+impl_json_struct!(OpCounters {
+    server_ops,
+    client_ops
+});
+
+impl MsgKind {
+    /// The variant name, as used in JSON documents.
+    pub fn variant_name(self) -> &'static str {
+        match self {
+            MsgKind::Position => "Position",
+            MsgKind::Enter => "Enter",
+            MsgKind::Leave => "Leave",
+            MsgKind::BandCross => "BandCross",
+            MsgKind::ProbeReply => "ProbeReply",
+            MsgKind::QueryMove => "QueryMove",
+            MsgKind::InstallRegion => "InstallRegion",
+            MsgKind::RemoveRegion => "RemoveRegion",
+            MsgKind::Probe => "Probe",
+            MsgKind::SetBand => "SetBand",
+            MsgKind::ClearBand => "ClearBand",
+        }
+    }
+
+    /// Inverse of [`MsgKind::variant_name`].
+    pub fn from_variant_name(name: &str) -> Option<MsgKind> {
+        MsgKind::ALL.into_iter().find(|k| k.variant_name() == name)
+    }
+}
+
+impl ToJson for MsgKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.variant_name().to_string())
+    }
+}
+
+impl FromJson for MsgKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str()?;
+        MsgKind::from_variant_name(s)
+            .ok_or_else(|| JsonError::new(format!("unknown MsgKind `{s}`")))
+    }
+}
+
+impl ToJson for NetStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("uplink_msgs", self.uplink_msgs.to_json()),
+            ("uplink_bytes", self.uplink_bytes.to_json()),
+            (
+                "downlink_unicast_msgs",
+                self.downlink_unicast_msgs.to_json(),
+            ),
+            (
+                "downlink_geocast_msgs",
+                self.downlink_geocast_msgs.to_json(),
+            ),
+            (
+                "downlink_broadcast_msgs",
+                self.downlink_broadcast_msgs.to_json(),
+            ),
+            ("downlink_bytes", self.downlink_bytes.to_json()),
+            (
+                "by_kind",
+                Json::object(
+                    self.by_kind
+                        .iter()
+                        .map(|(k, v)| (k.variant_name(), v.to_json())),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for NetStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut by_kind = BTreeMap::new();
+        for (key, val) in v.field("by_kind")?.as_obj()? {
+            let kind = MsgKind::from_variant_name(key)
+                .ok_or_else(|| JsonError::new(format!("unknown MsgKind `{key}` in by_kind")))?;
+            by_kind.insert(kind, val.as_u64().map_err(|e| e.context("by_kind tally"))?);
+        }
+        Ok(NetStats {
+            uplink_msgs: v.parse_field("uplink_msgs")?,
+            uplink_bytes: v.parse_field("uplink_bytes")?,
+            downlink_unicast_msgs: v.parse_field("downlink_unicast_msgs")?,
+            downlink_geocast_msgs: v.parse_field("downlink_geocast_msgs")?,
+            downlink_broadcast_msgs: v.parse_field("downlink_broadcast_msgs")?,
+            downlink_bytes: v.parse_field("downlink_bytes")?,
+            by_kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::{ObjectId, QueryId};
+    use mknn_util::{from_str, to_string};
+
+    #[test]
+    fn query_spec_round_trips() {
+        let q = QuerySpec {
+            id: QueryId(3),
+            focal: ObjectId(77),
+            k: 12,
+        };
+        let back: QuerySpec = from_str(&to_string(&q)).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn msg_kind_names_are_stable_and_invertible() {
+        for k in MsgKind::ALL {
+            assert_eq!(MsgKind::from_variant_name(k.variant_name()), Some(k));
+            let back: MsgKind = from_str(&to_string(&k)).unwrap();
+            assert_eq!(back, k);
+        }
+        assert!(MsgKind::from_variant_name("Bogus").is_none());
+    }
+
+    #[test]
+    fn net_stats_round_trip_preserves_tallies() {
+        let mut s = NetStats::default();
+        s.count_uplink(MsgKind::Enter, 44);
+        s.count_uplink(MsgKind::Position, 44);
+        s.count_geocast(MsgKind::InstallRegion, 52, 9);
+        s.count_broadcast(MsgKind::Probe, 36);
+        let json = to_string(&s);
+        let back: NetStats = from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(json.contains("\"InstallRegion\":1"), "got: {json}");
+    }
+
+    #[test]
+    fn op_counters_round_trip() {
+        let ops = OpCounters {
+            server_ops: 123,
+            client_ops: 456_789,
+        };
+        let back: OpCounters = from_str(&to_string(&ops)).unwrap();
+        assert_eq!(back, ops);
+    }
+}

@@ -23,6 +23,7 @@
 
 #![deny(missing_docs)]
 
+mod json;
 mod msg;
 mod proto;
 mod stats;

@@ -2,10 +2,9 @@
 //! with a deterministic byte-size model.
 
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Vector};
-use serde::{Deserialize, Serialize};
 
 /// A registered continuous moving-kNN query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuerySpec {
     /// Identity of the query.
     pub id: QueryId,
@@ -206,7 +205,7 @@ pub enum Recipient {
 }
 
 /// Message kind labels for per-kind tallies (Experiment E10's breakdown).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum MsgKind {
     Position,
@@ -263,7 +262,11 @@ mod tests {
 
     #[test]
     fn sizes_are_positive_and_header_dominated() {
-        let up = UplinkMsg::Leave { query: QueryId(0), ver: 0, pos: Point::ORIGIN };
+        let up = UplinkMsg::Leave {
+            query: QueryId(0),
+            ver: 0,
+            pos: Point::ORIGIN,
+        };
         assert_eq!(up.size_bytes(), 36);
         let down = DownlinkMsg::RemoveRegion { query: QueryId(0) };
         assert_eq!(down.size_bytes(), 12);
@@ -279,10 +282,18 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct_per_variant() {
-        let a = UplinkMsg::Position { pos: Point::ORIGIN, vel: Vector::ZERO }.kind();
-        let b =
-            UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::ORIGIN, vel: Vector::ZERO }
-                .kind();
+        let a = UplinkMsg::Position {
+            pos: Point::ORIGIN,
+            vel: Vector::ZERO,
+        }
+        .kind();
+        let b = UplinkMsg::Enter {
+            query: QueryId(0),
+            ver: 0,
+            pos: Point::ORIGIN,
+            vel: Vector::ZERO,
+        }
+        .kind();
         assert_ne!(a, b);
         assert_eq!(MsgKind::ALL.len(), 11);
         // Labels are unique.

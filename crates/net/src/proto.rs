@@ -209,10 +209,22 @@ mod tests {
     fn mailboxes_queue_in_order() {
         let mut up = Uplinks::new();
         assert!(up.is_empty());
-        up.send(ObjectId(1), UplinkMsg::Leave { query: QueryId(0), ver: 0, pos: Point::ORIGIN });
+        up.send(
+            ObjectId(1),
+            UplinkMsg::Leave {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::ORIGIN,
+            },
+        );
         up.send(
             ObjectId(2),
-            UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::ORIGIN, vel: Vector::ZERO },
+            UplinkMsg::Enter {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::ORIGIN,
+                vel: Vector::ZERO,
+            },
         );
         assert_eq!(up.len(), 2);
         let froms: Vec<_> = up.iter().map(|(id, _)| id.0).collect();
@@ -226,12 +238,18 @@ mod tests {
     #[test]
     fn outbox_addresses_all_recipient_forms() {
         let mut out = Outbox::new();
-        out.send(Recipient::One(ObjectId(3)), DownlinkMsg::ClearBand { query: QueryId(0) });
+        out.send(
+            Recipient::One(ObjectId(3)),
+            DownlinkMsg::ClearBand { query: QueryId(0) },
+        );
         out.send(
             Recipient::Geocast(Circle::new(Point::ORIGIN, 5.0)),
             DownlinkMsg::RemoveRegion { query: QueryId(0) },
         );
-        out.send(Recipient::Broadcast, DownlinkMsg::RemoveRegion { query: QueryId(1) });
+        out.send(
+            Recipient::Broadcast,
+            DownlinkMsg::RemoveRegion { query: QueryId(1) },
+        );
         assert_eq!(out.len(), 3);
         assert!(matches!(out.iter().next().unwrap().0, Recipient::One(_)));
     }

@@ -1,13 +1,12 @@
 //! Metric counters: the quantities every experiment reports.
 
 use crate::MsgKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::AddAssign;
 
 /// Communication counters, maintained by the simulation harness as it routes
 /// messages (protocols cannot under-report their own traffic).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
     /// Device → server messages.
     pub uplink_msgs: u64,
@@ -88,9 +87,9 @@ impl AddAssign<&NetStats> for NetStats {
 
 /// Computation counters: a hardware-independent proxy for server and client
 /// load (distance computations, heap and index operations). Incremented by
-/// protocol code; wall-clock equivalents are measured by the Criterion
-/// benches.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// protocol code; wall-clock equivalents are measured by the
+/// micro-benches in `crates/bench`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounters {
     /// Operations performed by server-side logic.
     pub server_ops: u64,
@@ -142,8 +141,20 @@ mod tests {
 
     #[test]
     fn op_counters_add() {
-        let mut a = OpCounters { server_ops: 1, client_ops: 2 };
-        a += OpCounters { server_ops: 10, client_ops: 20 };
-        assert_eq!(a, OpCounters { server_ops: 11, client_ops: 22 });
+        let mut a = OpCounters {
+            server_ops: 1,
+            client_ops: 2,
+        };
+        a += OpCounters {
+            server_ops: 10,
+            client_ops: 20,
+        };
+        assert_eq!(
+            a,
+            OpCounters {
+                server_ops: 11,
+                client_ops: 22
+            }
+        );
     }
 }

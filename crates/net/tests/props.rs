@@ -1,57 +1,113 @@
 //! Property tests for the network substrate: counter conservation and the
-//! byte model.
+//! byte model (mknn-util `check` harness).
 
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Vector};
 use mknn_net::{DownlinkMsg, MsgKind, NetStats, UplinkMsg};
-use proptest::prelude::*;
+use mknn_util::check::forall;
+use mknn_util::Rng;
 
-fn uplink() -> impl Strategy<Value = UplinkMsg> {
-    let pt = (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y));
-    let q = (0u32..8).prop_map(QueryId);
-    (q, pt, 0u64..100).prop_flat_map(|(q, p, ver)| {
-        prop_oneof![
-            Just(UplinkMsg::Position { pos: p, vel: Vector::ZERO }),
-            Just(UplinkMsg::Enter { query: q, ver, pos: p, vel: Vector::ZERO }),
-            Just(UplinkMsg::Leave { query: q, ver, pos: p }),
-            Just(UplinkMsg::BandCross { query: q, ver, pos: p, vel: Vector::ZERO }),
-            Just(UplinkMsg::ProbeReply { query: q, pos: p, vel: Vector::ZERO }),
-            Just(UplinkMsg::QueryMove { query: q, pos: p, vel: Vector::ZERO }),
-        ]
-    })
+/// Cases per property (matches the former proptest default of 256).
+const CASES: u64 = 256;
+
+fn pt(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))
 }
 
-fn downlink() -> impl Strategy<Value = DownlinkMsg> {
-    let pt = (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y));
-    let q = (0u32..8).prop_map(QueryId);
-    (q, pt, 0u64..100, 0.0..50.0f64).prop_flat_map(|(q, p, ver, r)| {
-        prop_oneof![
-            Just(DownlinkMsg::InstallRegion { query: q, ver, center: p, vel: Vector::ZERO, r_out: r }),
-            Just(DownlinkMsg::RemoveRegion { query: q }),
-            Just(DownlinkMsg::Probe { query: q, zone: Circle::new(p, r) }),
-            Just(DownlinkMsg::SetBand { query: q, ver, inner: r, outer: r + 1.0 }),
-            Just(DownlinkMsg::ClearBand { query: q }),
-        ]
-    })
+fn uplink(rng: &mut Rng) -> UplinkMsg {
+    let q = QueryId(rng.gen_range(0u32..8));
+    let p = pt(rng);
+    let ver = rng.gen_range(0u64..100);
+    match rng.gen_range(0u32..6) {
+        0 => UplinkMsg::Position {
+            pos: p,
+            vel: Vector::ZERO,
+        },
+        1 => UplinkMsg::Enter {
+            query: q,
+            ver,
+            pos: p,
+            vel: Vector::ZERO,
+        },
+        2 => UplinkMsg::Leave {
+            query: q,
+            ver,
+            pos: p,
+        },
+        3 => UplinkMsg::BandCross {
+            query: q,
+            ver,
+            pos: p,
+            vel: Vector::ZERO,
+        },
+        4 => UplinkMsg::ProbeReply {
+            query: q,
+            pos: p,
+            vel: Vector::ZERO,
+        },
+        _ => UplinkMsg::QueryMove {
+            query: q,
+            pos: p,
+            vel: Vector::ZERO,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn uplink_byte_model_is_positive_and_bounded(m in uplink()) {
-        let s = m.size_bytes();
-        prop_assert!(s >= 12, "at least a header");
-        prop_assert!(s <= 64, "no uplink should exceed 64 bytes");
+fn downlink(rng: &mut Rng) -> DownlinkMsg {
+    let q = QueryId(rng.gen_range(0u32..8));
+    let p = pt(rng);
+    let ver = rng.gen_range(0u64..100);
+    let r = rng.gen_range(0.0..50.0);
+    match rng.gen_range(0u32..5) {
+        0 => DownlinkMsg::InstallRegion {
+            query: q,
+            ver,
+            center: p,
+            vel: Vector::ZERO,
+            r_out: r,
+        },
+        1 => DownlinkMsg::RemoveRegion { query: q },
+        2 => DownlinkMsg::Probe {
+            query: q,
+            zone: Circle::new(p, r),
+        },
+        3 => DownlinkMsg::SetBand {
+            query: q,
+            ver,
+            inner: r,
+            outer: r + 1.0,
+        },
+        _ => DownlinkMsg::ClearBand { query: q },
     }
+}
 
-    #[test]
-    fn downlink_byte_model_is_positive_and_bounded(m in downlink()) {
+#[test]
+fn uplink_byte_model_is_positive_and_bounded() {
+    forall(CASES, |rng| {
+        let m = uplink(rng);
         let s = m.size_bytes();
-        prop_assert!((12..=72).contains(&s));
-    }
+        assert!(s >= 12, "at least a header");
+        assert!(s <= 64, "no uplink should exceed 64 bytes");
+    });
+}
 
-    #[test]
-    fn stats_totals_equal_sum_of_parts(ups in prop::collection::vec(uplink(), 0..50),
-                                       downs in prop::collection::vec(downlink(), 0..50),
-                                       cells in 1usize..20) {
+#[test]
+fn downlink_byte_model_is_positive_and_bounded() {
+    forall(CASES, |rng| {
+        let m = downlink(rng);
+        let s = m.size_bytes();
+        assert!((12..=72).contains(&s));
+    });
+}
+
+#[test]
+fn stats_totals_equal_sum_of_parts() {
+    forall(CASES, |rng| {
+        let n_ups = rng.gen_range(0usize..50);
+        let ups: Vec<UplinkMsg> = (0..n_ups).map(|_| uplink(rng)).collect();
+        let n_downs = rng.gen_range(0usize..50);
+        let downs: Vec<DownlinkMsg> = (0..n_downs).map(|_| downlink(rng)).collect();
+        let cells = rng.gen_range(1usize..20);
+
         let mut s = NetStats::default();
         let mut expect_msgs = 0u64;
         let mut expect_bytes = 0u64;
@@ -79,16 +135,22 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(s.total_msgs(), expect_msgs);
-        prop_assert_eq!(s.total_bytes(), expect_bytes);
+        assert_eq!(s.total_msgs(), expect_msgs);
+        assert_eq!(s.total_bytes(), expect_bytes);
         // Per-kind tallies count logical messages: one per call.
         let logical: u64 = s.by_kind.values().sum();
-        prop_assert_eq!(logical, (ups.len() + downs.len()) as u64);
-    }
+        assert_eq!(logical, (ups.len() + downs.len()) as u64);
+    });
+}
 
-    #[test]
-    fn stats_merge_is_additive(ups_a in prop::collection::vec(uplink(), 0..30),
-                               ups_b in prop::collection::vec(uplink(), 0..30)) {
+#[test]
+fn stats_merge_is_additive() {
+    forall(CASES, |rng| {
+        let n_a = rng.gen_range(0usize..30);
+        let ups_a: Vec<UplinkMsg> = (0..n_a).map(|_| uplink(rng)).collect();
+        let n_b = rng.gen_range(0usize..30);
+        let ups_b: Vec<UplinkMsg> = (0..n_b).map(|_| uplink(rng)).collect();
+
         let count = |msgs: &[UplinkMsg]| {
             let mut s = NetStats::default();
             for m in msgs {
@@ -101,25 +163,47 @@ proptest! {
         let mut both = ups_a.clone();
         both.extend(ups_b.iter().cloned());
         let expected = count(&both);
-        prop_assert_eq!(merged, expected);
-    }
+        assert_eq!(merged, expected);
+    });
+}
 
-    #[test]
-    fn kind_is_stable_under_payload_changes(q in 0u32..8, ver in 0u64..100,
-                                            x in 0.0..100.0f64, y in 0.0..100.0f64) {
-        let a = UplinkMsg::Enter { query: QueryId(q), ver, pos: Point::new(x, y), vel: Vector::ZERO };
-        let b = UplinkMsg::Enter { query: QueryId(0), ver: 0, pos: Point::ORIGIN, vel: Vector::ZERO };
-        prop_assert_eq!(a.kind(), b.kind());
-        prop_assert_eq!(a.kind(), MsgKind::Enter);
-        prop_assert_eq!(a.size_bytes(), b.size_bytes());
-    }
+#[test]
+fn kind_is_stable_under_payload_changes() {
+    forall(CASES, |rng| {
+        let q = rng.gen_range(0u32..8);
+        let ver = rng.gen_range(0u64..100);
+        let p = pt(rng);
+        let a = UplinkMsg::Enter {
+            query: QueryId(q),
+            ver,
+            pos: p,
+            vel: Vector::ZERO,
+        };
+        let b = UplinkMsg::Enter {
+            query: QueryId(0),
+            ver: 0,
+            pos: Point::ORIGIN,
+            vel: Vector::ZERO,
+        };
+        assert_eq!(a.kind(), b.kind());
+        assert_eq!(a.kind(), MsgKind::Enter);
+        assert_eq!(a.size_bytes(), b.size_bytes());
+    });
 }
 
 #[test]
 fn object_and_query_message_sizes_are_order_independent() {
     // The same logical content must cost the same regardless of ids.
-    let a = UplinkMsg::Leave { query: QueryId(0), ver: 1, pos: Point::ORIGIN };
-    let b = UplinkMsg::Leave { query: QueryId(999), ver: u64::MAX, pos: Point::new(1e4, 1e4) };
+    let a = UplinkMsg::Leave {
+        query: QueryId(0),
+        ver: 1,
+        pos: Point::ORIGIN,
+    };
+    let b = UplinkMsg::Leave {
+        query: QueryId(999),
+        ver: u64::MAX,
+        pos: Point::new(1e4, 1e4),
+    };
     assert_eq!(a.size_bytes(), b.size_bytes());
     let _ = ObjectId(3); // silence unused import lint in non-prop test
 }

@@ -1,10 +1,9 @@
 //! Simulation episode configuration.
 
 use mknn_mobility::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 /// How strictly the oracle verifies maintained answers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerifyMode {
     /// No verification (fast; for large sweeps where correctness has been
     /// established separately).
@@ -18,7 +17,7 @@ pub enum VerifyMode {
 }
 
 /// Everything that defines one simulation episode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// The moving-object workload.
     pub workload: WorkloadSpec,
@@ -54,7 +53,11 @@ impl SimConfig {
     /// enough to exercise every protocol path.
     pub fn small() -> Self {
         SimConfig {
-            workload: WorkloadSpec { n_objects: 400, space_side: 1_000.0, ..WorkloadSpec::default() },
+            workload: WorkloadSpec {
+                n_objects: 400,
+                space_side: 1_000.0,
+                ..WorkloadSpec::default()
+            },
             n_queries: 5,
             k: 4,
             ticks: 60,
@@ -68,7 +71,9 @@ impl SimConfig {
     pub fn focal_ids(&self) -> Vec<u32> {
         let n = self.workload.n_objects.max(1);
         let q = self.n_queries;
-        (0..q).map(|i| ((i * n) / q.max(1)) as u32 % n as u32).collect()
+        (0..q)
+            .map(|i| ((i * n) / q.max(1)) as u32 % n as u32)
+            .collect()
     }
 }
 
@@ -80,7 +85,10 @@ mod tests {
     fn focal_ids_are_spread_and_unique_when_possible() {
         let cfg = SimConfig {
             n_queries: 10,
-            workload: WorkloadSpec { n_objects: 1000, ..WorkloadSpec::default() },
+            workload: WorkloadSpec {
+                n_objects: 1000,
+                ..WorkloadSpec::default()
+            },
             ..SimConfig::default()
         };
         let ids = cfg.focal_ids();
@@ -93,10 +101,10 @@ mod tests {
     }
 
     #[test]
-    fn config_round_trips_serde() {
+    fn config_round_trips_json() {
         let cfg = SimConfig::default();
-        let s = serde_json::to_string(&cfg).unwrap();
-        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        let s = mknn_util::to_string(&cfg);
+        let back: SimConfig = mknn_util::from_str(&s).unwrap();
         assert_eq!(cfg, back);
     }
 }

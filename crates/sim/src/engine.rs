@@ -27,16 +27,26 @@ impl ProbeService for EngineProbe<'_> {
     ) -> Vec<ObjReport> {
         let msg = DownlinkMsg::Probe { query, zone };
         let cells = self.infra.cells_overlapping(&zone);
-        self.stats.count_geocast(MsgKind::Probe, msg.size_bytes(), cells);
+        self.stats
+            .count_geocast(MsgKind::Probe, msg.size_bytes(), cells);
         let mut out = Vec::new();
         for n in self.infra.range(&zone) {
             if n.id == exclude {
                 continue;
             }
             let o = self.world.object(n.id);
-            let reply = UplinkMsg::ProbeReply { query, pos: o.pos, vel: o.vel };
-            self.stats.count_uplink(MsgKind::ProbeReply, reply.size_bytes());
-            out.push(ObjReport { id: n.id, pos: o.pos, vel: o.vel });
+            let reply = UplinkMsg::ProbeReply {
+                query,
+                pos: o.pos,
+                vel: o.vel,
+            };
+            self.stats
+                .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+            out.push(ObjReport {
+                id: n.id,
+                pos: o.pos,
+                vel: o.vel,
+            });
         }
         out
     }
@@ -51,9 +61,18 @@ impl ProbeService for EngineProbe<'_> {
             zone: mknn_geom::Circle::new(o.pos, 0.0),
         };
         self.stats.count_unicast(MsgKind::Probe, ask.size_bytes());
-        let reply = UplinkMsg::ProbeReply { query, pos: o.pos, vel: o.vel };
-        self.stats.count_uplink(MsgKind::ProbeReply, reply.size_bytes());
-        Some(ObjReport { id, pos: o.pos, vel: o.vel })
+        let reply = UplinkMsg::ProbeReply {
+            query,
+            pos: o.pos,
+            vel: o.vel,
+        };
+        self.stats
+            .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+        Some(ObjReport {
+            id,
+            pos: o.pos,
+            vel: o.vel,
+        })
     }
 }
 
@@ -107,9 +126,19 @@ impl Simulation {
         let mut ops = OpCounters::default();
         let t0 = Instant::now();
         {
-            let mut probe =
-                EngineProbe { infra: &infra, world: &world, stats: &mut metrics.net };
-            proto.init(bounds, world.objects(), &specs, &mut probe, &mut outbox, &mut ops);
+            let mut probe = EngineProbe {
+                infra: &infra,
+                world: &world,
+                stats: &mut metrics.net,
+            };
+            proto.init(
+                bounds,
+                world.objects(),
+                &specs,
+                &mut probe,
+                &mut outbox,
+                &mut ops,
+            );
         }
         metrics.proto_seconds += t0.elapsed().as_secs_f64();
         metrics.ops += ops;
@@ -182,7 +211,8 @@ impl Simulation {
         for i in 0..self.world.objects().len() {
             let inbox = std::mem::take(&mut self.inboxes[i]);
             let me = self.world.objects()[i];
-            self.proto.client_tick(self.tick, &me, &inbox, &mut uplinks, &mut ops);
+            self.proto
+                .client_tick(self.tick, &me, &inbox, &mut uplinks, &mut ops);
         }
         for (_, msg) in uplinks.iter() {
             self.metrics.net.count_uplink(msg.kind(), msg.size_bytes());
@@ -196,12 +226,18 @@ impl Simulation {
                 world: &self.world,
                 stats: &mut self.metrics.net,
             };
-            self.proto.server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
+            self.proto
+                .server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
         }
         self.metrics.proto_seconds += t0.elapsed().as_secs_f64();
         self.metrics.ops += ops;
 
-        route(&outbox, &self.infra, &mut self.inboxes, &mut self.metrics.net);
+        route(
+            &outbox,
+            &self.infra,
+            &mut self.inboxes,
+            &mut self.metrics.net,
+        );
 
         if self.verify != VerifyMode::Off {
             self.verify_answers();

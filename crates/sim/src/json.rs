@@ -1,0 +1,233 @@
+//! JSON conversions for simulation configuration and reported metrics.
+//!
+//! Encodings mirror the conventions the former `serde` derives produced:
+//! structs become field-keyed objects, unit enum variants become bare
+//! strings, data-carrying variants become single-key objects
+//! (`{"DknnSet": {...}}`).
+
+use crate::{EpisodeMetrics, Method, SimConfig, Summary, TickSample, TickSeries, VerifyMode};
+use mknn_core::DknnParams;
+use mknn_util::impl_json_struct;
+use mknn_util::json::{FromJson, Json, JsonError, ToJson};
+
+impl_json_struct!(SimConfig {
+    workload,
+    n_queries,
+    k,
+    ticks,
+    geo_cells,
+    verify
+});
+impl_json_struct!(EpisodeMetrics {
+    method,
+    ticks,
+    n_objects,
+    n_queries,
+    k,
+    net,
+    ops,
+    exact_checks,
+    exact_ok,
+    recall_sum,
+    dist_error_sum,
+    proto_seconds,
+});
+impl_json_struct!(TickSample {
+    tick,
+    uplink,
+    downlink,
+    bytes,
+    server_ops,
+    exact_queries,
+    checked_queries,
+});
+impl_json_struct!(Summary {
+    n,
+    mean,
+    std_dev,
+    min,
+    max
+});
+
+impl ToJson for VerifyMode {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            VerifyMode::Off => "Off",
+            VerifyMode::Record => "Record",
+            VerifyMode::Assert => "Assert",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for VerifyMode {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "Off" => Ok(VerifyMode::Off),
+            "Record" => Ok(VerifyMode::Record),
+            "Assert" => Ok(VerifyMode::Assert),
+            other => Err(JsonError::new(format!("unknown VerifyMode `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for TickSeries {
+    fn to_json(&self) -> Json {
+        Json::object([("samples", self.samples().to_vec().to_json())])
+    }
+}
+
+impl FromJson for TickSeries {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let samples: Vec<TickSample> = v.parse_field("samples")?;
+        if let Some(w) = samples.windows(2).find(|w| w[0].tick >= w[1].tick) {
+            return Err(JsonError::new(format!(
+                "samples out of tick order: {} then {}",
+                w[0].tick, w[1].tick
+            )));
+        }
+        Ok(TickSeries::from_samples(samples))
+    }
+}
+
+impl ToJson for Method {
+    fn to_json(&self) -> Json {
+        match *self {
+            Method::DknnSet(p) => Json::object([("DknnSet", p.to_json())]),
+            Method::DknnOrder(p) => Json::object([("DknnOrder", p.to_json())]),
+            Method::DknnBuffer { params, buffer } => Json::object([(
+                "DknnBuffer",
+                Json::object([("params", params.to_json()), ("buffer", buffer.to_json())]),
+            )]),
+            Method::Centralized { res } => {
+                Json::object([("Centralized", Json::object([("res", res.to_json())]))])
+            }
+            Method::Periodic { period, res } => Json::object([(
+                "Periodic",
+                Json::object([("period", period.to_json()), ("res", res.to_json())]),
+            )]),
+            Method::Naive { headroom } => {
+                Json::object([("Naive", Json::object([("headroom", headroom.to_json())]))])
+            }
+        }
+    }
+}
+
+impl FromJson for Method {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(p) = v.get("DknnSet") {
+            return Ok(Method::DknnSet(DknnParams::from_json(p)?));
+        }
+        if let Some(p) = v.get("DknnOrder") {
+            return Ok(Method::DknnOrder(DknnParams::from_json(p)?));
+        }
+        if let Some(body) = v.get("DknnBuffer") {
+            return Ok(Method::DknnBuffer {
+                params: body.parse_field("params")?,
+                buffer: body.parse_field("buffer")?,
+            });
+        }
+        if let Some(body) = v.get("Centralized") {
+            return Ok(Method::Centralized {
+                res: body.parse_field("res")?,
+            });
+        }
+        if let Some(body) = v.get("Periodic") {
+            return Ok(Method::Periodic {
+                period: body.parse_field("period")?,
+                res: body.parse_field("res")?,
+            });
+        }
+        if let Some(body) = v.get("Naive") {
+            return Ok(Method::Naive {
+                headroom: body.parse_field("headroom")?,
+            });
+        }
+        Err(JsonError::new("expected a Method variant object"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_net::MsgKind;
+    use mknn_util::{from_str, to_string};
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: &T) {
+        let s = to_string(v);
+        let back: T = from_str(&s).unwrap_or_else(|e| panic!("parse of {s}: {e}"));
+        assert_eq!(&back, v, "round trip through {s}");
+    }
+
+    #[test]
+    fn sim_config_round_trips() {
+        roundtrip(&SimConfig::default());
+        roundtrip(&SimConfig::small());
+        roundtrip(&SimConfig {
+            verify: VerifyMode::Off,
+            ..SimConfig::default()
+        });
+    }
+
+    #[test]
+    fn episode_metrics_round_trip() {
+        let mut m = EpisodeMetrics {
+            method: "dknn-set".into(),
+            ticks: 200,
+            n_objects: 1000,
+            n_queries: 10,
+            k: 8,
+            exact_checks: 2_000,
+            exact_ok: 1_998,
+            recall_sum: 1_994.5,
+            dist_error_sum: 0.75,
+            proto_seconds: 1.25,
+            ..Default::default()
+        };
+        m.net.count_uplink(MsgKind::Position, 28);
+        m.net.count_geocast(MsgKind::InstallRegion, 52, 12);
+        m.ops.server_ops = 4_321;
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn tick_series_round_trips() {
+        let mut s = TickSeries::new();
+        for t in 1..=5u64 {
+            s.push(TickSample {
+                tick: t,
+                uplink: t * 3,
+                downlink: t,
+                bytes: t * 100,
+                ..Default::default()
+            });
+        }
+        roundtrip(&s);
+        roundtrip(&TickSeries::new());
+    }
+
+    #[test]
+    fn out_of_order_series_is_rejected() {
+        let doc = r#"{"samples":[{"tick":5,"uplink":0,"downlink":0,"bytes":0,"server_ops":0,"exact_queries":0,"checked_queries":0},{"tick":2,"uplink":0,"downlink":0,"bytes":0,"server_ops":0,"exact_queries":0,"checked_queries":0}]}"#;
+        assert!(from_str::<TickSeries>(doc).is_err());
+    }
+
+    #[test]
+    fn method_variants_round_trip() {
+        for m in Method::standard_suite(DknnParams::default()) {
+            roundtrip(&m);
+        }
+        assert!(from_str::<Method>("{\"Oracle\":{}}").is_err());
+    }
+
+    #[test]
+    fn summary_round_trips_including_nan() {
+        roundtrip(&Summary::of(&[2.0, 4.0, 9.0]));
+        // Empty summaries are all-NaN; NaN != NaN, so compare rendered text.
+        let empty = Summary::of(&[]);
+        let back: Summary = from_str(&to_string(&empty)).unwrap();
+        assert_eq!(back.n, 0);
+        assert!(back.mean.is_nan() && back.std_dev.is_nan());
+        assert!(back.min.is_nan() && back.max.is_nan());
+    }
+}

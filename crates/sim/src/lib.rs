@@ -11,6 +11,7 @@
 
 mod config;
 mod engine;
+mod json;
 mod metrics;
 mod oracle;
 mod runner;

@@ -1,10 +1,9 @@
 //! Aggregated episode metrics.
 
 use mknn_net::{NetStats, OpCounters};
-use serde::{Deserialize, Serialize};
 
 /// Everything an experiment reports about one simulation episode.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpisodeMetrics {
     /// Protocol name.
     pub method: String,
@@ -107,10 +106,17 @@ mod tests {
 
     #[test]
     fn per_tick_rates_divide_by_ticks() {
-        let mut m = EpisodeMetrics { ticks: 10, n_objects: 5, ..Default::default() };
+        let mut m = EpisodeMetrics {
+            ticks: 10,
+            n_objects: 5,
+            ..Default::default()
+        };
         m.net.uplink_msgs = 100;
         m.net.uplink_bytes = 4_400;
-        m.ops = OpCounters { server_ops: 50, client_ops: 200 };
+        m.ops = OpCounters {
+            server_ops: 50,
+            client_ops: 200,
+        };
         assert_eq!(m.uplink_per_tick(), 10.0);
         assert_eq!(m.msgs_per_tick(), 10.0);
         assert_eq!(m.server_ops_per_tick(), 5.0);

@@ -52,13 +52,15 @@ pub fn check_answer(
         let members_ok = answer.iter().all(|&id| d_of(id) <= d_k + TIE_EPS);
         // …and in ordered mode the reported sequence must be non-decreasing.
         let order_ok = !ordered
-            || answer.windows(2).all(|w| d_of(w[0]) <= d_of(w[1]) + TIE_EPS);
+            || answer
+                .windows(2)
+                .all(|w| d_of(w[0]) <= d_of(w[1]) + TIE_EPS);
         // Distance multisets must agree (catches wrong members hiding
         // behind an equal count).
         let mut a_d: Vec<f64> = answer.iter().map(|&id| d_of(id)).collect();
         let mut o_d: Vec<f64> = oracle.iter().map(|n| n.dist()).collect();
-        a_d.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
-        o_d.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+        a_d.sort_unstable_by(f64::total_cmp);
+        o_d.sort_unstable_by(f64::total_cmp);
         let dists_ok = a_d.iter().zip(&o_d).all(|(a, o)| (a - o).abs() <= TIE_EPS);
         members_ok && order_ok && dists_ok
     };
@@ -67,18 +69,27 @@ pub fn check_answer(
     let truth = bruteforce::knn(population(), true_center, k);
     let truth_ids: std::collections::BTreeSet<ObjectId> = truth.iter().map(|n| n.id).collect();
     let hit = answer.iter().filter(|id| truth_ids.contains(id)).count();
-    let recall_vs_true =
-        if truth.is_empty() { 1.0 } else { hit as f64 / truth.len() as f64 };
+    let recall_vs_true = if truth.is_empty() {
+        1.0
+    } else {
+        hit as f64 / truth.len() as f64
+    };
     let sum_true: f64 = truth.iter().map(|n| n.dist()).sum();
-    let sum_answer: f64 =
-        answer.iter().map(|&id| world.position(id).dist(true_center)).sum();
+    let sum_answer: f64 = answer
+        .iter()
+        .map(|&id| world.position(id).dist(true_center))
+        .sum();
     let dist_error = if sum_true > 0.0 && answer.len() == truth.len() {
         (sum_answer / sum_true - 1.0).max(0.0)
     } else {
         0.0
     };
 
-    AnswerCheck { exact, recall_vs_true, dist_error }
+    AnswerCheck {
+        exact,
+        recall_vs_true,
+        dist_error,
+    }
 }
 
 #[cfg(test)]
@@ -86,14 +97,19 @@ mod tests {
     use super::*;
     use mknn_geom::Rect;
     use mknn_mobility::{MovingObject, Stationary, World};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mknn_util::Rng;
 
     fn line_world() -> World {
         let objs: Vec<MovingObject> = (0..6u32)
             .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 0.0))
             .collect();
-        World::new(Rect::square(100.0), objs, Box::new(Stationary), 1.0, StdRng::seed_from_u64(0))
+        World::new(
+            Rect::square(100.0),
+            objs,
+            Box::new(Stationary),
+            1.0,
+            Rng::seed_from_u64(0),
+        )
     }
 
     #[test]
@@ -139,7 +155,7 @@ mod tests {
             objs,
             Box::new(Stationary),
             1.0,
-            StdRng::seed_from_u64(0),
+            Rng::seed_from_u64(0),
         );
         let q = Point::new(0.0, 0.0);
         // Canonical oracle picks id 1 for k=1; id 2 is an equally valid answer.

@@ -4,11 +4,10 @@ use crate::{EpisodeMetrics, SimConfig, Simulation};
 use mknn_baselines::{Centralized, NaiveBroadcast, Periodic};
 use mknn_core::{Dknn, DknnBuffered, DknnParams};
 use mknn_net::Protocol;
-use serde::{Deserialize, Serialize};
 
 /// A monitoring method with its configuration, ready to be instantiated for
 /// an episode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Method {
     /// Distributed protocol, set semantics.
     DknnSet(DknnParams),
@@ -49,7 +48,10 @@ impl Method {
             Method::DknnOrder(params),
             Method::DknnBuffer { params, buffer: 3 },
             Method::Centralized { res: 64 },
-            Method::Periodic { period: 10, res: 64 },
+            Method::Periodic {
+                period: 10,
+                res: 64,
+            },
             Method::Naive { headroom: 1.5 },
         ]
     }

@@ -8,10 +8,9 @@
 
 use crate::EpisodeMetrics;
 use mknn_geom::Tick;
-use serde::{Deserialize, Serialize};
 
 /// One tick's snapshot of the headline counters (deltas, not cumulative).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TickSample {
     /// Tick number (1-based; init traffic is not part of the series).
     pub tick: Tick,
@@ -32,9 +31,18 @@ pub struct TickSample {
 }
 
 /// A recorded episode timeline.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickSeries {
     samples: Vec<TickSample>,
+}
+
+impl TickSeries {
+    /// Rebuilds a series from already-ordered samples (used by the JSON
+    /// decoder; crate-private because `push` is the public construction
+    /// path).
+    pub(crate) fn from_samples(samples: Vec<TickSample>) -> Self {
+        TickSeries { samples }
+    }
 }
 
 impl TickSeries {
@@ -47,7 +55,9 @@ impl TickSeries {
     /// on).
     pub fn push(&mut self, sample: TickSample) {
         debug_assert!(
-            self.samples.last().map_or(true, |last| last.tick < sample.tick),
+            self.samples
+                .last()
+                .map_or(true, |last| last.tick < sample.tick),
             "samples must arrive in tick order"
         );
         self.samples.push(sample);
@@ -71,7 +81,10 @@ impl TickSeries {
     /// The tick with the highest total message count (burst detection), or
     /// `None` when empty.
     pub fn peak_msgs(&self) -> Option<TickSample> {
-        self.samples.iter().copied().max_by_key(|s| s.uplink + s.downlink)
+        self.samples
+            .iter()
+            .copied()
+            .max_by_key(|s| s.uplink + s.downlink)
     }
 
     /// Mean total messages per tick over the recorded window.
@@ -140,7 +153,12 @@ mod tests {
     use super::*;
 
     fn sample(tick: Tick, up: u64, down: u64) -> TickSample {
-        TickSample { tick, uplink: up, downlink: down, ..Default::default() }
+        TickSample {
+            tick,
+            uplink: up,
+            downlink: down,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! convenience aggregator over [`EpisodeMetrics`].
 
 use crate::EpisodeMetrics;
-use serde::{Deserialize, Serialize};
 
 /// Summary of one metric across repetitions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -30,7 +29,13 @@ impl Summary {
         let clean: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
         let n = clean.len();
         if n == 0 {
-            return Summary { n: 0, mean: f64::NAN, std_dev: f64::NAN, min: f64::NAN, max: f64::NAN };
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
         }
         let mean = clean.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -40,7 +45,13 @@ impl Summary {
         };
         let min = clean.iter().copied().fold(f64::INFINITY, f64::min);
         let max = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std_dev: var.sqrt(), min, max }
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Relative dispersion `std_dev / mean` (NaN when the mean is 0).
@@ -81,7 +92,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if clean.is_empty() {
         return f64::NAN;
     }
-    clean.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    clean.sort_unstable_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0) / 100.0;
     let idx = p * (clean.len() - 1) as f64;
     let lo = idx.floor() as usize;
@@ -178,7 +189,12 @@ mod tests {
 
     #[test]
     fn metrics_summary_aggregates() {
-        let mut a = EpisodeMetrics { method: "x".into(), ticks: 10, n_objects: 10, ..Default::default() };
+        let mut a = EpisodeMetrics {
+            method: "x".into(),
+            ticks: 10,
+            n_objects: 10,
+            ..Default::default()
+        };
         a.net.uplink_msgs = 100;
         let mut b = a.clone();
         b.net.uplink_msgs = 200;
@@ -191,8 +207,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot aggregate across methods")]
     fn mixed_methods_rejected() {
-        let a = EpisodeMetrics { method: "x".into(), ..Default::default() };
-        let b = EpisodeMetrics { method: "y".into(), ..Default::default() };
+        let a = EpisodeMetrics {
+            method: "x".into(),
+            ..Default::default()
+        };
+        let b = EpisodeMetrics {
+            method: "y".into(),
+            ..Default::default()
+        };
         MetricsSummary::of(&[a, b]);
     }
 }

@@ -148,13 +148,18 @@ fn broadcast_reaches_every_device_once() {
         &cfg,
         |tick, outbox| {
             if tick == 1 {
-                outbox.send(Recipient::Broadcast, DownlinkMsg::RemoveRegion { query: QueryId(0) });
+                outbox.send(
+                    Recipient::Broadcast,
+                    DownlinkMsg::RemoveRegion { query: QueryId(0) },
+                );
             }
         },
         None,
     );
     assert_eq!(received.len(), 15);
-    assert!(received.iter().all(|&(tick, _, kind)| tick == 2 && kind == MsgKind::RemoveRegion));
+    assert!(received
+        .iter()
+        .all(|&(tick, _, kind)| tick == 2 && kind == MsgKind::RemoveRegion));
     let mut ids: Vec<u32> = received.iter().map(|&(_, id, _)| id).collect();
     ids.sort_unstable();
     ids.dedup();
@@ -205,12 +210,22 @@ fn probes_are_charged_and_answered_from_true_positions() {
     let zone = Circle::new(Point::new(50.0, 50.0), 30.0);
     let (_, replies, metrics) = run_inspector(&cfg, |_, _| {}, Some(zone));
     let world = cfg.workload.build();
-    let expected = world.objects().iter().filter(|o| zone.contains(o.pos)).count();
+    let expected = world
+        .objects()
+        .iter()
+        .filter(|o| zone.contains(o.pos))
+        .count();
     assert_eq!(replies, expected);
     // One geocast probe (many cells) + one uplink reply per device inside.
     assert_eq!(metrics.net.uplink_msgs, expected as u64);
-    assert_eq!(metrics.net.by_kind.get(&MsgKind::ProbeReply), Some(&(expected as u64)));
-    assert!(metrics.net.downlink_geocast_msgs > 0, "the probe geocast must be charged");
+    assert_eq!(
+        metrics.net.by_kind.get(&MsgKind::ProbeReply),
+        Some(&(expected as u64))
+    );
+    assert!(
+        metrics.net.downlink_geocast_msgs > 0,
+        "the probe geocast must be charged"
+    );
 }
 
 #[test]
@@ -261,7 +276,13 @@ fn uplinks_are_charged_per_message_with_the_byte_model() {
             up: &mut Uplinks,
             _ops: &mut OpCounters,
         ) {
-            up.send(me.id, UplinkMsg::Position { pos: me.pos, vel: Vector::ZERO });
+            up.send(
+                me.id,
+                UplinkMsg::Position {
+                    pos: me.pos,
+                    vel: Vector::ZERO,
+                },
+            );
         }
         fn server_tick(
             &mut self,
@@ -286,6 +307,10 @@ fn uplinks_are_charged_per_message_with_the_byte_model() {
     }
     let m = sim.metrics();
     assert_eq!(m.net.uplink_msgs, 30 * cfg.ticks);
-    let per_msg = UplinkMsg::Position { pos: Point::ORIGIN, vel: Vector::ZERO }.size_bytes() as u64;
+    let per_msg = UplinkMsg::Position {
+        pos: Point::ORIGIN,
+        vel: Vector::ZERO,
+    }
+    .size_bytes() as u64;
     assert_eq!(m.net.uplink_bytes, 30 * cfg.ticks * per_msg);
 }

@@ -1,0 +1,313 @@
+//! Micro-benchmark harness: warmup, median-of-N sampling, JSON output.
+//!
+//! This replaces `criterion` for the workspace's `harness = false` bench
+//! targets. Each benchmark is calibrated during a warmup phase so one timed
+//! sample lasts roughly [`Config::sample_ms`], then `samples` timings are
+//! collected and summarized by their median (robust to scheduler noise).
+//! Results print as a table to stderr and, at [`Suite::finish`], as a JSON
+//! document to stdout and `target/benchmarks/<suite>.json`.
+//!
+//! Environment knobs:
+//! * `MKNN_BENCH_SAMPLES` — number of timed samples per benchmark.
+//! * `MKNN_BENCH_SAMPLE_MS` — target duration of one sample, milliseconds.
+//! * `MKNN_BENCH_FAST=1` — smoke mode: 3 samples of ≥1 iteration, for
+//!   checking that benches still run without waiting on real measurements.
+
+pub use std::hint::black_box;
+
+use crate::json::{Json, ToJson};
+use std::time::Instant;
+
+/// Sampling configuration (see the module docs for the env overrides).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Timed samples per benchmark (the median of these is reported).
+    pub samples: usize,
+    /// Target wall-clock duration of one sample, in milliseconds.
+    pub sample_ms: f64,
+    /// Warmup duration before calibration, in milliseconds.
+    pub warmup_ms: f64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let fast = std::env::var("MKNN_BENCH_FAST").map_or(false, |v| v == "1");
+        let env_usize = |key: &str, dflt: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
+        };
+        let env_f64 = |key: &str, dflt: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
+        };
+        if fast {
+            Config {
+                samples: 3,
+                sample_ms: 1.0,
+                warmup_ms: 1.0,
+            }
+        } else {
+            Config {
+                samples: env_usize("MKNN_BENCH_SAMPLES", 15),
+                sample_ms: env_f64("MKNN_BENCH_SAMPLE_MS", 25.0),
+                warmup_ms: env_f64("MKNN_BENCH_WARMUP_MS", 50.0),
+            }
+        }
+    }
+}
+
+/// Summary of one benchmark's timed samples (nanoseconds per iteration).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median ns/iter across samples — the headline number.
+    pub median_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (after calibration).
+    pub iters_per_sample: u64,
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::Str(self.name.clone())),
+            ("median_ns", Json::Float(self.median_ns)),
+            ("mean_ns", Json::Float(self.mean_ns)),
+            ("min_ns", Json::Float(self.min_ns)),
+            ("max_ns", Json::Float(self.max_ns)),
+            ("samples", Json::Int(self.samples as i64)),
+            ("iters_per_sample", Json::Int(self.iters_per_sample as i64)),
+        ])
+    }
+}
+
+/// A named collection of benchmarks sharing one [`Config`].
+pub struct Suite {
+    name: String,
+    config: Config,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// Creates a suite with the environment-derived default [`Config`].
+    pub fn new(name: &str) -> Suite {
+        Suite {
+            name: name.to_string(),
+            config: Config::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sampling configuration for subsequent benchmarks.
+    pub fn with_config(mut self, config: Config) -> Suite {
+        self.config = config;
+        self
+    }
+
+    /// Benchmarks `routine`, auto-calibrating iterations per sample.
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        // Warmup: run until the warmup budget is spent, counting iterations
+        // to estimate the per-iteration cost.
+        let warmup_budget = self.config.warmup_ms * 1e6; // ns
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while (start.elapsed().as_nanos() as f64) < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let ns_per_iter = start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let iters = ((self.config.sample_ms * 1e6 / ns_per_iter.max(1.0)) as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(name, iters, samples_ns);
+    }
+
+    /// Benchmarks `routine` on fresh input from `setup`, excluding setup time
+    /// from the measurement. Each timed sample runs `routine` once over a
+    /// batch of `iters_per_sample` pre-built inputs (the criterion
+    /// `iter_batched` pattern, for routines that consume or mutate state).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        iters_per_sample: u64,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let iters = iters_per_sample.max(1);
+        // One warmup batch, un-timed.
+        let mut warm: Vec<S> = (0..iters.min(2)).map(|_| setup()).collect();
+        while let Some(input) = warm.pop() {
+            black_box(routine(input));
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let mut batch: Vec<S> = (0..iters).map(|_| setup()).collect();
+            // Pop from the back so inputs drop in construction order without
+            // shifting the vector; the drain itself is outside the timer.
+            let t = Instant::now();
+            while let Some(input) = batch.pop() {
+                black_box(routine(input));
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(name, iters, samples_ns);
+    }
+
+    fn record(&mut self, name: &str, iters: u64, mut samples_ns: Vec<f64>) {
+        samples_ns.sort_unstable_by(f64::total_cmp);
+        let n = samples_ns.len();
+        let median = if n == 0 {
+            f64::NAN
+        } else if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+        };
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: samples_ns.iter().sum::<f64>() / n.max(1) as f64,
+            min_ns: samples_ns.first().copied().unwrap_or(f64::NAN),
+            max_ns: samples_ns.last().copied().unwrap_or(f64::NAN),
+            samples: n,
+            iters_per_sample: iters,
+        };
+        eprintln!(
+            "{:<40} median {:>12}/iter   (min {:>12}, max {:>12}, {} × {} iters)",
+            format!("{}/{}", self.name, m.name),
+            format_ns(m.median_ns),
+            format_ns(m.min_ns),
+            format_ns(m.max_ns),
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.results.push(m);
+    }
+
+    /// Renders all results as one JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("suite", Json::Str(self.name.clone())),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Prints the JSON report to stdout and writes it to
+    /// `target/benchmarks/<suite>.json` (best-effort; the file write is
+    /// skipped silently if the directory cannot be created).
+    pub fn finish(self) {
+        let doc = self.to_json().render_pretty();
+        // File first: printing to a closed pipe (`… | head`) kills the
+        // process with SIGPIPE, which must not cost the report file.
+        let dir = target_dir().join("benchmarks");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{}.json", self.name)), &doc);
+        }
+        println!("{doc}");
+    }
+}
+
+/// The build's `target/` directory. Cargo runs bench binaries with the
+/// *package* directory as CWD, so a relative `target/` would scatter
+/// reports across workspace members; the executable's own path
+/// (`target/release/deps/...`) locates the real one.
+fn target_dir() -> std::path::PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("target"))
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Config {
+        Config {
+            samples: 3,
+            sample_ms: 0.05,
+            warmup_ms: 0.05,
+        }
+    }
+
+    #[test]
+    fn bench_produces_sane_measurement() {
+        let mut suite = Suite::new("selftest").with_config(tiny_config());
+        suite.bench("add", || black_box(1u64) + black_box(2u64));
+        let m = &suite.results[0];
+        assert_eq!(m.name, "add");
+        assert_eq!(m.samples, 3);
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn bench_with_setup_consumes_inputs() {
+        let mut suite = Suite::new("selftest").with_config(tiny_config());
+        suite.bench_with_setup("sum_vec", 4, || vec![1u64; 1000], |v| v.iter().sum::<u64>());
+        let m = &suite.results[0];
+        assert_eq!(m.iters_per_sample, 4);
+        assert!(m.median_ns > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut suite = Suite::new("selftest").with_config(tiny_config());
+        suite.bench("noop", || ());
+        let doc = suite.to_json();
+        assert_eq!(doc.get("suite").unwrap().as_str().unwrap(), "selftest");
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("name").unwrap().as_str().unwrap(), "noop");
+        // And it parses back.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        let mut suite = Suite::new("selftest").with_config(tiny_config());
+        suite.record("odd", 1, vec![3.0, 1.0, 2.0]);
+        assert_eq!(suite.results.last().unwrap().median_ns, 2.0);
+        suite.record("even", 1, vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(suite.results.last().unwrap().median_ns, 2.5);
+    }
+}

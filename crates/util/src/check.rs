@@ -1,0 +1,119 @@
+//! A tiny randomized property-testing harness.
+//!
+//! This replaces `proptest` for the workspace's property suites. A property
+//! is a closure over a seeded [`Rng`]; [`forall`] runs it for a number of
+//! independently-seeded cases and, on failure, reports exactly which case
+//! seed broke so the failure reproduces with a single environment variable —
+//! no shrinking, no persistence files, no dependencies.
+//!
+//! ```no_run
+//! mknn_util::check::forall(64, |rng| {
+//!     let x = rng.gen_range(-1.0e4..1.0e4);
+//!     assert!(x * 0.0 == 0.0);
+//! });
+//! ```
+//!
+//! Reproducing a failure: every case derives its seed from a base seed
+//! (default [`DEFAULT_SEED`]) and the case index. Set `MKNN_CHECK_SEED` to
+//! the reported case seed to re-run a failing property with that exact case
+//! first (case 0 uses the base seed's first derivation), or to any other
+//! value to explore a fresh part of the input space.
+
+use crate::rng::{splitmix64, Rng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Base seed used when `MKNN_CHECK_SEED` is not set.
+///
+/// Fixed so that `cargo test` is deterministic: the same binary always
+/// exercises the same cases.
+pub const DEFAULT_SEED: u64 = 0x1CDE_2007_D15C_0DE5;
+
+/// Returns the harness base seed (`MKNN_CHECK_SEED` env override, or
+/// [`DEFAULT_SEED`]).
+pub fn base_seed() -> u64 {
+    match std::env::var("MKNN_CHECK_SEED") {
+        Ok(s) => {
+            let t = s.trim();
+            let parsed = if let Some(hex) = t.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                t.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("MKNN_CHECK_SEED is not a u64: {s:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Runs `property` for `cases` independently-seeded random cases.
+///
+/// Each case gets a fresh [`Rng`] whose seed derives deterministically from
+/// the base seed (see [`base_seed`]) and the case index. If the property
+/// panics, the case index and seed are printed to stderr and the original
+/// panic is propagated, so the test still fails with its own message.
+pub fn forall<F>(cases: u64, property: F)
+where
+    F: Fn(&mut Rng),
+{
+    let base = base_seed();
+    let mut derive = base;
+    for case in 0..cases {
+        let case_seed = splitmix64(&mut derive);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "property failed on case {case}/{cases} (case seed {case_seed:#018x}, \
+                 base seed {base:#018x}); rerun with MKNN_CHECK_SEED={case_seed} to \
+                 make this the first case"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let counter = AtomicU64::new(0);
+        forall(32, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn cases_are_deterministic_and_distinct() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        forall(16, |rng| {
+            seen.lock().unwrap().push(rng.next_u64());
+        });
+        let first: Vec<u64> = std::mem::take(&mut seen.lock().unwrap());
+        forall(16, |rng| {
+            seen.lock().unwrap().push(rng.next_u64());
+        });
+        let second: Vec<u64> = std::mem::take(&mut seen.lock().unwrap());
+        assert_eq!(first, second, "same base seed must replay the same cases");
+        let mut dedup = first.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), first.len(), "cases must be distinct");
+    }
+
+    #[test]
+    fn failing_property_propagates_panic() {
+        let result = catch_unwind(|| {
+            forall(8, |rng| {
+                let v = rng.gen_range(0u32..100);
+                assert!(v < 1000, "bound check");
+                panic!("deliberate failure");
+            });
+        });
+        assert!(result.is_err());
+    }
+}

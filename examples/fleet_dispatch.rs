@@ -17,9 +17,12 @@ use moving_knn::prelude::*;
 fn main() {
     let base = SimConfig {
         workload: WorkloadSpec {
-            n_objects: 5_000,           // taxis
-            space_side: 12_000.0,       // a large metro area
-            speeds: SpeedDist::Uniform { min: 4.0, max: 16.0 },
+            n_objects: 5_000,     // taxis
+            space_side: 12_000.0, // a large metro area
+            speeds: SpeedDist::Uniform {
+                min: 4.0,
+                max: 16.0,
+            },
             // Taxis idle at stands between rides: only 70% move per tick.
             move_prob: 0.7,
             ..WorkloadSpec::default()
@@ -30,7 +33,10 @@ fn main() {
         ..SimConfig::default()
     };
 
-    println!("taxi dispatch: {} taxis, k = {} nearest per request\n", base.workload.n_objects, base.k);
+    println!(
+        "taxi dispatch: {} taxis, k = {} nearest per request\n",
+        base.workload.n_objects, base.k
+    );
     println!(
         "{:>9} {:<12} {:>12} {:>14} {:>16}",
         "requests", "method", "msgs/tick", "msgs/tick/req", "server-ops/tick"

@@ -21,8 +21,16 @@ fn main() {
             space_side: 8_000.0,
             // A 12 × 12 road lattice with 20% of interior segments removed:
             // dead ends and detours, like a real city grid.
-            motion: Motion::RoadNetwork { nx: 12, ny: 12, drop_prob: 0.2 },
-            speeds: SpeedDist::Classes { slow: 6.0, medium: 12.0, fast: 18.0 },
+            motion: Motion::RoadNetwork {
+                nx: 12,
+                ny: 12,
+                drop_prob: 0.2,
+            },
+            speeds: SpeedDist::Classes {
+                slow: 6.0,
+                medium: 12.0,
+                fast: 18.0,
+            },
             ..WorkloadSpec::default()
         },
         n_queries: 6,
@@ -32,8 +40,10 @@ fn main() {
         ..SimConfig::default()
     };
 
-    println!("convoy monitoring on a road network: {} vehicles, {} queries, k = {}\n",
-        config.workload.n_objects, config.n_queries, config.k);
+    println!(
+        "convoy monitoring on a road network: {} vehicles, {} queries, k = {}\n",
+        config.workload.n_objects, config.n_queries, config.k
+    );
 
     // Run all three distributed variants and the centralized reference over
     // the *identical* world (same seed ⇒ same trajectories).
@@ -45,7 +55,10 @@ fn main() {
         Method::Centralized { res: 64 },
     ];
 
-    println!("{:<12} {:>10} {:>10} {:>10} {:>8}", "method", "up/tick", "down/tick", "bytes/tick", "exact");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>8}",
+        "method", "up/tick", "down/tick", "bytes/tick", "exact"
+    );
     for method in methods {
         let m = run_episode(&config, method);
         println!(
@@ -56,7 +69,12 @@ fn main() {
             m.bytes_per_tick(),
             m.exactness(),
         );
-        assert_eq!(m.exactness(), 1.0, "{} must stay exact on road networks", m.method);
+        assert_eq!(
+            m.exactness(),
+            1.0,
+            "{} must stay exact on road networks",
+            m.method
+        );
     }
 
     println!("\nAll methods verified tick-exact against the brute-force oracle.");

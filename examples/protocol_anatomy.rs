@@ -11,8 +11,8 @@
 //! cargo run --example protocol_anatomy
 //! ```
 
-use moving_knn::prelude::*;
 use moving_knn::net::{MsgKind, NetStats};
+use moving_knn::prelude::*;
 
 fn delta(prev: &NetStats, cur: &NetStats) -> Vec<(MsgKind, u64)> {
     MsgKind::ALL
@@ -50,16 +50,26 @@ fn main() {
     };
     // Stationary world: drive the simulation normally; all cost after init
     // should be zero — the protocol is fully quiescent.
-    let params = DknnParams { v_max_obj: 8.0, v_max_q: 8.0, ..DknnParams::default() };
+    let params = DknnParams {
+        v_max_obj: 8.0,
+        v_max_q: 8.0,
+        ..DknnParams::default()
+    };
     let mut sim = Simulation::new(&config, Box::new(Dknn::set(params)));
     println!("— phase 1: a frozen world ————————————————————————————————");
-    println!("after init: {} messages total (installs + registration kNN)",
-        sim.metrics().net.total_msgs());
+    println!(
+        "after init: {} messages total (installs + registration kNN)",
+        sim.metrics().net.total_msgs()
+    );
     let mut prev = sim.metrics().net.clone();
     for tick in 1..=12u64 {
         sim.step();
         let d = delta(&prev, &sim.metrics().net);
-        let hb = if d.is_empty() { "silence".to_string() } else { format!("{d:?}") };
+        let hb = if d.is_empty() {
+            "silence".to_string()
+        } else {
+            format!("{d:?}")
+        };
         if tick % 4 == 0 {
             println!("tick {tick:>2}: {hb}");
         }
@@ -79,15 +89,21 @@ fn main() {
         sim.step();
         let d = delta(&prev, &sim.metrics().net);
         if !d.is_empty() {
-            let parts: Vec<String> =
-                d.iter().map(|(k, n)| format!("{}×{}", n, k.label())).collect();
+            let parts: Vec<String> = d
+                .iter()
+                .map(|(k, n)| format!("{}×{}", n, k.label()))
+                .collect();
             println!("tick {tick:>2}: {}", parts.join(", "));
         }
         prev = sim.metrics().net.clone();
     }
     let m = sim.metrics();
-    println!("\nverified exact on all {} checks; total traffic {} msgs over {} ticks",
-        m.exact_checks, m.net.total_msgs(), m.ticks);
+    println!(
+        "\nverified exact on all {} checks; total traffic {} msgs over {} ticks",
+        m.exact_checks,
+        m.net.total_msgs(),
+        m.ticks
+    );
     println!("Enter/Leave events trigger a refresh (probe + re-install); between");
     println!("events the devices decide locally that their movement cannot affect");
     println!("the answer, and say nothing.");

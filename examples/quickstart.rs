@@ -14,11 +14,14 @@ fn main() {
         workload: WorkloadSpec {
             n_objects: 2_000,
             space_side: 5_000.0,
-            speeds: SpeedDist::Uniform { min: 5.0, max: 15.0 },
+            speeds: SpeedDist::Uniform {
+                min: 5.0,
+                max: 15.0,
+            },
             ..WorkloadSpec::default()
         },
-        n_queries: 4,  // four focal vehicles, spread over the id space
-        k: 8,          // each continuously tracks its 8 nearest neighbors
+        n_queries: 4, // four focal vehicles, spread over the id space
+        k: 8,         // each continuously tracks its 8 nearest neighbors
         ticks: 120,
         verify: VerifyMode::Record, // oracle-check every answer, every tick
         ..SimConfig::default()
@@ -33,8 +36,11 @@ fn main() {
     for tick in 1..=config.ticks {
         sim.step();
         if tick % 30 == 0 {
-            let ids: Vec<String> =
-                sim.answer(QueryId(0)).iter().map(|id| id.to_string()).collect();
+            let ids: Vec<String> = sim
+                .answer(QueryId(0))
+                .iter()
+                .map(|id| id.to_string())
+                .collect();
             println!("{tick:>4} | {}", ids.join(" "));
         }
     }
@@ -43,12 +49,24 @@ fn main() {
     let m = sim.metrics().clone();
     println!();
     println!("method        : {}", m.method);
-    println!("exactness     : {:.3} (oracle-verified, every query, every tick)", m.exactness());
+    println!(
+        "exactness     : {:.3} (oracle-verified, every query, every tick)",
+        m.exactness()
+    );
     println!("recall vs true: {:.3}", m.recall());
-    println!("uplink msgs   : {:.1} per tick (centralized would pay ~{} per tick)",
-        m.uplink_per_tick(), config.workload.n_objects);
-    println!("downlink      : {:.1} transmissions per tick", m.downlink_per_tick());
-    println!("bytes         : {:.0} per tick, both directions", m.bytes_per_tick());
+    println!(
+        "uplink msgs   : {:.1} per tick (centralized would pay ~{} per tick)",
+        m.uplink_per_tick(),
+        config.workload.n_objects
+    );
+    println!(
+        "downlink      : {:.1} transmissions per tick",
+        m.downlink_per_tick()
+    );
+    println!(
+        "bytes         : {:.0} per tick, both directions",
+        m.bytes_per_tick()
+    );
 
     assert_eq!(m.exactness(), 1.0, "the distributed answer must be exact");
 }

@@ -34,7 +34,10 @@ fn bucketize(sim_series: &moving_knn::sim::TickSeries, width: usize) -> Vec<f64>
     samples
         .chunks(per)
         .map(|c| {
-            c.iter().map(|s| (s.uplink + s.downlink) as f64).sum::<f64>() / c.len() as f64
+            c.iter()
+                .map(|s| (s.uplink + s.downlink) as f64)
+                .sum::<f64>()
+                / c.len() as f64
         })
         .collect()
 }
@@ -60,7 +63,10 @@ fn main() {
 
     for method in [
         Method::DknnSet(params_for(&config)),
-        Method::DknnBuffer { params: params_for(&config), buffer: 3 },
+        Method::DknnBuffer {
+            params: params_for(&config),
+            buffer: 3,
+        },
         Method::Centralized { res: 64 },
     ] {
         let mut sim = Simulation::new(&config, method.build());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Fully offline: the workspace has zero external
+# dependencies, so no network (and no crates.io) is ever needed.
+#
+#   scripts/verify.sh
+#
+# Checks, in order:
+#   1. release build of the whole workspace
+#   2. the full test suite (unit + property + integration + doc tests)
+#   3. rustfmt conformance
+#   4. determinism: two runs of `expt --seed 42` must be byte-identical
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> determinism gate (expt --seed 42, twice)"
+a="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
+b="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
+if [ "$a" != "$b" ]; then
+    echo "FAIL: expt --seed 42 output differs between runs" >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -18,6 +18,7 @@
 //! | [`protocol`] | `mknn-core` | the paper's contribution: the DKNN set / ordered protocols |
 //! | [`baselines`] | `mknn-baselines` | centralized, periodic, naive-probe comparison methods |
 //! | [`sim`] | `mknn-sim` | simulation engine, oracle verification, experiment runner |
+//! | [`util`] | `mknn-util` | seeded PRNG, JSON codec, randomized-test + bench harness |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use mknn_index as index;
 pub use mknn_mobility as mobility;
 pub use mknn_net as net;
 pub use mknn_sim as sim;
+pub use mknn_util as util;
 
 /// The items most applications need, in one import.
 pub mod prelude {

@@ -24,7 +24,14 @@ fn distributed_uplink_undercuts_centralized_at_scale() {
     let cfg = cfg(2_000);
     let p = params_for(&cfg);
     let central = run_episode(&cfg, Method::Centralized { res: 16 });
-    for method in [Method::DknnSet(p), Method::DknnOrder(p), Method::DknnBuffer { params: p, buffer: 6 }] {
+    for method in [
+        Method::DknnSet(p),
+        Method::DknnOrder(p),
+        Method::DknnBuffer {
+            params: p,
+            buffer: 6,
+        },
+    ] {
         let m = run_episode(&cfg, method);
         assert!(
             m.net.uplink_msgs * 4 < central.net.uplink_msgs,
@@ -45,12 +52,18 @@ fn distributed_cost_is_population_insensitive() {
     let m_small = run_episode(&small, Method::DknnSet(params_for(&small)));
     let m_large = run_episode(&large, Method::DknnSet(params_for(&large)));
     let growth = m_large.msgs_per_tick() / m_small.msgs_per_tick().max(1e-9);
-    assert!(growth < 4.0, "8× the objects grew traffic {growth:.1}×; expected ≪ 8×");
+    assert!(
+        growth < 4.0,
+        "8× the objects grew traffic {growth:.1}×; expected ≪ 8×"
+    );
 
     let c_small = run_episode(&small, Method::Centralized { res: 16 });
     let c_large = run_episode(&large, Method::Centralized { res: 16 });
     let c_growth = c_large.msgs_per_tick() / c_small.msgs_per_tick().max(1e-9);
-    assert!(c_growth > 6.0, "centralized must track N; grew only {c_growth:.1}×");
+    assert!(
+        c_growth > 6.0,
+        "centralized must track N; grew only {c_growth:.1}×"
+    );
 }
 
 #[test]
@@ -74,7 +87,13 @@ fn buffered_variant_wins_under_churn() {
     c.workload.speeds = SpeedDist::Uniform { min: 2.0, max: 8.0 };
     let p = params_for(&c);
     let basic = run_episode(&c, Method::DknnOrder(p));
-    let buffered = run_episode(&c, Method::DknnBuffer { params: p, buffer: 2 });
+    let buffered = run_episode(
+        &c,
+        Method::DknnBuffer {
+            params: p,
+            buffer: 2,
+        },
+    );
     assert!(
         buffered.net.total_msgs() < basic.net.total_msgs(),
         "buffered {} should undercut basic ordered {}",
@@ -92,7 +111,13 @@ fn buffered_variant_wins_under_churn() {
 #[test]
 fn periodic_traffic_matches_its_period() {
     let c = cfg(2_000);
-    let p10 = run_episode(&c, Method::Periodic { period: 10, res: 16 });
+    let p10 = run_episode(
+        &c,
+        Method::Periodic {
+            period: 10,
+            res: 16,
+        },
+    );
     // Staggered reporting: ~N/period uplinks per tick (objects always move
     // under random waypoint with move_prob 1).
     let expected = c.workload.n_objects as f64 / 10.0;
@@ -122,7 +147,12 @@ fn same_seed_same_bill_across_all_methods() {
         let a = run_episode(&c, method);
         let b = run_episode(&c, method);
         assert_eq!(a.net, b.net, "{} is nondeterministic", method.name());
-        assert_eq!(a.ops, b.ops, "{} op counts are nondeterministic", method.name());
+        assert_eq!(
+            a.ops,
+            b.ops,
+            "{} op counts are nondeterministic",
+            method.name()
+        );
     }
 }
 
@@ -165,7 +195,10 @@ fn safe_periods_cut_client_work_in_calm_worlds() {
     let mut calm = cfg(2_000);
     calm.workload.speeds = SpeedDist::Uniform { min: 0.5, max: 2.0 };
     let mut frantic = cfg(2_000);
-    frantic.workload.speeds = SpeedDist::Uniform { min: 10.0, max: 40.0 };
+    frantic.workload.speeds = SpeedDist::Uniform {
+        min: 10.0,
+        max: 40.0,
+    };
     let m_calm = run_episode(&calm, Method::DknnSet(params_for(&calm)));
     let m_frantic = run_episode(&frantic, Method::DknnSet(params_for(&frantic)));
     assert!(

@@ -25,7 +25,10 @@ fn exact_methods(cfg: &SimConfig) -> Vec<Method> {
     vec![
         Method::DknnSet(p),
         Method::DknnOrder(p),
-        Method::DknnBuffer { params: p, buffer: 4 },
+        Method::DknnBuffer {
+            params: p,
+            buffer: 4,
+        },
         Method::Centralized { res: 16 },
         Method::Naive { headroom: 1.5 },
     ]
@@ -34,7 +37,13 @@ fn exact_methods(cfg: &SimConfig) -> Vec<Method> {
 fn assert_all_exact(cfg: &SimConfig) {
     for method in exact_methods(cfg) {
         let m = run_episode(cfg, method);
-        assert_eq!(m.exactness(), 1.0, "{} inexact under {:?}", method.name(), cfg.workload);
+        assert_eq!(
+            m.exactness(),
+            1.0,
+            "{} inexact under {:?}",
+            method.name(),
+            cfg.workload
+        );
     }
 }
 
@@ -53,14 +62,21 @@ fn exact_under_random_walk() {
 #[test]
 fn exact_on_road_network() {
     let mut cfg = base();
-    cfg.workload.motion = Motion::RoadNetwork { nx: 6, ny: 6, drop_prob: 0.2 };
+    cfg.workload.motion = Motion::RoadNetwork {
+        nx: 6,
+        ny: 6,
+        drop_prob: 0.2,
+    };
     assert_all_exact(&cfg);
 }
 
 #[test]
 fn exact_under_gaussian_skew() {
     let mut cfg = base();
-    cfg.workload.placement = Placement::Gaussian { clusters: 3, sigma: 60.0 };
+    cfg.workload.placement = Placement::Gaussian {
+        clusters: 3,
+        sigma: 60.0,
+    };
     assert_all_exact(&cfg);
 }
 
@@ -68,7 +84,10 @@ fn exact_under_gaussian_skew() {
 fn exact_at_high_speed() {
     let mut cfg = base();
     // 8% of the space side per tick — brutal churn.
-    cfg.workload.speeds = SpeedDist::Uniform { min: 40.0, max: 80.0 };
+    cfg.workload.speeds = SpeedDist::Uniform {
+        min: 40.0,
+        max: 80.0,
+    };
     cfg.ticks = 30;
     assert_all_exact(&cfg);
 }
@@ -124,7 +143,11 @@ fn exact_with_many_overlapping_queries() {
 #[test]
 fn exact_with_mixed_speed_classes() {
     let mut cfg = base();
-    cfg.workload.speeds = SpeedDist::Classes { slow: 2.0, medium: 10.0, fast: 25.0 };
+    cfg.workload.speeds = SpeedDist::Classes {
+        slow: 2.0,
+        medium: 10.0,
+        fast: 25.0,
+    };
     assert_all_exact(&cfg);
 }
 
@@ -145,7 +168,14 @@ fn exact_with_fast_queries_slow_objects() {
     let mut p = params_for(&cfg);
     p.v_max_q = 40.0;
     p.v_max_obj = 40.0;
-    for method in [Method::DknnSet(p), Method::DknnOrder(p), Method::DknnBuffer { params: p, buffer: 4 }] {
+    for method in [
+        Method::DknnSet(p),
+        Method::DknnOrder(p),
+        Method::DknnBuffer {
+            params: p,
+            buffer: 4,
+        },
+    ] {
         let m = run_episode(&cfg, method);
         assert_eq!(m.exactness(), 1.0, "{}", method.name());
     }
@@ -169,7 +199,13 @@ fn exact_under_loose_heartbeat() {
     cfg.ticks = 60;
     let mut p = params_for(&cfg);
     p.heartbeat = 30; // huge margin, rare heartbeats
-    for method in [Method::DknnSet(p), Method::DknnBuffer { params: p, buffer: 4 }] {
+    for method in [
+        Method::DknnSet(p),
+        Method::DknnBuffer {
+            params: p,
+            buffer: 4,
+        },
+    ] {
         let m = run_episode(&cfg, method);
         assert_eq!(m.exactness(), 1.0, "{}", method.name());
     }
@@ -202,9 +238,21 @@ fn periodic_is_measurably_inexact_but_degrades_gracefully() {
     let mut cfg = base();
     cfg.verify = VerifyMode::Record;
     let fast = run_episode(&cfg, Method::Periodic { period: 2, res: 16 });
-    let slow = run_episode(&cfg, Method::Periodic { period: 25, res: 16 });
-    assert!(fast.recall() > slow.recall(), "shorter period must be more accurate");
-    assert!(fast.recall() > 0.5, "a 2-tick period should stay close to the truth");
+    let slow = run_episode(
+        &cfg,
+        Method::Periodic {
+            period: 25,
+            res: 16,
+        },
+    );
+    assert!(
+        fast.recall() > slow.recall(),
+        "shorter period must be more accurate"
+    );
+    assert!(
+        fast.recall() > 0.5,
+        "a 2-tick period should stay close to the truth"
+    );
     assert!((0.0..=1.0).contains(&slow.recall()));
     assert!(fast.net.uplink_msgs > slow.net.uplink_msgs);
 }

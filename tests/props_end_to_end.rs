@@ -2,8 +2,12 @@
 //! protocol parameters, every tick oracle-checked (the harness panics on
 //! the first inexact answer of an exactness-guaranteeing method).
 
+use mknn_util::check::forall;
+use mknn_util::Rng;
 use moving_knn::prelude::*;
-use proptest::prelude::*;
+
+/// Cases per property (matches the former proptest config of 24).
+const CASES: u64 = 24;
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -21,43 +25,25 @@ struct Scenario {
     buffer: usize,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (
-        (10usize..120),
-        (1usize..5),
-        (1usize..8),
-        (15u64..40),
-        any::<u64>(),
-        prop_oneof![
-            Just(Motion::RandomWaypoint),
-            Just(Motion::RandomWalk),
-            Just(Motion::Stationary),
-        ],
-        (1.0..40.0f64),
-        (0.0..=1.0f64),
-        (0.1..0.9f64),
-        (1u64..12),
-        (0.5..6.0f64),
-        (2usize..8),
-    )
-        .prop_map(
-            |(n_objects, n_queries, k, ticks, seed, motion, v_max, move_prob, alpha, heartbeat, drift_mult, buffer)| {
-                Scenario {
-                    n_objects,
-                    n_queries,
-                    k,
-                    ticks,
-                    seed,
-                    motion,
-                    v_max,
-                    move_prob,
-                    alpha,
-                    heartbeat,
-                    drift_mult,
-                    buffer,
-                }
-            },
-        )
+fn scenario(rng: &mut Rng) -> Scenario {
+    Scenario {
+        n_objects: rng.gen_range(10usize..120),
+        n_queries: rng.gen_range(1usize..5),
+        k: rng.gen_range(1usize..8),
+        ticks: rng.gen_range(15u64..40),
+        seed: rng.next_u64(),
+        motion: match rng.gen_range(0u32..3) {
+            0 => Motion::RandomWaypoint,
+            1 => Motion::RandomWalk,
+            _ => Motion::Stationary,
+        },
+        v_max: rng.gen_range(1.0..40.0),
+        move_prob: rng.gen_range(0.0..=1.0),
+        alpha: rng.gen_range(0.1..0.9),
+        heartbeat: rng.gen_range(1u64..12),
+        drift_mult: rng.gen_range(0.5..6.0),
+        buffer: rng.gen_range(2usize..8),
+    }
 }
 
 fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
@@ -65,7 +51,10 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
         workload: WorkloadSpec {
             n_objects: s.n_objects,
             space_side: 800.0,
-            speeds: SpeedDist::Uniform { min: s.v_max * 0.2, max: s.v_max },
+            speeds: SpeedDist::Uniform {
+                min: s.v_max * 0.2,
+                max: s.v_max,
+            },
             motion: s.motion,
             move_prob: s.move_prob,
             seed: s.seed,
@@ -88,46 +77,62 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
     (cfg, params)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn dknn_set_exact_on_random_worlds(s in scenario()) {
-        let (cfg, params) = config_of(&s);
+#[test]
+fn dknn_set_exact_on_random_worlds() {
+    forall(CASES, |rng| {
+        let (cfg, params) = config_of(&scenario(rng));
         let m = run_episode(&cfg, Method::DknnSet(params));
-        prop_assert_eq!(m.exactness(), 1.0);
-    }
+        assert_eq!(m.exactness(), 1.0);
+    });
+}
 
-    #[test]
-    fn dknn_ordered_exact_on_random_worlds(s in scenario()) {
-        let (cfg, params) = config_of(&s);
+#[test]
+fn dknn_ordered_exact_on_random_worlds() {
+    forall(CASES, |rng| {
+        let (cfg, params) = config_of(&scenario(rng));
         let m = run_episode(&cfg, Method::DknnOrder(params));
-        prop_assert_eq!(m.exactness(), 1.0);
-    }
+        assert_eq!(m.exactness(), 1.0);
+    });
+}
 
-    #[test]
-    fn dknn_buffered_exact_on_random_worlds(s in scenario()) {
+#[test]
+fn dknn_buffered_exact_on_random_worlds() {
+    forall(CASES, |rng| {
+        let s = scenario(rng);
         let (cfg, params) = config_of(&s);
-        let m = run_episode(&cfg, Method::DknnBuffer { params, buffer: s.buffer });
-        prop_assert_eq!(m.exactness(), 1.0);
-    }
+        let m = run_episode(
+            &cfg,
+            Method::DknnBuffer {
+                params,
+                buffer: s.buffer,
+            },
+        );
+        assert_eq!(m.exactness(), 1.0);
+    });
+}
 
-    #[test]
-    fn centralized_and_naive_exact_on_random_worlds(s in scenario()) {
-        let (cfg, _) = config_of(&s);
-        for method in [Method::Centralized { res: 8 }, Method::Naive { headroom: 1.3 }] {
+#[test]
+fn centralized_and_naive_exact_on_random_worlds() {
+    forall(CASES, |rng| {
+        let (cfg, _) = config_of(&scenario(rng));
+        for method in [
+            Method::Centralized { res: 8 },
+            Method::Naive { headroom: 1.3 },
+        ] {
             let m = run_episode(&cfg, method);
-            prop_assert_eq!(m.exactness(), 1.0, "{}", method.name());
+            assert_eq!(m.exactness(), 1.0, "{}", method.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn periodic_recall_recorded_not_asserted(s in scenario()) {
-        let (mut cfg, _) = config_of(&s);
+#[test]
+fn periodic_recall_recorded_not_asserted() {
+    forall(CASES, |rng| {
+        let (mut cfg, _) = config_of(&scenario(rng));
         cfg.verify = VerifyMode::Record;
         let m = run_episode(&cfg, Method::Periodic { period: 7, res: 8 });
         // Recall is a proper fraction and is recorded for every check.
-        prop_assert!(m.exact_checks > 0);
-        prop_assert!((0.0..=1.0).contains(&m.recall()));
-    }
+        assert!(m.exact_checks > 0);
+        assert!((0.0..=1.0).contains(&m.recall()));
+    });
 }
