@@ -6,7 +6,7 @@
 //! the *relative* cost of the methods is the reproducible quantity.
 
 use mknn_mobility::WorkloadSpec;
-use mknn_sim::{params_for, Method, SimConfig, Simulation, VerifyMode};
+use mknn_sim::{Method, SimConfig, Simulation, VerifyMode};
 use mknn_util::bench::{Config, Suite};
 
 fn config() -> SimConfig {
@@ -32,7 +32,7 @@ fn main() {
         ..Config::default()
     });
     let cfg = config();
-    for method in Method::standard_suite(params_for(&cfg)) {
+    for method in Method::standard_suite(cfg.dknn_params()) {
         suite.bench_with_setup(
             &format!("protocol_step/{}", method.name()),
             2,

@@ -1,40 +1,52 @@
 //! Experiment regenerator CLI.
 //!
 //! ```text
-//! expt --exp e2            # one experiment, fast scale
-//! expt --exp all --full    # the whole suite at paper scale
-//! expt --list              # what exists
-//! expt --seed 42           # deterministic JSON smoke run (CI gate)
+//! expt --exp e2                    # one experiment, fast scale
+//! expt --exp all --full            # the whole suite at paper scale
+//! expt --list                      # what exists
+//! expt --seed 42                   # deterministic JSON smoke run (CI gate)
+//! expt --seed 42 --method dknn-set # smoke run of one method only
 //! ```
 //!
 //! Each experiment prints its table and writes
-//! `target/experiments/<id>.csv`. The `--seed` smoke mode runs one small
-//! episode per method and prints the metrics as JSON; its output is
-//! byte-identical across runs of the same seed (wall-clock fields are
-//! zeroed), which the verification script uses as a determinism gate.
+//! `target/experiments/<id>.csv`. Episodes fan out over the worker pool
+//! (`MKNN_THREADS` workers, default: all cores); output is identical at any
+//! thread count. The `--seed` smoke mode runs one small episode per method
+//! and prints the metrics as JSON; its output is byte-identical across runs
+//! of the same seed (wall-clock fields are zeroed), which the verification
+//! script uses as a determinism gate — including across thread counts.
 
 use mknn_bench::experiments::{self, Scale};
-use mknn_sim::{render_table, write_csv};
+use mknn_sim::{render_table, write_csv, Method, SimConfig, Sweep, VerifyMode};
 use std::path::PathBuf;
 
-/// Runs a tiny verified episode of every standard method under `seed` and
-/// prints one JSON document. Everything nondeterministic (wall-clock) is
-/// zeroed, so identical seeds must produce identical bytes.
-fn run_smoke(seed: u64) {
-    use mknn_sim::{run_episode, SimConfig, VerifyMode};
+const USAGE: &str = "usage: expt --exp <id|all> [--full] | --list | --seed <n> [--method <name>]";
+
+/// Runs a tiny verified episode of every standard method (or just the named
+/// one) under `seed` and prints one JSON document. Everything
+/// nondeterministic (wall-clock) is zeroed, so identical seeds must produce
+/// identical bytes.
+fn run_smoke(seed: u64, method: Option<&str>) {
     use mknn_util::json::{Json, ToJson};
 
     let mut cfg = SimConfig::small();
     cfg.workload.seed = seed;
     cfg.verify = VerifyMode::Record;
-    let methods = mknn_sim::Method::standard_suite(mknn_sim::params_for(&cfg));
-    let episodes: Vec<Json> = methods
-        .iter()
-        .map(|&m| {
-            let mut metrics = run_episode(&cfg, m);
-            metrics.proto_seconds = 0.0; // wall clock is not reproducible
-            metrics.to_json()
-        })
+    let mut sweep = Sweep::over([("smoke", cfg.clone())]);
+    if let Some(name) = method {
+        let Some(m) = Method::parse(name, cfg.dknn_params()) else {
+            eprintln!("unknown method `{name}`; the standard suite is:");
+            for m in Method::standard_suite(cfg.dknn_params()) {
+                eprintln!("  {}", m.name());
+            }
+            std::process::exit(2);
+        };
+        sweep = sweep.methods([m]);
+    }
+    let episodes: Vec<Json> = sweep
+        .run()
+        .into_iter()
+        .map(|run| run.metrics.with_clock_zeroed().to_json())
         .collect();
     let doc = Json::object([
         ("seed", seed.to_json()),
@@ -50,6 +62,7 @@ fn main() {
     let mut full = false;
     let mut list = false;
     let mut smoke_seed: Option<u64> = None;
+    let mut method: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,8 +79,15 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--method" => {
+                i += 1;
+                method = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--method requires a method name (e.g. dknn-set)");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("usage: expt --exp <id|all> [--full] | --list | --seed <n>");
+                println!("{USAGE}");
                 return;
             }
             other => {
@@ -84,11 +104,15 @@ fn main() {
         return;
     }
     if let Some(seed) = smoke_seed {
-        run_smoke(seed);
+        run_smoke(seed, method.as_deref());
         return;
     }
+    if method.is_some() {
+        eprintln!("--method only applies to the --seed smoke mode");
+        std::process::exit(2);
+    }
     let Some(exp) = exp else {
-        eprintln!("usage: expt --exp <id|all> [--full] | --list | --seed <n>");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
     let scale = Scale { full };
@@ -111,9 +135,10 @@ fn main() {
             eprintln!("warning: could not write {}: {e}", csv.display());
         } else {
             println!(
-                "[written {} in {:.1}s]",
+                "[written {} in {:.1}s elapsed / {:.1}s episode time]",
                 csv.display(),
-                started.elapsed().as_secs_f64()
+                started.elapsed().as_secs_f64(),
+                result.episode_seconds
             );
         }
     }

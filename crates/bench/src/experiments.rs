@@ -7,9 +7,7 @@
 //! EXPERIMENTS.md.
 
 use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
-use mknn_sim::{
-    params_for, run_episode, run_episodes_seeded, Method, MetricsSummary, SimConfig, VerifyMode,
-};
+use mknn_sim::{Method, MetricsSummary, SimConfig, Sweep, VerifyMode};
 
 /// Experiment scale: `full` reproduces the paper-scale populations;
 /// fast mode (default) shrinks them ~6× for quick regeneration.
@@ -94,6 +92,11 @@ pub struct ExpResult {
     pub title: &'static str,
     /// Rows, first row = header.
     pub rows: Vec<Vec<String>>,
+    /// Summed per-episode wall time, measured inside each worker
+    /// ([`mknn_sim::EpisodeRun::wall_seconds`]). Under parallel execution
+    /// this exceeds the experiment's elapsed wall time by roughly the
+    /// achieved speedup.
+    pub episode_seconds: f64,
 }
 
 fn fmt(v: f64) -> String {
@@ -138,22 +141,23 @@ fn series_row(x: &str, m: &mknn_sim::EpisodeMetrics) -> Vec<String> {
     ]
 }
 
-/// Runs a sweep: for each `(label, config)` runs the whole method suite.
-fn sweep(configs: Vec<(String, SimConfig)>) -> Vec<Vec<String>> {
+/// Runs a sweep: for each `(label, config)` runs the whole method suite in
+/// parallel on the worker pool, collecting rows in plan order. Returns the
+/// rows plus the summed per-episode wall time.
+fn sweep(configs: Vec<(String, SimConfig)>) -> (Vec<Vec<String>>, f64) {
     let mut rows = vec![SERIES_HEADER.iter().map(|s| s.to_string()).collect()];
-    for (label, cfg) in configs {
-        for method in Method::standard_suite(params_for(&cfg)) {
-            let m = run_episode(&cfg, method);
-            rows.push(series_row(&label, &m));
-        }
+    let mut busy = 0.0;
+    for run in Sweep::over(configs).run() {
+        rows.push(series_row(&run.label, &run.metrics));
+        busy += run.wall_seconds;
     }
-    rows
+    (rows, busy)
 }
 
 /// E1 — the simulation-parameter table.
 pub fn e1(scale: Scale) -> ExpResult {
     let cfg = base_config(scale);
-    let p = params_for(&cfg);
+    let p = cfg.dknn_params();
     let rows = vec![
         vec!["parameter".into(), "value".into()],
         vec![
@@ -184,6 +188,7 @@ pub fn e1(scale: Scale) -> ExpResult {
         id: "e1",
         title: "Table E1: simulation parameters",
         rows,
+        episode_seconds: 0.0,
     }
 }
 
@@ -198,10 +203,12 @@ pub fn e2(scale: Scale) -> ExpResult {
             (n.to_string(), cfg)
         })
         .collect();
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e2",
         title: "Fig E2: communication vs. N",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
@@ -215,10 +222,12 @@ pub fn e3(scale: Scale) -> ExpResult {
             (k.to_string(), cfg)
         })
         .collect();
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e3",
         title: "Fig E3: communication vs. k",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
@@ -235,10 +244,12 @@ pub fn e4(scale: Scale) -> ExpResult {
             (format!("{v}"), cfg)
         })
         .collect();
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e4",
         title: "Fig E4: communication vs. object speed",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
@@ -253,10 +264,12 @@ pub fn e5(scale: Scale) -> ExpResult {
             (format!("{v}"), cfg)
         })
         .collect();
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e5",
         title: "Fig E5: communication vs. query speed",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
@@ -269,24 +282,28 @@ pub fn e6(scale: Scale) -> ExpResult {
         "us/tick".into(),
         "msgs/tick".into(),
     ]];
-    for n in scale.n_sweep() {
+    let configs = scale.n_sweep().into_iter().map(|n| {
         let mut cfg = base_config(scale);
         cfg.workload.n_objects = n;
-        for method in Method::standard_suite(params_for(&cfg)) {
-            let m = run_episode(&cfg, method);
-            rows.push(vec![
-                n.to_string(),
-                m.method.clone(),
-                fmt(m.server_ops_per_tick()),
-                fmt(m.proto_us_per_tick()),
-                fmt(m.msgs_per_tick()),
-            ]);
-        }
+        (n.to_string(), cfg)
+    });
+    let mut busy = 0.0;
+    for run in Sweep::over(configs).run() {
+        let m = &run.metrics;
+        rows.push(vec![
+            run.label.clone(),
+            m.method.clone(),
+            fmt(m.server_ops_per_tick()),
+            fmt(m.proto_us_per_tick()),
+            fmt(m.msgs_per_tick()),
+        ]);
+        busy += run.wall_seconds;
     }
     ExpResult {
         id: "e6",
         title: "Fig E6: server load vs. N",
         rows,
+        episode_seconds: busy,
     }
 }
 
@@ -308,30 +325,41 @@ pub fn e7(scale: Scale) -> ExpResult {
     cfg.n_queries = cfg.n_queries.min(20);
     cfg.verify = VerifyMode::Record;
     let v = cfg.workload.speeds.max_speed();
+    let mut grid = Vec::new();
     for drift_mult in [0.5, 1.0, 2.0, 4.0, 8.0] {
         for heartbeat in [5u64, 10, 20] {
-            let mut p = params_for(&cfg);
+            let mut p = cfg.dknn_params();
             p.query_drift = drift_mult * v;
             p.heartbeat = heartbeat;
             for method in [Method::DknnSet(p), Method::DknnOrder(p)] {
-                let m = run_episode(&cfg, method);
-                rows.push(vec![
-                    format!("{drift_mult}"),
-                    heartbeat.to_string(),
-                    m.method.clone(),
-                    fmt(m.msgs_per_tick()),
-                    fmt(m.uplink_per_tick()),
-                    fmt(m.downlink_per_tick()),
-                    fmt(m.recall()),
-                    fmt(m.dist_error()),
-                ]);
+                grid.push((format!("{drift_mult}|{heartbeat}"), cfg.clone(), method));
             }
         }
+    }
+    let mut busy = 0.0;
+    for run in Sweep::grid(grid).run() {
+        let (drift_mult, heartbeat) = run
+            .label
+            .split_once('|')
+            .expect("e7 labels are written as drift|heartbeat above");
+        let m = &run.metrics;
+        rows.push(vec![
+            drift_mult.to_string(),
+            heartbeat.to_string(),
+            m.method.clone(),
+            fmt(m.msgs_per_tick()),
+            fmt(m.uplink_per_tick()),
+            fmt(m.downlink_per_tick()),
+            fmt(m.recall()),
+            fmt(m.dist_error()),
+        ]);
+        busy += run.wall_seconds;
     }
     ExpResult {
         id: "e7",
         title: "Fig E7: slack ablation (δ_q, H)",
         rows,
+        episode_seconds: busy,
     }
 }
 
@@ -346,10 +374,12 @@ pub fn e8(scale: Scale) -> ExpResult {
             (q.to_string(), cfg)
         })
         .collect();
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e8",
         title: "Fig E8: scalability vs. #queries",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
@@ -358,26 +388,34 @@ pub fn e8(scale: Scale) -> ExpResult {
 /// for centralized).
 pub fn e9(scale: Scale) -> ExpResult {
     let mut rows = vec![vec!["N".into(), "method".into(), "cli-ops/obj/tick".into()]];
-    for n in scale.n_sweep() {
+    let configs = scale.n_sweep().into_iter().map(|n| {
         let mut cfg = base_config(scale);
         cfg.workload.n_objects = n;
-        for method in [
-            Method::DknnSet(params_for(&cfg)),
-            Method::DknnOrder(params_for(&cfg)),
-            Method::Centralized { res: 64 },
-        ] {
-            let m = run_episode(&cfg, method);
-            rows.push(vec![
-                n.to_string(),
-                m.method.clone(),
-                fmt(m.client_ops_per_object_tick()),
-            ]);
-        }
+        (n.to_string(), cfg)
+    });
+    let runs = Sweep::over(configs)
+        .methods_for(|cfg| {
+            vec![
+                Method::DknnSet(cfg.dknn_params()),
+                Method::DknnOrder(cfg.dknn_params()),
+                Method::Centralized { res: 64 },
+            ]
+        })
+        .run();
+    let mut busy = 0.0;
+    for run in runs {
+        rows.push(vec![
+            run.label.clone(),
+            run.metrics.method.clone(),
+            fmt(run.metrics.client_ops_per_object_tick()),
+        ]);
+        busy += run.wall_seconds;
     }
     ExpResult {
         id: "e9",
         title: "Fig E9: client load",
         rows,
+        episode_seconds: busy,
     }
 }
 
@@ -390,18 +428,21 @@ pub fn e10(scale: Scale) -> ExpResult {
         h.extend(MsgKind::ALL.iter().map(|k| k.label().to_string()));
         h
     }];
-    for method in Method::standard_suite(params_for(&cfg)) {
-        let m = run_episode(&cfg, method);
+    let mut busy = 0.0;
+    for run in Sweep::over([("default", cfg)]).run() {
+        let m = &run.metrics;
         let mut row = vec![m.method.clone(), m.net.total_msgs().to_string()];
         for kind in MsgKind::ALL {
             row.push(m.net.by_kind.get(&kind).copied().unwrap_or(0).to_string());
         }
         rows.push(row);
+        busy += run.wall_seconds;
     }
     ExpResult {
         id: "e10",
         title: "Table E10: message breakdown (whole episode)",
         rows,
+        episode_seconds: busy,
     }
 }
 
@@ -418,14 +459,20 @@ pub fn e11(scale: Scale) -> ExpResult {
         "dist-err(true)".into(),
         "msgs/tick".into(),
     ]];
-    let mut methods = Method::standard_suite(params_for(&cfg));
-    methods.push(Method::Periodic {
-        period: 30,
-        res: 64,
-    });
-    for method in methods {
-        let m = run_episode(&cfg, method);
-        let label = if let Method::Periodic { period, .. } = method {
+    let runs = Sweep::over([("quality", cfg)])
+        .methods_for(|cfg| {
+            let mut methods = Method::standard_suite(cfg.dknn_params());
+            methods.push(Method::Periodic {
+                period: 30,
+                res: 64,
+            });
+            methods
+        })
+        .run();
+    let mut busy = 0.0;
+    for run in runs {
+        let m = &run.metrics;
+        let label = if let Method::Periodic { period, .. } = run.method {
             format!("{} (P={period})", m.method)
         } else {
             m.method.clone()
@@ -437,11 +484,13 @@ pub fn e11(scale: Scale) -> ExpResult {
             fmt(m.dist_error()),
             fmt(m.msgs_per_tick()),
         ]);
+        busy += run.wall_seconds;
     }
     ExpResult {
         id: "e11",
         title: "Table E11: answer quality",
         rows,
+        episode_seconds: busy,
     }
 }
 
@@ -456,10 +505,12 @@ pub fn e12(scale: Scale) -> ExpResult {
         };
         configs.push((format!("gauss-{sigma}"), cfg));
     }
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e12",
         title: "Fig E12: skew sensitivity",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
@@ -479,17 +530,19 @@ pub fn e13(scale: Scale) -> ExpResult {
             (n.to_string(), cfg)
         })
         .collect();
+    let (rows, episode_seconds) = sweep(configs);
     ExpResult {
         id: "e13",
         title: "Fig E13: road-network workload",
-        rows: sweep(configs),
+        rows,
+        episode_seconds,
     }
 }
 
 /// E14 — buffer-size ablation for the buffered-candidate variant.
 pub fn e14(scale: Scale) -> ExpResult {
     let cfg = base_config(scale);
-    let p = params_for(&cfg);
+    let p = cfg.dknn_params();
     let mut rows = vec![vec![
         "buffer".into(),
         "method".into(),
@@ -508,21 +561,27 @@ pub fn e14(scale: Scale) -> ExpResult {
             },
         ));
     }
-    for (label, method) in methods {
-        let m = run_episode(&cfg, method);
+    let grid = methods
+        .into_iter()
+        .map(|(label, method)| (label, cfg.clone(), method));
+    let mut busy = 0.0;
+    for run in Sweep::grid(grid).run() {
+        let m = &run.metrics;
         rows.push(vec![
-            label,
+            run.label.clone(),
             m.method.clone(),
             fmt(m.msgs_per_tick()),
             fmt(m.uplink_per_tick()),
             fmt(m.net.downlink_unicast_msgs as f64 / m.ticks.max(1) as f64),
             fmt(m.net.downlink_geocast_msgs as f64 / m.ticks.max(1) as f64),
         ]);
+        busy += run.wall_seconds;
     }
     ExpResult {
         id: "e14",
         title: "Fig E14: candidate-buffer ablation",
         rows,
+        episode_seconds: busy,
     }
 }
 
@@ -543,9 +602,14 @@ pub fn e15(scale: Scale) -> ExpResult {
         "srv-ops/tick".into(),
         "cv(msgs)".into(),
     ]];
-    for method in Method::standard_suite(params_for(&cfg)) {
-        let runs = run_episodes_seeded(&cfg, method, seeds);
-        let s = MetricsSummary::of(&runs);
+    // One parallel sweep over the whole method × seed grid; plan order is
+    // methods-major, so consecutive chunks of `seeds` runs are one method's
+    // repetitions.
+    let runs = Sweep::over([("headline", cfg)]).seeds(seeds).run();
+    let busy: f64 = runs.iter().map(|r| r.wall_seconds).sum();
+    for method_runs in runs.chunks(seeds as usize) {
+        let metrics: Vec<_> = method_runs.iter().map(|r| r.metrics.clone()).collect();
+        let s = MetricsSummary::of(&metrics);
         rows.push(vec![
             s.method.clone(),
             s.msgs_per_tick.display(),
@@ -559,6 +623,7 @@ pub fn e15(scale: Scale) -> ExpResult {
         id: "e15",
         title: "Table E15: headline with dispersion (5 seeds)",
         rows,
+        episode_seconds: busy,
     }
 }
 

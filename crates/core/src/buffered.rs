@@ -76,9 +76,20 @@ pub struct DknnBuffered {
 impl DknnBuffered {
     /// Creates the protocol with a buffer of `buffer` spare candidates
     /// (clamped to at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` fail [`DknnParams::validate`]; use
+    /// [`DknnBuffered::try_new`] to handle invalid parameters gracefully.
     pub fn new(params: DknnParams, buffer: usize) -> Self {
-        params.validate().expect("invalid DknnParams");
-        DknnBuffered {
+        Self::try_new(params, buffer).expect("invalid DknnParams")
+    }
+
+    /// Fallible [`DknnBuffered::new`]: rejects invalid parameters with the
+    /// typed error instead of panicking.
+    pub fn try_new(params: DknnParams, buffer: usize) -> Result<Self, crate::ParamError> {
+        params.validate()?;
+        Ok(DknnBuffered {
             params,
             buffer: buffer.max(2),
             client: ClientHalf::new(params, 0),
@@ -86,7 +97,7 @@ impl DknnBuffered {
             space_diag: 1.0,
             current_tick: 0,
             empty: Vec::new(),
-        }
+        })
     }
 
     /// The configured buffer size.
@@ -480,6 +491,9 @@ impl Protocol for DknnBuffered {
                     }
                     let d = pos.dist(q.ver.pred_center(now));
                     Self::insert_candidate(q, from, d, probe, outbox, ops, now);
+                    // Invariant: `max_cands` is `Some` for every query id the
+                    // loop visits — it was computed from `self.queries` above
+                    // and `q` was just fetched from the same vector.
                     if q.cands.len() > max_cands.expect("query exists") {
                         q.needs_refresh = true; // shrink the region
                     }

@@ -1,6 +1,6 @@
 //! The assembled DKNN protocol (client half + server half).
 
-use crate::{ClientHalf, DknnParams, Mode, ServerHalf};
+use crate::{ClientHalf, DknnParams, Mode, ParamError, ServerHalf};
 use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
 use mknn_mobility::MovingObject;
 use mknn_net::{DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Uplinks};
@@ -32,23 +32,44 @@ pub struct Dknn {
 
 impl Dknn {
     /// Set-semantics protocol (cheapest messaging).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` fail [`DknnParams::validate`]; use
+    /// [`Dknn::try_set`] to handle invalid parameters gracefully.
     pub fn set(params: DknnParams) -> Self {
-        Self::with_mode(params, Mode::Set)
+        Self::try_set(params).expect("invalid DknnParams")
     }
 
     /// Order-preserving protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` fail [`DknnParams::validate`]; use
+    /// [`Dknn::try_ordered`] to handle invalid parameters gracefully.
     pub fn ordered(params: DknnParams) -> Self {
+        Self::try_ordered(params).expect("invalid DknnParams")
+    }
+
+    /// Fallible [`Dknn::set`]: rejects invalid parameters with the typed
+    /// error instead of panicking.
+    pub fn try_set(params: DknnParams) -> Result<Self, ParamError> {
+        Self::with_mode(params, Mode::Set)
+    }
+
+    /// Fallible [`Dknn::ordered`].
+    pub fn try_ordered(params: DknnParams) -> Result<Self, ParamError> {
         Self::with_mode(params, Mode::Ordered)
     }
 
-    fn with_mode(params: DknnParams, mode: Mode) -> Self {
-        params.validate().expect("invalid DknnParams");
-        Dknn {
+    fn with_mode(params: DknnParams, mode: Mode) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(Dknn {
             params,
             mode,
             client: ClientHalf::new(params, 0),
             server: ServerHalf::new(params, mode),
-        }
+        })
     }
 
     /// The configured parameters.

@@ -46,7 +46,7 @@ mod server;
 pub use buffered::DknnBuffered;
 pub use client::ClientHalf;
 pub use dknn::Dknn;
-pub use params::DknnParams;
+pub use params::{DknnParams, DknnParamsBuilder, ParamError};
 pub use region::RegionVersion;
 pub use server::ServerHalf;
 

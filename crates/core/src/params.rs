@@ -1,11 +1,59 @@
 //! Tunable parameters of the distributed protocols.
 
-use mknn_util::impl_json_struct;
+use mknn_util::json::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+
+/// A rejected [`DknnParams`] construction: which knob was out of range and
+/// the offending value.
+///
+/// Produced by [`DknnParams::validate`] and [`DknnParamsBuilder::build`];
+/// the JSON path surfaces it as a parse error, so an invalid config file
+/// fails with a message instead of silently mis-running an episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// `alpha` outside the open interval `(0, 1)`.
+    AlphaOutOfRange(f64),
+    /// `query_drift` was zero or negative (a region that re-centers on
+    /// every report defeats the protocol's silence mechanism).
+    NonPositiveQueryDrift(f64),
+    /// `heartbeat` was 0 ticks: devices approaching from afar would never
+    /// learn the region and soundness collapses.
+    ZeroHeartbeat,
+    /// `expand_factor` did not exceed 1, so expansion probes could loop
+    /// without growing.
+    ExpandFactorTooSmall(f64),
+    /// A negative global speed bound (`v_max_obj` or `v_max_q`).
+    NegativeSpeedBound(f64),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamError::AlphaOutOfRange(v) => write!(f, "alpha must be in (0, 1), got {v}"),
+            ParamError::NonPositiveQueryDrift(v) => {
+                write!(f, "query_drift must be positive, got {v}")
+            }
+            ParamError::ZeroHeartbeat => write!(f, "heartbeat must be at least 1 tick"),
+            ParamError::ExpandFactorTooSmall(v) => {
+                write!(f, "expand_factor must exceed 1, got {v}")
+            }
+            ParamError::NegativeSpeedBound(v) => {
+                write!(f, "speed bounds must be non-negative, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
 
 /// Parameters of the DKNN protocols (both set and ordered mode).
 ///
 /// The defaults are sized for the default workload (10 km × 10 km space,
 /// object speeds ≤ 20 m/tick) and are swept by the ablation experiments.
+///
+/// Construct validated instances with [`DknnParams::builder`]; the struct
+/// fields stay public for the experiment sweeps that perturb a copy, and
+/// the protocol constructors re-validate at adoption time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DknnParams {
     /// Threshold placement inside the gap between the k-th and (k+1)-th
@@ -38,16 +86,6 @@ pub struct DknnParams {
     pub band_escalation: u32,
 }
 
-impl_json_struct!(DknnParams {
-    alpha,
-    query_drift,
-    heartbeat,
-    v_max_obj,
-    v_max_q,
-    expand_factor,
-    band_escalation,
-});
-
 impl Default for DknnParams {
     fn default() -> Self {
         DknnParams {
@@ -63,6 +101,13 @@ impl Default for DknnParams {
 }
 
 impl DknnParams {
+    /// Starts a validating builder, seeded with the defaults.
+    pub fn builder() -> DknnParamsBuilder {
+        DknnParamsBuilder {
+            params: DknnParams::default(),
+        }
+    }
+
     /// The geocast safety margin added around every region install zone.
     ///
     /// Soundness: a device that does not hear an install is at distance
@@ -83,23 +128,126 @@ impl DknnParams {
     }
 
     /// Validates parameter sanity; returns the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ParamError> {
         if !(0.0 < self.alpha && self.alpha < 1.0) {
-            return Err(format!("alpha must be in (0, 1), got {}", self.alpha));
+            return Err(ParamError::AlphaOutOfRange(self.alpha));
         }
-        if self.query_drift < 0.0 {
-            return Err("query_drift must be non-negative".into());
+        if self.query_drift <= 0.0 {
+            return Err(ParamError::NonPositiveQueryDrift(self.query_drift));
         }
         if self.heartbeat == 0 {
-            return Err("heartbeat must be at least 1 tick".into());
+            return Err(ParamError::ZeroHeartbeat);
         }
         if self.expand_factor <= 1.0 {
-            return Err("expand_factor must exceed 1".into());
+            return Err(ParamError::ExpandFactorTooSmall(self.expand_factor));
         }
-        if self.v_max_obj < 0.0 || self.v_max_q < 0.0 {
-            return Err("speed bounds must be non-negative".into());
+        if self.v_max_obj < 0.0 {
+            return Err(ParamError::NegativeSpeedBound(self.v_max_obj));
+        }
+        if self.v_max_q < 0.0 {
+            return Err(ParamError::NegativeSpeedBound(self.v_max_q));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`DknnParams`] whose [`build`](DknnParamsBuilder::build)
+/// rejects out-of-range knobs with a typed [`ParamError`].
+#[derive(Debug, Clone, Copy)]
+pub struct DknnParamsBuilder {
+    params: DknnParams,
+}
+
+impl DknnParamsBuilder {
+    /// Sets the threshold placement α (must end up in `(0, 1)`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.params.alpha = alpha;
+        self
+    }
+
+    /// Sets the query-drift threshold δ_q in meters (must be positive).
+    pub fn query_drift(mut self, meters: f64) -> Self {
+        self.params.query_drift = meters;
+        self
+    }
+
+    /// Sets the heartbeat period in ticks (must be ≥ 1).
+    pub fn heartbeat(mut self, ticks: u64) -> Self {
+        self.params.heartbeat = ticks;
+        self
+    }
+
+    /// Sets both global speed bounds to `v` meters/tick.
+    pub fn speed_bounds(mut self, v: f64) -> Self {
+        self.params.v_max_obj = v;
+        self.params.v_max_q = v;
+        self
+    }
+
+    /// Sets the data-object speed bound in meters/tick.
+    pub fn v_max_obj(mut self, v: f64) -> Self {
+        self.params.v_max_obj = v;
+        self
+    }
+
+    /// Sets the query-focal speed bound in meters/tick.
+    pub fn v_max_q(mut self, v: f64) -> Self {
+        self.params.v_max_q = v;
+        self
+    }
+
+    /// Sets the probe-zone growth factor (must exceed 1).
+    pub fn expand_factor(mut self, factor: f64) -> Self {
+        self.params.expand_factor = factor;
+        self
+    }
+
+    /// Sets the ordered-mode band-event escalation threshold.
+    pub fn band_escalation(mut self, events: u32) -> Self {
+        self.params.band_escalation = events;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    pub fn build(self) -> Result<DknnParams, ParamError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
+// Hand-written (rather than `impl_json_struct!`) so that deserialization
+// routes through validation: a config file with `alpha: 1.5` fails the
+// parse with the `ParamError` message instead of constructing parameters
+// that would mis-run or panic deep inside a protocol constructor.
+impl ToJson for DknnParams {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("alpha", self.alpha.to_json()),
+            ("query_drift", self.query_drift.to_json()),
+            ("heartbeat", self.heartbeat.to_json()),
+            ("v_max_obj", self.v_max_obj.to_json()),
+            ("v_max_q", self.v_max_q.to_json()),
+            ("expand_factor", self.expand_factor.to_json()),
+            ("band_escalation", self.band_escalation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DknnParams {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let params = DknnParams {
+            alpha: v.parse_field("alpha")?,
+            query_drift: v.parse_field("query_drift")?,
+            heartbeat: v.parse_field("heartbeat")?,
+            v_max_obj: v.parse_field("v_max_obj")?,
+            v_max_q: v.parse_field("v_max_q")?,
+            expand_factor: v.parse_field("expand_factor")?,
+            band_escalation: v.parse_field("band_escalation")?,
+        };
+        params
+            .validate()
+            .map_err(|e| JsonError::new(format!("invalid DknnParams: {e}")))?;
+        Ok(params)
     }
 }
 
@@ -131,36 +279,79 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_bad_values() {
-        assert!(DknnParams {
-            alpha: 0.0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DknnParams {
-            alpha: 1.0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DknnParams {
-            heartbeat: 0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DknnParams {
-            expand_factor: 1.0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DknnParams {
-            query_drift: -1.0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
+    fn builder_accepts_valid_knobs() {
+        let p = DknnParams::builder()
+            .alpha(0.3)
+            .query_drift(25.0)
+            .heartbeat(7)
+            .speed_bounds(12.0)
+            .expand_factor(1.5)
+            .band_escalation(5)
+            .build()
+            .unwrap();
+        assert_eq!(p.alpha, 0.3);
+        assert_eq!(p.query_drift, 25.0);
+        assert_eq!(p.heartbeat, 7);
+        assert_eq!(p.v_max_obj, 12.0);
+        assert_eq!(p.v_max_q, 12.0);
+        assert_eq!(p.expand_factor, 1.5);
+        assert_eq!(p.band_escalation, 5);
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_knob_with_the_typed_error() {
+        assert_eq!(
+            DknnParams::builder().alpha(0.0).build(),
+            Err(ParamError::AlphaOutOfRange(0.0))
+        );
+        assert_eq!(
+            DknnParams::builder().alpha(1.0).build(),
+            Err(ParamError::AlphaOutOfRange(1.0))
+        );
+        assert_eq!(
+            DknnParams::builder().query_drift(0.0).build(),
+            Err(ParamError::NonPositiveQueryDrift(0.0))
+        );
+        assert_eq!(
+            DknnParams::builder().query_drift(-1.0).build(),
+            Err(ParamError::NonPositiveQueryDrift(-1.0))
+        );
+        assert_eq!(
+            DknnParams::builder().heartbeat(0).build(),
+            Err(ParamError::ZeroHeartbeat)
+        );
+        assert_eq!(
+            DknnParams::builder().expand_factor(1.0).build(),
+            Err(ParamError::ExpandFactorTooSmall(1.0))
+        );
+        assert_eq!(
+            DknnParams::builder().v_max_obj(-4.0).build(),
+            Err(ParamError::NegativeSpeedBound(-4.0))
+        );
+        assert_eq!(
+            DknnParams::builder().v_max_q(-2.0).build(),
+            Err(ParamError::NegativeSpeedBound(-2.0))
+        );
+    }
+
+    #[test]
+    fn param_error_messages_name_the_offender() {
+        let msg = ParamError::AlphaOutOfRange(1.5).to_string();
+        assert!(msg.contains("alpha") && msg.contains("1.5"), "{msg}");
+        let msg = ParamError::ZeroHeartbeat.to_string();
+        assert!(msg.contains("heartbeat"), "{msg}");
+    }
+
+    #[test]
+    fn invalid_json_params_fail_the_parse_with_a_message() {
+        let mut doc = mknn_util::to_string(&DknnParams::default());
+        doc = doc.replace("\"alpha\":0.5", "\"alpha\":1.5");
+        let err = mknn_util::from_str::<DknnParams>(&doc).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("alpha") && msg.contains("1.5"), "{msg}");
+
+        let doc = mknn_util::to_string(&DknnParams::default())
+            .replace("\"heartbeat\":5", "\"heartbeat\":0");
+        assert!(mknn_util::from_str::<DknnParams>(&doc).is_err());
     }
 }

@@ -336,7 +336,9 @@ pub(crate) fn establish(
     reports.sort_unstable_by(|a, b| {
         let da = a.pos.dist_sq(c);
         let db = b.pos.dist_sq(c);
-        da.partial_cmp(&db).unwrap().then(a.id.cmp(&b.id))
+        // total_cmp: report positions come off the wire, so a NaN (however
+        // unlikely) must order deterministically rather than panic mid-sort.
+        da.total_cmp(&db).then(a.id.cmp(&b.id))
     });
     let kept = reports.len().min(k);
     let dists: Vec<f64> = reports[..kept].iter().map(|r| r.pos.dist(c)).collect();

@@ -1,5 +1,6 @@
 //! Simulation episode configuration.
 
+use mknn_core::DknnParams;
 use mknn_mobility::WorkloadSpec;
 
 /// How strictly the oracle verifies maintained answers.
@@ -64,6 +65,27 @@ impl SimConfig {
             geo_cells: 16,
             verify: VerifyMode::Assert,
         }
+    }
+
+    /// DKNN parameters sized for this workload's speed bounds (the
+    /// protocol's soundness inputs come from the registration contract, so
+    /// experiments derive them from the workload spec).
+    ///
+    /// Built through the validating [`DknnParams::builder`]; a frozen
+    /// workload (max speed 0) falls back to the default drift threshold so
+    /// the derived parameters are always valid.
+    pub fn dknn_params(&self) -> DknnParams {
+        let v = self.workload.speeds.max_speed();
+        let drift = if v > 0.0 {
+            2.0 * v
+        } else {
+            DknnParams::default().query_drift
+        };
+        DknnParams::builder()
+            .speed_bounds(v)
+            .query_drift(drift)
+            .build()
+            .expect("workload-derived parameters are in range by construction")
     }
 
     /// The focal object ids for the configured query count, spread evenly

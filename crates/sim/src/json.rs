@@ -115,6 +115,14 @@ impl ToJson for Method {
 
 impl FromJson for Method {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // A bare canonical name ("dknn-set", "centralized", …) selects the
+        // standard-suite method of that name with default parameters — the
+        // same vocabulary the `expt --method` CLI flag accepts, via the one
+        // shared table behind `Method::parse`.
+        if let Ok(name) = v.as_str() {
+            return Method::parse(name, DknnParams::default())
+                .ok_or_else(|| JsonError::new(format!("unknown method name `{name}`")));
+        }
         if let Some(p) = v.get("DknnSet") {
             return Ok(Method::DknnSet(DknnParams::from_json(p)?));
         }
@@ -218,6 +226,22 @@ mod tests {
             roundtrip(&m);
         }
         assert!(from_str::<Method>("{\"Oracle\":{}}").is_err());
+    }
+
+    #[test]
+    fn method_parses_from_a_bare_canonical_name() {
+        for m in Method::standard_suite(DknnParams::default()) {
+            let parsed: Method = from_str(&format!("\"{}\"", m.name())).unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!(from_str::<Method>("\"oracle\"").is_err());
+    }
+
+    #[test]
+    fn invalid_params_inside_a_method_fail_the_parse() {
+        let doc = r#"{"DknnSet":{"alpha":2.0,"query_drift":40.0,"heartbeat":5,"v_max_obj":20.0,"v_max_q":20.0,"expand_factor":2.0,"band_escalation":3}}"#;
+        let err = from_str::<Method>(doc).unwrap_err();
+        assert!(err.to_string().contains("alpha"), "{err}");
     }
 
     #[test]

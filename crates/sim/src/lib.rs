@@ -12,18 +12,20 @@
 mod config;
 mod engine;
 mod json;
+mod method;
 mod metrics;
 mod oracle;
-mod runner;
 mod series;
 mod stats;
+mod sweep;
 mod table;
 
 pub use config::{SimConfig, VerifyMode};
 pub use engine::Simulation;
+pub use method::Method;
 pub use metrics::EpisodeMetrics;
 pub use oracle::{check_answer, AnswerCheck};
-pub use runner::{params_for, run_episode, run_episodes_seeded, Method};
 pub use series::{delta_sample, TickSample, TickSeries};
 pub use stats::{percentile, MetricsSummary, Summary};
+pub use sweep::{EpisodeRun, PlannedEpisode, Sweep};
 pub use table::{render_table, write_csv};

@@ -1,6 +1,6 @@
-//! Method factory and episode runner used by experiments and examples.
+//! The monitoring-method catalogue: every protocol the experiments compare,
+//! as a cheap copyable description that can be instantiated per episode.
 
-use crate::{EpisodeMetrics, SimConfig, Simulation};
 use mknn_baselines::{Centralized, NaiveBroadcast, Periodic};
 use mknn_core::{Dknn, DknnBuffered, DknnParams};
 use mknn_net::Protocol;
@@ -68,47 +68,24 @@ impl Method {
         }
     }
 
-    /// Display name (matches [`Protocol::name`]).
+    /// Display name, derived from the built protocol so the two can never
+    /// disagree ([`Protocol::name`] is the single source of truth).
     pub fn name(&self) -> &'static str {
-        match self {
-            Method::DknnSet(_) => "dknn-set",
-            Method::DknnOrder(_) => "dknn-order",
-            Method::DknnBuffer { .. } => "dknn-buffer",
-            Method::Centralized { .. } => "centralized",
-            Method::Periodic { .. } => "periodic",
-            Method::Naive { .. } => "naive-probe",
-        }
+        self.build().name()
     }
-}
 
-/// Runs one full episode of `method` under `config`.
-pub fn run_episode(config: &SimConfig, method: Method) -> EpisodeMetrics {
-    Simulation::new(config, method.build()).run()
-}
-
-/// Runs `seeds` independent repetitions (seed, seed+1, …) of `method` and
-/// returns the per-seed metrics, for aggregation with
-/// [`crate::MetricsSummary`].
-pub fn run_episodes_seeded(config: &SimConfig, method: Method, seeds: u64) -> Vec<EpisodeMetrics> {
-    (0..seeds.max(1))
-        .map(|i| {
-            let mut cfg = config.clone();
-            cfg.workload.seed = config.workload.seed.wrapping_add(i);
-            run_episode(&cfg, method)
-        })
-        .collect()
-}
-
-/// Derives DKNN parameters sized for a workload's speed bounds (the
-/// protocol's soundness inputs come from the registration contract, so
-/// experiments derive them from the workload spec).
-pub fn params_for(config: &SimConfig) -> DknnParams {
-    let v = config.workload.speeds.max_speed();
-    DknnParams {
-        v_max_obj: v,
-        v_max_q: v,
-        query_drift: 2.0 * v,
-        ..DknnParams::default()
+    /// Parses a canonical protocol name (`"dknn-set"`, `"centralized"`, …)
+    /// into the standard-suite method of that name carrying `params`.
+    ///
+    /// The inverse of [`Method::name`] over [`Method::standard_suite`]:
+    /// shape knobs that are not [`DknnParams`] (buffer size, grid
+    /// resolution, period, headroom) take the standard-suite defaults.
+    /// Returns `None` for unknown names — callers (CLI flags, JSON configs)
+    /// turn that into their own error.
+    pub fn parse(name: &str, params: DknnParams) -> Option<Method> {
+        Method::standard_suite(params)
+            .into_iter()
+            .find(|m| m.name() == name)
     }
 }
 
@@ -117,24 +94,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_method_builds_and_runs() {
-        let mut cfg = SimConfig::small();
-        cfg.ticks = 15;
-        cfg.workload.n_objects = 150;
-        for method in Method::standard_suite(params_for(&cfg)) {
-            let m = run_episode(&cfg, method);
-            assert_eq!(m.ticks, 15, "{}", method.name());
-            assert_eq!(m.method, method.name());
-            assert!(m.net.total_msgs() > 0, "{} sent nothing", method.name());
+    fn names_match_built_protocols() {
+        for m in Method::standard_suite(DknnParams::default()) {
+            assert_eq!(m.name(), m.build().name());
         }
     }
 
     #[test]
-    fn params_for_scales_with_speed() {
-        let mut cfg = SimConfig::small();
-        cfg.workload.speeds = mknn_mobility::SpeedDist::Fixed(7.0);
-        let p = params_for(&cfg);
-        assert_eq!(p.v_max_obj, 7.0);
-        assert_eq!(p.query_drift, 14.0);
+    fn parse_inverts_name_for_the_standard_suite() {
+        let params = DknnParams::default();
+        for m in Method::standard_suite(params) {
+            assert_eq!(Method::parse(m.name(), params), Some(m));
+        }
+        assert_eq!(Method::parse("no-such-protocol", params), None);
+    }
+
+    #[test]
+    fn parse_carries_the_given_params() {
+        let params = DknnParams {
+            alpha: 0.25,
+            ..DknnParams::default()
+        };
+        match Method::parse("dknn-order", params) {
+            Some(Method::DknnOrder(p)) => assert_eq!(p.alpha, 0.25),
+            other => panic!("unexpected parse result {other:?}"),
+        }
     }
 }

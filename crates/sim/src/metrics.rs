@@ -98,6 +98,15 @@ impl EpisodeMetrics {
     pub fn proto_us_per_tick(&self) -> f64 {
         self.proto_seconds * 1e6 / self.ticks.max(1) as f64
     }
+
+    /// These metrics with the wall-clock field zeroed: the deterministic
+    /// view. Every other field is fully determined by the seed, so this is
+    /// what byte-identity gates and cross-thread-count determinism tests
+    /// compare.
+    pub fn with_clock_zeroed(mut self) -> Self {
+        self.proto_seconds = 0.0;
+        self
+    }
 }
 
 #[cfg(test)]

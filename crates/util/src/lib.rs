@@ -14,6 +14,9 @@
 //!   generation and reproducible failure reporting (replaces `proptest`).
 //! * [`bench`] — a micro-benchmark harness with warmup, median-of-N samples,
 //!   and JSON output (replaces `criterion`).
+//! * [`pool`] — a scoped worker pool with deterministic in-order result
+//!   collection (replaces `rayon` for the experiment suite's episode
+//!   fan-out).
 //!
 //! Nothing here depends on anything outside `std`.
 
@@ -22,7 +25,9 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
 pub use json::{from_str, to_string, FromJson, Json, JsonError, ToJson};
+pub use pool::Pool;
 pub use rng::Rng;

@@ -1,0 +1,222 @@
+//! A scoped worker pool on `std::thread` with deterministic, in-order
+//! result collection.
+//!
+//! The experiment suite runs thousands of mutually independent simulation
+//! episodes (each owns its world, transport, and seeded RNG stream), which
+//! makes the workload embarrassingly parallel. Per the workspace dependency
+//! policy (DESIGN.md §6) no external thread-pool crate may be used, so this
+//! module provides the one primitive the suite needs:
+//! [`Pool::map_indexed`] — apply a function to every item of a `Vec`
+//! concurrently, but return the results **in submission order**, so that
+//! parallel output is byte-identical to a sequential run.
+//!
+//! Work distribution is a shared queue drained by `N` scoped worker
+//! threads: results are written into a slot per submission index, so
+//! neither thread count nor scheduling order can change what the caller
+//! observes. A panic in any worker is propagated to the caller once all
+//! workers have stopped (via [`std::thread::scope`]'s join-on-exit
+//! semantics), never swallowed.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Environment variable controlling the default worker count.
+pub const THREADS_ENV: &str = "MKNN_THREADS";
+
+/// A fixed-width worker pool.
+///
+/// The pool is a configuration object, not a set of live threads: each
+/// [`Pool::map_indexed`] call spawns its workers inside a
+/// [`std::thread::scope`] and joins them before returning, so borrowed
+/// data can flow into the closure freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from the environment: `MKNN_THREADS` when set and
+    /// parseable, the machine's available parallelism otherwise.
+    pub fn from_env() -> Pool {
+        let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Pool::new(threads_from(
+            std::env::var(THREADS_ENV).ok().as_deref(),
+            fallback,
+        ))
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item concurrently and returns the results in
+    /// submission order.
+    ///
+    /// `f` receives the item's submission index alongside the item. The
+    /// output is independent of thread count and scheduling: result `i`
+    /// is always `f(i, items[i])`. If `f` panics for any item, the panic
+    /// is re-raised on the calling thread after all workers have stopped.
+    pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Lock scope is the pop only: the (expensive) call to
+                    // `f` runs without holding the queue.
+                    let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                    let Some((i, item)) = job else { break };
+                    let r = f(i, item);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("scope joined, so every dequeued job stored its result")
+            })
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+/// Resolves a worker count from an optional `MKNN_THREADS`-style string,
+/// falling back to `fallback` when the variable is unset, empty, or not a
+/// positive integer. Split out of [`Pool::from_env`] so the policy is unit
+/// testable without touching process-global environment state.
+pub fn threads_from(var: Option<&str>, fallback: usize) -> usize {
+    match var.map(str::trim) {
+        Some(s) if !s.is_empty() => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => fallback.max(1),
+        },
+        _ => fallback.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = Pool::new(8);
+        let items: Vec<usize> = (0..200).collect();
+        // Skew the per-item cost so late items often finish first.
+        let out = pool.map_indexed(items, |i, x| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 3 + 1
+        });
+        assert_eq!(out.len(), 200);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let pool = Pool::new(4);
+        let out = pool.map_indexed(vec!["a", "b", "c", "d", "e"], |i, s| format!("{i}:{s}"));
+        assert_eq!(out, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::new(4);
+        let out: Vec<u32> = pool.map_indexed(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_without_spawning() {
+        let pool = Pool::new(16);
+        assert_eq!(pool.map_indexed(vec![41], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential() {
+        let pool = Pool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.map_indexed((0..10).collect(), |i, _: usize| {
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(|| {
+            pool.map_indexed((0..64).collect::<Vec<usize>>(), |_, x| {
+                if x == 13 {
+                    panic!("boom at 13");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "a worker panic must not be swallowed");
+    }
+
+    #[test]
+    fn all_items_are_processed_exactly_once() {
+        let pool = Pool::new(6);
+        let hits = AtomicUsize::new(0);
+        let out = pool.map_indexed((0..1000).collect::<Vec<usize>>(), |_, x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn threads_from_parses_and_falls_back() {
+        assert_eq!(threads_from(Some("4"), 2), 4);
+        assert_eq!(threads_from(Some(" 8 "), 2), 8);
+        assert_eq!(threads_from(Some("0"), 2), 2);
+        assert_eq!(threads_from(Some("-3"), 2), 2);
+        assert_eq!(threads_from(Some("lots"), 2), 2);
+        assert_eq!(threads_from(Some(""), 2), 2);
+        assert_eq!(threads_from(None, 2), 2);
+        assert_eq!(threads_from(None, 0), 1);
+    }
+}

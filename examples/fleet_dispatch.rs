@@ -42,21 +42,31 @@ fn main() {
         "requests", "method", "msgs/tick", "msgs/tick/req", "server-ops/tick"
     );
 
-    for n_queries in [5usize, 20, 80, 200] {
+    // One sweep plans the demand × method grid and runs the episodes on the
+    // worker pool; results come back in plan order, so the table prints
+    // exactly as a sequential loop would have.
+    let runs = Sweep::over([5usize, 20, 80, 200].map(|n_queries| {
         let mut config = base.clone();
         config.n_queries = n_queries;
-        let params = params_for(&config);
-        for method in [Method::DknnSet(params), Method::Centralized { res: 64 }] {
-            let m = run_episode(&config, method);
-            println!(
-                "{:>9} {:<12} {:>12.1} {:>14.2} {:>16.0}",
-                n_queries,
-                m.method,
-                m.msgs_per_tick(),
-                m.msgs_per_tick() / n_queries as f64,
-                m.server_ops_per_tick(),
-            );
-        }
+        (n_queries.to_string(), config)
+    }))
+    .methods_for(|cfg| {
+        vec![
+            Method::DknnSet(cfg.dknn_params()),
+            Method::Centralized { res: 64 },
+        ]
+    })
+    .run();
+    for run in runs {
+        let m = &run.metrics;
+        println!(
+            "{:>9} {:<12} {:>12.1} {:>14.2} {:>16.0}",
+            m.n_queries,
+            m.method,
+            m.msgs_per_tick(),
+            m.msgs_per_tick() / m.n_queries as f64,
+            m.server_ops_per_tick(),
+        );
     }
 
     println!("\nReading the table:");

@@ -47,7 +47,7 @@ fn main() {
 
     // Run all three distributed variants and the centralized reference over
     // the *identical* world (same seed ⇒ same trajectories).
-    let params = params_for(&config);
+    let params = config.dknn_params();
     let methods = [
         Method::DknnSet(params),
         Method::DknnOrder(params),
@@ -60,7 +60,7 @@ fn main() {
         "method", "up/tick", "down/tick", "bytes/tick", "exact"
     );
     for method in methods {
-        let m = run_episode(&config, method);
+        let m = Sweep::episode(&config, method);
         println!(
             "{:<12} {:>10.1} {:>10.1} {:>10.0} {:>8.3}",
             m.method,

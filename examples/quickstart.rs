@@ -28,7 +28,7 @@ fn main() {
     };
 
     // 2. The distributed protocol, sized for this workload's speed bounds.
-    let params = params_for(&config);
+    let params = config.dknn_params();
     let mut sim = Simulation::new(&config, Box::new(Dknn::set(params)));
 
     // 3. Step the world and peek at one query's live answer now and then.

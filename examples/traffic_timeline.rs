@@ -62,9 +62,9 @@ fn main() {
     );
 
     for method in [
-        Method::DknnSet(params_for(&config)),
+        Method::DknnSet(config.dknn_params()),
         Method::DknnBuffer {
-            params: params_for(&config),
+            params: config.dknn_params(),
             buffer: 3,
         },
         Method::Centralized { res: 64 },

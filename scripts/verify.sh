@@ -9,6 +9,10 @@
 #   2. the full test suite (unit + property + integration + doc tests)
 #   3. rustfmt conformance
 #   4. determinism: two runs of `expt --seed 42` must be byte-identical
+#   5. thread determinism: `expt --seed 42` under MKNN_THREADS=1 and
+#      MKNN_THREADS=4 must be byte-identical
+#   6. (informational) parallel speedup of the fast-mode suite: elapsed
+#      time of `expt --exp all` on one worker vs. all cores
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,5 +32,28 @@ if [ "$a" != "$b" ]; then
     echo "FAIL: expt --seed 42 output differs between runs" >&2
     exit 1
 fi
+
+echo "==> thread-determinism gate (expt --seed 42, MKNN_THREADS=1 vs 4)"
+t1="$(MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
+t4="$(MKNN_THREADS=4 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
+if [ "$t1" != "$t4" ]; then
+    echo "FAIL: expt --seed 42 output differs across thread counts" >&2
+    exit 1
+fi
+
+# Informational: wall-clock of the fast-mode suite on one worker vs. all
+# cores. On a multi-core runner the parallel run should be measurably
+# faster; on a single-core box the two are expected to tie, so this
+# prints the measurement without failing the gate.
+echo "==> parallel speedup (expt --exp all, MKNN_THREADS=1 vs default)"
+start=$(date +%s.%N)
+MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -- --exp all > /dev/null
+seq_end=$(date +%s.%N)
+MKNN_THREADS= cargo run -q --release --offline -p mknn-bench --bin expt -- --exp all > /dev/null
+par_end=$(date +%s.%N)
+awk -v s="$start" -v m="$seq_end" -v e="$par_end" -v cores="$(nproc)" \
+    'BEGIN { seq = m - s; par = e - m;
+             printf "sequential: %.1fs  parallel (%s cores): %.1fs  speedup: %.2fx\n",
+                    seq, cores, par, seq / par }'
 
 echo "verify: OK"

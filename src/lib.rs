@@ -36,8 +36,8 @@
 //!
 //! // Run the distributed set-semantics protocol and the centralized
 //! // baseline over identical worlds (same seed).
-//! let dknn = run_episode(&config, Method::DknnSet(params_for(&config)));
-//! let central = run_episode(&config, Method::Centralized { res: 32 });
+//! let dknn = Sweep::episode(&config, Method::DknnSet(config.dknn_params()));
+//! let central = Sweep::episode(&config, Method::Centralized { res: 32 });
 //!
 //! assert_eq!(dknn.exactness(), 1.0);          // tick-exact answers …
 //! assert!(dknn.net.uplink_msgs < central.net.uplink_msgs); // … for less uplink
@@ -55,12 +55,12 @@ pub use mknn_util as util;
 /// The items most applications need, in one import.
 pub mod prelude {
     pub use mknn_baselines::{Centralized, NaiveBroadcast, Periodic};
-    pub use mknn_core::{Dknn, DknnParams};
+    pub use mknn_core::{Dknn, DknnParams, ParamError};
     pub use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
     pub use mknn_index::{GridIndex, RTree};
     pub use mknn_mobility::{Motion, MovingObject, Placement, SpeedDist, WorkloadSpec, World};
     pub use mknn_net::{Protocol, QuerySpec};
     pub use mknn_sim::{
-        params_for, run_episode, EpisodeMetrics, Method, SimConfig, Simulation, VerifyMode,
+        EpisodeMetrics, EpisodeRun, Method, SimConfig, Simulation, Sweep, VerifyMode,
     };
 }

@@ -22,8 +22,8 @@ fn cfg(n: usize) -> SimConfig {
 #[test]
 fn distributed_uplink_undercuts_centralized_at_scale() {
     let cfg = cfg(2_000);
-    let p = params_for(&cfg);
-    let central = run_episode(&cfg, Method::Centralized { res: 16 });
+    let p = cfg.dknn_params();
+    let central = Sweep::episode(&cfg, Method::Centralized { res: 16 });
     for method in [
         Method::DknnSet(p),
         Method::DknnOrder(p),
@@ -32,7 +32,7 @@ fn distributed_uplink_undercuts_centralized_at_scale() {
             buffer: 6,
         },
     ] {
-        let m = run_episode(&cfg, method);
+        let m = Sweep::episode(&cfg, method);
         assert!(
             m.net.uplink_msgs * 4 < central.net.uplink_msgs,
             "{}: uplink {} not ≪ centralized {}",
@@ -49,16 +49,16 @@ fn distributed_cost_is_population_insensitive() {
     // traffic must grow far slower than N.
     let small = cfg(500);
     let large = cfg(4_000);
-    let m_small = run_episode(&small, Method::DknnSet(params_for(&small)));
-    let m_large = run_episode(&large, Method::DknnSet(params_for(&large)));
+    let m_small = Sweep::episode(&small, Method::DknnSet(small.dknn_params()));
+    let m_large = Sweep::episode(&large, Method::DknnSet(large.dknn_params()));
     let growth = m_large.msgs_per_tick() / m_small.msgs_per_tick().max(1e-9);
     assert!(
         growth < 4.0,
         "8× the objects grew traffic {growth:.1}×; expected ≪ 8×"
     );
 
-    let c_small = run_episode(&small, Method::Centralized { res: 16 });
-    let c_large = run_episode(&large, Method::Centralized { res: 16 });
+    let c_small = Sweep::episode(&small, Method::Centralized { res: 16 });
+    let c_large = Sweep::episode(&large, Method::Centralized { res: 16 });
     let c_growth = c_large.msgs_per_tick() / c_small.msgs_per_tick().max(1e-9);
     assert!(
         c_growth > 6.0,
@@ -69,9 +69,9 @@ fn distributed_cost_is_population_insensitive() {
 #[test]
 fn ordered_semantics_cost_more_than_set_semantics() {
     let cfg = cfg(2_000);
-    let p = params_for(&cfg);
-    let set = run_episode(&cfg, Method::DknnSet(p));
-    let ord = run_episode(&cfg, Method::DknnOrder(p));
+    let p = cfg.dknn_params();
+    let set = Sweep::episode(&cfg, Method::DknnSet(p));
+    let ord = Sweep::episode(&cfg, Method::DknnOrder(p));
     assert!(
         ord.net.total_msgs() >= set.net.total_msgs(),
         "order maintenance cannot be cheaper than set maintenance"
@@ -85,9 +85,9 @@ fn buffered_variant_wins_under_churn() {
     // advantage is largest in the geocast budget.
     let mut c = cfg(2_000);
     c.workload.speeds = SpeedDist::Uniform { min: 2.0, max: 8.0 };
-    let p = params_for(&c);
-    let basic = run_episode(&c, Method::DknnOrder(p));
-    let buffered = run_episode(
+    let p = c.dknn_params();
+    let basic = Sweep::episode(&c, Method::DknnOrder(p));
+    let buffered = Sweep::episode(
         &c,
         Method::DknnBuffer {
             params: p,
@@ -111,7 +111,7 @@ fn buffered_variant_wins_under_churn() {
 #[test]
 fn periodic_traffic_matches_its_period() {
     let c = cfg(2_000);
-    let p10 = run_episode(
+    let p10 = Sweep::episode(
         &c,
         Method::Periodic {
             period: 10,
@@ -132,7 +132,7 @@ fn periodic_traffic_matches_its_period() {
 fn centralized_skips_reports_for_parked_objects() {
     let mut c = cfg(1_000);
     c.workload.move_prob = 0.5;
-    let m = run_episode(&c, Method::Centralized { res: 16 });
+    let m = Sweep::episode(&c, Method::Centralized { res: 16 });
     let per_tick = m.uplink_per_tick();
     assert!(
         per_tick > 400.0 && per_tick < 600.0,
@@ -143,9 +143,9 @@ fn centralized_skips_reports_for_parked_objects() {
 #[test]
 fn same_seed_same_bill_across_all_methods() {
     let c = cfg(800);
-    for method in Method::standard_suite(params_for(&c)) {
-        let a = run_episode(&c, method);
-        let b = run_episode(&c, method);
+    for method in Method::standard_suite(c.dknn_params()) {
+        let a = Sweep::episode(&c, method);
+        let b = Sweep::episode(&c, method);
         assert_eq!(a.net, b.net, "{} is nondeterministic", method.name());
         assert_eq!(
             a.ops,
@@ -162,9 +162,9 @@ fn different_seeds_change_the_workload_not_the_conclusions() {
     for seed in [1u64, 2, 3] {
         let mut c = cfg(1_500);
         c.workload.seed = seed;
-        let p = params_for(&c);
-        let d = run_episode(&c, Method::DknnSet(p));
-        let cen = run_episode(&c, Method::Centralized { res: 16 });
+        let p = c.dknn_params();
+        let d = Sweep::episode(&c, Method::DknnSet(p));
+        let cen = Sweep::episode(&c, Method::Centralized { res: 16 });
         assert!(d.net.uplink_msgs < cen.net.uplink_msgs, "seed {seed}");
         totals.push(d.net.total_msgs());
     }
@@ -176,8 +176,8 @@ fn different_seeds_change_the_workload_not_the_conclusions() {
 fn dknn_quiescent_world_costs_only_heartbeats() {
     let mut c = cfg(1_000);
     c.workload.motion = Motion::Stationary;
-    let p = params_for(&c);
-    let m = run_episode(&c, Method::DknnSet(p));
+    let p = c.dknn_params();
+    let m = Sweep::episode(&c, Method::DknnSet(p));
     // No movement ⇒ no uplink after init (focal objects don't move either).
     assert_eq!(m.net.uplink_msgs, 0, "{:?}", m.net);
     // Downlink is pure heartbeat: bounded by queries × ticks / heartbeat ×
@@ -199,8 +199,8 @@ fn safe_periods_cut_client_work_in_calm_worlds() {
         min: 10.0,
         max: 40.0,
     };
-    let m_calm = run_episode(&calm, Method::DknnSet(params_for(&calm)));
-    let m_frantic = run_episode(&frantic, Method::DknnSet(params_for(&frantic)));
+    let m_calm = Sweep::episode(&calm, Method::DknnSet(calm.dknn_params()));
+    let m_frantic = Sweep::episode(&frantic, Method::DknnSet(frantic.dknn_params()));
     assert!(
         m_calm.client_ops_per_object_tick() * 2.0 < m_frantic.client_ops_per_object_tick(),
         "calm {} should be ≪ frantic {}",

@@ -21,7 +21,7 @@ fn base() -> SimConfig {
 }
 
 fn exact_methods(cfg: &SimConfig) -> Vec<Method> {
-    let p = params_for(cfg);
+    let p = cfg.dknn_params();
     vec![
         Method::DknnSet(p),
         Method::DknnOrder(p),
@@ -36,7 +36,7 @@ fn exact_methods(cfg: &SimConfig) -> Vec<Method> {
 
 fn assert_all_exact(cfg: &SimConfig) {
     for method in exact_methods(cfg) {
-        let m = run_episode(cfg, method);
+        let m = Sweep::episode(cfg, method);
         assert_eq!(
             m.exactness(),
             1.0,
@@ -165,7 +165,7 @@ fn exact_with_fast_queries_slow_objects() {
     cfg.workload.speeds = SpeedDist::Fixed(4.0);
     cfg.workload.speed_overrides = cfg.focal_ids().iter().map(|&id| (id, 40.0)).collect();
     // The protocol's soundness inputs must cover the fastest device.
-    let mut p = params_for(&cfg);
+    let mut p = cfg.dknn_params();
     p.v_max_q = 40.0;
     p.v_max_obj = 40.0;
     for method in [
@@ -176,7 +176,7 @@ fn exact_with_fast_queries_slow_objects() {
             buffer: 4,
         },
     ] {
-        let m = run_episode(&cfg, method);
+        let m = Sweep::episode(&cfg, method);
         assert_eq!(m.exactness(), 1.0, "{}", method.name());
     }
 }
@@ -184,11 +184,11 @@ fn exact_with_fast_queries_slow_objects() {
 #[test]
 fn exact_under_tight_heartbeat_and_drift() {
     let cfg = base();
-    let mut p = params_for(&cfg);
+    let mut p = cfg.dknn_params();
     p.heartbeat = 1;
     p.query_drift = 5.0;
     for method in [Method::DknnSet(p), Method::DknnOrder(p)] {
-        let m = run_episode(&cfg, method);
+        let m = Sweep::episode(&cfg, method);
         assert_eq!(m.exactness(), 1.0, "{}", method.name());
     }
 }
@@ -197,7 +197,7 @@ fn exact_under_tight_heartbeat_and_drift() {
 fn exact_under_loose_heartbeat() {
     let mut cfg = base();
     cfg.ticks = 60;
-    let mut p = params_for(&cfg);
+    let mut p = cfg.dknn_params();
     p.heartbeat = 30; // huge margin, rare heartbeats
     for method in [
         Method::DknnSet(p),
@@ -206,7 +206,7 @@ fn exact_under_loose_heartbeat() {
             buffer: 4,
         },
     ] {
-        let m = run_episode(&cfg, method);
+        let m = Sweep::episode(&cfg, method);
         assert_eq!(m.exactness(), 1.0, "{}", method.name());
     }
 }
@@ -215,10 +215,10 @@ fn exact_under_loose_heartbeat() {
 fn exact_with_extreme_alpha_placements() {
     let cfg = base();
     for alpha in [0.05, 0.95] {
-        let mut p = params_for(&cfg);
+        let mut p = cfg.dknn_params();
         p.alpha = alpha;
         for method in [Method::DknnSet(p), Method::DknnOrder(p)] {
-            let m = run_episode(&cfg, method);
+            let m = Sweep::episode(&cfg, method);
             assert_eq!(m.exactness(), 1.0, "{} at alpha {alpha}", method.name());
         }
     }
@@ -237,8 +237,8 @@ fn exact_on_coarse_and_fine_paging_grids() {
 fn periodic_is_measurably_inexact_but_degrades_gracefully() {
     let mut cfg = base();
     cfg.verify = VerifyMode::Record;
-    let fast = run_episode(&cfg, Method::Periodic { period: 2, res: 16 });
-    let slow = run_episode(
+    let fast = Sweep::episode(&cfg, Method::Periodic { period: 2, res: 16 });
+    let slow = Sweep::episode(
         &cfg,
         Method::Periodic {
             period: 25,

@@ -81,7 +81,7 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
 fn dknn_set_exact_on_random_worlds() {
     forall(CASES, |rng| {
         let (cfg, params) = config_of(&scenario(rng));
-        let m = run_episode(&cfg, Method::DknnSet(params));
+        let m = Sweep::episode(&cfg, Method::DknnSet(params));
         assert_eq!(m.exactness(), 1.0);
     });
 }
@@ -90,7 +90,7 @@ fn dknn_set_exact_on_random_worlds() {
 fn dknn_ordered_exact_on_random_worlds() {
     forall(CASES, |rng| {
         let (cfg, params) = config_of(&scenario(rng));
-        let m = run_episode(&cfg, Method::DknnOrder(params));
+        let m = Sweep::episode(&cfg, Method::DknnOrder(params));
         assert_eq!(m.exactness(), 1.0);
     });
 }
@@ -100,7 +100,7 @@ fn dknn_buffered_exact_on_random_worlds() {
     forall(CASES, |rng| {
         let s = scenario(rng);
         let (cfg, params) = config_of(&s);
-        let m = run_episode(
+        let m = Sweep::episode(
             &cfg,
             Method::DknnBuffer {
                 params,
@@ -119,7 +119,7 @@ fn centralized_and_naive_exact_on_random_worlds() {
             Method::Centralized { res: 8 },
             Method::Naive { headroom: 1.3 },
         ] {
-            let m = run_episode(&cfg, method);
+            let m = Sweep::episode(&cfg, method);
             assert_eq!(m.exactness(), 1.0, "{}", method.name());
         }
     });
@@ -130,7 +130,7 @@ fn periodic_recall_recorded_not_asserted() {
     forall(CASES, |rng| {
         let (mut cfg, _) = config_of(&scenario(rng));
         cfg.verify = VerifyMode::Record;
-        let m = run_episode(&cfg, Method::Periodic { period: 7, res: 8 });
+        let m = Sweep::episode(&cfg, Method::Periodic { period: 7, res: 8 });
         // Recall is a proper fraction and is recorded for every check.
         assert!(m.exact_checks > 0);
         assert!((0.0..=1.0).contains(&m.recall()));
