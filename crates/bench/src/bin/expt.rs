@@ -17,21 +17,36 @@
 //! script uses as a determinism gate — including across thread counts.
 
 use mknn_bench::experiments::{self, Scale};
+use mknn_net::FaultPlan;
 use mknn_sim::{render_table, write_csv, Method, SimConfig, Sweep, VerifyMode};
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: expt --exp <id|all> [--full] | --list | --seed <n> [--method <name>]";
+const USAGE: &str = "usage: expt --exp <id|all> [--full] | --list | --seed <n> [--method <name>] [--fault <none|chaos|JSON>]";
+
+/// Parses the `--fault` argument: a named preset or an inline JSON
+/// [`FaultPlan`] (validated on parse).
+fn parse_fault(arg: &str) -> FaultPlan {
+    match arg {
+        "none" => FaultPlan::none(),
+        "chaos" => FaultPlan::chaos(),
+        json => mknn_util::from_str(json).unwrap_or_else(|e| {
+            eprintln!("--fault wants `none`, `chaos`, or a FaultPlan JSON object: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
 
 /// Runs a tiny verified episode of every standard method (or just the named
 /// one) under `seed` and prints one JSON document. Everything
 /// nondeterministic (wall-clock) is zeroed, so identical seeds must produce
-/// identical bytes.
-fn run_smoke(seed: u64, method: Option<&str>) {
+/// identical bytes — with or without fault injection.
+fn run_smoke(seed: u64, method: Option<&str>, fault: FaultPlan) {
     use mknn_util::json::{Json, ToJson};
 
     let mut cfg = SimConfig::small();
     cfg.workload.seed = seed;
     cfg.verify = VerifyMode::Record;
+    cfg.fault = fault;
     let mut sweep = Sweep::over([("smoke", cfg.clone())]);
     if let Some(name) = method {
         let Some(m) = Method::parse(name, cfg.dknn_params()) else {
@@ -63,6 +78,8 @@ fn main() {
     let mut list = false;
     let mut smoke_seed: Option<u64> = None;
     let mut method: Option<String> = None;
+    let mut fault = FaultPlan::none();
+    let mut fault_given = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +103,15 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--fault" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--fault requires `none`, `chaos`, or a FaultPlan JSON object");
+                    std::process::exit(2);
+                });
+                fault = parse_fault(&arg);
+                fault_given = true;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -98,17 +124,27 @@ fn main() {
         i += 1;
     }
     if list {
+        println!("experiments:");
         for id in experiments::ALL {
-            println!("{id}");
+            println!("  {id}");
         }
+        println!("methods:");
+        for m in Method::standard_suite(SimConfig::small().dknn_params()) {
+            println!("  {}", m.name());
+        }
+        println!("fault presets (smoke mode): none, chaos, or a FaultPlan JSON object");
         return;
     }
     if let Some(seed) = smoke_seed {
-        run_smoke(seed, method.as_deref());
+        run_smoke(seed, method.as_deref(), fault);
         return;
     }
     if method.is_some() {
         eprintln!("--method only applies to the --seed smoke mode");
+        std::process::exit(2);
+    }
+    if fault_given {
+        eprintln!("--fault only applies to the --seed smoke mode (e16 sweeps faults itself)");
         std::process::exit(2);
     }
     let Some(exp) = exp else {
@@ -121,7 +157,10 @@ fn main() {
     } else if experiments::ALL.contains(&exp.as_str()) {
         vec![exp]
     } else {
-        eprintln!("unknown experiment {exp}; try --list");
+        eprintln!("unknown experiment `{exp}`; valid ids:");
+        for id in experiments::ALL {
+            eprintln!("  {id}");
+        }
         std::process::exit(2);
     };
     let out_dir = PathBuf::from("target/experiments");

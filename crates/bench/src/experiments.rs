@@ -7,6 +7,7 @@
 //! EXPERIMENTS.md.
 
 use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
+use mknn_net::FaultPlan;
 use mknn_sim::{Method, MetricsSummary, SimConfig, Sweep, VerifyMode};
 
 /// Experiment scale: `full` reproduces the paper-scale populations;
@@ -80,6 +81,7 @@ pub fn base_config(scale: Scale) -> SimConfig {
         ticks: scale.ticks(),
         geo_cells: 64,
         verify: VerifyMode::Off,
+        fault: FaultPlan::none(),
     }
 }
 
@@ -627,9 +629,85 @@ pub fn e15(scale: Scale) -> ExpResult {
     }
 }
 
+/// E16 — resilience under transport faults: a loss/churn sweep over the
+/// whole method suite at two seeds. Reports the recovery traffic the
+/// hardened protocols spend (retransmissions) and what answer quality it
+/// buys back (recall, exactness, staleness) as the link degrades.
+pub fn e16(scale: Scale) -> ExpResult {
+    let mut cfg = base_config(scale);
+    // Quality metrics need the oracle every tick; clamp like e7/e11.
+    cfg.workload.n_objects = cfg.workload.n_objects.min(4_000);
+    cfg.n_queries = cfg.n_queries.min(20);
+    cfg.verify = VerifyMode::Record;
+    let seeds = 2;
+    let plan = |b: mknn_net::FaultPlanBuilder| b.build().expect("e16 fault knobs are in range");
+    let faults = [
+        ("none", FaultPlan::none()),
+        ("loss5", plan(FaultPlan::builder().loss(0.05))),
+        ("loss10", plan(FaultPlan::builder().loss(0.10))),
+        ("loss20", plan(FaultPlan::builder().loss(0.20))),
+        (
+            "loss20+churn",
+            plan(FaultPlan::builder().loss(0.20).churn(0.002, 2, 6)),
+        ),
+    ];
+    let configs: Vec<(String, SimConfig)> = faults
+        .into_iter()
+        .map(|(label, fault)| {
+            let mut c = cfg.clone();
+            c.fault = fault;
+            (label.to_string(), c)
+        })
+        .collect();
+    let mut rows = vec![vec![
+        "fault".into(),
+        "method".into(),
+        "msgs/tick".into(),
+        "retrans/tick".into(),
+        "dropped/tick".into(),
+        "recall".into(),
+        "exact".into(),
+        "stale".into(),
+        "max-stale".into(),
+    ]];
+    let runs = Sweep::over(configs).seeds(seeds).run();
+    let busy: f64 = runs.iter().map(|r| r.wall_seconds).sum();
+    // Plan order is points-major, then methods, then seeds: consecutive
+    // chunks of `seeds` runs are one (fault, method) cell's repetitions.
+    for group in runs.chunks(seeds as usize) {
+        let n = group.len() as f64;
+        let mean = |f: fn(&mknn_sim::EpisodeMetrics) -> f64| {
+            group.iter().map(|r| f(&r.metrics)).sum::<f64>() / n
+        };
+        let max_stale = group
+            .iter()
+            .map(|r| r.metrics.max_staleness)
+            .max()
+            .unwrap_or(0);
+        rows.push(vec![
+            group[0].label.clone(),
+            group[0].metrics.method.clone(),
+            fmt(mean(|m| m.msgs_per_tick())),
+            fmt(mean(|m| m.ops.retransmits as f64 / m.ticks.max(1) as f64)),
+            fmt(mean(|m| m.net.dropped_msgs as f64 / m.ticks.max(1) as f64)),
+            fmt(mean(|m| m.recall())),
+            fmt(mean(|m| m.exactness())),
+            fmt(mean(|m| m.staleness())),
+            max_stale.to_string(),
+        ]);
+    }
+    ExpResult {
+        id: "e16",
+        title: "Table E16: resilience under transport faults (2 seeds)",
+        rows,
+        episode_seconds: busy,
+    }
+}
+
 /// All experiment ids in order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by id.
@@ -650,6 +728,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
         "e13" => e13(scale),
         "e14" => e14(scale),
         "e15" => e15(scale),
+        "e16" => e16(scale),
         _ => return None,
     })
 }

@@ -26,8 +26,8 @@ use crate::{ClientHalf, DknnParams, RegionVersion};
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
 use mknn_mobility::MovingObject;
 use mknn_net::{
-    DownlinkMsg, ObjReport, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Recipient,
-    UplinkMsg, Uplinks,
+    DownlinkMsg, MsgKind, ObjReport, OpCounters, Outbox, ProbeService, Protocol, QuerySpec,
+    Recipient, UplinkMsg, Uplinks,
 };
 
 /// One candidate: an object inside the monitoring region, with its band.
@@ -36,6 +36,9 @@ struct Candidate {
     id: ObjectId,
     inner: f64,
     outer: f64,
+    /// Last tick the server heard from this candidate (lossy mode: lease
+    /// bookkeeping, see [`DknnParams::lease_ttl`]).
+    heard: Tick,
 }
 
 #[derive(Debug)]
@@ -71,6 +74,9 @@ pub struct DknnBuffered {
     space_diag: f64,
     current_tick: Tick,
     empty: Vec<ObjectId>,
+    /// Lossy-transport hardening (acks, idempotent duplicates, candidate
+    /// leases); off by default for perfect-link byte-identity.
+    lossy: bool,
 }
 
 impl DknnBuffered {
@@ -97,6 +103,7 @@ impl DknnBuffered {
             space_diag: 1.0,
             current_tick: 0,
             empty: Vec::new(),
+            lossy: false,
         })
     }
 
@@ -189,6 +196,7 @@ impl DknnBuffered {
                 id: reports[i].id,
                 inner,
                 outer,
+                heard: now,
             });
             outbox.send(
                 Recipient::One(reports[i].id),
@@ -277,7 +285,15 @@ impl DknnBuffered {
                     } else {
                         q.cands[at].inner
                     };
-                    q.cands.insert(at, Candidate { id, inner, outer });
+                    q.cands.insert(
+                        at,
+                        Candidate {
+                            id,
+                            inner,
+                            outer,
+                            heard: now,
+                        },
+                    );
                     outbox.send(
                         Recipient::One(id),
                         DownlinkMsg::SetBand {
@@ -325,11 +341,13 @@ impl DknnBuffered {
                         id: lo_id,
                         inner: owner.inner,
                         outer: mid,
+                        heard: now,
                     };
                     let hi = Candidate {
                         id: hi_id,
                         inner: mid,
                         outer: owner.outer,
+                        heard: now,
                     };
                     q.cands[j] = lo;
                     q.cands.insert(j + 1, hi);
@@ -374,6 +392,11 @@ impl Protocol for DknnBuffered {
         "dknn-buffer"
     }
 
+    fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
+        self.client.set_lossy(lossy);
+    }
+
     fn init(
         &mut self,
         bounds: Rect,
@@ -385,6 +408,7 @@ impl Protocol for DknnBuffered {
     ) {
         self.space_diag = bounds.min.dist(bounds.max);
         self.client = ClientHalf::new(self.params, objects.len());
+        self.client.set_lossy(self.lossy);
         self.queries.clear();
         for (i, spec) in queries.iter().enumerate() {
             assert_eq!(spec.id.index(), i, "query ids must be dense and in order");
@@ -475,6 +499,22 @@ impl Protocol for DknnBuffered {
                         heals.push((from, query));
                         continue;
                     }
+                    if self.lossy {
+                        outbox.send(
+                            Recipient::One(from),
+                            DownlinkMsg::Ack {
+                                query,
+                                ver,
+                                kind: MsgKind::Enter,
+                            },
+                        );
+                        if let Some(c) = q.cands.iter_mut().find(|c| c.id == from) {
+                            // Duplicate / re-announced Enter from a banded
+                            // candidate: idempotent lease renewal.
+                            c.heard = now;
+                            continue;
+                        }
+                    }
                     if q.needs_refresh {
                         continue;
                     }
@@ -506,6 +546,16 @@ impl Protocol for DknnBuffered {
                     if ver != q.ver.ver {
                         heals.push((from, query));
                         continue;
+                    }
+                    if self.lossy {
+                        outbox.send(
+                            Recipient::One(from),
+                            DownlinkMsg::Ack {
+                                query,
+                                ver,
+                                kind: MsgKind::Leave,
+                            },
+                        );
                     }
                     if let Some(i) = q.cands.iter().position(|c| c.id == from) {
                         q.cands.remove(i);
@@ -558,6 +608,37 @@ impl Protocol for DknnBuffered {
                     Self::insert_candidate(q, from, d, probe, outbox, ops, now);
                 }
                 UplinkMsg::ProbeReply { .. } | UplinkMsg::Position { .. } => {}
+            }
+        }
+
+        // Lease pass (lossy mode): poll the stalest silent candidate per
+        // query; a dead, out-of-region, or out-of-band candidate escalates
+        // to a refresh. Mirrors the basic server's member leases.
+        if self.lossy {
+            let ttl = self.params.lease_ttl();
+            for q in &mut self.queries {
+                if q.needs_refresh {
+                    continue;
+                }
+                let Some(idx) = (0..q.cands.len()).min_by_key(|&i| q.cands[i].heard) else {
+                    continue;
+                };
+                if now.saturating_sub(q.cands[idx].heard) <= ttl {
+                    continue;
+                }
+                ops.server_ops += 1;
+                match probe.poll(q.spec.id, q.cands[idx].id) {
+                    None => q.needs_refresh = true,
+                    Some(rep) => {
+                        let d = rep.pos.dist(q.ver.pred_center(now));
+                        let c = &mut q.cands[idx];
+                        if d > q.ver.t || d <= c.inner || d > c.outer {
+                            q.needs_refresh = true;
+                        } else {
+                            c.heard = now;
+                        }
+                    }
+                }
             }
         }
 

@@ -8,10 +8,37 @@
 //! 2. it violates its assigned response band (ordered mode, → `BandCross`),
 //! 3. it is a query's focal object and it moved (→ `QueryMove`).
 
+//! In **lossy mode** (see [`mknn_net::Protocol::set_lossy`]) the client
+//! additionally runs recovery machinery for unreliable transports:
+//! critical events (`Enter`/`Leave`) are retransmitted with doubling
+//! backoff until the server acks them, freshly adopted regions announce
+//! the device's side so a membership lost to the network is re-declared,
+//! a device returning from an offline gap invalidates its cached
+//! crossing state, and the focal object reports its position every tick.
+//! All of it is off by default: on a perfect link the traffic is
+//! byte-identical to the unhardened protocol.
+
 use crate::{DknnParams, RegionVersion};
 use mknn_geom::{LinearMotion, Point, QueryId, ThresholdCrossing, Tick, Vector};
 use mknn_mobility::MovingObject;
-use mknn_net::{DownlinkMsg, OpCounters, UplinkMsg, Uplinks};
+use mknn_net::{DownlinkMsg, MsgKind, OpCounters, UplinkMsg, Uplinks};
+
+/// Resend timer start: one round trip is two ticks (uplink consumed this
+/// tick, ack routed at tick end, read next tick).
+const RESEND_AFTER: Tick = 2;
+/// Backoff cap in ticks: keeps worst-case repair latency bounded while a
+/// persistently unlucky event stops hammering the uplink.
+const RESEND_CAP: Tick = 8;
+
+/// A critical event awaiting its server ack (lossy mode only).
+#[derive(Debug, Clone, Copy)]
+struct PendingEvent {
+    query: QueryId,
+    /// [`MsgKind::Enter`] or [`MsgKind::Leave`].
+    kind: MsgKind,
+    next_resend: Tick,
+    backoff: Tick,
+}
 
 /// One monitored region as a device sees it.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +64,12 @@ struct ClientRegion {
     safe_until: Tick,
     /// Own velocity when the safe period was computed.
     safe_vel: Vector,
+    /// Lossy mode: declare the device's side at the next evaluation even
+    /// without a crossing. Set on fresh adoption (and offline-gap resync):
+    /// if the device is already *inside* a region it just (re)learned
+    /// about, the server may have lost the original `Enter`, so it is sent
+    /// again — the server treats member re-`Enter`s idempotently.
+    announce: bool,
 }
 
 /// Per-device protocol state.
@@ -46,6 +79,12 @@ pub struct ClientState {
     /// Queries this device is the focal object of (it reports its movement
     /// for them and ignores their region installs).
     focal_of: Vec<QueryId>,
+    /// Critical events not yet acked by the server (lossy mode only; empty
+    /// otherwise).
+    pending: Vec<PendingEvent>,
+    /// Last tick this device ran. A gap bigger than one tick means the
+    /// device was offline; its cached crossing state is then suspect.
+    last_seen: Tick,
 }
 
 /// The client half: per-device states plus the shared static parameters.
@@ -53,6 +92,7 @@ pub struct ClientState {
 pub struct ClientHalf {
     params: DknnParams,
     states: Vec<ClientState>,
+    lossy: bool,
 }
 
 impl ClientHalf {
@@ -61,7 +101,14 @@ impl ClientHalf {
         ClientHalf {
             params,
             states: vec![ClientState::default(); n],
+            lossy: false,
         }
+    }
+
+    /// Switches the recovery machinery (retransmits, announcements, gap
+    /// resync, per-tick focal reports) on or off.
+    pub fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
     }
 
     /// Registers `device` as the focal object of `query` (done at query
@@ -88,6 +135,25 @@ impl ClientHalf {
     ) {
         let st = &mut self.states[me.id.index()];
         let prev_pos = me.pos - me.vel;
+
+        // 0. Offline-gap resync (lossy mode): if this device skipped ticks,
+        //    every cached conclusion — which side of each boundary it was
+        //    on, its bands, its safe periods — may describe a world that
+        //    moved on without it. Invalidate them and re-declare each
+        //    region's side, so crossings that happened during the outage
+        //    (or whose reports died with it) are re-derived rather than
+        //    silently missed. Stale in-flight retransmissions are dropped
+        //    too: the announcement subsumes them.
+        if self.lossy && st.last_seen > 0 && now > st.last_seen + 1 {
+            for r in &mut st.regions {
+                r.inside = None;
+                r.band = None;
+                r.safe_until = 0;
+                r.announce = true;
+            }
+            st.pending.clear();
+        }
+        st.last_seen = now;
 
         // 1. Ingest downlinks, in arrival order (installs precede the bands
         //    issued under them).
@@ -121,7 +187,14 @@ impl ClientHalf {
                                 band: None,
                                 safe_until: 0,
                                 safe_vel: Vector::ZERO,
+                                // A newer version means the server just
+                                // re-established membership from a full
+                                // probe snapshot: nothing to announce, and
+                                // retransmissions of events issued under
+                                // the old version are obsolete.
+                                announce: false,
                             };
+                            st.pending.retain(|p| p.query != query);
                         }
                         None => st.regions.push(ClientRegion {
                             query,
@@ -131,11 +204,16 @@ impl ClientHalf {
                             band: None,
                             safe_until: 0,
                             safe_vel: Vector::ZERO,
+                            // Fresh adoption (first install, or reinstall
+                            // after eviction/offline): if already inside,
+                            // the server may never have heard the Enter.
+                            announce: self.lossy,
                         }),
                     }
                 }
                 DownlinkMsg::RemoveRegion { query } => {
                     st.regions.retain(|r| r.query != query);
+                    st.pending.retain(|p| p.query != query);
                 }
                 DownlinkMsg::SetBand {
                     query,
@@ -161,13 +239,24 @@ impl ClientHalf {
                 // Probes are answered synchronously by the harness's
                 // ProbeService, never via the mailbox.
                 DownlinkMsg::Probe { .. } => {}
+                DownlinkMsg::Ack { query, kind, .. } => {
+                    // The server heard the event: stop retransmitting it.
+                    // (Matching on query + kind suffices: at most one
+                    // critical event per query is ever pending, and a
+                    // version change drops the pending entry anyway.)
+                    st.pending.retain(|p| !(p.query == query && p.kind == kind));
+                }
             }
         }
 
         // 2. Focal duties: keep the server's knowledge of the query point
         //    current (one small message per tick the focal actually moved).
+        //    In lossy mode the report goes out every tick, moving or not:
+        //    each lost copy then ages the server's focal estimate by one
+        //    tick at most, instead of indefinitely when the single "I
+        //    stopped here" report dies in flight.
         for &q in &st.focal_of {
-            if me.vel != mknn_geom::Vector::ZERO {
+            if self.lossy || me.vel != mknn_geom::Vector::ZERO {
                 up.send(
                     me.id,
                     UplinkMsg::QueryMove {
@@ -181,6 +270,10 @@ impl ClientHalf {
 
         // 3. Evaluate every installed region.
         let evict_after = self.params.evict_after();
+        let lossy = self.lossy;
+        // Critical events emitted this tick; registered for retransmission
+        // after the loop (the region borrow blocks touching `pending` here).
+        let mut critical: Vec<(QueryId, MsgKind)> = Vec::new();
         st.regions.retain_mut(|r| {
             if now.saturating_sub(r.last_heard) > evict_after {
                 return false; // long unheard-of: provably far away, drop it
@@ -219,6 +312,9 @@ impl ClientHalf {
                             vel: me.vel,
                         },
                     );
+                    if lossy {
+                        critical.push((r.query, MsgKind::Enter));
+                    }
                 } else {
                     up.send(
                         me.id,
@@ -229,7 +325,24 @@ impl ClientHalf {
                         },
                     );
                     r.band = None;
+                    if lossy {
+                        critical.push((r.query, MsgKind::Leave));
+                    }
                 }
+            } else if inside_now && r.announce {
+                // Lossy-mode announcement: no crossing happened, but the
+                // device is inside a region it just adopted (or resynced
+                // after an outage) — make sure the server knows.
+                up.send(
+                    me.id,
+                    UplinkMsg::Enter {
+                        query: r.query,
+                        ver: r.ver.ver,
+                        pos: me.pos,
+                        vel: me.vel,
+                    },
+                );
+                critical.push((r.query, MsgKind::Enter));
             } else if inside_now {
                 if let Some((inner, outer)) = r.band {
                     let d = d_sq.sqrt();
@@ -247,6 +360,7 @@ impl ClientHalf {
                     }
                 }
             }
+            r.announce = false;
             r.inside = Some(inside_now);
             // Recompute the safe period from the post-event state: the
             // earliest future time any monitored boundary can be reached.
@@ -269,6 +383,63 @@ impl ClientHalf {
             r.safe_until = now.saturating_add(horizon);
             true
         });
+
+        if self.lossy {
+            // 4. Register this tick's critical events for retransmission. A
+            //    new event replaces whatever was pending for the query: the
+            //    newer crossing supersedes the older one (the server only
+            //    needs the device's latest side).
+            for (query, kind) in critical {
+                st.pending.retain(|p| p.query != query);
+                st.pending.push(PendingEvent {
+                    query,
+                    kind,
+                    next_resend: now + RESEND_AFTER,
+                    backoff: RESEND_AFTER,
+                });
+            }
+
+            // 5. Retransmit overdue unacked events, rebuilt from *current*
+            //    state (current position and region version — the server
+            //    wants the present truth, not a replay). An entry whose
+            //    region vanished, or whose recorded side no longer matches
+            //    the region's, is obsolete: the region's own event flow has
+            //    taken over.
+            let regions = &st.regions;
+            st.pending.retain_mut(|p| {
+                let Some(r) = regions.iter().find(|r| r.query == p.query) else {
+                    return false;
+                };
+                let consistent = match p.kind {
+                    MsgKind::Enter => r.inside == Some(true),
+                    MsgKind::Leave => r.inside == Some(false),
+                    _ => false,
+                };
+                if !consistent {
+                    return false;
+                }
+                if now >= p.next_resend {
+                    let msg = match p.kind {
+                        MsgKind::Enter => UplinkMsg::Enter {
+                            query: p.query,
+                            ver: r.ver.ver,
+                            pos: me.pos,
+                            vel: me.vel,
+                        },
+                        _ => UplinkMsg::Leave {
+                            query: p.query,
+                            ver: r.ver.ver,
+                            pos: me.pos,
+                        },
+                    };
+                    up.send(me.id, msg);
+                    ops.retransmits += 1;
+                    p.backoff = (p.backoff * 2).min(RESEND_CAP);
+                    p.next_resend = now + p.backoff;
+                }
+                true
+            });
+        }
     }
 
     /// Test/diagnostic access: the safe period a device currently holds for
@@ -534,6 +705,126 @@ mod tests {
             c.tick(tk, &me, &[], &mut up, &mut ops);
         }
         assert_eq!(c.installed_regions(0), 0);
+    }
+
+    #[test]
+    fn lossy_enter_is_retransmitted_with_backoff_until_acked() {
+        let mut c = ClientHalf::new(DknnParams::default(), 1);
+        c.set_lossy(true);
+        let mut up = Uplinks::new();
+        let mut ops = OpCounters::default();
+        // Adopt the region while outside, then cross in at tick 2.
+        let me = device(0, 101.0, 0.0, 0.0, 0.0);
+        c.tick(1, &me, &[install(0, 0, 0.0, 0.0, 100.0)], &mut up, &mut ops);
+        assert!(up.is_empty());
+        let me = device(0, 99.0, 0.0, -2.0, 0.0);
+        c.tick(2, &me, &[], &mut up, &mut ops);
+        assert_eq!(up.iter().count(), 1, "the Enter itself");
+        up.clear();
+        // No ack arrives; the device sits still inside. Resends are due at
+        // ticks 4 (start backoff 2) and 8 (doubled to 4), nothing between.
+        let me = device(0, 99.0, 0.0, 0.0, 0.0);
+        let mut resent_at = Vec::new();
+        for tk in 3..=8 {
+            // Heartbeats keep the region from being evicted mid-test.
+            let inbox = vec![install(0, 0, 0.0, 0.0, 100.0)];
+            c.tick(tk, &me, &inbox, &mut up, &mut ops);
+            if up.iter().count() > 0 {
+                let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
+                assert!(matches!(msgs[..], [UplinkMsg::Enter { ver: 0, .. }]));
+                resent_at.push(tk);
+                up.clear();
+            }
+        }
+        assert_eq!(resent_at, vec![4, 8]);
+        assert_eq!(ops.retransmits, 2);
+        // The ack stops the loop for good.
+        let ack = DownlinkMsg::Ack {
+            query: QueryId(0),
+            ver: 0,
+            kind: MsgKind::Enter,
+        };
+        c.tick(9, &me, &[ack], &mut up, &mut ops);
+        for tk in 10..=20 {
+            let inbox = vec![install(0, 0, 0.0, 0.0, 100.0)];
+            c.tick(tk, &me, &inbox, &mut up, &mut ops);
+        }
+        assert!(up.is_empty(), "acked event must stay quiet");
+        assert_eq!(ops.retransmits, 2);
+    }
+
+    #[test]
+    fn lossy_fresh_adoption_announces_membership() {
+        // A device already inside a region it just learned about declares
+        // itself: the original Enter (if any) may have died in flight.
+        let mut c = ClientHalf::new(DknnParams::default(), 1);
+        c.set_lossy(true);
+        let mut up = Uplinks::new();
+        let mut ops = OpCounters::default();
+        let me = device(0, 10.0, 0.0, 0.0, 0.0);
+        c.tick(1, &me, &[install(0, 0, 0.0, 0.0, 100.0)], &mut up, &mut ops);
+        let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
+        assert!(
+            matches!(msgs[..], [UplinkMsg::Enter { ver: 0, .. }]),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_offline_gap_resyncs_and_reannounces() {
+        let mut c = ClientHalf::new(DknnParams::default(), 1);
+        c.set_lossy(true);
+        let mut up = Uplinks::new();
+        let mut ops = OpCounters::default();
+        let me = device(0, 10.0, 0.0, 0.0, 0.0);
+        c.tick(1, &me, &[install(0, 0, 0.0, 0.0, 100.0)], &mut up, &mut ops);
+        up.clear();
+        let ack = DownlinkMsg::Ack {
+            query: QueryId(0),
+            ver: 0,
+            kind: MsgKind::Enter,
+        };
+        c.tick(2, &me, &[ack], &mut up, &mut ops);
+        assert!(up.is_empty());
+        // Ticks 3–5 never happen: the device was offline. On return its
+        // cached side is suspect, so it re-declares itself.
+        c.tick(6, &me, &[install(0, 0, 0.0, 0.0, 100.0)], &mut up, &mut ops);
+        let msgs: Vec<_> = up.iter().map(|(_, m)| *m).collect();
+        assert!(
+            matches!(msgs[..], [UplinkMsg::Enter { ver: 0, .. }]),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_newer_version_drops_pending_retransmissions() {
+        let mut c = ClientHalf::new(DknnParams::default(), 1);
+        c.set_lossy(true);
+        let mut up = Uplinks::new();
+        let mut ops = OpCounters::default();
+        let me = device(0, 10.0, 0.0, 0.0, 0.0);
+        // Adoption announce goes pending (no ack will come).
+        c.tick(1, &me, &[install(0, 0, 0.0, 0.0, 100.0)], &mut up, &mut ops);
+        up.clear();
+        // A newer version arrives before any resend: the server rebuilt its
+        // member list from a full probe, so the old pending Enter is moot.
+        c.tick(2, &me, &[install(0, 2, 0.0, 0.0, 100.0)], &mut up, &mut ops);
+        up.clear();
+        for tk in 3..=6 {
+            c.tick(
+                tk,
+                &me,
+                &[install(0, 2, 0.0, 0.0, 100.0)],
+                &mut up,
+                &mut ops,
+            );
+        }
+        let kinds: Vec<_> = up.iter().map(|(_, m)| m.kind()).collect();
+        assert!(
+            !kinds.contains(&MsgKind::Enter),
+            "stale pending must not resend: {kinds:?}"
+        );
+        assert_eq!(ops.retransmits, 0);
     }
 
     #[test]

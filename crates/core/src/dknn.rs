@@ -28,6 +28,7 @@ pub struct Dknn {
     mode: Mode,
     client: ClientHalf,
     server: ServerHalf,
+    lossy: bool,
 }
 
 impl Dknn {
@@ -69,6 +70,7 @@ impl Dknn {
             mode,
             client: ClientHalf::new(params, 0),
             server: ServerHalf::new(params, mode),
+            lossy: false,
         })
     }
 
@@ -101,6 +103,12 @@ impl Protocol for Dknn {
         }
     }
 
+    fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
+        self.client.set_lossy(lossy);
+        self.server.set_lossy(lossy);
+    }
+
     fn init(
         &mut self,
         bounds: Rect,
@@ -111,6 +119,7 @@ impl Protocol for Dknn {
         ops: &mut OpCounters,
     ) {
         self.client = ClientHalf::new(self.params, objects.len());
+        self.client.set_lossy(self.lossy);
         for spec in queries {
             self.client.set_focal(spec.focal.index(), spec.id);
         }

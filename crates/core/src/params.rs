@@ -127,6 +127,15 @@ impl DknnParams {
         self.heartbeat + 2
     }
 
+    /// Lossy-mode member lease: ticks of silence after which the server
+    /// actively polls a member to check it is still alive and in band.
+    /// Two full heartbeat periods plus slack, so a member that merely has
+    /// nothing to say is never suspected before a retransmitting event or a
+    /// heartbeat-triggered announcement could have reached the server.
+    pub fn lease_ttl(&self) -> u64 {
+        2 * self.heartbeat + 3
+    }
+
     /// Validates parameter sanity; returns the first problem found.
     pub fn validate(&self) -> Result<(), ParamError> {
         if !(0.0 < self.alpha && self.alpha < 1.0) {
@@ -265,6 +274,7 @@ mod tests {
         let p = DknnParams::default();
         assert!(p.margin() >= (p.heartbeat + 1) as f64 * (p.v_max_obj + p.v_max_q));
         assert!(p.evict_after() > p.heartbeat);
+        assert!(p.lease_ttl() > p.evict_after());
     }
 
     #[test]

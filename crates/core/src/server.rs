@@ -10,8 +10,8 @@
 use crate::{DknnParams, Mode, RegionVersion};
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Tick, Vector};
 use mknn_net::{
-    DownlinkMsg, ObjReport, OpCounters, Outbox, ProbeService, QuerySpec, Recipient, UplinkMsg,
-    Uplinks,
+    DownlinkMsg, MsgKind, ObjReport, OpCounters, Outbox, ProbeService, QuerySpec, Recipient,
+    UplinkMsg, Uplinks,
 };
 
 /// One maintained member of a query answer.
@@ -22,6 +22,12 @@ pub(crate) struct Member {
     /// the interval is unused bookkeeping from the last refresh).
     pub inner: f64,
     pub outer: f64,
+    /// Last tick the server heard from (or successfully polled) this
+    /// member. Lossy mode only: members silent past
+    /// [`DknnParams::lease_ttl`] get a recovery poll, so a device whose
+    /// `Leave` was lost — or that went offline entirely — cannot linger in
+    /// the answer forever.
+    pub heard: Tick,
 }
 
 /// Server state for one registered query.
@@ -54,6 +60,10 @@ pub struct ServerHalf {
     space_diag: f64,
     empty: Vec<ObjectId>,
     current_tick: Tick,
+    /// Lossy-transport hardening switch: acks for critical events,
+    /// idempotent duplicate handling, and member leases. Off by default so
+    /// the perfect-link message trace stays byte-identical.
+    lossy: bool,
 }
 
 impl ServerHalf {
@@ -66,7 +76,15 @@ impl ServerHalf {
             space_diag: 1.0,
             empty: Vec::new(),
             current_tick: 0,
+            lossy: false,
         }
+    }
+
+    /// Enables (or disables) the lossy-transport recovery machinery. Call
+    /// once, before [`Self::init`], when the episode runs over a faulty
+    /// link.
+    pub fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
     }
 
     /// Installs the queries from the registration snapshot (tick 0): the
@@ -188,6 +206,25 @@ impl ServerHalf {
                         heals.push((from, query));
                         continue;
                     }
+                    if self.lossy {
+                        // Stop the device's retransmission loop; the ack
+                        // carries the version as an idempotence token.
+                        outbox.send(
+                            Recipient::One(from),
+                            DownlinkMsg::Ack {
+                                query,
+                                ver,
+                                kind: MsgKind::Enter,
+                            },
+                        );
+                        if let Some(m) = q.members.iter_mut().find(|m| m.id == from) {
+                            // Duplicate or re-announced Enter from a current
+                            // member: idempotent — renew its lease, nothing
+                            // about the answer changed.
+                            m.heard = now;
+                            continue;
+                        }
+                    }
                     // A device crossed into the region: it may now be among
                     // the k nearest — re-establish.
                     q.needs_refresh = true;
@@ -200,6 +237,16 @@ impl ServerHalf {
                     if ver != q.ver.ver {
                         heals.push((from, query));
                         continue;
+                    }
+                    if self.lossy {
+                        outbox.send(
+                            Recipient::One(from),
+                            DownlinkMsg::Ack {
+                                query,
+                                ver,
+                                kind: MsgKind::Leave,
+                            },
+                        );
                     }
                     if q.members.iter().any(|m| m.id == from) {
                         q.needs_refresh = true;
@@ -217,6 +264,12 @@ impl ServerHalf {
                         heals.push((from, query));
                         continue;
                     }
+                    if self.lossy {
+                        // Any current-version event is evidence of life.
+                        if let Some(m) = qi.members.iter_mut().find(|m| m.id == from) {
+                            m.heard = now;
+                        }
+                    }
                     if self.mode != Mode::Ordered || qi.needs_refresh {
                         continue;
                     }
@@ -230,6 +283,44 @@ impl ServerHalf {
                 // Stray synchronous-channel replies / centralized reports:
                 // not part of this protocol's mailbox traffic.
                 UplinkMsg::ProbeReply { .. } | UplinkMsg::Position { .. } => {}
+            }
+        }
+
+        // Lease pass (lossy mode): a member the server has not heard from
+        // for longer than the lease is suspect — its Leave may have been
+        // lost, or the device may be offline. One recovery poll per query
+        // per tick (the stalest member) bounds the probe budget; a poll
+        // that fails, or that finds the member out of region / out of
+        // band, escalates to a refresh which rebuilds the answer from
+        // devices that actually respond.
+        if self.lossy {
+            let ttl = self.params.lease_ttl();
+            let mode = self.mode;
+            for q in &mut self.queries {
+                if q.needs_refresh {
+                    continue; // the refresh below re-leases every member
+                }
+                let Some(idx) = (0..q.members.len()).min_by_key(|&i| q.members[i].heard) else {
+                    continue;
+                };
+                if now.saturating_sub(q.members[idx].heard) <= ttl {
+                    continue;
+                }
+                ops.server_ops += 1;
+                match probe.poll(q.spec.id, q.members[idx].id) {
+                    None => q.needs_refresh = true,
+                    Some(rep) => {
+                        let d = rep.pos.dist(q.ver.pred_center(now));
+                        let m = &mut q.members[idx];
+                        let broken =
+                            d > q.ver.t || (mode == Mode::Ordered && (d <= m.inner || d > m.outer));
+                        if broken {
+                            q.needs_refresh = true;
+                        } else {
+                            m.heard = now;
+                        }
+                    }
+                }
             }
         }
 
@@ -387,6 +478,7 @@ pub(crate) fn establish(
             id: reports[i].id,
             inner,
             outer,
+            heard: now,
         });
         if mode == Mode::Ordered {
             outbox.send(
@@ -466,6 +558,7 @@ fn handle_band_cross(
                     id: me.id,
                     inner,
                     outer,
+                    heard: now,
                 },
             );
             outbox.send(
@@ -510,15 +603,19 @@ fn handle_band_cross(
             } else {
                 (owner.id, me.id)
             };
+            // Both devices were heard from this tick: the crosser sent the
+            // event, the owner answered the poll.
             let lo = Member {
                 id: lo_id,
                 inner: owner.inner,
                 outer: mid,
+                heard: now,
             };
             let hi = Member {
                 id: hi_id,
                 inner: mid,
                 outer: owner.outer,
+                heard: now,
             };
             q.members[j] = lo;
             q.members.insert(j + 1, hi);
@@ -843,5 +940,75 @@ mod tests {
         let (s, _, _) = setup(20, Mode::Set);
         // Only 9 non-focal objects exist.
         assert_eq!(s.answer(QueryId(0)).len(), 9);
+    }
+
+    #[test]
+    fn lossy_duplicate_enter_from_member_is_acked_not_refreshed() {
+        let (mut s, _, mut ops) = setup(3, Mode::Set);
+        s.set_lossy(true);
+        let mut probe = TableProbe {
+            positions: world().iter().map(|o| o.pos).collect(),
+        };
+        // Member 1 re-announces itself (a retransmission the original of
+        // which the server already processed at init).
+        let mut up = Uplinks::new();
+        up.send(
+            ObjectId(1),
+            UplinkMsg::Enter {
+                query: QueryId(0),
+                ver: 0,
+                pos: Point::new(10.0, 0.0),
+                vel: Vector::ZERO,
+            },
+        );
+        let mut outbox = Outbox::new();
+        s.tick(1, &up, &mut probe, &mut outbox, &mut ops);
+        assert_eq!(s.total_refreshes(), 0, "duplicate must be idempotent");
+        let acks: Vec<_> = outbox
+            .iter()
+            .filter(|(r, m)| {
+                matches!(r, Recipient::One(ObjectId(1)))
+                    && matches!(
+                        m,
+                        DownlinkMsg::Ack {
+                            kind: MsgKind::Enter,
+                            ver: 0,
+                            ..
+                        }
+                    )
+            })
+            .collect();
+        assert_eq!(acks.len(), 1, "the retransmission loop needs its ack");
+        assert_eq!(s.queries[0].members[0].heard, 1, "lease renewed");
+    }
+
+    #[test]
+    fn lossy_lease_polls_silent_member_and_recovers_a_lost_leave() {
+        let p = DknnParams::default();
+        let (mut s, _, mut ops) = setup(3, Mode::Set);
+        s.set_lossy(true);
+        // Member 1 fled to x = 500 but its Leave never arrived (and the
+        // device stays unreachable for events). The lease must notice.
+        let mut probe = TableProbe {
+            positions: std::iter::once(Point::ORIGIN)
+                .chain((1..10).map(|i| {
+                    if i == 1 {
+                        Point::new(500.0, 0.0)
+                    } else {
+                        Point::new(i as f64 * 10.0, 0.0)
+                    }
+                }))
+                .collect(),
+        };
+        let up = Uplinks::new();
+        for now in 1..=(p.lease_ttl() + 1) {
+            let mut outbox = Outbox::new();
+            s.tick(now, &up, &mut probe, &mut outbox, &mut ops);
+        }
+        assert_eq!(s.total_refreshes(), 1, "one lease-triggered refresh");
+        assert_eq!(
+            s.answer(QueryId(0)),
+            &[ObjectId(2), ObjectId(3), ObjectId(4)]
+        );
     }
 }

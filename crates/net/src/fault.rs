@@ -1,0 +1,682 @@
+//! Deterministic fault injection for the simulated transport.
+//!
+//! A [`FaultPlan`] configures per-direction message **loss**,
+//! **duplication**, **delay** (in whole ticks) and **device churn** (seeded
+//! offline windows during which a device neither receives nor sends). A
+//! [`FaultyLink`] executes the plan with a dedicated xoshiro generator that
+//! the harness seeds from the episode's workload seed, so:
+//!
+//! * every fault decision is a pure function of `(plan, episode seed)` — the
+//!   same episode produces byte-identical traffic at any thread count, and
+//! * [`FaultPlan::none`] draws nothing at all, leaving the transport
+//!   byte-identical to the perfect link it replaces.
+//!
+//! Faults are drawn **per delivery**: a geocast that overlaps eight devices
+//! makes eight independent loss draws, which models per-receiver radio
+//! reception. The synchronous probe channel ([`crate::ProbeService`]) only
+//! suffers loss and churn — a probe round trip is one RPC, so a delayed or
+//! duplicated reply is indistinguishable from a lost one to the caller.
+
+use crate::{DownlinkMsg, NetStats, UplinkMsg};
+use mknn_geom::{ObjectId, Tick};
+use mknn_util::json::{FromJson, Json, JsonError, ToJson};
+use mknn_util::Rng;
+use std::fmt;
+
+/// A rejected [`FaultPlan`] construction: which knob was out of range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A probability knob outside `[0, 1]`; carries the field name.
+    ProbabilityOutOfRange(&'static str, f64),
+    /// `delay_prob` is positive but `max_delay` is 0 ticks, so a "delayed"
+    /// message would have nowhere to go.
+    ZeroDelayBound,
+    /// `churn` is positive but the offline window `[offline_min,
+    /// offline_max]` is empty or starts at 0 ticks.
+    BadOfflineWindow(u64, u64),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultError::ProbabilityOutOfRange(name, v) => {
+                write!(f, "{name} must be a probability in [0, 1], got {v}")
+            }
+            FaultError::ZeroDelayBound => {
+                write!(f, "delay_prob is positive but max_delay is 0 ticks")
+            }
+            FaultError::BadOfflineWindow(lo, hi) => {
+                write!(
+                    f,
+                    "offline window [{lo}, {hi}] must satisfy 1 <= min <= max"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Configuration of the fault-injection layer for one episode.
+///
+/// Construct validated instances with [`FaultPlan::builder`]; the fields
+/// stay public for experiment sweeps that perturb a copy, and
+/// [`FaultyLink::new`] re-validates at adoption time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that one device → server message is lost.
+    pub up_loss: f64,
+    /// Probability that one downlink *delivery* (per receiving device) is
+    /// lost.
+    pub down_loss: f64,
+    /// Probability that a surviving uplink is delivered twice.
+    pub up_dup: f64,
+    /// Probability that a surviving downlink delivery is delivered twice.
+    pub down_dup: f64,
+    /// Probability that a surviving message is delayed instead of delivered
+    /// on time (both directions).
+    pub delay_prob: f64,
+    /// Maximum delay in ticks; a delayed message is held for a uniform
+    /// `1..=max_delay` ticks.
+    pub max_delay: u64,
+    /// Per-device, per-tick probability of dropping offline (churn).
+    pub churn: f64,
+    /// Shortest offline window, in ticks.
+    pub offline_min: u64,
+    /// Longest offline window, in ticks.
+    pub offline_max: u64,
+    /// Last tick (inclusive) on which faults are injected. Already-started
+    /// offline windows and already-held delayed messages still play out, but
+    /// no *new* fault is drawn after this tick. [`FaultPlan::FOREVER`]
+    /// (the default) means the whole episode; a finite value is useful for
+    /// chaos tests that inject a bounded burst and then assert
+    /// reconvergence over a clean tail.
+    pub horizon: Tick,
+}
+
+impl FaultPlan {
+    /// Horizon value meaning "faults for the whole episode": the largest
+    /// tick the workspace JSON codec round-trips exactly (`u64` saturates
+    /// at `i64::MAX` on encode).
+    pub const FOREVER: Tick = i64::MAX as Tick;
+
+    /// The perfect transport: no faults, no RNG draws, byte-identical to a
+    /// run without any fault layer.
+    pub fn none() -> Self {
+        FaultPlan {
+            up_loss: 0.0,
+            down_loss: 0.0,
+            up_dup: 0.0,
+            down_dup: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+            churn: 0.0,
+            offline_min: 0,
+            offline_max: 0,
+            horizon: FaultPlan::FOREVER,
+        }
+    }
+
+    /// A moderately hostile preset used by the chaos CI gate and quickstart
+    /// examples: 10 % loss each way, occasional duplication, short delays,
+    /// and rare multi-tick device outages, for the whole episode.
+    pub fn chaos() -> Self {
+        FaultPlan {
+            up_loss: 0.10,
+            down_loss: 0.10,
+            up_dup: 0.02,
+            down_dup: 0.02,
+            delay_prob: 0.20,
+            max_delay: 2,
+            churn: 0.002,
+            offline_min: 2,
+            offline_max: 6,
+            horizon: FaultPlan::FOREVER,
+        }
+    }
+
+    /// Starts a validating builder, seeded with [`FaultPlan::none`].
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// `true` when the plan can never inject a fault (the harness then
+    /// skips the link layer entirely).
+    pub fn is_none(&self) -> bool {
+        self.up_loss == 0.0
+            && self.down_loss == 0.0
+            && self.up_dup == 0.0
+            && self.down_dup == 0.0
+            && self.delay_prob == 0.0
+            && self.churn == 0.0
+    }
+
+    /// Validates knob sanity; returns the first problem found.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (name, v) in [
+            ("up_loss", self.up_loss),
+            ("down_loss", self.down_loss),
+            ("up_dup", self.up_dup),
+            ("down_dup", self.down_dup),
+            ("delay_prob", self.delay_prob),
+            ("churn", self.churn),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(FaultError::ProbabilityOutOfRange(name, v));
+            }
+        }
+        if self.delay_prob > 0.0 && self.max_delay == 0 {
+            return Err(FaultError::ZeroDelayBound);
+        }
+        if self.churn > 0.0 && (self.offline_min == 0 || self.offline_min > self.offline_max) {
+            return Err(FaultError::BadOfflineWindow(
+                self.offline_min,
+                self.offline_max,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Builder for [`FaultPlan`] whose [`build`](FaultPlanBuilder::build)
+/// rejects out-of-range knobs with a typed [`FaultError`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Sets both loss probabilities at once.
+    pub fn loss(mut self, p: f64) -> Self {
+        self.plan.up_loss = p;
+        self.plan.down_loss = p;
+        self
+    }
+
+    /// Sets the uplink loss probability.
+    pub fn up_loss(mut self, p: f64) -> Self {
+        self.plan.up_loss = p;
+        self
+    }
+
+    /// Sets the per-delivery downlink loss probability.
+    pub fn down_loss(mut self, p: f64) -> Self {
+        self.plan.down_loss = p;
+        self
+    }
+
+    /// Sets both duplication probabilities at once.
+    pub fn duplication(mut self, p: f64) -> Self {
+        self.plan.up_dup = p;
+        self.plan.down_dup = p;
+        self
+    }
+
+    /// Sets the delay probability and the maximum delay in ticks.
+    pub fn delay(mut self, prob: f64, max_ticks: u64) -> Self {
+        self.plan.delay_prob = prob;
+        self.plan.max_delay = max_ticks;
+        self
+    }
+
+    /// Sets the churn rate and the offline window bounds in ticks.
+    pub fn churn(mut self, rate: f64, offline_min: u64, offline_max: u64) -> Self {
+        self.plan.churn = rate;
+        self.plan.offline_min = offline_min;
+        self.plan.offline_max = offline_max;
+        self
+    }
+
+    /// Sets the last tick (inclusive) on which faults are injected.
+    pub fn horizon(mut self, last_tick: Tick) -> Self {
+        self.plan.horizon = last_tick;
+        self
+    }
+
+    /// Validates and returns the plan.
+    pub fn build(self) -> Result<FaultPlan, FaultError> {
+        self.plan.validate()?;
+        Ok(self.plan)
+    }
+}
+
+// Hand-written (rather than `impl_json_struct!`) so deserialization routes
+// through validation, exactly like `DknnParams` in `mknn-core`: a config
+// with `up_loss: 1.5` fails the parse with the `FaultError` message instead
+// of silently mis-running an episode.
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("up_loss", self.up_loss.to_json()),
+            ("down_loss", self.down_loss.to_json()),
+            ("up_dup", self.up_dup.to_json()),
+            ("down_dup", self.down_dup.to_json()),
+            ("delay_prob", self.delay_prob.to_json()),
+            ("max_delay", self.max_delay.to_json()),
+            ("churn", self.churn.to_json()),
+            ("offline_min", self.offline_min.to_json()),
+            ("offline_max", self.offline_max.to_json()),
+            ("horizon", self.horizon.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultPlan {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let plan = FaultPlan {
+            up_loss: v.parse_field("up_loss")?,
+            down_loss: v.parse_field("down_loss")?,
+            up_dup: v.parse_field("up_dup")?,
+            down_dup: v.parse_field("down_dup")?,
+            delay_prob: v.parse_field("delay_prob")?,
+            max_delay: v.parse_field("max_delay")?,
+            churn: v.parse_field("churn")?,
+            offline_min: v.parse_field("offline_min")?,
+            offline_max: v.parse_field("offline_max")?,
+            horizon: v.parse_field("horizon")?,
+        };
+        plan.validate()
+            .map_err(|e| JsonError::new(format!("invalid FaultPlan: {e}")))?;
+        Ok(plan)
+    }
+}
+
+/// The runtime of a [`FaultPlan`]: per-device offline windows and the
+/// in-flight queues of delayed messages.
+///
+/// The harness calls [`FaultyLink::begin_tick`] once per tick (which draws
+/// the tick's churn), routes every uplink through
+/// [`FaultyLink::transmit_up`] and every downlink delivery through
+/// [`FaultyLink::deliver_down`], and drains the due delayed messages at the
+/// matching points of the tick loop. All fault counters are charged to the
+/// [`NetStats`] passed in, so episodes report exactly what the link did.
+#[derive(Debug)]
+pub struct FaultyLink {
+    plan: FaultPlan,
+    rng: Rng,
+    now: Tick,
+    /// Per device: offline while `now < offline_until[i]`.
+    offline_until: Vec<Tick>,
+    /// Delayed uplinks, keyed by due tick (insertion order preserved).
+    held_up: Vec<(Tick, ObjectId, UplinkMsg)>,
+    /// Delayed downlink deliveries, keyed by due tick.
+    held_down: Vec<(Tick, ObjectId, DownlinkMsg)>,
+}
+
+impl FaultyLink {
+    /// Creates the link runtime for `plan`, drawing from a generator seeded
+    /// with `seed` (the harness derives it from the episode's workload
+    /// seed, which the sweep planner already offsets per plan position).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan` fails [`FaultPlan::validate`].
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        plan.validate().expect("invalid FaultPlan");
+        FaultyLink {
+            plan,
+            rng: Rng::seed_from_u64(seed),
+            now: 0,
+            offline_until: Vec::new(),
+            held_up: Vec::new(),
+            held_down: Vec::new(),
+        }
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// `true` while faults are still being injected at the current tick.
+    fn active(&self) -> bool {
+        self.now <= self.plan.horizon
+    }
+
+    /// Advances the link to `now` and draws this tick's churn: each online
+    /// device independently drops offline with probability `churn` for a
+    /// uniform `offline_min..=offline_max` ticks. Windows started before
+    /// the horizon keep running after it; no new window starts past it.
+    pub fn begin_tick(&mut self, now: Tick, n_devices: usize) {
+        self.now = now;
+        self.offline_until.resize(n_devices, 0);
+        if self.plan.churn > 0.0 && self.active() {
+            for i in 0..n_devices {
+                if self.offline_until[i] <= now && self.rng.gen_bool(self.plan.churn) {
+                    let len = self
+                        .rng
+                        .gen_range(self.plan.offline_min..=self.plan.offline_max);
+                    self.offline_until[i] = now.saturating_add(len);
+                }
+            }
+        }
+    }
+
+    /// Whether device `idx` is inside an offline window right now.
+    pub fn is_offline(&self, idx: usize) -> bool {
+        self.offline_until.get(idx).is_some_and(|&t| self.now < t)
+    }
+
+    /// Per-delivery fault fate, shared by both directions. Returns how many
+    /// copies to deliver now (0, 1 or 2) and an optional delay in ticks for
+    /// one further copy.
+    fn fate(&mut self, loss: f64, dup: f64, stats: &mut NetStats) -> (u32, Option<u64>) {
+        if loss > 0.0 && self.rng.gen_bool(loss) {
+            stats.count_dropped();
+            return (0, None);
+        }
+        let mut copies = 1;
+        if dup > 0.0 && self.rng.gen_bool(dup) {
+            stats.count_duplicated();
+            copies += 1;
+        }
+        if self.plan.delay_prob > 0.0 && self.rng.gen_bool(self.plan.delay_prob) {
+            stats.count_delayed();
+            let d = self.rng.gen_range(1..=self.plan.max_delay);
+            copies -= 1;
+            return (copies, Some(d));
+        }
+        (copies, None)
+    }
+
+    /// Passes one uplink through the link. Delivered copies are appended to
+    /// `out`; losses, duplicates and delays are charged to `stats`. The
+    /// transmission itself must already have been charged by the caller —
+    /// the sender spends the radio energy whether or not the network
+    /// delivers.
+    pub fn transmit_up(
+        &mut self,
+        from: ObjectId,
+        msg: UplinkMsg,
+        out: &mut Vec<(ObjectId, UplinkMsg)>,
+        stats: &mut NetStats,
+    ) {
+        if !self.active() {
+            out.push((from, msg));
+            return;
+        }
+        let (copies, delay) = self.fate(self.plan.up_loss, self.plan.up_dup, stats);
+        for _ in 0..copies {
+            out.push((from, msg));
+        }
+        if let Some(d) = delay {
+            self.held_up.push((self.now + d, from, msg));
+        }
+    }
+
+    /// Moves every held uplink that is due at the current tick into `out`,
+    /// in the order it was delayed.
+    pub fn drain_due_up(&mut self, out: &mut Vec<(ObjectId, UplinkMsg)>) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.held_up.len() {
+            if self.held_up[i].0 <= now {
+                let (_, from, msg) = self.held_up.remove(i);
+                out.push((from, msg));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Passes one downlink delivery (to the device at inbox index `to`)
+    /// through the link. An offline receiver misses the delivery outright;
+    /// otherwise loss/duplication/delay are drawn exactly like uplinks.
+    pub fn deliver_down(
+        &mut self,
+        to: usize,
+        msg: DownlinkMsg,
+        inboxes: &mut [Vec<DownlinkMsg>],
+        stats: &mut NetStats,
+    ) {
+        if self.is_offline(to) {
+            stats.count_dropped();
+            return;
+        }
+        if !self.active() {
+            if let Some(inbox) = inboxes.get_mut(to) {
+                inbox.push(msg);
+            }
+            return;
+        }
+        let (copies, delay) = self.fate(self.plan.down_loss, self.plan.down_dup, stats);
+        if let Some(inbox) = inboxes.get_mut(to) {
+            for _ in 0..copies {
+                inbox.push(msg);
+            }
+        }
+        if let Some(d) = delay {
+            self.held_down
+                .push((self.now + d, ObjectId(to as u32), msg));
+        }
+    }
+
+    /// Delivers every held downlink that is due at the current tick into
+    /// the receiver's inbox (unless the receiver is offline *now*, in which
+    /// case the copy is finally dropped).
+    pub fn drain_due_down(&mut self, inboxes: &mut [Vec<DownlinkMsg>], stats: &mut NetStats) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.held_down.len() {
+            if self.held_down[i].0 <= now {
+                let (_, to, msg) = self.held_down.remove(i);
+                if self.is_offline(to.index()) {
+                    stats.count_dropped();
+                } else if let Some(inbox) = inboxes.get_mut(to.index()) {
+                    inbox.push(msg);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Loss draw for the synchronous probe channel: `true` when the round
+    /// trip to the device at inbox index `idx` fails. The downlink leg and
+    /// the uplink leg are drawn separately so the per-direction knobs keep
+    /// their meaning; an offline device always fails. Each failed leg is
+    /// charged as one dropped message.
+    pub fn probe_leg_lost(&mut self, loss: f64, stats: &mut NetStats) -> bool {
+        if !self.active() || loss == 0.0 {
+            return false;
+        }
+        if self.rng.gen_bool(loss) {
+            stats.count_dropped();
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_geom::{Point, QueryId, Vector};
+
+    fn an_uplink() -> UplinkMsg {
+        UplinkMsg::Leave {
+            query: QueryId(0),
+            ver: 0,
+            pos: Point::ORIGIN,
+        }
+    }
+
+    fn a_downlink() -> DownlinkMsg {
+        DownlinkMsg::InstallRegion {
+            query: QueryId(0),
+            ver: 0,
+            center: Point::ORIGIN,
+            vel: Vector::ZERO,
+            r_out: 10.0,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_transparent_and_draws_nothing() {
+        let mut link = FaultyLink::new(FaultPlan::none(), 7);
+        let mut stats = NetStats::default();
+        let mut out = Vec::new();
+        link.begin_tick(1, 4);
+        for i in 0..4 {
+            assert!(!link.is_offline(i));
+            link.transmit_up(ObjectId(i as u32), an_uplink(), &mut out, &mut stats);
+        }
+        assert_eq!(out.len(), 4);
+        let mut inboxes = vec![Vec::new(); 4];
+        link.deliver_down(2, a_downlink(), &mut inboxes, &mut stats);
+        assert_eq!(inboxes[2].len(), 1);
+        assert_eq!(
+            (stats.dropped_msgs, stats.dup_msgs, stats.delayed_msgs),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn total_loss_drops_everything_and_counts_it() {
+        let plan = FaultPlan::builder().loss(1.0).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        let mut out = Vec::new();
+        link.begin_tick(1, 2);
+        link.transmit_up(ObjectId(0), an_uplink(), &mut out, &mut stats);
+        assert!(out.is_empty());
+        let mut inboxes = vec![Vec::new(); 2];
+        link.deliver_down(1, a_downlink(), &mut inboxes, &mut stats);
+        assert!(inboxes[1].is_empty());
+        assert_eq!(stats.dropped_msgs, 2);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let plan = FaultPlan::builder().duplication(1.0).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        let mut out = Vec::new();
+        link.begin_tick(1, 1);
+        link.transmit_up(ObjectId(0), an_uplink(), &mut out, &mut stats);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.dup_msgs, 1);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_after_their_delay() {
+        let plan = FaultPlan::builder().delay(1.0, 3).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        let mut out = Vec::new();
+        link.begin_tick(1, 1);
+        link.transmit_up(ObjectId(0), an_uplink(), &mut out, &mut stats);
+        assert!(out.is_empty(), "delayed, not delivered");
+        assert_eq!(stats.delayed_msgs, 1);
+        // Drain every following tick until it shows up; never later than
+        // max_delay.
+        let mut arrived_at = None;
+        for t in 2..=5 {
+            link.begin_tick(t, 1);
+            link.drain_due_up(&mut out);
+            if !out.is_empty() {
+                arrived_at = Some(t);
+                break;
+            }
+        }
+        let t = arrived_at.expect("the delayed uplink must eventually arrive");
+        assert!(t <= 1 + 3, "arrived at {t}, beyond max_delay");
+    }
+
+    #[test]
+    fn offline_windows_block_and_expire() {
+        let plan = FaultPlan::builder().churn(1.0, 2, 2).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        link.begin_tick(1, 1);
+        assert!(link.is_offline(0), "churn 1.0 must trip immediately");
+        let mut inboxes = vec![Vec::new()];
+        link.deliver_down(0, a_downlink(), &mut inboxes, &mut stats);
+        assert!(inboxes[0].is_empty());
+        assert_eq!(stats.dropped_msgs, 1);
+        // The window is exactly 2 ticks; with churn 1.0 a new one starts as
+        // soon as the old expires, so check expiry via offline_until math:
+        // at tick 3 the device redraws (offline_until was 3).
+        link.begin_tick(3, 1);
+        assert!(link.is_offline(0), "immediately re-churned at expiry");
+    }
+
+    #[test]
+    fn horizon_stops_new_faults() {
+        let plan = FaultPlan::builder().loss(1.0).horizon(5).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        let mut out = Vec::new();
+        link.begin_tick(5, 1);
+        link.transmit_up(ObjectId(0), an_uplink(), &mut out, &mut stats);
+        assert!(out.is_empty(), "tick 5 is still inside the horizon");
+        link.begin_tick(6, 1);
+        link.transmit_up(ObjectId(0), an_uplink(), &mut out, &mut stats);
+        assert_eq!(out.len(), 1, "tick 6 is past the horizon: perfect link");
+        assert_eq!(stats.dropped_msgs, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let plan = FaultPlan::chaos();
+        let runs: Vec<Vec<usize>> = (0..2)
+            .map(|_| {
+                let mut link = FaultyLink::new(plan, 42);
+                let mut stats = NetStats::default();
+                let mut sizes = Vec::new();
+                for t in 1..=20 {
+                    link.begin_tick(t, 8);
+                    let mut out = Vec::new();
+                    link.drain_due_up(&mut out);
+                    for i in 0..8 {
+                        link.transmit_up(ObjectId(i), an_uplink(), &mut out, &mut stats);
+                    }
+                    sizes.push(out.len());
+                }
+                sizes
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_knob() {
+        assert_eq!(
+            FaultPlan::builder().loss(1.5).build(),
+            Err(FaultError::ProbabilityOutOfRange("up_loss", 1.5))
+        );
+        assert_eq!(
+            FaultPlan::builder().delay(0.5, 0).build(),
+            Err(FaultError::ZeroDelayBound)
+        );
+        assert_eq!(
+            FaultPlan::builder().churn(0.1, 0, 4).build(),
+            Err(FaultError::BadOfflineWindow(0, 4))
+        );
+        assert_eq!(
+            FaultPlan::builder().churn(0.1, 5, 4).build(),
+            Err(FaultError::BadOfflineWindow(5, 4))
+        );
+        assert!(FaultPlan::chaos().validate().is_ok());
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::chaos().is_none());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json_and_validates() {
+        let p = FaultPlan::chaos();
+        let back: FaultPlan = mknn_util::from_str(&mknn_util::to_string(&p)).unwrap();
+        assert_eq!(back, p);
+        let doc = mknn_util::to_string(&p).replace("\"up_loss\":0.1", "\"up_loss\":-0.1");
+        let err = mknn_util::from_str::<FaultPlan>(&doc).unwrap_err();
+        assert!(err.to_string().contains("up_loss"), "{err}");
+    }
+}

@@ -10,10 +10,32 @@ use mknn_util::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 impl_json_struct!(QuerySpec { id, focal, k });
-impl_json_struct!(OpCounters {
-    server_ops,
-    client_ops
-});
+
+// Hand-written so `retransmits` is emitted only when nonzero: episodes on a
+// perfect link serialize byte-identically to documents written before the
+// field existed (and those old documents still parse, defaulting to 0).
+impl ToJson for OpCounters {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("server_ops", self.server_ops.to_json()),
+            ("client_ops", self.client_ops.to_json()),
+        ];
+        if self.retransmits != 0 {
+            fields.push(("retransmits", self.retransmits.to_json()));
+        }
+        Json::object(fields)
+    }
+}
+
+impl FromJson for OpCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(OpCounters {
+            server_ops: v.parse_field("server_ops")?,
+            client_ops: v.parse_field("client_ops")?,
+            retransmits: v.parse_field_or_default("retransmits")?,
+        })
+    }
+}
 
 impl MsgKind {
     /// The variant name, as used in JSON documents.
@@ -30,6 +52,7 @@ impl MsgKind {
             MsgKind::Probe => "Probe",
             MsgKind::SetBand => "SetBand",
             MsgKind::ClearBand => "ClearBand",
+            MsgKind::Ack => "Ack",
         }
     }
 
@@ -55,7 +78,7 @@ impl FromJson for MsgKind {
 
 impl ToJson for NetStats {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("uplink_msgs", self.uplink_msgs.to_json()),
             ("uplink_bytes", self.uplink_bytes.to_json()),
             (
@@ -71,15 +94,28 @@ impl ToJson for NetStats {
                 self.downlink_broadcast_msgs.to_json(),
             ),
             ("downlink_bytes", self.downlink_bytes.to_json()),
-            (
-                "by_kind",
-                Json::object(
-                    self.by_kind
-                        .iter()
-                        .map(|(k, v)| (k.variant_name(), v.to_json())),
-                ),
+        ];
+        // Fault-layer counters appear only when a fault actually occurred,
+        // keeping perfect-link documents byte-identical to the pre-fault
+        // format.
+        if self.dropped_msgs != 0 {
+            fields.push(("dropped_msgs", self.dropped_msgs.to_json()));
+        }
+        if self.dup_msgs != 0 {
+            fields.push(("dup_msgs", self.dup_msgs.to_json()));
+        }
+        if self.delayed_msgs != 0 {
+            fields.push(("delayed_msgs", self.delayed_msgs.to_json()));
+        }
+        fields.push((
+            "by_kind",
+            Json::object(
+                self.by_kind
+                    .iter()
+                    .map(|(k, v)| (k.variant_name(), v.to_json())),
             ),
-        ])
+        ));
+        Json::object(fields)
     }
 }
 
@@ -99,6 +135,9 @@ impl FromJson for NetStats {
             downlink_broadcast_msgs: v.parse_field("downlink_broadcast_msgs")?,
             downlink_bytes: v.parse_field("downlink_bytes")?,
             by_kind,
+            dropped_msgs: v.parse_field_or_default("dropped_msgs")?,
+            dup_msgs: v.parse_field_or_default("dup_msgs")?,
+            delayed_msgs: v.parse_field_or_default("delayed_msgs")?,
         })
     }
 }
@@ -148,8 +187,36 @@ mod tests {
         let ops = OpCounters {
             server_ops: 123,
             client_ops: 456_789,
+            retransmits: 0,
         };
-        let back: OpCounters = from_str(&to_string(&ops)).unwrap();
+        let json = to_string(&ops);
+        assert!(!json.contains("retransmits"), "zero is omitted: {json}");
+        let back: OpCounters = from_str(&json).unwrap();
         assert_eq!(back, ops);
+        let lossy = OpCounters {
+            retransmits: 7,
+            ..ops
+        };
+        let json = to_string(&lossy);
+        assert!(json.contains("\"retransmits\":7"), "got: {json}");
+        let back: OpCounters = from_str(&json).unwrap();
+        assert_eq!(back, lossy);
+    }
+
+    #[test]
+    fn fault_counters_round_trip_and_hide_when_zero() {
+        let mut s = NetStats::default();
+        s.count_uplink(MsgKind::Enter, 44);
+        let clean = to_string(&s);
+        assert!(!clean.contains("dropped_msgs"), "got: {clean}");
+        assert!(!clean.contains("dup_msgs"), "got: {clean}");
+        assert!(!clean.contains("delayed_msgs"), "got: {clean}");
+        s.count_dropped();
+        s.count_delayed();
+        let faulty = to_string(&s);
+        assert!(faulty.contains("\"dropped_msgs\":1"), "got: {faulty}");
+        assert!(!faulty.contains("dup_msgs"), "got: {faulty}");
+        let back: NetStats = from_str(&faulty).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -19,15 +19,19 @@
 //! * [`NetStats`] / [`OpCounters`] — the metric counters every experiment
 //!   reports,
 //! * [`Protocol`] — the contract a monitoring method implements; the
-//!   simulation harness drives it and routes its messages.
+//!   simulation harness drives it and routes its messages,
+//! * [`FaultPlan`] / [`FaultyLink`] — deterministic fault injection (loss,
+//!   duplication, delay, device churn) layered over the perfect fabric.
 
 #![deny(missing_docs)]
 
+mod fault;
 mod json;
 mod msg;
 mod proto;
 mod stats;
 
+pub use fault::{FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
 pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, UplinkMsg};
 pub use proto::{ObjReport, Outbox, ProbeService, Protocol, Uplinks};
 pub use stats::{NetStats, OpCounters};

@@ -165,6 +165,20 @@ pub enum DownlinkMsg {
         /// The query whose band to clear.
         query: QueryId,
     },
+    /// Acknowledges a critical uplink (`Enter`/`Leave`) so the device can
+    /// stop retransmitting it. Only sent in lossy mode (see
+    /// [`crate::Protocol::set_lossy`]); a perfect link never carries acks.
+    Ack {
+        /// The query the acknowledged event belonged to.
+        query: QueryId,
+        /// Region version the acknowledged event was issued under (the
+        /// idempotence token: device and server agree on which crossing
+        /// this settles).
+        ver: mknn_geom::Tick,
+        /// Kind of the acknowledged uplink ([`MsgKind::Enter`] or
+        /// [`MsgKind::Leave`]).
+        kind: MsgKind,
+    },
 }
 
 impl DownlinkMsg {
@@ -176,6 +190,7 @@ impl DownlinkMsg {
             DownlinkMsg::Probe { .. } => HEADER + COORD + SCALAR,
             DownlinkMsg::SetBand { .. } => HEADER + 3 * SCALAR,
             DownlinkMsg::ClearBand { .. } => HEADER,
+            DownlinkMsg::Ack { .. } => HEADER + SCALAR,
         }
     }
 
@@ -187,6 +202,7 @@ impl DownlinkMsg {
             DownlinkMsg::Probe { .. } => MsgKind::Probe,
             DownlinkMsg::SetBand { .. } => MsgKind::SetBand,
             DownlinkMsg::ClearBand { .. } => MsgKind::ClearBand,
+            DownlinkMsg::Ack { .. } => MsgKind::Ack,
         }
     }
 }
@@ -219,11 +235,12 @@ pub enum MsgKind {
     Probe,
     SetBand,
     ClearBand,
+    Ack,
 }
 
 impl MsgKind {
     /// All kinds, uplinks first (for stable table layouts).
-    pub const ALL: [MsgKind; 11] = [
+    pub const ALL: [MsgKind; 12] = [
         MsgKind::Position,
         MsgKind::Enter,
         MsgKind::Leave,
@@ -235,6 +252,7 @@ impl MsgKind {
         MsgKind::Probe,
         MsgKind::SetBand,
         MsgKind::ClearBand,
+        MsgKind::Ack,
     ];
 
     /// Short column label.
@@ -251,6 +269,7 @@ impl MsgKind {
             MsgKind::Probe => "probe",
             MsgKind::SetBand => "set-band",
             MsgKind::ClearBand => "clr-band",
+            MsgKind::Ack => "ack",
         }
     }
 }
@@ -295,11 +314,22 @@ mod tests {
         }
         .kind();
         assert_ne!(a, b);
-        assert_eq!(MsgKind::ALL.len(), 11);
+        assert_eq!(MsgKind::ALL.len(), 12);
         // Labels are unique.
         let mut labels: Vec<_> = MsgKind::ALL.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 11);
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn ack_is_the_smallest_payload_bearing_downlink() {
+        let ack = DownlinkMsg::Ack {
+            query: QueryId(0),
+            ver: 3,
+            kind: MsgKind::Enter,
+        };
+        assert_eq!(ack.size_bytes(), 20);
+        assert_eq!(ack.kind(), MsgKind::Ack);
     }
 }

@@ -198,6 +198,17 @@ pub trait Protocol {
     fn guarantees_exact(&self) -> bool {
         true
     }
+
+    /// Informs the method that its traffic rides a lossy transport (the
+    /// harness calls this once, before [`Protocol::init`], when a non-empty
+    /// [`crate::FaultPlan`] is configured). Hardened methods switch on their
+    /// recovery machinery — acks, retransmission, leases, resync — which
+    /// costs extra traffic and therefore stays off on a perfect link, where
+    /// it would change the byte-exact message counts for no benefit. The
+    /// default is a no-op: an unhardened method simply degrades.
+    fn set_lossy(&mut self, lossy: bool) {
+        let _ = lossy;
+    }
 }
 
 #[cfg(test)]

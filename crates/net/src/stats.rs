@@ -25,6 +25,16 @@ pub struct NetStats {
     pub downlink_bytes: u64,
     /// Per message-kind tallies (logical messages, not transmissions).
     pub by_kind: BTreeMap<MsgKind, u64>,
+    /// Deliveries lost by the fault layer (loss draws plus deliveries to
+    /// offline devices). The transmission stays charged above — the sender
+    /// spent the radio energy; the network just failed to deliver.
+    pub dropped_msgs: u64,
+    /// Extra copies delivered by the fault layer's duplication. Only this
+    /// counter grows: duplicates are accidents of the link, not traffic the
+    /// protocol pays for.
+    pub dup_msgs: u64,
+    /// Deliveries the fault layer held back for one or more ticks.
+    pub delayed_msgs: u64,
 }
 
 impl NetStats {
@@ -69,6 +79,21 @@ impl NetStats {
         self.downlink_bytes += bytes as u64;
         *self.by_kind.entry(kind).or_insert(0) += 1;
     }
+
+    /// Records one delivery lost by the fault layer.
+    pub fn count_dropped(&mut self) {
+        self.dropped_msgs += 1;
+    }
+
+    /// Records one extra copy produced by the fault layer.
+    pub fn count_duplicated(&mut self) {
+        self.dup_msgs += 1;
+    }
+
+    /// Records one delivery the fault layer delayed.
+    pub fn count_delayed(&mut self) {
+        self.delayed_msgs += 1;
+    }
 }
 
 impl AddAssign<&NetStats> for NetStats {
@@ -82,6 +107,9 @@ impl AddAssign<&NetStats> for NetStats {
         for (k, v) in &rhs.by_kind {
             *self.by_kind.entry(*k).or_insert(0) += v;
         }
+        self.dropped_msgs += rhs.dropped_msgs;
+        self.dup_msgs += rhs.dup_msgs;
+        self.delayed_msgs += rhs.delayed_msgs;
     }
 }
 
@@ -95,12 +123,16 @@ pub struct OpCounters {
     pub server_ops: u64,
     /// Operations performed across all device-side logic.
     pub client_ops: u64,
+    /// Critical uplinks (`Enter`/`Leave`) re-sent by device-side
+    /// retransmission after an ack timed out. Zero on a perfect link.
+    pub retransmits: u64,
 }
 
 impl AddAssign for OpCounters {
     fn add_assign(&mut self, rhs: Self) {
         self.server_ops += rhs.server_ops;
         self.client_ops += rhs.client_ops;
+        self.retransmits += rhs.retransmits;
     }
 }
 
@@ -144,17 +176,37 @@ mod tests {
         let mut a = OpCounters {
             server_ops: 1,
             client_ops: 2,
+            retransmits: 3,
         };
         a += OpCounters {
             server_ops: 10,
             client_ops: 20,
+            retransmits: 30,
         };
         assert_eq!(
             a,
             OpCounters {
                 server_ops: 11,
-                client_ops: 22
+                client_ops: 22,
+                retransmits: 33,
             }
         );
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_merge() {
+        let mut a = NetStats::default();
+        a.count_dropped();
+        a.count_dropped();
+        a.count_duplicated();
+        a.count_delayed();
+        assert_eq!((a.dropped_msgs, a.dup_msgs, a.delayed_msgs), (2, 1, 1));
+        // Fault counters never feed the headline communication-cost metric.
+        assert_eq!(a.total_msgs(), 0);
+        assert_eq!(a.total_bytes(), 0);
+        let mut b = NetStats::default();
+        b.count_delayed();
+        a += &b;
+        assert_eq!(a.delayed_msgs, 2);
     }
 }

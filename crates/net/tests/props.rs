@@ -2,7 +2,7 @@
 //! byte model (mknn-util `check` harness).
 
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Vector};
-use mknn_net::{DownlinkMsg, MsgKind, NetStats, UplinkMsg};
+use mknn_net::{DownlinkMsg, FaultPlan, MsgKind, NetStats, UplinkMsg};
 use mknn_util::check::forall;
 use mknn_util::Rng;
 
@@ -188,6 +188,84 @@ fn kind_is_stable_under_payload_changes() {
         assert_eq!(a.kind(), b.kind());
         assert_eq!(a.kind(), MsgKind::Enter);
         assert_eq!(a.size_bytes(), b.size_bytes());
+    });
+}
+
+#[test]
+fn fault_counters_never_enter_the_conserved_totals() {
+    // `total_msgs`/`total_bytes` count *transmissions*; drops, duplicates
+    // and delays are observations about deliveries and must never feed the
+    // conserved totals — only their own counters, which merge additively.
+    forall(CASES, |rng| {
+        let mut s = NetStats::default();
+        let n_ups = rng.gen_range(0usize..40);
+        for _ in 0..n_ups {
+            let m = uplink(rng);
+            s.count_uplink(m.kind(), m.size_bytes());
+        }
+        let msgs = s.total_msgs();
+        let bytes = s.total_bytes();
+        let drops = rng.gen_range(0u64..20);
+        let dups = rng.gen_range(0u64..20);
+        let delays = rng.gen_range(0u64..20);
+        for _ in 0..drops {
+            s.count_dropped();
+        }
+        for _ in 0..dups {
+            s.count_duplicated();
+        }
+        for _ in 0..delays {
+            s.count_delayed();
+        }
+        assert_eq!(s.total_msgs(), msgs, "drops must not change transmissions");
+        assert_eq!(s.total_bytes(), bytes);
+        assert_eq!(
+            (s.dropped_msgs, s.dup_msgs, s.delayed_msgs),
+            (drops, dups, delays)
+        );
+
+        let mut other = NetStats::default();
+        other.count_dropped();
+        other.count_delayed();
+        let mut merged = s.clone();
+        merged += &other;
+        assert_eq!(merged.dropped_msgs, drops + 1);
+        assert_eq!(merged.dup_msgs, dups);
+        assert_eq!(merged.delayed_msgs, delays + 1);
+        assert_eq!(merged.total_msgs(), msgs);
+    });
+}
+
+/// A random *valid* fault plan: every draw stays inside the builder's
+/// documented ranges, so `build` must accept it.
+fn fault_plan(rng: &mut Rng) -> FaultPlan {
+    let mut b = FaultPlan::builder()
+        .up_loss(rng.gen_range(0.0..1.0))
+        .down_loss(rng.gen_range(0.0..1.0))
+        .duplication(rng.gen_range(0.0..0.3));
+    if rng.gen_bool(0.7) {
+        b = b.delay(rng.gen_range(0.0..1.0), rng.gen_range(1u64..=5));
+    }
+    if rng.gen_bool(0.7) {
+        let min = rng.gen_range(1u64..=4);
+        let max = rng.gen_range(min..=min + 6);
+        b = b.churn(rng.gen_range(0.0..0.05), min, max);
+    }
+    if rng.gen_bool(0.5) {
+        b = b.horizon(rng.gen_range(0u64..=1_000));
+    }
+    b.build()
+        .expect("generated knobs are valid by construction")
+}
+
+#[test]
+fn fault_plans_round_trip_through_json() {
+    forall(CASES, |rng| {
+        let p = fault_plan(rng);
+        let s = mknn_util::to_string(&p);
+        let back: FaultPlan = mknn_util::from_str(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        assert_eq!(back, p, "round trip through {s}");
+        back.validate().expect("parsed plans arrive validated");
     });
 }
 

@@ -2,6 +2,7 @@
 
 use mknn_core::DknnParams;
 use mknn_mobility::WorkloadSpec;
+use mknn_net::FaultPlan;
 
 /// How strictly the oracle verifies maintained answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,11 @@ pub struct SimConfig {
     pub geo_cells: u32,
     /// Oracle verification mode.
     pub verify: VerifyMode,
+    /// Transport fault injection for the episode. [`FaultPlan::none`] (the
+    /// default) keeps the perfect link and is byte-identical — in traffic,
+    /// metrics and serialized form — to configurations written before the
+    /// fault layer existed.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -45,6 +51,7 @@ impl Default for SimConfig {
             ticks: 200,
             geo_cells: 64,
             verify: VerifyMode::Record,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -64,6 +71,7 @@ impl SimConfig {
             ticks: 60,
             geo_cells: 16,
             verify: VerifyMode::Assert,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -126,6 +134,22 @@ mod tests {
     fn config_round_trips_json() {
         let cfg = SimConfig::default();
         let s = mknn_util::to_string(&cfg);
+        assert!(
+            !s.contains("\"fault\""),
+            "no-fault config hides the key: {s}"
+        );
+        let back: SimConfig = mknn_util::from_str(&s).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn faulty_config_round_trips_json() {
+        let cfg = SimConfig {
+            fault: FaultPlan::chaos(),
+            ..SimConfig::default()
+        };
+        let s = mknn_util::to_string(&cfg);
+        assert!(s.contains("\"fault\""), "got: {s}");
         let back: SimConfig = mknn_util::from_str(&s).unwrap();
         assert_eq!(cfg, back);
     }

@@ -5,17 +5,24 @@ use mknn_geom::{ObjectId, QueryId, Tick};
 use mknn_index::GridIndex;
 use mknn_mobility::World;
 use mknn_net::{
-    DownlinkMsg, MsgKind, NetStats, ObjReport, OpCounters, Outbox, ProbeService, Protocol,
-    QuerySpec, Recipient, UplinkMsg, Uplinks,
+    DownlinkMsg, FaultyLink, MsgKind, NetStats, ObjReport, OpCounters, Outbox, ProbeService,
+    Protocol, QuerySpec, Recipient, UplinkMsg, Uplinks,
 };
 use std::time::Instant;
 
 /// The harness's synchronous probe channel: answers from true positions,
 /// charging every probe geocast/unicast and every reply before returning.
+///
+/// A probe round trip is one synchronous RPC, so the fault layer only
+/// applies **loss and churn** to it (a duplicated or delayed reply is
+/// indistinguishable from a lost one to a caller that waits exactly one
+/// round): the request leg can fail with the downlink loss rate, the reply
+/// leg with the uplink loss rate, and offline devices never answer.
 struct EngineProbe<'a> {
     infra: &'a GridIndex,
     world: &'a World,
     stats: &'a mut NetStats,
+    link: Option<&'a mut FaultyLink>,
 }
 
 impl ProbeService for EngineProbe<'_> {
@@ -34,6 +41,17 @@ impl ProbeService for EngineProbe<'_> {
             if n.id == exclude {
                 continue;
             }
+            if let Some(link) = self.link.as_deref_mut() {
+                // Request leg: an offline device never hears the geocast; an
+                // online one misses it with the downlink loss rate.
+                if link.is_offline(n.id.index()) {
+                    self.stats.count_dropped();
+                    continue;
+                }
+                if link.probe_leg_lost(link.plan().down_loss, self.stats) {
+                    continue;
+                }
+            }
             let o = self.world.object(n.id);
             let reply = UplinkMsg::ProbeReply {
                 query,
@@ -42,6 +60,13 @@ impl ProbeService for EngineProbe<'_> {
             };
             self.stats
                 .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+            if let Some(link) = self.link.as_deref_mut() {
+                // Reply leg: the device transmitted (charged above) but the
+                // uplink may still be lost in flight.
+                if link.probe_leg_lost(link.plan().up_loss, self.stats) {
+                    continue;
+                }
+            }
             out.push(ObjReport {
                 id: n.id,
                 pos: o.pos,
@@ -52,15 +77,29 @@ impl ProbeService for EngineProbe<'_> {
     }
 
     fn poll(&mut self, query: QueryId, id: ObjectId) -> Option<ObjReport> {
-        if id.index() >= self.world.objects().len() {
-            return None;
-        }
-        let o = self.world.object(id);
+        // Ids the world does not track — foreign, sparse, or beyond the
+        // population — get `None` without charging any traffic: there is no
+        // device to page. (Indexing alone is not enough: a sparse id space
+        // could alias `id.index()` onto a different object's slot.)
+        let o = *self
+            .world
+            .objects()
+            .get(id.index())
+            .filter(|o| o.id == id)?;
         let ask = DownlinkMsg::Probe {
             query,
             zone: mknn_geom::Circle::new(o.pos, 0.0),
         };
         self.stats.count_unicast(MsgKind::Probe, ask.size_bytes());
+        if let Some(link) = self.link.as_deref_mut() {
+            if link.is_offline(id.index()) {
+                self.stats.count_dropped();
+                return None;
+            }
+            if link.probe_leg_lost(link.plan().down_loss, self.stats) {
+                return None;
+            }
+        }
         let reply = UplinkMsg::ProbeReply {
             query,
             pos: o.pos,
@@ -68,6 +107,11 @@ impl ProbeService for EngineProbe<'_> {
         };
         self.stats
             .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+        if let Some(link) = self.link.as_deref_mut() {
+            if link.probe_leg_lost(link.plan().up_loss, self.stats) {
+                return None;
+            }
+        }
         Some(ObjReport {
             id,
             pos: o.pos,
@@ -89,12 +133,42 @@ pub struct Simulation {
     tick: Tick,
     planned_ticks: u64,
     series: Option<crate::TickSeries>,
+    /// Fault-injection layer; `None` under [`mknn_net::FaultPlan::none`], so
+    /// the perfect-link fast path is the exact pre-fault code path.
+    link: Option<FaultyLink>,
+    /// Per query: how many consecutive oracle checks have been inexact
+    /// (feeds the staleness metrics).
+    stale_streak: Vec<u64>,
 }
+
+/// Salt for the fault layer's RNG stream: the link must not replay the
+/// workload generator's draws even though both derive from the same
+/// per-episode seed (which the sweep planner offsets per plan position, so
+/// fault sequences stay byte-identical at any thread count).
+const FAULT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl Simulation {
     /// Builds the world from `config`, registers the queries, and runs the
     /// protocol's init handshake (its traffic is charged like any other).
+    ///
+    /// When `config.fault` is a real plan, the protocol is told via
+    /// [`Protocol::set_lossy`] before init, and [`VerifyMode::Assert`] is
+    /// downgraded to [`VerifyMode::Record`] — under faults even a hardened
+    /// exact method is transiently wrong, which is precisely what the
+    /// recorded recall/staleness metrics measure. The init handshake itself
+    /// always runs fault-free: query registration models a wired setup
+    /// step, not mobile radio traffic.
     pub fn new(config: &SimConfig, mut proto: Box<dyn Protocol>) -> Self {
+        let link = (!config.fault.is_none())
+            .then(|| FaultyLink::new(config.fault, config.workload.seed ^ FAULT_SEED_SALT));
+        if link.is_some() {
+            proto.set_lossy(true);
+        }
+        let verify = if link.is_some() && config.verify == VerifyMode::Assert {
+            VerifyMode::Record
+        } else {
+            config.verify
+        };
         let world = config.workload.build();
         let bounds = world.bounds();
         let specs: Vec<QuerySpec> = config
@@ -130,6 +204,7 @@ impl Simulation {
                 infra: &infra,
                 world: &world,
                 stats: &mut metrics.net,
+                link: None,
             };
             proto.init(
                 bounds,
@@ -142,19 +217,22 @@ impl Simulation {
         }
         metrics.proto_seconds += t0.elapsed().as_secs_f64();
         metrics.ops += ops;
-        route(&outbox, &infra, &mut inboxes, &mut metrics.net);
+        route(&outbox, &infra, &mut inboxes, &mut metrics.net, None);
 
+        let n_queries = specs.len();
         Simulation {
             world,
             proto,
             specs,
             infra,
             inboxes,
-            verify: config.verify,
+            verify,
             metrics,
             tick: 0,
             planned_ticks: config.ticks,
             series: None,
+            link,
+            stale_streak: vec![0; n_queries],
         }
     }
 
@@ -203,20 +281,50 @@ impl Simulation {
             self.infra.upsert(o.id, o.pos);
         }
 
+        if let Some(link) = self.link.as_mut() {
+            link.begin_tick(self.tick, self.world.objects().len());
+        }
+
         let mut ops = OpCounters::default();
         let mut uplinks = Uplinks::new();
         let t0 = Instant::now();
 
-        // Client phase: each device acts on its own state + inbox.
+        // Client phase: each device acts on its own state + inbox. An
+        // offline device neither processes nor sends; the downlinks sitting
+        // in its inbox (delivered while it was still reachable) are lost.
         for i in 0..self.world.objects().len() {
             let inbox = std::mem::take(&mut self.inboxes[i]);
+            if self.link.as_ref().is_some_and(|l| l.is_offline(i)) {
+                for _ in &inbox {
+                    self.metrics.net.count_dropped();
+                }
+                continue;
+            }
             let me = self.world.objects()[i];
             self.proto
                 .client_tick(self.tick, &me, &inbox, &mut uplinks, &mut ops);
         }
+        // Every transmission is charged to the sender, delivered or not.
         for (_, msg) in uplinks.iter() {
             self.metrics.net.count_uplink(msg.kind(), msg.size_bytes());
         }
+        // Uplink leg of the fault layer: delayed messages from earlier
+        // ticks arrive first (already charged when sent), then this tick's
+        // batch runs the loss/duplication/delay gauntlet.
+        let uplinks = if let Some(link) = self.link.as_mut() {
+            let mut delivered = Vec::new();
+            link.drain_due_up(&mut delivered);
+            for (from, msg) in uplinks.iter() {
+                link.transmit_up(from, *msg, &mut delivered, &mut self.metrics.net);
+            }
+            let mut faulted = Uplinks::new();
+            for (from, msg) in delivered {
+                faulted.send(from, msg);
+            }
+            faulted
+        } else {
+            uplinks
+        };
 
         // Server phase.
         let mut outbox = Outbox::new();
@@ -225,6 +333,7 @@ impl Simulation {
                 infra: &self.infra,
                 world: &self.world,
                 stats: &mut self.metrics.net,
+                link: self.link.as_mut(),
             };
             self.proto
                 .server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
@@ -237,6 +346,7 @@ impl Simulation {
             &self.infra,
             &mut self.inboxes,
             &mut self.metrics.net,
+            self.link.as_mut(),
         );
 
         if self.verify != VerifyMode::Off {
@@ -249,7 +359,7 @@ impl Simulation {
     }
 
     fn verify_answers(&mut self) {
-        for spec in &self.specs {
+        for (qi, spec) in self.specs.iter().enumerate() {
             let answer = self.proto.answer(spec.id);
             let true_center = self.world.position(spec.focal);
             let effective = self.proto.effective_center(spec.id).unwrap_or(true_center);
@@ -266,6 +376,20 @@ impl Simulation {
             self.metrics.exact_ok += u64::from(ck.exact);
             self.metrics.recall_sum += ck.recall_vs_true;
             self.metrics.dist_error_sum += ck.dist_error;
+            // Staleness is a *fault* metric: how long a lost message keeps
+            // an answer wrong. On a perfect link an inexact method (e.g.
+            // `periodic`) is approximate by design, not stale, and charging
+            // it here would perturb the fault-free golden output.
+            if self.link.is_some() {
+                if ck.exact {
+                    self.stale_streak[qi] = 0;
+                } else {
+                    self.stale_streak[qi] += 1;
+                    self.metrics.staleness_sum += self.stale_streak[qi];
+                    self.metrics.max_staleness =
+                        self.metrics.max_staleness.max(self.stale_streak[qi]);
+                }
+            }
             if self.verify == VerifyMode::Assert && self.proto.guarantees_exact() && !ck.exact {
                 let oracle: Vec<_> = mknn_index::bruteforce::knn(
                     self.world.snapshot().filter(|&(id, _)| id != spec.focal),
@@ -288,6 +412,29 @@ impl Simulation {
         }
     }
 
+    /// Number of queries whose *current* maintained answer is not exact
+    /// with respect to the method's effective center. Non-mutating; used by
+    /// the chaos suite to assert reconvergence after a fault burst.
+    pub fn inexact_queries(&self) -> usize {
+        self.specs
+            .iter()
+            .filter(|spec| {
+                let true_center = self.world.position(spec.focal);
+                let effective = self.proto.effective_center(spec.id).unwrap_or(true_center);
+                !check_answer(
+                    &self.world,
+                    spec.focal,
+                    spec.k,
+                    self.proto.answer(spec.id),
+                    effective,
+                    true_center,
+                    self.proto.ordered_answers(),
+                )
+                .exact
+            })
+            .count()
+    }
+
     /// Runs the configured number of ticks and returns the final metrics.
     pub fn run(mut self) -> EpisodeMetrics {
         for _ in 0..self.planned_ticks {
@@ -298,31 +445,52 @@ impl Simulation {
 }
 
 /// Routes an outbox: charges every transmission and fills device inboxes.
+/// With a fault layer, due delayed downlinks are delivered first, then
+/// every individual delivery (one per geocast/broadcast receiver) makes its
+/// own fault draws, in deterministic recipient order.
 fn route(
     outbox: &Outbox,
     infra: &GridIndex,
     inboxes: &mut [Vec<DownlinkMsg>],
     stats: &mut NetStats,
+    mut link: Option<&mut FaultyLink>,
 ) {
+    if let Some(link) = link.as_deref_mut() {
+        link.drain_due_down(inboxes, stats);
+    }
     for (recipient, msg) in outbox.iter() {
         match *recipient {
             Recipient::One(id) => {
                 stats.count_unicast(msg.kind(), msg.size_bytes());
-                if let Some(inbox) = inboxes.get_mut(id.index()) {
+                if let Some(link) = link.as_deref_mut() {
+                    link.deliver_down(id.index(), *msg, inboxes, stats);
+                } else if let Some(inbox) = inboxes.get_mut(id.index()) {
                     inbox.push(*msg);
                 }
             }
             Recipient::Geocast(zone) => {
                 let cells = infra.cells_overlapping(&zone);
                 stats.count_geocast(msg.kind(), msg.size_bytes(), cells);
-                for n in infra.range(&zone) {
-                    inboxes[n.id.index()].push(*msg);
+                if let Some(link) = link.as_deref_mut() {
+                    for n in infra.range(&zone) {
+                        link.deliver_down(n.id.index(), *msg, inboxes, stats);
+                    }
+                } else {
+                    for n in infra.range(&zone) {
+                        inboxes[n.id.index()].push(*msg);
+                    }
                 }
             }
             Recipient::Broadcast => {
                 stats.count_broadcast(msg.kind(), msg.size_bytes());
-                for inbox in inboxes.iter_mut() {
-                    inbox.push(*msg);
+                if let Some(link) = link.as_deref_mut() {
+                    for i in 0..inboxes.len() {
+                        link.deliver_down(i, *msg, inboxes, stats);
+                    }
+                } else {
+                    for inbox in inboxes.iter_mut() {
+                        inbox.push(*msg);
+                    }
                 }
             }
         }
@@ -408,5 +576,49 @@ mod tests {
         let b = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default()))).run();
         assert_eq!(a.net, b.net);
         assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn poll_answers_none_for_ids_the_world_does_not_track() {
+        let cfg = SimConfig::small();
+        let world = cfg.workload.build();
+        let mut infra = GridIndex::new(world.bounds(), cfg.geo_cells, cfg.geo_cells);
+        for o in world.objects() {
+            infra.upsert(o.id, o.pos);
+        }
+        let n = world.objects().len() as u32;
+        let mut stats = NetStats::default();
+        let mut probe = EngineProbe {
+            infra: &infra,
+            world: &world,
+            stats: &mut stats,
+            link: None,
+        };
+        // Beyond the population: no such device, no traffic charged.
+        assert_eq!(probe.poll(QueryId(0), ObjectId(n)), None);
+        assert_eq!(probe.poll(QueryId(0), ObjectId(n + 5)), None);
+        assert_eq!(probe.stats.total_msgs(), 0);
+        // A tracked id answers, is charged, and reports its own identity.
+        let rep = probe.poll(QueryId(0), ObjectId(3)).expect("tracked id");
+        assert_eq!(rep.id, ObjectId(3));
+        assert_eq!(probe.stats.downlink_unicast_msgs, 1);
+        assert_eq!(probe.stats.uplink_msgs, 1);
+    }
+
+    #[test]
+    fn faulty_episodes_are_deterministic_and_record_fault_traffic() {
+        let cfg = SimConfig {
+            fault: mknn_net::FaultPlan::chaos(),
+            ..SimConfig::small()
+        };
+        // small() uses Assert, which the harness must downgrade under
+        // faults instead of panicking on the first transient inexactness.
+        let a = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default()))).run();
+        let b = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default()))).run();
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.exact_ok, b.exact_ok);
+        assert!(a.net.dropped_msgs > 0, "chaos must actually drop: {a:?}");
+        assert!(a.exact_checks > 0);
     }
 }

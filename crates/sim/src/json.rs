@@ -10,28 +10,89 @@ use mknn_core::DknnParams;
 use mknn_util::impl_json_struct;
 use mknn_util::json::{FromJson, Json, JsonError, ToJson};
 
-impl_json_struct!(SimConfig {
-    workload,
-    n_queries,
-    k,
-    ticks,
-    geo_cells,
-    verify
-});
-impl_json_struct!(EpisodeMetrics {
-    method,
-    ticks,
-    n_objects,
-    n_queries,
-    k,
-    net,
-    ops,
-    exact_checks,
-    exact_ok,
-    recall_sum,
-    dist_error_sum,
-    proto_seconds,
-});
+// SimConfig and EpisodeMetrics are hand-written instead of derived so the
+// fault-layer fields disappear from the encoding whenever they are inert:
+// a no-fault config and a clean episode serialize byte-identically to
+// documents produced before the fault layer existed (the byte-identity
+// gates in scripts/verify.sh diff exactly this output), and old documents
+// parse with the absent fields defaulting to the inert values.
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("workload", self.workload.to_json()),
+            ("n_queries", self.n_queries.to_json()),
+            ("k", self.k.to_json()),
+            ("ticks", self.ticks.to_json()),
+            ("geo_cells", self.geo_cells.to_json()),
+            ("verify", self.verify.to_json()),
+        ];
+        if !self.fault.is_none() {
+            fields.push(("fault", self.fault.to_json()));
+        }
+        Json::object(fields)
+    }
+}
+
+impl FromJson for SimConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SimConfig {
+            workload: v.parse_field("workload")?,
+            n_queries: v.parse_field("n_queries")?,
+            k: v.parse_field("k")?,
+            ticks: v.parse_field("ticks")?,
+            geo_cells: v.parse_field("geo_cells")?,
+            verify: v.parse_field("verify")?,
+            fault: v.parse_field_or_default("fault")?,
+        })
+    }
+}
+
+impl ToJson for EpisodeMetrics {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("method", self.method.to_json()),
+            ("ticks", self.ticks.to_json()),
+            ("n_objects", self.n_objects.to_json()),
+            ("n_queries", self.n_queries.to_json()),
+            ("k", self.k.to_json()),
+            ("net", self.net.to_json()),
+            ("ops", self.ops.to_json()),
+            ("exact_checks", self.exact_checks.to_json()),
+            ("exact_ok", self.exact_ok.to_json()),
+            ("recall_sum", self.recall_sum.to_json()),
+            ("dist_error_sum", self.dist_error_sum.to_json()),
+        ];
+        if self.staleness_sum != 0 {
+            fields.push(("staleness_sum", self.staleness_sum.to_json()));
+        }
+        if self.max_staleness != 0 {
+            fields.push(("max_staleness", self.max_staleness.to_json()));
+        }
+        fields.push(("proto_seconds", self.proto_seconds.to_json()));
+        Json::object(fields)
+    }
+}
+
+impl FromJson for EpisodeMetrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(EpisodeMetrics {
+            method: v.parse_field("method")?,
+            ticks: v.parse_field("ticks")?,
+            n_objects: v.parse_field("n_objects")?,
+            n_queries: v.parse_field("n_queries")?,
+            k: v.parse_field("k")?,
+            net: v.parse_field("net")?,
+            ops: v.parse_field("ops")?,
+            exact_checks: v.parse_field("exact_checks")?,
+            exact_ok: v.parse_field("exact_ok")?,
+            recall_sum: v.parse_field("recall_sum")?,
+            dist_error_sum: v.parse_field("dist_error_sum")?,
+            staleness_sum: v.parse_field_or_default("staleness_sum")?,
+            max_staleness: v.parse_field_or_default("max_staleness")?,
+            proto_seconds: v.parse_field("proto_seconds")?,
+        })
+    }
+}
 impl_json_struct!(TickSample {
     tick,
     uplink,
@@ -195,6 +256,15 @@ mod tests {
         m.net.count_uplink(MsgKind::Position, 28);
         m.net.count_geocast(MsgKind::InstallRegion, 52, 12);
         m.ops.server_ops = 4_321;
+        roundtrip(&m);
+        assert!(
+            !to_string(&m).contains("staleness"),
+            "clean episodes omit the staleness fields"
+        );
+        m.staleness_sum = 17;
+        m.max_staleness = 4;
+        m.ops.retransmits = 9;
+        m.net.count_dropped();
         roundtrip(&m);
     }
 

@@ -27,6 +27,12 @@ pub struct EpisodeMetrics {
     pub recall_sum: f64,
     /// Sum of per-check relative distance error against the true kNN.
     pub dist_error_sum: f64,
+    /// Sum, over all inexact checks, of how many consecutive ticks the
+    /// query's answer had already been inexact (its *staleness* at check
+    /// time). Zero on a perfect link for every exact method.
+    pub staleness_sum: u64,
+    /// Longest run of consecutive inexact checks any single query suffered.
+    pub max_staleness: u64,
     /// Wall-clock seconds spent inside protocol code (client + server),
     /// excluding world stepping and oracle checks.
     pub proto_seconds: f64,
@@ -94,6 +100,17 @@ impl EpisodeMetrics {
         }
     }
 
+    /// Mean answer staleness in ticks across all oracle checks: how long,
+    /// on average, a checked answer had been continuously wrong. 0 when
+    /// every check was exact; NaN when verification was off.
+    pub fn staleness(&self) -> f64 {
+        if self.exact_checks == 0 {
+            f64::NAN
+        } else {
+            self.staleness_sum as f64 / self.exact_checks as f64
+        }
+    }
+
     /// Protocol wall-clock microseconds per tick.
     pub fn proto_us_per_tick(&self) -> f64 {
         self.proto_seconds * 1e6 / self.ticks.max(1) as f64
@@ -125,6 +142,7 @@ mod tests {
         m.ops = OpCounters {
             server_ops: 50,
             client_ops: 200,
+            retransmits: 0,
         };
         assert_eq!(m.uplink_per_tick(), 10.0);
         assert_eq!(m.msgs_per_tick(), 10.0);
@@ -148,5 +166,17 @@ mod tests {
         assert_eq!(m2.exactness(), 0.75);
         assert_eq!(m2.recall(), 0.8);
         assert!((m2.dist_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staleness_averages_over_all_checks() {
+        assert!(EpisodeMetrics::default().staleness().is_nan());
+        let m = EpisodeMetrics {
+            exact_checks: 10,
+            staleness_sum: 5,
+            max_staleness: 3,
+            ..Default::default()
+        };
+        assert_eq!(m.staleness(), 0.5);
     }
 }

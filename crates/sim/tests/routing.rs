@@ -94,6 +94,7 @@ fn frozen_world(n: usize) -> SimConfig {
         ticks: 5,
         geo_cells: 10, // 10 m cells
         verify: VerifyMode::Off,
+        fault: mknn_net::FaultPlan::none(),
     }
 }
 

@@ -47,6 +47,7 @@ fn main() {
         ticks: 40,
         geo_cells: 8,
         verify: VerifyMode::Assert,
+        fault: FaultPlan::none(),
     };
     // Stationary world: drive the simulation normally; all cost after init
     // should be zero — the protocol is fully quiescent.

@@ -11,7 +11,13 @@
 #   4. determinism: two runs of `expt --seed 42` must be byte-identical
 #   5. thread determinism: `expt --seed 42` under MKNN_THREADS=1 and
 #      MKNN_THREADS=4 must be byte-identical
-#   6. (informational) parallel speedup of the fast-mode suite: elapsed
+#   6. golden gate: `expt --seed 42` must be byte-identical to the
+#      committed golden file (scripts/golden/smoke_seed42.json) — proves
+#      FaultPlan::none() is inert and guards every metric field at once
+#   7. chaos gate: `expt --seed 42 --fault chaos` must be byte-identical
+#      across two runs AND across MKNN_THREADS=1 vs 4 — fault injection
+#      is as deterministic as the perfect link
+#   8. (informational) parallel speedup of the fast-mode suite: elapsed
 #      time of `expt --exp all` on one worker vs. all cores
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,6 +44,32 @@ t1="$(MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -
 t4="$(MKNN_THREADS=4 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
 if [ "$t1" != "$t4" ]; then
     echo "FAIL: expt --seed 42 output differs across thread counts" >&2
+    exit 1
+fi
+
+echo "==> golden gate (expt --seed 42 vs scripts/golden/smoke_seed42.json)"
+if ! diff -u scripts/golden/smoke_seed42.json <(printf '%s\n' "$a"); then
+    echo "FAIL: expt --seed 42 output differs from the committed golden file" >&2
+    echo "      (if the metrics schema changed on purpose, regenerate it:" >&2
+    echo "       cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 > scripts/golden/smoke_seed42.json)" >&2
+    exit 1
+fi
+
+echo "==> chaos gate (expt --seed 42 --fault chaos: two runs + thread counts)"
+c1="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
+c2="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
+if [ "$c1" != "$c2" ]; then
+    echo "FAIL: expt --seed 42 --fault chaos output differs between runs" >&2
+    exit 1
+fi
+ct1="$(MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
+ct4="$(MKNN_THREADS=4 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
+if [ "$ct1" != "$ct4" ]; then
+    echo "FAIL: expt --seed 42 --fault chaos output differs across thread counts" >&2
+    exit 1
+fi
+if [ "$c1" == "$a" ]; then
+    echo "FAIL: the chaos fault plan had no effect on the smoke run" >&2
     exit 1
 fi
 

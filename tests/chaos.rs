@@ -1,0 +1,122 @@
+//! Chaos property suite: random bounded fault bursts, then a clean tail.
+//!
+//! Each case draws a random fault plan (loss ≤ 20% per direction, light
+//! duplication, short delays, brief device churn), runs an episode under
+//! that plan for a burst of ticks, then lets the link go perfect (the
+//! plan's `horizon` ends at the burst) and steps a clean tail. At the end
+//! every method that claims exact answers must have reconverged to the
+//! oracle: `Simulation::inexact_queries() == 0`.
+//!
+//! This is the acceptance gate for the protocol hardening: acks and
+//! retransmissions recover lost critical events, leases detect silently
+//! departed members, and announce/resync heals devices returning from an
+//! offline window — all within a bounded number of clean ticks.
+
+use mknn_util::check::forall;
+use mknn_util::Rng;
+use moving_knn::prelude::*;
+
+/// Fault bursts last this many ticks; the plan's horizon ends here.
+const BURST: u64 = 15;
+
+/// Clean ticks after the burst. Must cover the longest offline window that
+/// may straddle the horizon, plus a lease timeout (2·heartbeat + 3) and a
+/// recovery refresh round-trip.
+const CLEAN_TAIL: u64 = 40;
+
+/// A random fault plan inside the hardening envelope the protocols are
+/// specified to survive: loss ≤ 20% per direction with churn.
+fn bounded_burst(rng: &mut Rng) -> FaultPlan {
+    let mut b = FaultPlan::builder()
+        .up_loss(rng.gen_range(0.0..0.20))
+        .down_loss(rng.gen_range(0.0..0.20))
+        .duplication(rng.gen_range(0.0..0.05))
+        .horizon(BURST);
+    if rng.gen_bool(0.5) {
+        b = b.delay(rng.gen_range(0.0..0.3), rng.gen_range(1u64..=2));
+    }
+    if rng.gen_bool(0.5) {
+        let min = rng.gen_range(1u64..=2);
+        b = b.churn(rng.gen_range(0.0..0.01), min, min + rng.gen_range(0u64..=2));
+    }
+    b.build()
+        .expect("burst knobs are inside the builder's ranges")
+}
+
+fn chaos_config(rng: &mut Rng) -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec {
+            n_objects: rng.gen_range(150usize..200),
+            space_side: 800.0,
+            seed: rng.next_u64(),
+            ..WorkloadSpec::default()
+        },
+        n_queries: 3,
+        k: 3,
+        ticks: BURST + CLEAN_TAIL,
+        geo_cells: 16,
+        verify: VerifyMode::Off,
+        fault: FaultPlan::none(), // replaced per case
+    }
+}
+
+/// Runs one episode of `method` under `cfg` and asserts every query's
+/// maintained answer is exact once the clean tail has elapsed.
+fn assert_reconverges(cfg: &SimConfig, method: Method) {
+    let mut sim = Simulation::new(cfg, method.build());
+    for _ in 0..cfg.ticks {
+        sim.step();
+    }
+    assert_eq!(
+        sim.inexact_queries(),
+        0,
+        "{} did not reconverge within {CLEAN_TAIL} clean ticks of plan {} (workload seed {})",
+        method.name(),
+        mknn_util::to_string(&cfg.fault),
+        cfg.workload.seed,
+    );
+}
+
+#[test]
+fn exact_methods_reconverge_after_random_fault_bursts() {
+    forall(10, |rng| {
+        let mut cfg = chaos_config(rng);
+        cfg.fault = bounded_burst(rng);
+        let p = cfg.dknn_params();
+        for method in [
+            Method::DknnSet(p),
+            Method::DknnOrder(p),
+            Method::DknnBuffer {
+                params: p,
+                buffer: 3,
+            },
+            Method::Centralized { res: 16 },
+        ] {
+            assert_reconverges(&cfg, method);
+        }
+    });
+}
+
+#[test]
+fn reconvergence_survives_the_chaos_preset_bounded_to_a_burst() {
+    // The named preset used by `expt --fault chaos` and the verify script,
+    // cut off at the burst horizon so the clean-tail contract applies.
+    forall(4, |rng| {
+        let mut cfg = chaos_config(rng);
+        let mut plan = FaultPlan::chaos();
+        plan.horizon = BURST;
+        plan.validate().expect("chaos preset is valid");
+        cfg.fault = plan;
+        let p = cfg.dknn_params();
+        for method in [
+            Method::DknnSet(p),
+            Method::DknnOrder(p),
+            Method::DknnBuffer {
+                params: p,
+                buffer: 3,
+            },
+        ] {
+            assert_reconverges(&cfg, method);
+        }
+    });
+}

@@ -16,6 +16,7 @@ fn cfg(n: usize) -> SimConfig {
         ticks: 60,
         geo_cells: 16,
         verify: VerifyMode::Off,
+        fault: FaultPlan::none(),
     }
 }
 

@@ -17,6 +17,7 @@ fn base() -> SimConfig {
         ticks: 50,
         geo_cells: 16,
         verify: VerifyMode::Assert,
+        fault: FaultPlan::none(),
     }
 }
 

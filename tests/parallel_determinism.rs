@@ -21,6 +21,7 @@ fn random_point(rng: &mut Rng, label: &str) -> (String, SimConfig) {
         ticks: rng.gen_range(10u64..25),
         geo_cells: 8,
         verify: VerifyMode::Record,
+        fault: FaultPlan::none(),
     };
     (label.to_string(), cfg)
 }

@@ -65,6 +65,7 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
         ticks: s.ticks,
         geo_cells: 8,
         verify: VerifyMode::Assert,
+        fault: FaultPlan::none(),
     };
     let params = DknnParams {
         alpha: s.alpha,
