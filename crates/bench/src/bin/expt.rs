@@ -6,6 +6,7 @@
 //! expt --list                      # what exists
 //! expt --seed 42                   # deterministic JSON smoke run (CI gate)
 //! expt --seed 42 --method dknn-set # smoke run of one method only
+//! expt --seed 42 --n 20000 --queries 100 --timing  # sized smoke + clocks
 //! ```
 //!
 //! Each experiment prints its table and writes
@@ -21,7 +22,20 @@ use mknn_net::FaultPlan;
 use mknn_sim::{render_table, write_csv, Method, SimConfig, Sweep, VerifyMode};
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: expt --exp <id|all> [--full] | --list | --seed <n> [--method <name>] [--fault <none|chaos|JSON>]";
+const USAGE: &str = "usage: expt --exp <id|all> [--full] | --list | --seed <n> [--method <name>] [--fault <none|chaos|JSON>] [--n <objects>] [--queries <q>] [--ticks <t>] [--space <side>] [--timing]";
+
+/// Smoke-mode workload overrides (each `None` keeps the
+/// [`SimConfig::small`] default, so the CI golden shape is untouched).
+#[derive(Default)]
+struct SmokeOverrides {
+    n_objects: Option<usize>,
+    n_queries: Option<usize>,
+    ticks: Option<u64>,
+    space_side: Option<f64>,
+    /// Print per-episode wall-clock lines to stderr (stdout JSON stays
+    /// clock-zeroed and byte-deterministic).
+    timing: bool,
+}
 
 /// Parses the `--fault` argument: a named preset or an inline JSON
 /// [`FaultPlan`] (validated on parse).
@@ -40,13 +54,25 @@ fn parse_fault(arg: &str) -> FaultPlan {
 /// one) under `seed` and prints one JSON document. Everything
 /// nondeterministic (wall-clock) is zeroed, so identical seeds must produce
 /// identical bytes — with or without fault injection.
-fn run_smoke(seed: u64, method: Option<&str>, fault: FaultPlan) {
+fn run_smoke(seed: u64, method: Option<&str>, fault: FaultPlan, over: &SmokeOverrides) {
     use mknn_util::json::{Json, ToJson};
 
     let mut cfg = SimConfig::small();
     cfg.workload.seed = seed;
     cfg.verify = VerifyMode::Record;
     cfg.fault = fault;
+    if let Some(n) = over.n_objects {
+        cfg.workload.n_objects = n;
+    }
+    if let Some(q) = over.n_queries {
+        cfg.n_queries = q;
+    }
+    if let Some(t) = over.ticks {
+        cfg.ticks = t;
+    }
+    if let Some(s) = over.space_side {
+        cfg.workload.space_side = s;
+    }
     let mut sweep = Sweep::over([("smoke", cfg.clone())]);
     if let Some(name) = method {
         let Some(m) = Method::parse(name, cfg.dknn_params()) else {
@@ -61,7 +87,17 @@ fn run_smoke(seed: u64, method: Option<&str>, fault: FaultPlan) {
     let episodes: Vec<Json> = sweep
         .run()
         .into_iter()
-        .map(|run| run.metrics.with_clock_zeroed().to_json())
+        .map(|run| {
+            if over.timing {
+                // Wall-clock goes to stderr only — stdout must stay
+                // byte-deterministic for the golden/determinism gates.
+                eprintln!(
+                    "timing: method={} proto={:.6} oracle={:.6}",
+                    run.metrics.method, run.metrics.proto_seconds, run.metrics.oracle_seconds
+                );
+            }
+            run.metrics.with_clock_zeroed().to_json()
+        })
         .collect();
     let doc = Json::object([
         ("seed", seed.to_json()),
@@ -80,6 +116,13 @@ fn main() {
     let mut method: Option<String> = None;
     let mut fault = FaultPlan::none();
     let mut fault_given = false;
+    let mut over = SmokeOverrides::default();
+    fn numeric<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+        args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a number");
+            std::process::exit(2);
+        })
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +155,23 @@ fn main() {
                 fault = parse_fault(&arg);
                 fault_given = true;
             }
+            "--n" => {
+                i += 1;
+                over.n_objects = Some(numeric(&args, i, "--n"));
+            }
+            "--queries" => {
+                i += 1;
+                over.n_queries = Some(numeric(&args, i, "--queries"));
+            }
+            "--ticks" => {
+                i += 1;
+                over.ticks = Some(numeric(&args, i, "--ticks"));
+            }
+            "--space" => {
+                i += 1;
+                over.space_side = Some(numeric(&args, i, "--space"));
+            }
+            "--timing" => over.timing = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -136,7 +196,7 @@ fn main() {
         return;
     }
     if let Some(seed) = smoke_seed {
-        run_smoke(seed, method.as_deref(), fault);
+        run_smoke(seed, method.as_deref(), fault, &over);
         return;
     }
     if method.is_some() {
@@ -145,6 +205,15 @@ fn main() {
     }
     if fault_given {
         eprintln!("--fault only applies to the --seed smoke mode (e16 sweeps faults itself)");
+        std::process::exit(2);
+    }
+    if over.timing
+        || over.n_objects.is_some()
+        || over.n_queries.is_some()
+        || over.ticks.is_some()
+        || over.space_side.is_some()
+    {
+        eprintln!("--n/--queries/--ticks/--space/--timing only apply to the --seed smoke mode");
         std::process::exit(2);
     }
     let Some(exp) = exp else {

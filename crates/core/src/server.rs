@@ -101,20 +101,37 @@ impl ServerHalf {
     ) {
         self.space_diag = bounds.min.dist(bounds.max);
         self.queries.clear();
+        // One kd-tree over the registration snapshot answers every query's
+        // initial selection in O(k log N), replacing the former per-query
+        // full scan-and-sort (O(N·Q) across the batch). `establish` reads
+        // only the k nearest non-focal reports plus the (k+1)-th for
+        // threshold placement, so the over-fetch-and-filter list below is
+        // behaviorally identical to the full sorted population.
+        let tree = mknn_index::KdTree::build(objects.iter().map(|o| (o.id, o.pos)).collect());
         for (i, spec) in queries.iter().enumerate() {
             assert_eq!(spec.id.index(), i, "query ids must be dense and in order");
             let focal = &objects[spec.focal.index()];
-            // k nearest registered objects, excluding the focal itself.
-            let mut reports: Vec<ObjReport> = objects
-                .iter()
-                .filter(|o| o.id != spec.focal)
-                .map(|o| ObjReport {
-                    id: o.id,
-                    pos: o.pos,
-                    vel: o.vel,
+            let mut reports: Vec<ObjReport> = tree
+                .knn(focal.pos, spec.k.saturating_add(2))
+                .into_iter()
+                .filter(|n| n.id != spec.focal)
+                .take(spec.k + 1)
+                .map(|n| {
+                    let o = &objects[n.id.index()];
+                    debug_assert_eq!(o.id, n.id, "registration ids must be dense");
+                    ObjReport {
+                        id: o.id,
+                        pos: o.pos,
+                        vel: o.vel,
+                    }
                 })
                 .collect();
-            ops.server_ops += reports.len() as u64;
+            // The *modeled* registration cost is unchanged: the server still
+            // ingests every device's registration and runs the selection
+            // pass over it (`establish` charges its own input below) — only
+            // the harness-side materialization got cheaper.
+            let n_reg = (objects.len() as u64).saturating_sub(1);
+            ops.server_ops += 2 * n_reg - reports.len() as u64;
             let mut q = ServerQuery {
                 spec: *spec,
                 ver: RegionVersion {

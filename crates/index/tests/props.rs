@@ -149,6 +149,110 @@ fn rtree_range_equals_bruteforce() {
     });
 }
 
+/// A world drawn from a coarse lattice, so duplicate positions (exact
+/// distance ties) are common.
+fn lattice_world(rng: &mut Rng, max: usize) -> Vec<(ObjectId, Point)> {
+    let n = rng.gen_range(0usize..max);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen_range(0u32..6) as f64 * 100.0;
+            let y = rng.gen_range(0u32..6) as f64 * 100.0;
+            (ObjectId(i as u32), Point::new(x, y))
+        })
+        .collect()
+}
+
+/// Full-precision comparison (ids *and* distances): the byte-identity
+/// contract the snapshot oracle relies on, stricter than id equality.
+fn assert_same(got: &[mknn_index::Neighbor], want: &[mknn_index::Neighbor], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (a, b) in got.iter().zip(want) {
+        assert_eq!(a.id, b.id, "{ctx}: id");
+        assert_eq!(a.dist_sq, b.dist_sq, "{ctx}: dist_sq");
+    }
+}
+
+/// kd-tree and grid agree with brute force under heavy duplicate-position
+/// ties — the `(distance², id)` tie-break must be identical in all three.
+#[test]
+fn knn_tie_semantics_survive_duplicate_positions() {
+    forall(CASES, |rng| {
+        let w = lattice_world(rng, 120);
+        let q = if rng.gen_bool(0.5) {
+            // Query from the same lattice: exact zero/tied distances.
+            Point::new(
+                rng.gen_range(0u32..6) as f64 * 100.0,
+                rng.gen_range(0u32..6) as f64 * 100.0,
+            )
+        } else {
+            pt(rng)
+        };
+        let k = rng.gen_range(0usize..30);
+        let want = bruteforce::knn(w.clone(), q, k);
+        let kd = KdTree::build(w.clone());
+        assert_same(&kd.knn(q, k), &want, "kdtree");
+        let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
+        for &(id, p) in &w {
+            g.upsert(id, p);
+        }
+        assert_same(&g.knn(q, k), &want, "grid");
+    });
+}
+
+/// `k ≥ population` returns every point, still in canonical order.
+#[test]
+fn knn_with_k_at_least_population_returns_everyone() {
+    forall(CASES, |rng| {
+        let w = world(rng, 60);
+        let q = pt(rng);
+        let k = w.len() + rng.gen_range(0usize..5);
+        let want = bruteforce::knn(w.clone(), q, k);
+        assert_eq!(want.len(), w.len());
+        let kd = KdTree::build(w.clone());
+        assert_same(&kd.knn(q, k), &want, "kdtree");
+        let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
+        for &(id, p) in &w {
+            g.upsert(id, p);
+        }
+        assert_same(&g.knn(q, k), &want, "grid");
+    });
+}
+
+/// Focal exclusion by over-fetching: querying `k + 1` and filtering one id
+/// equals brute force over the filtered population — the identity the
+/// snapshot oracle and `ServerHalf::init` both rely on. Exercised with
+/// duplicate positions so the focal can tie exactly with real candidates.
+#[test]
+fn focal_exclusion_by_overfetch_equals_filtered_bruteforce() {
+    forall(CASES, |rng| {
+        let w = if rng.gen_bool(0.5) {
+            lattice_world(rng, 120)
+        } else {
+            world(rng, 120)
+        };
+        if w.is_empty() {
+            return;
+        }
+        let q = pt(rng);
+        let k = rng.gen_range(0usize..20);
+        let focal = w[rng.gen_range(0usize..w.len())].0;
+        let want = bruteforce::knn(w.iter().copied().filter(|&(id, _)| id != focal), q, k);
+        let kd = KdTree::build(w.clone());
+        let mut got = kd.knn(q, k + 1);
+        got.retain(|n| n.id != focal);
+        got.truncate(k);
+        assert_same(&got, &want, "kdtree overfetch");
+        let mut g = GridIndex::new(Rect::square(SIDE), 16, 16);
+        for &(id, p) in &w {
+            g.upsert(id, p);
+        }
+        let mut got = g.knn(q, k + 1);
+        got.retain(|n| n.id != focal);
+        got.truncate(k);
+        assert_same(&got, &want, "grid overfetch");
+    });
+}
+
 #[test]
 fn grid_survives_random_moves() {
     forall(CASES, |rng| {

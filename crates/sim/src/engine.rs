@@ -1,6 +1,6 @@
 //! The simulation engine: world + infrastructure + protocol driver.
 
-use crate::{check_answer, EpisodeMetrics, SimConfig, VerifyMode};
+use crate::{check_answer, EpisodeMetrics, SimConfig, SnapshotOracle, VerifyMode};
 use mknn_geom::{ObjectId, QueryId, Tick};
 use mknn_index::GridIndex;
 use mknn_mobility::World;
@@ -139,6 +139,11 @@ pub struct Simulation {
     /// Per query: how many consecutive oracle checks have been inexact
     /// (feeds the staleness metrics).
     stale_streak: Vec<u64>,
+    /// Verify with the `O(N)`-per-query brute-force scan instead of the
+    /// per-tick snapshot index (`MKNN_ORACLE=brute`). Results are
+    /// byte-identical either way — the switch exists so the equivalence and
+    /// speedup gates in `scripts/verify.sh` can run both paths.
+    oracle_brute: bool,
 }
 
 /// Salt for the fault layer's RNG stream: the link must not replay the
@@ -233,6 +238,16 @@ impl Simulation {
             series: None,
             link,
             stale_streak: vec![0; n_queries],
+            oracle_brute: std::env::var("MKNN_ORACLE").as_deref() == Ok("brute"),
+        }
+    }
+
+    /// The tick's ground-truth oracle, honoring the `MKNN_ORACLE` override.
+    fn build_oracle(&self) -> SnapshotOracle {
+        if self.oracle_brute {
+            SnapshotOracle::build_bruteforce(&self.world)
+        } else {
+            SnapshotOracle::build(&self.world)
         }
     }
 
@@ -359,12 +374,17 @@ impl Simulation {
     }
 
     fn verify_answers(&mut self) {
+        let t0 = Instant::now();
+        // One snapshot index answers all Q×2 oracle kNN queries of this
+        // tick — O(N log N + Q·k·log N) instead of the former O(N·Q).
+        let oracle = self.build_oracle();
         for (qi, spec) in self.specs.iter().enumerate() {
             let answer = self.proto.answer(spec.id);
             let true_center = self.world.position(spec.focal);
             let effective = self.proto.effective_center(spec.id).unwrap_or(true_center);
             let ck = check_answer(
                 &self.world,
+                &oracle,
                 spec.focal,
                 spec.k,
                 answer,
@@ -391,31 +411,30 @@ impl Simulation {
                 }
             }
             if self.verify == VerifyMode::Assert && self.proto.guarantees_exact() && !ck.exact {
-                let oracle: Vec<_> = mknn_index::bruteforce::knn(
-                    self.world.snapshot().filter(|&(id, _)| id != spec.focal),
-                    effective,
-                    spec.k,
-                )
-                .iter()
-                .map(|n| (n.id, n.dist()))
-                .collect();
+                let truth: Vec<_> = oracle
+                    .knn_excluding(effective, spec.k, spec.focal)
+                    .iter()
+                    .map(|n| (n.id, n.dist()))
+                    .collect();
                 panic!(
                     "{}: inexact answer for {} at tick {}: got {:?}, oracle {:?} (effective {:?})",
                     self.proto.name(),
                     spec.id,
                     self.tick,
                     answer,
-                    oracle,
+                    truth,
                     effective,
                 );
             }
         }
+        self.metrics.oracle_seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Number of queries whose *current* maintained answer is not exact
     /// with respect to the method's effective center. Non-mutating; used by
     /// the chaos suite to assert reconvergence after a fault burst.
     pub fn inexact_queries(&self) -> usize {
+        let oracle = self.build_oracle();
         self.specs
             .iter()
             .filter(|spec| {
@@ -423,6 +442,7 @@ impl Simulation {
                 let effective = self.proto.effective_center(spec.id).unwrap_or(true_center);
                 !check_answer(
                     &self.world,
+                    &oracle,
                     spec.focal,
                     spec.k,
                     self.proto.answer(spec.id),
@@ -477,7 +497,13 @@ fn route(
                     }
                 } else {
                     for n in infra.range(&zone) {
-                        inboxes[n.id.index()].push(*msg);
+                        // Tolerant like the unicast arm: a recipient id the
+                        // engine has no inbox for (e.g. an index entry for a
+                        // device outside the episode population) is skipped,
+                        // not a panic.
+                        if let Some(inbox) = inboxes.get_mut(n.id.index()) {
+                            inbox.push(*msg);
+                        }
                     }
                 }
             }
@@ -603,6 +629,31 @@ mod tests {
         assert_eq!(rep.id, ObjectId(3));
         assert_eq!(probe.stats.downlink_unicast_msgs, 1);
         assert_eq!(probe.stats.uplink_msgs, 1);
+    }
+
+    #[test]
+    fn route_skips_unknown_recipients_in_every_arm() {
+        use mknn_geom::{Circle, Point, Rect};
+        let mut infra = GridIndex::new(Rect::square(100.0), 4, 4);
+        infra.upsert(ObjectId(0), Point::new(10.0, 10.0));
+        // Indexed, but beyond the engine's inbox range: before the fix the
+        // unicast arm skipped it silently while the geocast arm panicked.
+        infra.upsert(ObjectId(9), Point::new(12.0, 12.0));
+        let mut inboxes = vec![Vec::new(); 2];
+        let msg = DownlinkMsg::RemoveRegion { query: QueryId(0) };
+        let mut outbox = Outbox::new();
+        outbox.send(Recipient::One(ObjectId(9)), msg);
+        outbox.send(
+            Recipient::Geocast(Circle::new(Point::new(11.0, 11.0), 50.0)),
+            msg,
+        );
+        outbox.send(Recipient::Broadcast, msg);
+        let mut stats = NetStats::default();
+        route(&outbox, &infra, &mut inboxes, &mut stats, None);
+        // Device 0: hears the geocast and the broadcast. Device 1: only the
+        // broadcast (it is not in the grid). Id 9: dropped in every arm.
+        assert_eq!(inboxes[0].len(), 2);
+        assert_eq!(inboxes[1].len(), 1);
     }
 
     #[test]

@@ -69,6 +69,12 @@ impl ToJson for EpisodeMetrics {
             fields.push(("max_staleness", self.max_staleness.to_json()));
         }
         fields.push(("proto_seconds", self.proto_seconds.to_json()));
+        // Omit-when-zero like the staleness fields: clock-zeroed documents
+        // (golden files, determinism gates) predate this field and must not
+        // change shape.
+        if self.oracle_seconds != 0.0 {
+            fields.push(("oracle_seconds", self.oracle_seconds.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -90,6 +96,7 @@ impl FromJson for EpisodeMetrics {
             staleness_sum: v.parse_field_or_default("staleness_sum")?,
             max_staleness: v.parse_field_or_default("max_staleness")?,
             proto_seconds: v.parse_field("proto_seconds")?,
+            oracle_seconds: v.parse_field_or_default("oracle_seconds")?,
         })
     }
 }
@@ -261,10 +268,15 @@ mod tests {
             !to_string(&m).contains("staleness"),
             "clean episodes omit the staleness fields"
         );
+        assert!(
+            !to_string(&m).contains("oracle_seconds"),
+            "clock-zeroed episodes omit the oracle-time field"
+        );
         m.staleness_sum = 17;
         m.max_staleness = 4;
         m.ops.retransmits = 9;
         m.net.count_dropped();
+        m.oracle_seconds = 0.375;
         roundtrip(&m);
     }
 

@@ -24,7 +24,7 @@ pub use config::{SimConfig, VerifyMode};
 pub use engine::Simulation;
 pub use method::Method;
 pub use metrics::EpisodeMetrics;
-pub use oracle::{check_answer, AnswerCheck};
+pub use oracle::{check_answer, AnswerCheck, SnapshotOracle, DIST_ERROR_MAX};
 pub use series::{delta_sample, TickSample, TickSeries};
 pub use stats::{percentile, MetricsSummary, Summary};
 pub use sweep::{EpisodeRun, PlannedEpisode, Sweep};

@@ -36,6 +36,11 @@ pub struct EpisodeMetrics {
     /// Wall-clock seconds spent inside protocol code (client + server),
     /// excluding world stepping and oracle checks.
     pub proto_seconds: f64,
+    /// Wall-clock seconds spent verifying answers against the ground-truth
+    /// oracle (snapshot-index build + all per-query checks). Zero when
+    /// verification is off; kept separate from [`Self::proto_seconds`] so
+    /// verification cost is observable apart from the protocols under test.
+    pub oracle_seconds: f64,
 }
 
 impl EpisodeMetrics {
@@ -116,12 +121,18 @@ impl EpisodeMetrics {
         self.proto_seconds * 1e6 / self.ticks.max(1) as f64
     }
 
-    /// These metrics with the wall-clock field zeroed: the deterministic
+    /// Oracle-verification wall-clock microseconds per tick.
+    pub fn oracle_us_per_tick(&self) -> f64 {
+        self.oracle_seconds * 1e6 / self.ticks.max(1) as f64
+    }
+
+    /// These metrics with the wall-clock fields zeroed: the deterministic
     /// view. Every other field is fully determined by the seed, so this is
     /// what byte-identity gates and cross-thread-count determinism tests
     /// compare.
     pub fn with_clock_zeroed(mut self) -> Self {
         self.proto_seconds = 0.0;
+        self.oracle_seconds = 0.0;
         self
     }
 }

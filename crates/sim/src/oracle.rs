@@ -1,13 +1,98 @@
-//! Brute-force oracle verification of maintained answers.
+//! Oracle verification of maintained answers.
+//!
+//! Ground truth is defined by `mknn_index::bruteforce`, but computing it
+//! that way costs `O(N)` per query per center — two full passes per check,
+//! which at suite scale (N = 50k–100k, Q = 100, T = 200) made *verification*
+//! dominate experiment wall time. Instead, the engine bulk-builds one
+//! [`SnapshotOracle`] per verified tick and answers every oracle kNN query
+//! of that tick from it: an `O(N)` bulk load of a population-scaled uniform
+//! grid, then near-constant expected time per query. The indexed results
+//! are byte-identical to brute force — same neighbors, same `total_cmp`/id
+//! tie behavior — which the `oracle_props` property suite and the
+//! `MKNN_ORACLE=brute` equivalence gate in `scripts/verify.sh` enforce.
 
 use mknn_geom::{ObjectId, Point};
-use mknn_index::bruteforce;
+use mknn_index::{bruteforce, GridIndex, Neighbor};
 use mknn_mobility::World;
 
 /// Distance tolerance for tie handling: answers that differ from the oracle
 /// only in members at (floating-point-)equal distance are considered exact,
 /// because no geometric protocol can distinguish exact ties.
 const TIE_EPS: f64 = 1e-9;
+
+/// Upper clamp for [`AnswerCheck::dist_error`]: one full relative unit
+/// (the answered total distance is at least twice the optimum). An answer
+/// that is *missing* members scores exactly this clamp — a member the user
+/// never received is infinitely far away, so a method returning nothing
+/// must look maximally bad, not distance-perfect.
+pub const DIST_ERROR_MAX: f64 = 1.0;
+
+/// One tick's ground truth: a kNN oracle over a frozen world snapshot.
+///
+/// Built once per verified tick and shared across all queries of that tick.
+/// Focal exclusion is handled by over-fetching `k + 1` neighbors and
+/// filtering, which is exactly equivalent to brute force over the filtered
+/// population (the `k + 1` nearest overall contain the `k` nearest
+/// non-focal ones whether or not the focal is among them).
+pub struct SnapshotOracle {
+    backend: Backend,
+}
+
+enum Backend {
+    /// The fast path: a uniform grid bulk-loaded over the snapshot
+    /// (`O(N)` build — cheaper than an `O(N log N)` tree sort, which at
+    /// suite scale would itself dominate the verification budget).
+    Indexed(GridIndex),
+    /// The `O(N)`-per-query reference scan, kept selectable (via
+    /// `MKNN_ORACLE=brute`) so the equivalence and speedup gates can run
+    /// both implementations against each other.
+    Brute(Vec<(ObjectId, Point)>),
+}
+
+impl SnapshotOracle {
+    /// Builds the indexed oracle over the world's current positions.
+    ///
+    /// Resolution targets a small constant number of objects per cell, so
+    /// a kNN query inspects O(k) candidates in expectation regardless of
+    /// population.
+    pub fn build(world: &World) -> Self {
+        let n = world.objects().len();
+        let side = (((n as f64) / 4.0).sqrt().ceil() as u32).clamp(1, 512);
+        let mut grid = GridIndex::new(world.bounds(), side, side);
+        for (id, pos) in world.snapshot() {
+            grid.upsert(id, pos);
+        }
+        SnapshotOracle {
+            backend: Backend::Indexed(grid),
+        }
+    }
+
+    /// Builds the brute-force reference oracle over the same snapshot.
+    pub fn build_bruteforce(world: &World) -> Self {
+        SnapshotOracle {
+            backend: Backend::Brute(world.snapshot().collect()),
+        }
+    }
+
+    /// The k nearest objects to `center`, excluding `exclude` (the focal
+    /// object, which is never its own neighbor), in canonical order
+    /// (ascending `(distance², id)`).
+    pub fn knn_excluding(&self, center: Point, k: usize, exclude: ObjectId) -> Vec<Neighbor> {
+        match &self.backend {
+            Backend::Indexed(grid) => {
+                let mut nn = grid.knn(center, k.saturating_add(1));
+                nn.retain(|n| n.id != exclude);
+                nn.truncate(k);
+                nn
+            }
+            Backend::Brute(points) => bruteforce::knn(
+                points.iter().copied().filter(|&(id, _)| id != exclude),
+                center,
+                k,
+            ),
+        }
+    }
+}
 
 /// Result of checking one query's answer at one tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,17 +105,22 @@ pub struct AnswerCheck {
     /// with respect to the focal object's true position).
     pub recall_vs_true: f64,
     /// Relative distance error vs. the true kNN: `(Σ d_answer / Σ d_true) − 1`,
-    /// clamped at 0. Zero when the answer is distance-optimal.
+    /// clamped into `[0, DIST_ERROR_MAX]`. Zero when the answer is
+    /// distance-optimal; the max when members are missing entirely.
     pub dist_error: f64,
 }
 
-/// Verifies `answer` for a query with focal `focal` and parameter `k`.
+/// Verifies `answer` for a query with focal `focal` and parameter `k`,
+/// consulting `oracle` (built over `world`'s current snapshot) for ground
+/// truth.
 ///
 /// `effective` is the query point the method claims exactness for;
 /// `true_center` is the focal object's true position. `ordered` selects
 /// sequence (vs. set) comparison.
+#[allow(clippy::too_many_arguments)]
 pub fn check_answer(
     world: &World,
+    oracle: &SnapshotOracle,
     focal: ObjectId,
     k: usize,
     answer: &[ObjectId],
@@ -38,15 +128,13 @@ pub fn check_answer(
     true_center: Point,
     ordered: bool,
 ) -> AnswerCheck {
-    let population = || world.snapshot().filter(|&(id, _)| id != focal);
-
     // --- exactness at the effective center -------------------------------
-    let oracle = bruteforce::knn(population(), effective, k);
-    let exact = if answer.len() != oracle.len() {
+    let truth_eff = oracle.knn_excluding(effective, k, focal);
+    let exact = if answer.len() != truth_eff.len() {
         false
     } else {
         let d_of = |id: ObjectId| world.position(id).dist(effective);
-        let d_k = oracle.last().map_or(0.0, |n| n.dist());
+        let d_k = truth_eff.last().map_or(0.0, |n| n.dist());
         // Every answered member must be at least as close as the k-th oracle
         // distance (ties allowed)…
         let members_ok = answer.iter().all(|&id| d_of(id) <= d_k + TIE_EPS);
@@ -58,7 +146,7 @@ pub fn check_answer(
         // Distance multisets must agree (catches wrong members hiding
         // behind an equal count).
         let mut a_d: Vec<f64> = answer.iter().map(|&id| d_of(id)).collect();
-        let mut o_d: Vec<f64> = oracle.iter().map(|n| n.dist()).collect();
+        let mut o_d: Vec<f64> = truth_eff.iter().map(|n| n.dist()).collect();
         a_d.sort_unstable_by(f64::total_cmp);
         o_d.sort_unstable_by(f64::total_cmp);
         let dists_ok = a_d.iter().zip(&o_d).all(|(a, o)| (a - o).abs() <= TIE_EPS);
@@ -66,7 +154,7 @@ pub fn check_answer(
     };
 
     // --- accuracy at the true center --------------------------------------
-    let truth = bruteforce::knn(population(), true_center, k);
+    let truth = oracle.knn_excluding(true_center, k, focal);
     let truth_ids: std::collections::BTreeSet<ObjectId> = truth.iter().map(|n| n.id).collect();
     let hit = answer.iter().filter(|id| truth_ids.contains(id)).count();
     let recall_vs_true = if truth.is_empty() {
@@ -79,8 +167,14 @@ pub fn check_answer(
         .iter()
         .map(|&id| world.position(id).dist(true_center))
         .sum();
-    let dist_error = if sum_true > 0.0 && answer.len() == truth.len() {
-        (sum_answer / sum_true - 1.0).max(0.0)
+    let dist_error = if truth.is_empty() {
+        0.0
+    } else if answer.len() < truth.len() {
+        // Missing members: the user has *no* neighbor in those slots, which
+        // no finite distance sum can express — charge the max clamp.
+        DIST_ERROR_MAX
+    } else if sum_true > 0.0 {
+        (sum_answer / sum_true - 1.0).clamp(0.0, DIST_ERROR_MAX)
     } else {
         0.0
     };
@@ -99,6 +193,41 @@ mod tests {
     use mknn_mobility::{MovingObject, Stationary, World};
     use mknn_util::Rng;
 
+    /// Builds the per-tick snapshot oracle and checks, like the engine does.
+    #[allow(clippy::too_many_arguments)]
+    fn check(
+        world: &World,
+        focal: ObjectId,
+        k: usize,
+        answer: &[ObjectId],
+        effective: Point,
+        true_center: Point,
+        ordered: bool,
+    ) -> AnswerCheck {
+        let indexed = check_answer(
+            world,
+            &SnapshotOracle::build(world),
+            focal,
+            k,
+            answer,
+            effective,
+            true_center,
+            ordered,
+        );
+        let brute = check_answer(
+            world,
+            &SnapshotOracle::build_bruteforce(world),
+            focal,
+            k,
+            answer,
+            effective,
+            true_center,
+            ordered,
+        );
+        assert_eq!(indexed, brute, "indexed and brute oracles must agree");
+        indexed
+    }
+
     fn line_world() -> World {
         let objs: Vec<MovingObject> = (0..6u32)
             .map(|i| MovingObject::at(ObjectId(i), Point::new(i as f64 * 10.0, 0.0), 0.0))
@@ -116,7 +245,7 @@ mod tests {
     fn exact_answer_passes() {
         let w = line_world();
         let q = Point::new(0.0, 0.0);
-        let ck = check_answer(&w, ObjectId(0), 2, &[ObjectId(1), ObjectId(2)], q, q, true);
+        let ck = check(&w, ObjectId(0), 2, &[ObjectId(1), ObjectId(2)], q, q, true);
         assert!(ck.exact);
         assert_eq!(ck.recall_vs_true, 1.0);
         assert_eq!(ck.dist_error, 0.0);
@@ -126,7 +255,7 @@ mod tests {
     fn wrong_member_fails_exactness() {
         let w = line_world();
         let q = Point::new(0.0, 0.0);
-        let ck = check_answer(&w, ObjectId(0), 2, &[ObjectId(1), ObjectId(3)], q, q, false);
+        let ck = check(&w, ObjectId(0), 2, &[ObjectId(1), ObjectId(3)], q, q, false);
         assert!(!ck.exact);
         assert_eq!(ck.recall_vs_true, 0.5);
         assert!(ck.dist_error > 0.0);
@@ -137,8 +266,8 @@ mod tests {
         let w = line_world();
         let q = Point::new(0.0, 0.0);
         let swapped = [ObjectId(2), ObjectId(1)];
-        assert!(!check_answer(&w, ObjectId(0), 2, &swapped, q, q, true).exact);
-        assert!(check_answer(&w, ObjectId(0), 2, &swapped, q, q, false).exact);
+        assert!(!check(&w, ObjectId(0), 2, &swapped, q, q, true).exact);
+        assert!(check(&w, ObjectId(0), 2, &swapped, q, q, false).exact);
     }
 
     #[test]
@@ -159,7 +288,7 @@ mod tests {
         );
         let q = Point::new(0.0, 0.0);
         // Canonical oracle picks id 1 for k=1; id 2 is an equally valid answer.
-        let ck = check_answer(&w, ObjectId(0), 1, &[ObjectId(2)], q, q, true);
+        let ck = check(&w, ObjectId(0), 1, &[ObjectId(2)], q, q, true);
         assert!(ck.exact);
     }
 
@@ -168,7 +297,7 @@ mod tests {
         let w = line_world();
         // Answer exact at the effective center (8,0) — nearest is object 1 —
         // but the true center (22,0) has object 2 nearest.
-        let ck = check_answer(
+        let ck = check(
             &w,
             ObjectId(0),
             1,
@@ -185,7 +314,48 @@ mod tests {
     fn short_answer_fails() {
         let w = line_world();
         let q = Point::new(0.0, 0.0);
-        let ck = check_answer(&w, ObjectId(0), 3, &[ObjectId(1)], q, q, false);
+        let ck = check(&w, ObjectId(0), 3, &[ObjectId(1)], q, q, false);
         assert!(!ck.exact);
+    }
+
+    #[test]
+    fn short_answer_is_charged_the_max_dist_error() {
+        let w = line_world();
+        let q = Point::new(0.0, 0.0);
+        // Two slots missing out of three: before the fix this scored 0.0
+        // (distance-perfect) because only equal-length answers were charged.
+        let ck = check(&w, ObjectId(0), 3, &[ObjectId(1)], q, q, false);
+        assert_eq!(ck.dist_error, DIST_ERROR_MAX);
+        // An empty answer is maximally bad too.
+        let ck = check(&w, ObjectId(0), 3, &[], q, q, false);
+        assert_eq!(ck.dist_error, DIST_ERROR_MAX);
+        assert_eq!(ck.recall_vs_true, 0.0);
+    }
+
+    #[test]
+    fn dist_error_is_clamped_at_the_max() {
+        let w = line_world();
+        let q = Point::new(0.0, 0.0);
+        // Farthest possible member (id 5, d = 50) instead of the nearest
+        // (id 1, d = 10): relative error 4.0 clamps to the max.
+        let ck = check(&w, ObjectId(0), 1, &[ObjectId(5)], q, q, false);
+        assert_eq!(ck.dist_error, DIST_ERROR_MAX);
+    }
+
+    #[test]
+    fn knn_excluding_matches_filtered_bruteforce() {
+        let w = line_world();
+        let oracle = SnapshotOracle::build(&w);
+        for k in [0, 1, 3, 5, 10] {
+            for focal in 0..6u32 {
+                let got = oracle.knn_excluding(Point::new(23.0, 1.0), k, ObjectId(focal));
+                let want = bruteforce::knn(
+                    w.snapshot().filter(|&(id, _)| id != ObjectId(focal)),
+                    Point::new(23.0, 1.0),
+                    k,
+                );
+                assert_eq!(got, want, "k = {k}, focal = {focal}");
+            }
+        }
     }
 }

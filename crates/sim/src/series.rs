@@ -98,9 +98,20 @@ impl TickSeries {
 
     /// Peak-to-mean ratio of total messages — 1.0 means perfectly smooth
     /// traffic, large values mean bursts. NaN when empty.
+    ///
+    /// An all-silent recorded window (zero messages in every tick) is
+    /// defined as perfectly smooth, 1.0: every tick equals the mean, and
+    /// the raw 0/0 ratio would otherwise surface as NaN.
     pub fn burstiness(&self) -> f64 {
         match self.peak_msgs() {
-            Some(peak) => (peak.uplink + peak.downlink) as f64 / self.mean_msgs(),
+            Some(peak) => {
+                let peak_total = (peak.uplink + peak.downlink) as f64;
+                if peak_total == 0.0 {
+                    1.0
+                } else {
+                    peak_total / self.mean_msgs()
+                }
+            }
             None => f64::NAN,
         }
     }
@@ -173,6 +184,15 @@ mod tests {
         assert_eq!(s.mean_msgs(), 30.0);
         assert_eq!(s.peak_msgs().unwrap().tick, 3);
         assert!((s.burstiness() - 80.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burstiness_of_a_silent_window_is_smooth() {
+        let mut s = TickSeries::new();
+        assert!(s.burstiness().is_nan(), "empty series stays NaN");
+        s.push(sample(1, 0, 0));
+        s.push(sample(2, 0, 0));
+        assert_eq!(s.burstiness(), 1.0, "all-silent window is perfectly smooth");
     }
 
     #[test]

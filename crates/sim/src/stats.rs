@@ -54,12 +54,16 @@ impl Summary {
         }
     }
 
-    /// Relative dispersion `std_dev / mean` (NaN when the mean is 0).
+    /// Relative dispersion `std_dev / |mean|` (NaN when the mean is 0).
+    ///
+    /// The magnitude of the mean is what scales the dispersion, so a
+    /// negative-mean sample set still gets a non-negative coefficient of
+    /// variation (dividing by a signed mean would flip its sign).
     pub fn cv(&self) -> f64 {
         if self.mean == 0.0 {
             f64::NAN
         } else {
-            self.std_dev / self.mean
+            self.std_dev / self.mean.abs()
         }
     }
 
@@ -175,6 +179,15 @@ mod tests {
         let with_nan = Summary::of(&[1.0, f64::NAN, 3.0]);
         assert_eq!(with_nan.n, 2);
         assert_eq!(with_nan.mean, 2.0);
+    }
+
+    #[test]
+    fn cv_is_non_negative_for_negative_means() {
+        let s = Summary::of(&[-2.0, -4.0, -6.0]);
+        assert!(s.mean < 0.0);
+        assert!(s.cv() > 0.0, "cv must not inherit the mean's sign");
+        assert_eq!(s.cv(), Summary::of(&[2.0, 4.0, 6.0]).cv());
+        assert!(Summary::of(&[0.0, 0.0]).cv().is_nan());
     }
 
     #[test]

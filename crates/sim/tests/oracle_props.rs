@@ -1,0 +1,112 @@
+//! Property tests for the snapshot oracle: the indexed (kd-tree) backend
+//! must agree with the brute-force reference on every query — same
+//! neighbors, same distances, same `AnswerCheck` — under random worlds,
+//! duplicate positions, focal exclusion, and `k ≥ population`.
+
+use mknn_geom::{ObjectId, Point, Rect};
+use mknn_mobility::{MovingObject, Stationary, World};
+use mknn_sim::{check_answer, SnapshotOracle};
+use mknn_util::check::forall;
+use mknn_util::Rng;
+
+const CASES: u64 = 64;
+const SIDE: f64 = 1000.0;
+
+/// A stationary world with `n` objects; when `lattice` is set, positions
+/// come from a coarse grid so duplicate positions (exact ties) are common.
+fn make_world(rng: &mut Rng, n: usize, lattice: bool) -> World {
+    let objects = (0..n)
+        .map(|i| {
+            let (x, y) = if lattice {
+                (
+                    rng.gen_range(0u32..6) as f64 * 100.0,
+                    rng.gen_range(0u32..6) as f64 * 100.0,
+                )
+            } else {
+                (rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE))
+            };
+            MovingObject::at(ObjectId(i as u32), Point::new(x, y), 10.0)
+        })
+        .collect();
+    World::new(
+        Rect::square(SIDE),
+        objects,
+        Box::new(Stationary),
+        1.0,
+        Rng::seed_from_u64(7),
+    )
+}
+
+/// Indexed and brute-force backends return identical neighbor lists
+/// (ids *and* squared distances) for `knn_excluding`.
+#[test]
+fn indexed_oracle_equals_bruteforce_oracle() {
+    forall(CASES, |rng| {
+        let n = rng.gen_range(1usize..150);
+        let lattice = rng.gen_bool(0.5);
+        let world = make_world(rng, n, lattice);
+        let indexed = SnapshotOracle::build(&world);
+        let brute = SnapshotOracle::build_bruteforce(&world);
+        let center = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
+        let k = rng.gen_range(0usize..(n + 4)); // sometimes k ≥ population
+        let focal = ObjectId(rng.gen_range(0u32..n as u32));
+        let a = indexed.knn_excluding(center, k, focal);
+        let b = brute.knn_excluding(center, k, focal);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.dist_sq, y.dist_sq);
+        }
+    });
+}
+
+/// `check_answer` produces an identical `AnswerCheck` from either backend,
+/// for arbitrary (including wrong, short, and shuffled) answers.
+#[test]
+fn check_answer_is_backend_independent() {
+    forall(CASES, |rng| {
+        let n = rng.gen_range(1usize..100);
+        let lattice = rng.gen_bool(0.5);
+        let world = make_world(rng, n, lattice);
+        let indexed = SnapshotOracle::build(&world);
+        let brute = SnapshotOracle::build_bruteforce(&world);
+        let focal = ObjectId(rng.gen_range(0u32..n as u32));
+        let k = rng.gen_range(0usize..12);
+        let center = world.position(focal);
+        // Random answer: a subset of random ids of random length (may omit
+        // members, include the focal, repeat, or be empty).
+        let len = rng.gen_range(0usize..(k + 2));
+        let answer: Vec<ObjectId> = (0..len)
+            .map(|_| ObjectId(rng.gen_range(0u32..n as u32)))
+            .collect();
+        let ordered = rng.gen_bool(0.5);
+        let a = check_answer(&world, &indexed, focal, k, &answer, center, center, ordered);
+        let b = check_answer(&world, &brute, focal, k, &answer, center, center, ordered);
+        assert_eq!(a, b, "backends disagree on an AnswerCheck");
+    });
+}
+
+/// The correct answer (as computed by the brute-force backend) always
+/// scores exact against the indexed backend — the tentpole's core claim.
+#[test]
+fn true_answer_scores_exact_under_the_indexed_oracle() {
+    forall(CASES, |rng| {
+        let n = rng.gen_range(1usize..100);
+        let lattice = rng.gen_bool(0.5);
+        let world = make_world(rng, n, lattice);
+        let indexed = SnapshotOracle::build(&world);
+        let brute = SnapshotOracle::build_bruteforce(&world);
+        let focal = ObjectId(rng.gen_range(0u32..n as u32));
+        let k = rng.gen_range(0usize..12);
+        let center = world.position(focal);
+        let truth: Vec<ObjectId> = brute
+            .knn_excluding(center, k, focal)
+            .into_iter()
+            .map(|nb| nb.id)
+            .collect();
+        let c = check_answer(&world, &indexed, focal, k, &truth, center, center, true);
+        assert!(c.exact, "true answer must verify exact");
+        assert_eq!(c.recall_vs_true, 1.0);
+        assert_eq!(c.dist_error, 0.0);
+    });
+}

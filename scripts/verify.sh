@@ -17,7 +17,14 @@
 #   7. chaos gate: `expt --seed 42 --fault chaos` must be byte-identical
 #      across two runs AND across MKNN_THREADS=1 vs 4 — fault injection
 #      is as deterministic as the perfect link
-#   8. (informational) parallel speedup of the fast-mode suite: elapsed
+#   8. oracle-equivalence gate: `MKNN_ORACLE=brute expt --seed 42` must be
+#      byte-identical to the default (indexed) run — the per-tick snapshot
+#      kd-tree oracle and the O(N)-per-query brute-force scan are
+#      interchangeable down to the last tie-break
+#   9. oracle-speedup gate: on a query-heavy smoke episode the indexed
+#      oracle must not be slower than brute force (stdout stays
+#      byte-identical; the measured speedup is printed)
+#  10. (informational) parallel speedup of the fast-mode suite: elapsed
 #      time of `expt --exp all` on one worker vs. all cores
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -72,6 +79,36 @@ if [ "$c1" == "$a" ]; then
     echo "FAIL: the chaos fault plan had no effect on the smoke run" >&2
     exit 1
 fi
+
+echo "==> oracle-equivalence gate (MKNN_ORACLE=brute expt --seed 42)"
+ob="$(MKNN_ORACLE=brute cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
+if [ "$ob" != "$a" ]; then
+    echo "FAIL: the brute-force and indexed snapshot oracles disagree" >&2
+    exit 1
+fi
+
+# The indexed oracle pays an O(N) bulk load per verified tick, so its win
+# shows on query-heavy episodes; the smoke default (Q = 5) is too small to
+# be a fair race. Use a sized smoke run and require "not slower" (the
+# measured speedup at suite scale is recorded in EXPERIMENTS.md).
+echo "==> oracle-speedup gate (N=20000, Q=100: indexed vs brute wall time)"
+speed_args=(--seed 42 --n 20000 --queries 100 --ticks 60 --method dknn-set --timing)
+si_err="$(mktemp)"; sb_err="$(mktemp)"
+si="$(cargo run -q --release --offline -p mknn-bench --bin expt -- "${speed_args[@]}" 2>"$si_err")"
+sb="$(MKNN_ORACLE=brute cargo run -q --release --offline -p mknn-bench --bin expt -- "${speed_args[@]}" 2>"$sb_err")"
+if [ "$si" != "$sb" ]; then
+    echo "FAIL: oracle modes disagree on the sized smoke run" >&2
+    exit 1
+fi
+oi="$(sed -n 's/.*oracle=\([0-9.]*\).*/\1/p' "$si_err")"
+obr="$(sed -n 's/.*oracle=\([0-9.]*\).*/\1/p' "$sb_err")"
+rm -f "$si_err" "$sb_err"
+awk -v i="$oi" -v b="$obr" 'BEGIN {
+    printf "oracle wall time: indexed %.3fs, brute %.3fs (%.1fx)\n", i, b, b / i;
+    exit !(i <= b) }' || {
+    echo "FAIL: the indexed oracle was slower than brute force" >&2
+    exit 1
+}
 
 # Informational: wall-clock of the fast-mode suite on one worker vs. all
 # cores. On a multi-core runner the parallel run should be measurably
