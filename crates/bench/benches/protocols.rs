@@ -21,6 +21,7 @@ fn config() -> SimConfig {
         ticks: 0, // stepped manually
         geo_cells: 64,
         verify: VerifyMode::Off,
+        ..SimConfig::default()
     }
 }
 

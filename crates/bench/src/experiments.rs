@@ -6,6 +6,7 @@
 //! experiment in DESIGN.md §4 and recorded against measurements in
 //! EXPERIMENTS.md.
 
+use crate::report::{bench_methods, BenchMethod};
 use mknn_mobility::{Motion, Placement, SpeedDist, WorkloadSpec};
 use mknn_net::FaultPlan;
 use mknn_sim::{Method, MetricsSummary, SimConfig, Sweep, VerifyMode};
@@ -82,6 +83,7 @@ pub fn base_config(scale: Scale) -> SimConfig {
         geo_cells: 64,
         verify: VerifyMode::Off,
         fault: FaultPlan::none(),
+        shards: 1,
     }
 }
 
@@ -99,6 +101,9 @@ pub struct ExpResult {
     /// this exceeds the experiment's elapsed wall time by roughly the
     /// achieved speedup.
     pub episode_seconds: f64,
+    /// Machine-readable per-`(label, method)` aggregates for `--bench-out`
+    /// (empty for pure parameter tables like e1).
+    pub bench: Vec<crate::report::BenchMethod>,
 }
 
 fn fmt(v: f64) -> String {
@@ -146,14 +151,15 @@ fn series_row(x: &str, m: &mknn_sim::EpisodeMetrics) -> Vec<String> {
 /// Runs a sweep: for each `(label, config)` runs the whole method suite in
 /// parallel on the worker pool, collecting rows in plan order. Returns the
 /// rows plus the summed per-episode wall time.
-fn sweep(configs: Vec<(String, SimConfig)>) -> (Vec<Vec<String>>, f64) {
+fn sweep(configs: Vec<(String, SimConfig)>) -> (Vec<Vec<String>>, f64, Vec<BenchMethod>) {
     let mut rows = vec![SERIES_HEADER.iter().map(|s| s.to_string()).collect()];
     let mut busy = 0.0;
-    for run in Sweep::over(configs).run() {
+    let runs = Sweep::over(configs).run();
+    for run in &runs {
         rows.push(series_row(&run.label, &run.metrics));
         busy += run.wall_seconds;
     }
-    (rows, busy)
+    (rows, busy, bench_methods(&runs))
 }
 
 /// E1 — the simulation-parameter table.
@@ -191,6 +197,7 @@ pub fn e1(scale: Scale) -> ExpResult {
         title: "Table E1: simulation parameters",
         rows,
         episode_seconds: 0.0,
+        bench: Vec::new(),
     }
 }
 
@@ -205,12 +212,13 @@ pub fn e2(scale: Scale) -> ExpResult {
             (n.to_string(), cfg)
         })
         .collect();
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e2",
         title: "Fig E2: communication vs. N",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -224,12 +232,13 @@ pub fn e3(scale: Scale) -> ExpResult {
             (k.to_string(), cfg)
         })
         .collect();
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e3",
         title: "Fig E3: communication vs. k",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -246,12 +255,13 @@ pub fn e4(scale: Scale) -> ExpResult {
             (format!("{v}"), cfg)
         })
         .collect();
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e4",
         title: "Fig E4: communication vs. object speed",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -266,12 +276,13 @@ pub fn e5(scale: Scale) -> ExpResult {
             (format!("{v}"), cfg)
         })
         .collect();
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e5",
         title: "Fig E5: communication vs. query speed",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -290,7 +301,8 @@ pub fn e6(scale: Scale) -> ExpResult {
         (n.to_string(), cfg)
     });
     let mut busy = 0.0;
-    for run in Sweep::over(configs).run() {
+    let runs = Sweep::over(configs).run();
+    for run in &runs {
         let m = &run.metrics;
         rows.push(vec![
             run.label.clone(),
@@ -306,6 +318,7 @@ pub fn e6(scale: Scale) -> ExpResult {
         title: "Fig E6: server load vs. N",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -339,7 +352,8 @@ pub fn e7(scale: Scale) -> ExpResult {
         }
     }
     let mut busy = 0.0;
-    for run in Sweep::grid(grid).run() {
+    let runs = Sweep::grid(grid).run();
+    for run in &runs {
         let (drift_mult, heartbeat) = run
             .label
             .split_once('|')
@@ -362,6 +376,7 @@ pub fn e7(scale: Scale) -> ExpResult {
         title: "Fig E7: slack ablation (δ_q, H)",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -376,12 +391,13 @@ pub fn e8(scale: Scale) -> ExpResult {
             (q.to_string(), cfg)
         })
         .collect();
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e8",
         title: "Fig E8: scalability vs. #queries",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -405,7 +421,7 @@ pub fn e9(scale: Scale) -> ExpResult {
         })
         .run();
     let mut busy = 0.0;
-    for run in runs {
+    for run in &runs {
         rows.push(vec![
             run.label.clone(),
             run.metrics.method.clone(),
@@ -418,6 +434,7 @@ pub fn e9(scale: Scale) -> ExpResult {
         title: "Fig E9: client load",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -431,7 +448,8 @@ pub fn e10(scale: Scale) -> ExpResult {
         h
     }];
     let mut busy = 0.0;
-    for run in Sweep::over([("default", cfg)]).run() {
+    let runs = Sweep::over([("default", cfg)]).run();
+    for run in &runs {
         let m = &run.metrics;
         let mut row = vec![m.method.clone(), m.net.total_msgs().to_string()];
         for kind in MsgKind::ALL {
@@ -445,6 +463,7 @@ pub fn e10(scale: Scale) -> ExpResult {
         title: "Table E10: message breakdown (whole episode)",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -472,7 +491,7 @@ pub fn e11(scale: Scale) -> ExpResult {
         })
         .run();
     let mut busy = 0.0;
-    for run in runs {
+    for run in &runs {
         let m = &run.metrics;
         let label = if let Method::Periodic { period, .. } = run.method {
             format!("{} (P={period})", m.method)
@@ -493,6 +512,7 @@ pub fn e11(scale: Scale) -> ExpResult {
         title: "Table E11: answer quality",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -507,12 +527,13 @@ pub fn e12(scale: Scale) -> ExpResult {
         };
         configs.push((format!("gauss-{sigma}"), cfg));
     }
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e12",
         title: "Fig E12: skew sensitivity",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -532,12 +553,13 @@ pub fn e13(scale: Scale) -> ExpResult {
             (n.to_string(), cfg)
         })
         .collect();
-    let (rows, episode_seconds) = sweep(configs);
+    let (rows, episode_seconds, bench) = sweep(configs);
     ExpResult {
         id: "e13",
         title: "Fig E13: road-network workload",
         rows,
         episode_seconds,
+        bench,
     }
 }
 
@@ -567,7 +589,8 @@ pub fn e14(scale: Scale) -> ExpResult {
         .into_iter()
         .map(|(label, method)| (label, cfg.clone(), method));
     let mut busy = 0.0;
-    for run in Sweep::grid(grid).run() {
+    let runs = Sweep::grid(grid).run();
+    for run in &runs {
         let m = &run.metrics;
         rows.push(vec![
             run.label.clone(),
@@ -584,6 +607,7 @@ pub fn e14(scale: Scale) -> ExpResult {
         title: "Fig E14: candidate-buffer ablation",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -626,6 +650,7 @@ pub fn e15(scale: Scale) -> ExpResult {
         title: "Table E15: headline with dispersion (5 seeds)",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
@@ -701,13 +726,74 @@ pub fn e16(scale: Scale) -> ExpResult {
         title: "Table E16: resilience under transport faults (2 seeds)",
         rows,
         episode_seconds: busy,
+        bench: bench_methods(&runs),
+    }
+}
+
+/// E17 — shard scaling: the whole method suite with the server tier split
+/// into G grid-partitioned shards. Device traffic and answers are identical
+/// at every G (the overlay is pure coordination); what varies — and what
+/// this figure reports — is the backbone overhead (fan-out, merge, handoff,
+/// forward legs) and how evenly the per-shard load spreads (p99 vs. max).
+pub fn e17(scale: Scale) -> ExpResult {
+    let mut cfg = base_config(scale);
+    if scale.full {
+        // The north-star population: one million moving objects.
+        cfg.workload.n_objects = 1_000_000;
+        cfg.ticks = 100;
+    } else {
+        cfg.workload.n_objects = 10_000;
+        cfg.ticks = 60;
+    }
+    cfg.verify = VerifyMode::Off;
+    let configs: Vec<(String, SimConfig)> = [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .map(|g| {
+            let mut c = cfg.clone();
+            c.shards = g;
+            (format!("G={g}"), c)
+        })
+        .collect();
+    let mut rows = vec![vec![
+        "G".into(),
+        "method".into(),
+        "msgs/tick".into(),
+        "shard-msgs/tick".into(),
+        "handoffs/tick".into(),
+        "fanout/tick".into(),
+        "p99-load".into(),
+        "max-load".into(),
+    ]];
+    let mut busy = 0.0;
+    let runs = Sweep::over(configs).run();
+    for run in &runs {
+        let m = &run.metrics;
+        let ticks = m.ticks.max(1) as f64;
+        rows.push(vec![
+            run.label.clone(),
+            m.method.clone(),
+            fmt(m.msgs_per_tick()),
+            fmt(m.net.shard.total_msgs() as f64 / ticks),
+            fmt(m.net.shard.handoff_msgs as f64 / ticks),
+            fmt(m.net.shard.fanout_msgs as f64 / ticks),
+            fmt(m.shard_load_p99()),
+            fmt(m.shard_load_max() as f64),
+        ]);
+        busy += run.wall_seconds;
+    }
+    ExpResult {
+        id: "e17",
+        title: "Fig E17: shard scaling (G ∈ {1,2,4,8,16})",
+        rows,
+        episode_seconds: busy,
+        bench: bench_methods(&runs),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id.
@@ -729,6 +815,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
         "e14" => e14(scale),
         "e15" => e15(scale),
         "e16" => e16(scale),
+        "e17" => e17(scale),
         _ => return None,
     })
 }

@@ -5,3 +5,4 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod report;

@@ -1,0 +1,203 @@
+//! Machine-readable run summaries (`expt --bench-out`).
+//!
+//! Every experiment already prints a human table; this module aggregates
+//! the same runs into a JSON document (`BENCH_<name>.json`) so a
+//! performance trajectory can be committed and diffed across PRs. The
+//! schema round-trips through `mknn_util` JSON — `scripts/verify.sh`
+//! gates the committed file on exactly that (`expt --check-bench`).
+
+use mknn_sim::EpisodeRun;
+use mknn_util::impl_json_struct;
+
+/// A `(label, method)` cell aggregated over its seeded repetitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMethod {
+    /// The sweep point label ("G=4", "8000", "loss10", …).
+    pub label: String,
+    /// Protocol name.
+    pub method: String,
+    /// Episodes aggregated into this cell.
+    pub episodes: u64,
+    /// Summed per-episode wall seconds (as measured in the worker).
+    pub wall_seconds: f64,
+    /// Summed wall seconds inside protocol code.
+    pub proto_seconds: f64,
+    /// Summed wall seconds verifying against the oracle.
+    pub oracle_seconds: f64,
+    /// Total device-facing messages across the episodes.
+    pub total_msgs: u64,
+    /// Total device-facing bytes across the episodes.
+    pub total_bytes: u64,
+    /// Total inter-shard backbone messages across the episodes.
+    pub shard_msgs: u64,
+    /// Largest per-episode p99 of the per-shard load distribution.
+    pub shard_load_p99: f64,
+    /// Hottest shard load seen in any episode.
+    pub shard_load_max: u64,
+}
+
+/// One experiment's aggregated cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchExperiment {
+    /// Experiment id ("e17", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Summed per-episode wall seconds for the whole experiment.
+    pub episode_seconds: f64,
+    /// One entry per `(label, method)` cell, in run (plan) order.
+    pub methods: Vec<BenchMethod>,
+}
+
+/// The document `expt --bench-out` writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// What was run (the `--exp` argument).
+    pub name: String,
+    /// Whether the run used `--full` (paper) scale.
+    pub full: bool,
+    /// One entry per experiment, in run order.
+    pub experiments: Vec<BenchExperiment>,
+}
+
+impl_json_struct!(BenchMethod {
+    label,
+    method,
+    episodes,
+    wall_seconds,
+    proto_seconds,
+    oracle_seconds,
+    total_msgs,
+    total_bytes,
+    shard_msgs,
+    shard_load_p99,
+    shard_load_max,
+});
+impl_json_struct!(BenchExperiment {
+    id,
+    title,
+    episode_seconds,
+    methods,
+});
+impl_json_struct!(BenchSummary {
+    name,
+    full,
+    experiments,
+});
+
+/// Aggregates a sweep's runs into `(label, method)` cells, in
+/// first-appearance (plan) order. Counter and clock fields sum over the
+/// cell's seeded repetitions; the load fields take the worst episode.
+pub fn bench_methods(runs: &[EpisodeRun]) -> Vec<BenchMethod> {
+    let mut out: Vec<BenchMethod> = Vec::new();
+    for run in runs {
+        let m = &run.metrics;
+        let cell = match out
+            .iter_mut()
+            .find(|c| c.label == run.label && c.method == m.method)
+        {
+            Some(cell) => cell,
+            None => {
+                out.push(BenchMethod {
+                    label: run.label.clone(),
+                    method: m.method.clone(),
+                    episodes: 0,
+                    wall_seconds: 0.0,
+                    proto_seconds: 0.0,
+                    oracle_seconds: 0.0,
+                    total_msgs: 0,
+                    total_bytes: 0,
+                    shard_msgs: 0,
+                    shard_load_p99: 0.0,
+                    shard_load_max: 0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        cell.episodes += 1;
+        cell.wall_seconds += run.wall_seconds;
+        cell.proto_seconds += m.proto_seconds;
+        cell.oracle_seconds += m.oracle_seconds;
+        cell.total_msgs += m.net.total_msgs();
+        cell.total_bytes += m.net.total_bytes();
+        cell.shard_msgs += m.net.shard.total_msgs();
+        let p99 = m.shard_load_p99();
+        if !p99.is_nan() {
+            cell.shard_load_p99 = cell.shard_load_p99.max(p99);
+        }
+        cell.shard_load_max = cell.shard_load_max.max(m.shard_load_max());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mknn_util::{from_str, to_string};
+
+    fn cell(label: &str, method: &str) -> BenchMethod {
+        BenchMethod {
+            label: label.into(),
+            method: method.into(),
+            episodes: 2,
+            wall_seconds: 1.5,
+            proto_seconds: 0.75,
+            oracle_seconds: 0.25,
+            total_msgs: 10_000,
+            total_bytes: 440_000,
+            shard_msgs: 321,
+            shard_load_p99: 512.5,
+            shard_load_max: 600,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let doc = BenchSummary {
+            name: "e17".into(),
+            full: false,
+            experiments: vec![BenchExperiment {
+                id: "e17".into(),
+                title: "Fig E17: shard scaling".into(),
+                episode_seconds: 3.0,
+                methods: vec![cell("G=1", "dknn-set"), cell("G=4", "dknn-set")],
+            }],
+        };
+        let s = to_string(&doc);
+        let back: BenchSummary = from_str(&s).unwrap();
+        assert_eq!(back, doc);
+        // And the rendered form itself is stable under a re-render.
+        assert_eq!(to_string(&back), s);
+    }
+
+    #[test]
+    fn aggregation_groups_by_label_and_method() {
+        use mknn_sim::{EpisodeMetrics, EpisodeRun, Method};
+        let run = |label: &str, method: &str, seed_index: u64| EpisodeRun {
+            label: label.into(),
+            method: Method::Centralized { res: 16 },
+            seed_index,
+            metrics: EpisodeMetrics {
+                method: method.into(),
+                ticks: 10,
+                shard_load: vec![5, 10, 2, 40],
+                ..Default::default()
+            },
+            wall_seconds: 0.5,
+        };
+        let cells = bench_methods(&[
+            run("a", "m1", 0),
+            run("a", "m1", 1),
+            run("a", "m2", 0),
+            run("b", "m1", 0),
+        ]);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].episodes, 2);
+        assert_eq!(cells[0].wall_seconds, 1.0);
+        assert_eq!(cells[1].label, "a");
+        assert_eq!(cells[1].method, "m2");
+        assert_eq!(cells[2].label, "b");
+        assert_eq!(cells[0].shard_load_max, 40);
+        assert!(cells[0].shard_load_p99 > 10.0);
+    }
+}

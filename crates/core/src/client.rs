@@ -7,7 +7,7 @@
 //! 1. it crosses a region boundary (→ `Enter` / `Leave`),
 //! 2. it violates its assigned response band (ordered mode, → `BandCross`),
 //! 3. it is a query's focal object and it moved (→ `QueryMove`).
-
+//!
 //! In **lossy mode** (see [`mknn_net::Protocol::set_lossy`]) the client
 //! additionally runs recovery machinery for unreliable transports:
 //! critical events (`Enter`/`Leave`) are retransmitted with doubling

@@ -42,6 +42,7 @@ mod dknn;
 mod params;
 mod region;
 mod server;
+mod shard;
 
 pub use buffered::DknnBuffered;
 pub use client::ClientHalf;
@@ -49,6 +50,7 @@ pub use dknn::Dknn;
 pub use params::{DknnParams, DknnParamsBuilder, ParamError};
 pub use region::RegionVersion;
 pub use server::ServerHalf;
+pub use shard::{ServerShard, ShardCoordinator, ShardGrid};
 
 /// Answer semantics maintained by the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,582 @@
+//! Grid-partitioned server shards and the thin coordinator that routes
+//! between them (DESIGN.md §9).
+//!
+//! The server tier is split into `G` [`ServerShard`]s, each owning a
+//! rectangular block of the world. An object belongs to the shard whose
+//! block contains its position; a query is *homed* at the shard that owns
+//! its focal object. Work that spans blocks travels over an inter-shard
+//! backbone as explicit [`ShardMsg`]s:
+//!
+//! * a zone-scoped task (geocast, probe, broadcast) whose zone overlaps a
+//!   foreign block **fans out** to each covering shard;
+//! * covering shards return **partial answers** that the home shard merges;
+//! * uplinks surfacing at a foreign shard and unicasts delivered through a
+//!   foreign block are **forwarded**;
+//! * an object crossing a block boundary is **handed off** to the new
+//!   owner, and a focal crossing **migrates** the query's server state.
+//!
+//! The backbone is an accounting overlay: the protocol logic itself is
+//! unchanged (every shard evaluates the same deterministic `ServerHalf`
+//! code on the same inputs), so the maintained answers are byte-identical
+//! for every `G` — only the separately-tallied coordination overhead
+//! ([`mknn_net::ShardStats`]) and the per-shard load distribution vary.
+//! Under a [`FaultPlan`](mknn_net::FaultPlan) the backbone is *reliable but
+//! lossy*: a lost leg is retransmitted until delivered (drawn from a
+//! dedicated RNG stream so device-side fault fates are unperturbed), which
+//! preserves answer equivalence while still charging chaos-mode overhead.
+
+use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Vector};
+use mknn_net::{FaultyLink, NetStats, ShardMsg};
+use std::collections::BTreeMap;
+
+/// The spatial partition: the world rectangle cut into a near-square grid
+/// of `rows × cols = G` equal blocks.
+#[derive(Debug, Clone)]
+pub struct ShardGrid {
+    bounds: Rect,
+    rows: u32,
+    cols: u32,
+}
+
+impl ShardGrid {
+    /// Partition `bounds` into `shards` blocks. The factorization keeps the
+    /// blocks as square as possible: `rows` is the largest divisor of
+    /// `shards` that is at most `√shards` (so 2 → 1×2, 8 → 2×4, 16 → 4×4;
+    /// primes degrade to a 1×G strip).
+    pub fn new(bounds: Rect, shards: u32) -> Self {
+        let g = shards.max(1);
+        let mut rows = 1;
+        let mut d = (g as f64).sqrt().floor() as u32;
+        while d >= 1 {
+            if g.is_multiple_of(d) {
+                rows = d;
+                break;
+            }
+            d -= 1;
+        }
+        ShardGrid {
+            bounds,
+            rows,
+            cols: g / rows,
+        }
+    }
+
+    /// Number of shards in the partition.
+    pub fn count(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Grid shape as `(rows, cols)`.
+    pub fn shape(&self) -> (u32, u32) {
+        (self.rows, self.cols)
+    }
+
+    /// The shard owning `p`. Positions outside the world rectangle clamp to
+    /// the nearest block, so every point has exactly one owner.
+    pub fn shard_of(&self, p: Point) -> u32 {
+        let fx = (p.x - self.bounds.min.x) / self.bounds.width() * self.cols as f64;
+        let fy = (p.y - self.bounds.min.y) / self.bounds.height() * self.rows as f64;
+        let col = (fx.floor() as i64).clamp(0, self.cols as i64 - 1) as u32;
+        let row = (fy.floor() as i64).clamp(0, self.rows as i64 - 1) as u32;
+        row * self.cols + col
+    }
+
+    /// The rectangular block owned by shard `id`.
+    pub fn rect_of(&self, id: u32) -> Rect {
+        let row = id / self.cols;
+        let col = id % self.cols;
+        let w = self.bounds.width() / self.cols as f64;
+        let h = self.bounds.height() / self.rows as f64;
+        Rect::from_coords(
+            self.bounds.min.x + col as f64 * w,
+            self.bounds.min.y + row as f64 * h,
+            self.bounds.min.x + (col + 1) as f64 * w,
+            self.bounds.min.y + (row + 1) as f64 * h,
+        )
+    }
+
+    /// Shard ids whose blocks intersect `zone`, ascending. `G` is small, so
+    /// a linear scan over the blocks is simpler than walking the grid.
+    pub fn overlapping(&self, zone: &Circle) -> Vec<u32> {
+        (0..self.count())
+            .filter(|&s| self.rect_of(s).intersects_circle(zone))
+            .collect()
+    }
+}
+
+/// One partition of the server tier: ownership tallies and the load counter
+/// used for the per-shard balance metric.
+#[derive(Debug, Clone)]
+pub struct ServerShard {
+    /// Position of this shard's block in the grid.
+    pub id: u32,
+    /// Objects currently owned (position inside the block).
+    pub objects: usize,
+    /// Queries currently homed here (focal object owned here).
+    pub queries: usize,
+    /// Messages this shard has processed: device traffic it terminated plus
+    /// backbone legs it sent or received.
+    pub load: u64,
+}
+
+/// The thin routing tier in front of the shards: tracks ownership, detects
+/// boundary crossings, and charges every inter-shard leg into
+/// [`NetStats::shard`] (and through the [`FaultyLink`] when one is active).
+#[derive(Debug)]
+pub struct ShardCoordinator {
+    grid: ShardGrid,
+    shards: Vec<ServerShard>,
+    /// Owner per object, indexed by `id.index()` (`UNTRACKED` until the
+    /// first sighting). A dense vector, not a map: this is touched once per
+    /// object per tick, and the north-star population is 10⁶ objects.
+    object_home: Vec<u32>,
+    query_home: BTreeMap<QueryId, u32>,
+    /// Smallest circle covering the world rectangle — the zone a broadcast
+    /// fans out over (every shard covers part of it).
+    world_zone: Circle,
+}
+
+/// Sentinel owner for objects not yet sighted ([`ShardCoordinator`] ids are
+/// grid indices, far below this).
+const UNTRACKED: u32 = u32::MAX;
+
+impl ShardCoordinator {
+    /// A coordinator over `shards` blocks of `bounds`. `shards = 1`
+    /// degenerates to the single-server deployment: every routing method
+    /// becomes a no-op charge-wise, so the overlay stays empty.
+    pub fn new(bounds: Rect, shards: u32) -> Self {
+        let grid = ShardGrid::new(bounds, shards);
+        let shards = (0..grid.count())
+            .map(|id| ServerShard {
+                id,
+                objects: 0,
+                queries: 0,
+                load: 0,
+            })
+            .collect();
+        let half_diag = bounds.center().dist(bounds.max);
+        ShardCoordinator {
+            grid,
+            shards,
+            object_home: Vec::new(),
+            query_home: BTreeMap::new(),
+            world_zone: Circle::new(bounds.center(), half_diag),
+        }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> u32 {
+        self.grid.count()
+    }
+
+    /// The shard owning position `p`.
+    pub fn shard_of(&self, p: Point) -> u32 {
+        self.grid.shard_of(p)
+    }
+
+    /// The home shard of query `q` (0 until first tracked).
+    pub fn query_home(&self, q: QueryId) -> u32 {
+        self.query_home.get(&q).copied().unwrap_or(0)
+    }
+
+    /// Per-shard load counters, indexed by shard id.
+    pub fn loads(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.load).collect()
+    }
+
+    /// Read access to a shard's tallies (tests, reporting).
+    pub fn shard(&self, id: u32) -> &ServerShard {
+        &self.shards[id as usize]
+    }
+
+    fn charge(&mut self, msg: ShardMsg, stats: &mut NetStats, fault: &mut Option<&mut FaultyLink>) {
+        stats.shard.count(&msg);
+        if let Some(link) = fault.as_deref_mut() {
+            link.shard_leg(msg.size_bytes(), stats);
+        }
+    }
+
+    /// Observe object `id` at `pos` this tick. A block crossing charges a
+    /// [`ShardMsg::Handoff`] from the old owner to the new one.
+    pub fn track_object(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        vel: Vector,
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) {
+        let now = self.grid.shard_of(pos);
+        let idx = id.index();
+        if idx >= self.object_home.len() {
+            self.object_home.resize(idx + 1, UNTRACKED);
+        }
+        let prev = std::mem::replace(&mut self.object_home[idx], now);
+        if prev == UNTRACKED {
+            self.shards[now as usize].objects += 1;
+        } else if prev != now {
+            self.shards[prev as usize].objects -= 1;
+            self.shards[now as usize].objects += 1;
+            self.charge(
+                ShardMsg::Handoff {
+                    object: id,
+                    pos,
+                    vel,
+                },
+                stats,
+                &mut fault,
+            );
+            self.shards[prev as usize].load += 1;
+            self.shards[now as usize].load += 1;
+        }
+    }
+
+    /// Observe query `q` with its focal object at `focal_pos`. A focal
+    /// block crossing re-homes the query and charges a
+    /// [`ShardMsg::Migrate`] shipping its `members`-entry server state.
+    pub fn track_query(
+        &mut self,
+        q: QueryId,
+        focal_pos: Point,
+        members: usize,
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) {
+        let now = self.grid.shard_of(focal_pos);
+        match self.query_home.insert(q, now) {
+            None => self.shards[now as usize].queries += 1,
+            Some(prev) if prev != now => {
+                self.shards[prev as usize].queries -= 1;
+                self.shards[now as usize].queries += 1;
+                self.charge(ShardMsg::Migrate { query: q, members }, stats, &mut fault);
+                self.shards[prev as usize].load += 1;
+                self.shards[now as usize].load += 1;
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// An uplink from a device at `sender_pos` arrived at its local shard.
+    /// If it belongs to a query homed elsewhere it is forwarded over the
+    /// backbone ([`ShardMsg::Forward`]).
+    pub fn route_uplink(
+        &mut self,
+        q: Option<QueryId>,
+        sender_pos: Point,
+        payload_bytes: usize,
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) {
+        let local = self.grid.shard_of(sender_pos);
+        self.shards[local as usize].load += 1;
+        if let Some(q) = q {
+            let home = self.query_home(q);
+            if home != local {
+                self.charge(
+                    ShardMsg::Forward {
+                        query: q,
+                        payload_bytes,
+                    },
+                    stats,
+                    &mut fault,
+                );
+                self.shards[home as usize].load += 1;
+            }
+        }
+    }
+
+    /// Query `q`'s home shard sends a unicast to a device at
+    /// `recipient_pos`; delivery through a foreign block is forwarded.
+    pub fn route_unicast(
+        &mut self,
+        q: QueryId,
+        recipient_pos: Point,
+        payload_bytes: usize,
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) {
+        let home = self.query_home(q);
+        self.shards[home as usize].load += 1;
+        let local = self.grid.shard_of(recipient_pos);
+        if local != home {
+            self.charge(
+                ShardMsg::Forward {
+                    query: q,
+                    payload_bytes,
+                },
+                stats,
+                &mut fault,
+            );
+            self.shards[local as usize].load += 1;
+        }
+    }
+
+    /// Query `q`'s home shard services a zone-scoped task; each foreign
+    /// covering shard receives a [`ShardMsg::Fanout`]. Returns the foreign
+    /// covering shards, ascending.
+    pub fn route_geocast(
+        &mut self,
+        q: QueryId,
+        zone: &Circle,
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) -> Vec<u32> {
+        let home = self.query_home(q);
+        self.shards[home as usize].load += 1;
+        let foreign: Vec<u32> = self
+            .grid
+            .overlapping(zone)
+            .into_iter()
+            .filter(|&s| s != home)
+            .collect();
+        for &s in &foreign {
+            self.charge(
+                ShardMsg::Fanout {
+                    query: q,
+                    zone: *zone,
+                },
+                stats,
+                &mut fault,
+            );
+            self.shards[s as usize].load += 1;
+        }
+        foreign
+    }
+
+    /// A broadcast fans out to every shard: the zone is the circumscribed
+    /// world circle.
+    pub fn route_broadcast(
+        &mut self,
+        q: QueryId,
+        stats: &mut NetStats,
+        fault: Option<&mut FaultyLink>,
+    ) -> Vec<u32> {
+        let zone = self.world_zone;
+        self.route_geocast(q, &zone, stats, fault)
+    }
+
+    /// A probe for `q` over `zone` scatters like a geocast fan-out.
+    pub fn probe_scatter(
+        &mut self,
+        q: QueryId,
+        zone: &Circle,
+        stats: &mut NetStats,
+        fault: Option<&mut FaultyLink>,
+    ) -> Vec<u32> {
+        self.route_geocast(q, zone, stats, fault)
+    }
+
+    /// A covering shard returns its `count`-candidate partial answer for
+    /// `q` to the home shard for the merge ([`ShardMsg::PartialAnswer`]).
+    /// No-op when the replies already surfaced at the home shard.
+    pub fn probe_gather(
+        &mut self,
+        q: QueryId,
+        from_shard: u32,
+        count: usize,
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) {
+        let home = self.query_home(q);
+        if from_shard != home {
+            self.charge(
+                ShardMsg::PartialAnswer { query: q, count },
+                stats,
+                &mut fault,
+            );
+            self.shards[from_shard as usize].load += 1;
+            self.shards[home as usize].load += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::square(1000.0)
+    }
+
+    #[test]
+    fn factorization_is_near_square() {
+        let cases = [
+            (1, (1, 1)),
+            (2, (1, 2)),
+            (4, (2, 2)),
+            (6, (2, 3)),
+            (7, (1, 7)),
+            (8, (2, 4)),
+            (12, (3, 4)),
+            (16, (4, 4)),
+        ];
+        for (g, shape) in cases {
+            let grid = ShardGrid::new(world(), g);
+            assert_eq!(grid.shape(), shape, "G={g}");
+            assert_eq!(grid.count(), g);
+        }
+        assert_eq!(ShardGrid::new(world(), 0).count(), 1, "0 clamps to 1");
+    }
+
+    #[test]
+    fn shard_of_clamps_and_blocks_tile_the_world() {
+        let grid = ShardGrid::new(world(), 8); // 2 rows × 4 cols
+        assert_eq!(grid.shard_of(Point::new(-50.0, -50.0)), 0);
+        assert_eq!(grid.shard_of(Point::new(2000.0, 2000.0)), 7);
+        assert_eq!(grid.shard_of(Point::new(10.0, 10.0)), 0);
+        assert_eq!(grid.shard_of(Point::new(990.0, 10.0)), 3);
+        assert_eq!(grid.shard_of(Point::new(10.0, 990.0)), 4);
+        // Every block center maps back to its own shard.
+        for s in 0..grid.count() {
+            assert_eq!(grid.shard_of(grid.rect_of(s).center()), s);
+        }
+    }
+
+    #[test]
+    fn overlapping_is_sorted_and_tight() {
+        let grid = ShardGrid::new(world(), 4); // 2×2, blocks of 500
+        let inside = Circle::new(Point::new(250.0, 250.0), 100.0);
+        assert_eq!(grid.overlapping(&inside), vec![0]);
+        let spanning = Circle::new(Point::new(500.0, 250.0), 60.0);
+        assert_eq!(grid.overlapping(&spanning), vec![0, 1]);
+        let everywhere = Circle::new(Point::new(500.0, 500.0), 800.0);
+        assert_eq!(grid.overlapping(&everywhere), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_shard_never_charges_the_overlay() {
+        let mut coord = ShardCoordinator::new(world(), 1);
+        let mut stats = NetStats::default();
+        coord.track_object(
+            ObjectId(0),
+            Point::new(10.0, 10.0),
+            Vector::ZERO,
+            &mut stats,
+            None,
+        );
+        coord.track_object(
+            ObjectId(0),
+            Point::new(990.0, 990.0),
+            Vector::ZERO,
+            &mut stats,
+            None,
+        );
+        coord.track_query(QueryId(0), Point::new(10.0, 10.0), 4, &mut stats, None);
+        coord.track_query(QueryId(0), Point::new(990.0, 990.0), 4, &mut stats, None);
+        coord.route_uplink(Some(QueryId(0)), Point::new(5.0, 5.0), 44, &mut stats, None);
+        coord.route_unicast(QueryId(0), Point::new(900.0, 5.0), 52, &mut stats, None);
+        let zone = Circle::new(Point::new(500.0, 500.0), 400.0);
+        assert!(coord
+            .route_geocast(QueryId(0), &zone, &mut stats, None)
+            .is_empty());
+        assert!(coord
+            .route_broadcast(QueryId(0), &mut stats, None)
+            .is_empty());
+        coord.probe_gather(QueryId(0), 0, 5, &mut stats, None);
+        assert!(stats.shard.is_empty());
+        assert_eq!(coord.loads(), vec![4]); // uplink + unicast + geocast + broadcast
+    }
+
+    #[test]
+    fn boundary_crossings_charge_handoff_and_migrate() {
+        let mut coord = ShardCoordinator::new(world(), 4);
+        let mut stats = NetStats::default();
+        let left = Point::new(100.0, 100.0);
+        let right = Point::new(900.0, 100.0);
+        coord.track_object(ObjectId(7), left, Vector::ZERO, &mut stats, None);
+        assert_eq!(
+            stats.shard.handoff_msgs, 0,
+            "first sighting is not a crossing"
+        );
+        coord.track_object(ObjectId(7), right, Vector::ZERO, &mut stats, None);
+        assert_eq!(stats.shard.handoff_msgs, 1);
+        assert_eq!(coord.shard(0).objects, 0);
+        assert_eq!(coord.shard(1).objects, 1);
+
+        coord.track_query(QueryId(3), left, 4, &mut stats, None);
+        assert_eq!(coord.query_home(QueryId(3)), 0);
+        coord.track_query(QueryId(3), right, 4, &mut stats, None);
+        assert_eq!(stats.shard.migrate_msgs, 1);
+        assert_eq!(coord.query_home(QueryId(3)), 1);
+        assert_eq!(coord.loads(), vec![2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn routing_charges_only_cross_shard_legs() {
+        let mut coord = ShardCoordinator::new(world(), 4); // 2×2
+        let mut stats = NetStats::default();
+        let home_pos = Point::new(100.0, 100.0); // shard 0
+        coord.track_query(QueryId(0), home_pos, 4, &mut stats, None);
+
+        // Uplink from the home block: no forward.
+        coord.route_uplink(
+            Some(QueryId(0)),
+            Point::new(50.0, 50.0),
+            44,
+            &mut stats,
+            None,
+        );
+        assert_eq!(stats.shard.forward_msgs, 0);
+        // Uplink from a foreign block: forwarded.
+        coord.route_uplink(
+            Some(QueryId(0)),
+            Point::new(900.0, 900.0),
+            44,
+            &mut stats,
+            None,
+        );
+        assert_eq!(stats.shard.forward_msgs, 1);
+        // Position reports carry no query: never forwarded.
+        coord.route_uplink(None, Point::new(900.0, 900.0), 44, &mut stats, None);
+        assert_eq!(stats.shard.forward_msgs, 1);
+
+        // Unicast into a foreign block: forwarded.
+        coord.route_unicast(QueryId(0), Point::new(900.0, 100.0), 52, &mut stats, None);
+        assert_eq!(stats.shard.forward_msgs, 2);
+
+        // Geocast zone covering shards 0 and 1: one fan-out leg.
+        let zone = Circle::new(Point::new(500.0, 100.0), 80.0);
+        assert_eq!(
+            coord.route_geocast(QueryId(0), &zone, &mut stats, None),
+            vec![1]
+        );
+        assert_eq!(stats.shard.fanout_msgs, 1);
+
+        // Broadcast reaches all three foreign shards.
+        assert_eq!(
+            coord.route_broadcast(QueryId(0), &mut stats, None),
+            vec![1, 2, 3]
+        );
+        assert_eq!(stats.shard.fanout_msgs, 4);
+
+        // Partial answers: home replies are free, foreign ones are merged.
+        coord.probe_gather(QueryId(0), 0, 9, &mut stats, None);
+        assert_eq!(stats.shard.merge_msgs, 0);
+        coord.probe_gather(QueryId(0), 3, 9, &mut stats, None);
+        assert_eq!(stats.shard.merge_msgs, 1);
+    }
+
+    #[test]
+    fn faulty_backbone_charges_retransmits_per_leg() {
+        use mknn_net::FaultPlan;
+        let mut coord = ShardCoordinator::new(world(), 4);
+        let mut stats = NetStats::default();
+        let plan = FaultPlan::builder().loss(1.0).build().unwrap();
+        let mut link = FaultyLink::new(plan, 42);
+        link.begin_tick(1, 0);
+        coord.track_query(
+            QueryId(0),
+            Point::new(100.0, 100.0),
+            4,
+            &mut stats,
+            Some(&mut link),
+        );
+        coord.route_broadcast(QueryId(0), &mut stats, Some(&mut link));
+        assert_eq!(stats.shard.fanout_msgs, 3);
+        assert_eq!(
+            stats.shard.retransmits,
+            3 * 8,
+            "every leg hits the retry cap"
+        );
+    }
+}

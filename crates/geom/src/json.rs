@@ -34,10 +34,10 @@ impl FromJson for Annulus {
         if center.x.is_nan() || center.y.is_nan() {
             return Err(JsonError::new("annulus center must not be NaN"));
         }
-        if !(inner >= 0.0) {
+        if inner.is_nan() || inner < 0.0 {
             return Err(JsonError::new("annulus inner radius must be non-negative"));
         }
-        if !(outer >= inner) {
+        if outer.is_nan() || outer < inner {
             return Err(JsonError::new("annulus outer radius must be >= inner"));
         }
         Ok(Annulus {

@@ -282,7 +282,7 @@ impl RTree {
         let mut out = Vec::new();
         let r2 = range.radius * range.radius;
         range_rec(&self.root, range, r2, &mut out);
-        out.sort_unstable_by(|a, b| (OrdF64(a.dist_sq), a.id).cmp(&(OrdF64(b.dist_sq), b.id)));
+        out.sort_unstable_by_key(|a| (OrdF64(a.dist_sq), a.id));
         out
     }
 

@@ -23,6 +23,16 @@ use mknn_util::json::{FromJson, Json, JsonError, ToJson};
 use mknn_util::Rng;
 use std::fmt;
 
+/// Salt separating the inter-shard backbone's RNG stream from the
+/// device-link stream, so sharding an episode never perturbs the device
+/// fault sequence (the shard-equivalence gates depend on this).
+const SHARD_STREAM_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// The shard backbone retransmits a lost leg until delivery; a degenerate
+/// plan with 100 % loss would retry forever, so retries are capped (the leg
+/// is then delivered anyway — the backbone is reliable by construction).
+const SHARD_RETRY_CAP: u64 = 8;
+
 /// A rejected [`FaultPlan`] construction: which knob was out of range.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultError {
@@ -302,6 +312,11 @@ impl FromJson for FaultPlan {
 pub struct FaultyLink {
     plan: FaultPlan,
     rng: Rng,
+    /// Dedicated generator for the inter-shard backbone legs. A separate
+    /// stream keeps the device-side fault sequence byte-identical whether
+    /// the server runs as one shard or sixteen: shard legs may draw any
+    /// number of times without perturbing `rng`.
+    shard_rng: Rng,
     now: Tick,
     /// Per device: offline while `now < offline_until[i]`.
     offline_until: Vec<Tick>,
@@ -324,6 +339,7 @@ impl FaultyLink {
         FaultyLink {
             plan,
             rng: Rng::seed_from_u64(seed),
+            shard_rng: Rng::seed_from_u64(seed ^ SHARD_STREAM_SALT),
             now: 0,
             offline_until: Vec::new(),
             held_up: Vec::new(),
@@ -476,6 +492,26 @@ impl FaultyLink {
             } else {
                 i += 1;
             }
+        }
+    }
+
+    /// Passes one inter-shard backbone leg of `bytes` through the link.
+    /// The backbone is **reliable but lossy**: a lost copy is retransmitted
+    /// (up to a cap) until one gets through, so shard coordination never
+    /// diverges the shards' shared state — faults only cost traffic, which
+    /// is charged to [`ShardStats`](crate::ShardStats) as retransmissions.
+    /// Draws come from the dedicated shard stream; the loss rate is the
+    /// plan's downlink rate (the backbone is infrastructure-side).
+    pub fn shard_leg(&mut self, bytes: usize, stats: &mut NetStats) {
+        if !self.active() || self.plan.down_loss <= 0.0 {
+            return;
+        }
+        let mut retries = 0;
+        while retries < SHARD_RETRY_CAP && self.shard_rng.gen_bool(self.plan.down_loss) {
+            retries += 1;
+        }
+        if retries > 0 {
+            stats.shard.count_retransmits(retries, bytes as u64);
         }
     }
 
@@ -645,6 +681,52 @@ mod tests {
             })
             .collect();
         assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn shard_legs_draw_from_their_own_stream() {
+        // Interleaving shard legs between device draws must not change the
+        // device fate sequence.
+        let plan = FaultPlan::chaos();
+        let fates = |with_shard_legs: bool| {
+            let mut link = FaultyLink::new(plan, 42);
+            let mut stats = NetStats::default();
+            let mut sizes = Vec::new();
+            for t in 1..=20 {
+                link.begin_tick(t, 4);
+                let mut out = Vec::new();
+                for i in 0..4 {
+                    if with_shard_legs {
+                        link.shard_leg(36, &mut stats);
+                    }
+                    link.transmit_up(ObjectId(i), an_uplink(), &mut out, &mut stats);
+                }
+                sizes.push(out.len());
+            }
+            sizes
+        };
+        assert_eq!(fates(false), fates(true));
+    }
+
+    #[test]
+    fn shard_legs_charge_retransmits_but_always_deliver() {
+        // Total loss: the retry cap bounds the retransmissions and the leg
+        // still goes through (nothing to assert beyond the charge — the
+        // caller delivers unconditionally).
+        let plan = FaultPlan::builder().loss(1.0).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        link.begin_tick(1, 1);
+        link.shard_leg(36, &mut stats);
+        assert_eq!(stats.shard.retransmits, 8, "capped retries");
+        assert_eq!(stats.shard.retransmit_bytes, 8 * 36);
+        // Past the horizon the backbone is perfect again.
+        let plan = FaultPlan::builder().loss(1.0).horizon(1).build().unwrap();
+        let mut link = FaultyLink::new(plan, 7);
+        let mut stats = NetStats::default();
+        link.begin_tick(2, 1);
+        link.shard_leg(36, &mut stats);
+        assert_eq!(stats.shard.retransmits, 0);
     }
 
     #[test]

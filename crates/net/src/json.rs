@@ -4,12 +4,29 @@
 //! unit-variant encoding), so the per-kind tally map becomes a plain JSON
 //! object keyed by kind name.
 
-use crate::{MsgKind, NetStats, OpCounters, QuerySpec};
+use crate::{MsgKind, NetStats, OpCounters, QuerySpec, ShardStats};
 use mknn_util::impl_json_struct;
 use mknn_util::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 impl_json_struct!(QuerySpec { id, focal, k });
+
+// The shard substructure is emitted by `NetStats` only when some leg was
+// actually charged, so its own encoding can stay a plain full-field struct.
+impl_json_struct!(ShardStats {
+    fanout_msgs,
+    fanout_bytes,
+    merge_msgs,
+    merge_bytes,
+    handoff_msgs,
+    handoff_bytes,
+    forward_msgs,
+    forward_bytes,
+    migrate_msgs,
+    migrate_bytes,
+    retransmits,
+    retransmit_bytes,
+});
 
 // Hand-written so `retransmits` is emitted only when nonzero: episodes on a
 // perfect link serialize byte-identically to documents written before the
@@ -107,6 +124,12 @@ impl ToJson for NetStats {
         if self.delayed_msgs != 0 {
             fields.push(("delayed_msgs", self.delayed_msgs.to_json()));
         }
+        // Like the fault counters: the shard overlay appears only when an
+        // inter-shard leg was charged, so single-shard documents stay
+        // byte-identical to the pre-shard format.
+        if !self.shard.is_empty() {
+            fields.push(("shard", self.shard.to_json()));
+        }
         fields.push((
             "by_kind",
             Json::object(
@@ -138,6 +161,7 @@ impl FromJson for NetStats {
             dropped_msgs: v.parse_field_or_default("dropped_msgs")?,
             dup_msgs: v.parse_field_or_default("dup_msgs")?,
             delayed_msgs: v.parse_field_or_default("delayed_msgs")?,
+            shard: v.parse_field_or_default("shard")?,
         })
     }
 }
@@ -201,6 +225,29 @@ mod tests {
         assert!(json.contains("\"retransmits\":7"), "got: {json}");
         let back: OpCounters = from_str(&json).unwrap();
         assert_eq!(back, lossy);
+    }
+
+    #[test]
+    fn shard_counters_round_trip_and_hide_when_empty() {
+        use crate::ShardMsg;
+        use mknn_geom::{Circle, Point};
+        let mut s = NetStats::default();
+        s.count_uplink(MsgKind::Enter, 44);
+        let single = to_string(&s);
+        assert!(!single.contains("shard"), "got: {single}");
+        s.shard.count(&ShardMsg::Fanout {
+            query: QueryId(0),
+            zone: Circle::new(Point::ORIGIN, 3.0),
+        });
+        s.shard.count_retransmits(1, 36);
+        let sharded = to_string(&s);
+        assert!(sharded.contains("\"shard\""), "got: {sharded}");
+        assert!(sharded.contains("\"fanout_msgs\":1"), "got: {sharded}");
+        let back: NetStats = from_str(&sharded).unwrap();
+        assert_eq!(back, s);
+        // Pre-shard documents (no `shard` key) parse to the empty overlay.
+        let old: NetStats = from_str(&single).unwrap();
+        assert!(old.shard.is_empty());
     }
 
     #[test]

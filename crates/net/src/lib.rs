@@ -32,6 +32,6 @@ mod proto;
 mod stats;
 
 pub use fault::{FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
-pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, UplinkMsg};
+pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, ShardMsg, ShardMsgKind, UplinkMsg};
 pub use proto::{ObjReport, Outbox, ProbeService, Protocol, Uplinks};
-pub use stats::{NetStats, OpCounters};
+pub use stats::{NetStats, OpCounters, ShardStats};

@@ -111,6 +111,21 @@ impl UplinkMsg {
             UplinkMsg::QueryMove { .. } => MsgKind::QueryMove,
         }
     }
+
+    /// The query this uplink is addressed to, when it carries one.
+    /// [`UplinkMsg::Position`] reports are query-agnostic (the centralized
+    /// and periodic baselines' firehose) and are ingested by the sender's
+    /// local shard.
+    pub fn query(&self) -> Option<QueryId> {
+        match *self {
+            UplinkMsg::Position { .. } => None,
+            UplinkMsg::Enter { query, .. }
+            | UplinkMsg::Leave { query, .. }
+            | UplinkMsg::BandCross { query, .. }
+            | UplinkMsg::ProbeReply { query, .. }
+            | UplinkMsg::QueryMove { query, .. } => Some(query),
+        }
+    }
 }
 
 /// Server → device messages.
@@ -205,6 +220,113 @@ impl DownlinkMsg {
             DownlinkMsg::Ack { .. } => MsgKind::Ack,
         }
     }
+
+    /// The query this downlink belongs to. Every downlink variant carries
+    /// one — the sharded server tier uses it to attribute the transmission
+    /// to the query's home shard.
+    pub fn query(&self) -> QueryId {
+        match *self {
+            DownlinkMsg::InstallRegion { query, .. }
+            | DownlinkMsg::RemoveRegion { query }
+            | DownlinkMsg::Probe { query, .. }
+            | DownlinkMsg::SetBand { query, .. }
+            | DownlinkMsg::ClearBand { query }
+            | DownlinkMsg::Ack { query, .. } => query,
+        }
+    }
+}
+
+/// Shard-tier coordination messages: the legs the grid-partitioned server
+/// shards exchange over the backbone when a query or its traffic spans more
+/// than one shard. Charged into [`crate::ShardStats`] by the harness —
+/// never into the device-facing counters, so a G-shard run reports exactly
+/// the same protocol traffic as a single server plus a separately measured
+/// coordination overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardMsg {
+    /// The coordinating (home) shard fans a zone-scoped task — a region
+    /// install, a geocast page, or a probe — out to a covering shard whose
+    /// cell block overlaps the zone.
+    Fanout {
+        /// The query on whose behalf the task runs.
+        query: QueryId,
+        /// The zone the covering shard must service.
+        zone: Circle,
+    },
+    /// A covering shard returns its partial top-k answer (the candidates it
+    /// collected inside its block) to the coordinating shard for the merge.
+    PartialAnswer {
+        /// The query being answered.
+        query: QueryId,
+        /// Number of `(object, distance)` candidate entries carried.
+        count: usize,
+    },
+    /// Ownership transfer of an object whose position crossed a shard
+    /// boundary: the old owner ships the object's monitoring state to the
+    /// new owner.
+    Handoff {
+        /// The object changing hands.
+        object: ObjectId,
+        /// Position at the crossing tick.
+        pos: Point,
+        /// Velocity at the crossing tick.
+        vel: Vector,
+    },
+    /// A message tunneled between shards: an uplink that surfaced at the
+    /// sender's local shard but belongs to a query homed elsewhere, or a
+    /// unicast downlink delivered through a foreign shard's cell block.
+    Forward {
+        /// The query the tunneled message belongs to.
+        query: QueryId,
+        /// Encoded size of the tunneled message (its own header included).
+        payload_bytes: usize,
+    },
+    /// The query's focal object crossed into another shard's block: the
+    /// query's server state (members, region version, bands) migrates to
+    /// the new home shard.
+    Migrate {
+        /// The query whose home changed.
+        query: QueryId,
+        /// Number of member entries shipped with the state.
+        members: usize,
+    },
+}
+
+impl ShardMsg {
+    /// Encoded size under the byte model (DESIGN.md §9): fixed header plus
+    /// the payload the variant carries.
+    pub fn size_bytes(&self) -> usize {
+        match *self {
+            ShardMsg::Fanout { .. } => HEADER + COORD + SCALAR,
+            // One packed (id, distance) pair per candidate entry.
+            ShardMsg::PartialAnswer { count, .. } => HEADER + count * COORD,
+            ShardMsg::Handoff { .. } => HEADER + 2 * COORD,
+            ShardMsg::Forward { payload_bytes, .. } => HEADER + payload_bytes,
+            ShardMsg::Migrate { members, .. } => HEADER + members * COORD,
+        }
+    }
+
+    /// Stable label for the per-category [`crate::ShardStats`] tallies.
+    pub fn kind(&self) -> ShardMsgKind {
+        match self {
+            ShardMsg::Fanout { .. } => ShardMsgKind::Fanout,
+            ShardMsg::PartialAnswer { .. } => ShardMsgKind::PartialAnswer,
+            ShardMsg::Handoff { .. } => ShardMsgKind::Handoff,
+            ShardMsg::Forward { .. } => ShardMsgKind::Forward,
+            ShardMsg::Migrate { .. } => ShardMsgKind::Migrate,
+        }
+    }
+}
+
+/// Category labels for the inter-shard legs (one per [`ShardMsg`] variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum ShardMsgKind {
+    Fanout,
+    PartialAnswer,
+    Handoff,
+    Forward,
+    Migrate,
 }
 
 /// Who a downlink is addressed to.
@@ -320,6 +442,79 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn every_downlink_names_its_query_and_uplinks_except_position() {
+        let q = QueryId(7);
+        assert_eq!(DownlinkMsg::RemoveRegion { query: q }.query(), q);
+        assert_eq!(
+            DownlinkMsg::Probe {
+                query: q,
+                zone: Circle::new(Point::ORIGIN, 5.0),
+            }
+            .query(),
+            q
+        );
+        assert_eq!(
+            UplinkMsg::Position {
+                pos: Point::ORIGIN,
+                vel: Vector::ZERO,
+            }
+            .query(),
+            None
+        );
+        assert_eq!(
+            UplinkMsg::QueryMove {
+                query: q,
+                pos: Point::ORIGIN,
+                vel: Vector::ZERO,
+            }
+            .query(),
+            Some(q)
+        );
+    }
+
+    #[test]
+    fn shard_msg_sizes_scale_with_payload() {
+        let fanout = ShardMsg::Fanout {
+            query: QueryId(0),
+            zone: Circle::new(Point::ORIGIN, 9.0),
+        };
+        assert_eq!(fanout.size_bytes(), 36);
+        assert_eq!(fanout.kind(), ShardMsgKind::Fanout);
+        let empty = ShardMsg::PartialAnswer {
+            query: QueryId(0),
+            count: 0,
+        };
+        let five = ShardMsg::PartialAnswer {
+            query: QueryId(0),
+            count: 5,
+        };
+        assert_eq!(empty.size_bytes(), 12);
+        assert_eq!(five.size_bytes(), 12 + 5 * 16);
+        // A forward tunnels the original message on top of its own header.
+        let inner = UplinkMsg::Leave {
+            query: QueryId(0),
+            ver: 0,
+            pos: Point::ORIGIN,
+        };
+        let fwd = ShardMsg::Forward {
+            query: QueryId(0),
+            payload_bytes: inner.size_bytes(),
+        };
+        assert_eq!(fwd.size_bytes(), 12 + 36);
+        let handoff = ShardMsg::Handoff {
+            object: ObjectId(3),
+            pos: Point::ORIGIN,
+            vel: Vector::ZERO,
+        };
+        assert_eq!(handoff.size_bytes(), 44);
+        let mig = ShardMsg::Migrate {
+            query: QueryId(0),
+            members: 10,
+        };
+        assert_eq!(mig.size_bytes(), 12 + 160);
     }
 
     #[test]

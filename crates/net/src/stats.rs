@@ -1,8 +1,124 @@
 //! Metric counters: the quantities every experiment reports.
 
-use crate::MsgKind;
+use crate::{MsgKind, ShardMsg, ShardMsgKind};
 use std::collections::BTreeMap;
 use std::ops::AddAssign;
+
+/// Inter-shard coordination counters: the backbone legs a grid-partitioned
+/// server tier spends on fan-out, partial-answer merges, object handoffs,
+/// uplink forwarding and query migration. Kept apart from the device-facing
+/// [`NetStats`] counters so shard-coordination overhead is a separately
+/// measured curve — a G-shard run reports exactly the same protocol traffic
+/// as the single server plus this overlay, and a single-shard run leaves
+/// every field zero (the struct then disappears from the JSON encoding).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Zone-task fan-out legs (home shard → covering shard).
+    pub fanout_msgs: u64,
+    /// Bytes across all fan-out legs.
+    pub fanout_bytes: u64,
+    /// Partial-answer merge legs (covering shard → home shard).
+    pub merge_msgs: u64,
+    /// Bytes across all merge legs.
+    pub merge_bytes: u64,
+    /// Object ownership handoffs across a shard boundary.
+    pub handoff_msgs: u64,
+    /// Bytes across all handoffs.
+    pub handoff_bytes: u64,
+    /// Tunneled messages (mis-homed uplinks, foreign-cell unicasts).
+    pub forward_msgs: u64,
+    /// Bytes across all forwards.
+    pub forward_bytes: u64,
+    /// Query-state migrations to a new home shard.
+    pub migrate_msgs: u64,
+    /// Bytes across all migrations.
+    pub migrate_bytes: u64,
+    /// Inter-shard legs re-sent because the backbone lost the first copy
+    /// (the shard tier retransmits until delivery, so faults cost traffic
+    /// but never diverge the shards' shared state). Zero on a perfect link.
+    pub retransmits: u64,
+    /// Bytes spent on those retransmissions.
+    pub retransmit_bytes: u64,
+}
+
+impl ShardStats {
+    /// `true` when no inter-shard leg was ever charged — a single-shard run
+    /// or an episode whose queries never spanned a boundary.
+    pub fn is_empty(&self) -> bool {
+        *self == ShardStats::default()
+    }
+
+    /// Total inter-shard messages (retransmissions included: the backbone
+    /// carried them).
+    pub fn total_msgs(&self) -> u64 {
+        self.fanout_msgs
+            + self.merge_msgs
+            + self.handoff_msgs
+            + self.forward_msgs
+            + self.migrate_msgs
+            + self.retransmits
+    }
+
+    /// Total inter-shard bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.fanout_bytes
+            + self.merge_bytes
+            + self.handoff_bytes
+            + self.forward_bytes
+            + self.migrate_bytes
+            + self.retransmit_bytes
+    }
+
+    /// Records one inter-shard leg under its category.
+    pub fn count(&mut self, msg: &ShardMsg) {
+        let bytes = msg.size_bytes() as u64;
+        match msg.kind() {
+            ShardMsgKind::Fanout => {
+                self.fanout_msgs += 1;
+                self.fanout_bytes += bytes;
+            }
+            ShardMsgKind::PartialAnswer => {
+                self.merge_msgs += 1;
+                self.merge_bytes += bytes;
+            }
+            ShardMsgKind::Handoff => {
+                self.handoff_msgs += 1;
+                self.handoff_bytes += bytes;
+            }
+            ShardMsgKind::Forward => {
+                self.forward_msgs += 1;
+                self.forward_bytes += bytes;
+            }
+            ShardMsgKind::Migrate => {
+                self.migrate_msgs += 1;
+                self.migrate_bytes += bytes;
+            }
+        }
+    }
+
+    /// Records `n` retransmissions of a leg of `bytes` each.
+    pub fn count_retransmits(&mut self, n: u64, bytes: u64) {
+        self.retransmits += n;
+        self.retransmit_bytes += n * bytes;
+    }
+}
+
+impl AddAssign<&ShardStats> for ShardStats {
+    fn add_assign(&mut self, rhs: &ShardStats) {
+        self.fanout_msgs += rhs.fanout_msgs;
+        self.fanout_bytes += rhs.fanout_bytes;
+        self.merge_msgs += rhs.merge_msgs;
+        self.merge_bytes += rhs.merge_bytes;
+        self.handoff_msgs += rhs.handoff_msgs;
+        self.handoff_bytes += rhs.handoff_bytes;
+        self.forward_msgs += rhs.forward_msgs;
+        self.forward_bytes += rhs.forward_bytes;
+        self.migrate_msgs += rhs.migrate_msgs;
+        self.migrate_bytes += rhs.migrate_bytes;
+        self.retransmits += rhs.retransmits;
+        self.retransmit_bytes += rhs.retransmit_bytes;
+    }
+}
 
 /// Communication counters, maintained by the simulation harness as it routes
 /// messages (protocols cannot under-report their own traffic).
@@ -35,6 +151,9 @@ pub struct NetStats {
     pub dup_msgs: u64,
     /// Deliveries the fault layer held back for one or more ticks.
     pub delayed_msgs: u64,
+    /// Inter-shard coordination legs of the sharded server tier. All-zero
+    /// (and absent from the JSON encoding) for a single-shard server.
+    pub shard: ShardStats,
 }
 
 impl NetStats {
@@ -110,6 +229,7 @@ impl AddAssign<&NetStats> for NetStats {
         self.dropped_msgs += rhs.dropped_msgs;
         self.dup_msgs += rhs.dup_msgs;
         self.delayed_msgs += rhs.delayed_msgs;
+        self.shard += &rhs.shard;
     }
 }
 
@@ -191,6 +311,55 @@ mod tests {
                 retransmits: 33,
             }
         );
+    }
+
+    #[test]
+    fn shard_counters_accumulate_by_category_and_merge() {
+        use mknn_geom::{Circle, ObjectId, Point, QueryId, Vector};
+        let mut s = ShardStats::default();
+        assert!(s.is_empty());
+        s.count(&ShardMsg::Fanout {
+            query: QueryId(0),
+            zone: Circle::new(Point::ORIGIN, 4.0),
+        });
+        s.count(&ShardMsg::PartialAnswer {
+            query: QueryId(0),
+            count: 3,
+        });
+        s.count(&ShardMsg::Handoff {
+            object: ObjectId(1),
+            pos: Point::ORIGIN,
+            vel: Vector::ZERO,
+        });
+        s.count(&ShardMsg::Forward {
+            query: QueryId(0),
+            payload_bytes: 36,
+        });
+        s.count(&ShardMsg::Migrate {
+            query: QueryId(0),
+            members: 2,
+        });
+        s.count_retransmits(2, 36);
+        assert!(!s.is_empty());
+        assert_eq!(s.fanout_msgs, 1);
+        assert_eq!(s.merge_msgs, 1);
+        assert_eq!(s.handoff_msgs, 1);
+        assert_eq!(s.forward_msgs, 1);
+        assert_eq!(s.migrate_msgs, 1);
+        assert_eq!(s.retransmits, 2);
+        assert_eq!(s.retransmit_bytes, 72);
+        assert_eq!(s.total_msgs(), 7);
+        assert!(s.total_bytes() > 0);
+        // Shard legs never feed the device-facing headline counters.
+        let mut net = NetStats::default();
+        net.shard = s.clone();
+        assert_eq!(net.total_msgs(), 0);
+        assert_eq!(net.total_bytes(), 0);
+        let mut merged = ShardStats::default();
+        merged += &s;
+        merged += &s;
+        assert_eq!(merged.total_msgs(), 2 * s.total_msgs());
+        assert_eq!(merged.total_bytes(), 2 * s.total_bytes());
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub struct SimConfig {
     /// metrics and serialized form — to configurations written before the
     /// fault layer existed.
     pub fault: FaultPlan,
+    /// Number of grid-partitioned server shards (DESIGN.md §9). Sharding is
+    /// an accounting overlay: answers and device-side traffic are
+    /// byte-identical for every value; only the separately-tallied
+    /// inter-shard overhead and per-shard load vary. `1` (the default) is
+    /// the single-server deployment and serializes identically to
+    /// configurations written before the shard tier existed.
+    pub shards: u32,
 }
 
 impl Default for SimConfig {
@@ -52,6 +59,7 @@ impl Default for SimConfig {
             geo_cells: 64,
             verify: VerifyMode::Record,
             fault: FaultPlan::none(),
+            shards: 1,
         }
     }
 }
@@ -72,6 +80,7 @@ impl SimConfig {
             geo_cells: 16,
             verify: VerifyMode::Assert,
             fault: FaultPlan::none(),
+            shards: 1,
         }
     }
 

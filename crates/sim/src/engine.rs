@@ -1,6 +1,7 @@
 //! The simulation engine: world + infrastructure + protocol driver.
 
 use crate::{check_answer, EpisodeMetrics, SimConfig, SnapshotOracle, VerifyMode};
+use mknn_core::ShardCoordinator;
 use mknn_geom::{ObjectId, QueryId, Tick};
 use mknn_index::GridIndex;
 use mknn_mobility::World;
@@ -8,6 +9,7 @@ use mknn_net::{
     DownlinkMsg, FaultyLink, MsgKind, NetStats, ObjReport, OpCounters, Outbox, ProbeService,
     Protocol, QuerySpec, Recipient, UplinkMsg, Uplinks,
 };
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// The harness's synchronous probe channel: answers from true positions,
@@ -23,6 +25,7 @@ struct EngineProbe<'a> {
     world: &'a World,
     stats: &'a mut NetStats,
     link: Option<&'a mut FaultyLink>,
+    coord: &'a mut ShardCoordinator,
 }
 
 impl ProbeService for EngineProbe<'_> {
@@ -36,6 +39,10 @@ impl ProbeService for EngineProbe<'_> {
         let cells = self.infra.cells_overlapping(&zone);
         self.stats
             .count_geocast(MsgKind::Probe, msg.size_bytes(), cells);
+        // The probe zone scatters to every covering shard; each foreign one
+        // merges its partial answer back at the home shard afterwards.
+        self.coord
+            .probe_scatter(query, &zone, self.stats, self.link.as_deref_mut());
         let mut out = Vec::new();
         for n in self.infra.range(&zone) {
             if n.id == exclude {
@@ -73,6 +80,17 @@ impl ProbeService for EngineProbe<'_> {
                 vel: o.vel,
             });
         }
+        // Gather: delivered replies surface at the shard owning the sender's
+        // block; foreign shards ship their candidates home as one partial
+        // answer each, merged in ascending shard order.
+        let mut per_shard: BTreeMap<u32, usize> = BTreeMap::new();
+        for r in &out {
+            *per_shard.entry(self.coord.shard_of(r.pos)).or_insert(0) += 1;
+        }
+        for (shard, count) in per_shard {
+            self.coord
+                .probe_gather(query, shard, count, self.stats, self.link.as_deref_mut());
+        }
         out
     }
 
@@ -91,6 +109,15 @@ impl ProbeService for EngineProbe<'_> {
             zone: mknn_geom::Circle::new(o.pos, 0.0),
         };
         self.stats.count_unicast(MsgKind::Probe, ask.size_bytes());
+        // A poll into a foreign block is forwarded there and the reply
+        // forwarded back.
+        self.coord.route_unicast(
+            query,
+            o.pos,
+            ask.size_bytes(),
+            self.stats,
+            self.link.as_deref_mut(),
+        );
         if let Some(link) = self.link.as_deref_mut() {
             if link.is_offline(id.index()) {
                 self.stats.count_dropped();
@@ -107,6 +134,13 @@ impl ProbeService for EngineProbe<'_> {
         };
         self.stats
             .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+        self.coord.route_uplink(
+            Some(query),
+            o.pos,
+            reply.size_bytes(),
+            self.stats,
+            self.link.as_deref_mut(),
+        );
         if let Some(link) = self.link.as_deref_mut() {
             if link.probe_leg_lost(link.plan().up_loss, self.stats) {
                 return None;
@@ -139,6 +173,11 @@ pub struct Simulation {
     /// Per query: how many consecutive oracle checks have been inexact
     /// (feeds the staleness metrics).
     stale_streak: Vec<u64>,
+    /// The sharded server tier's routing overlay (DESIGN.md §9). Always
+    /// present — at `shards = 1` every leg is intra-shard, so the overlay
+    /// never charges and the episode is byte-identical to the pre-shard
+    /// engine.
+    coord: ShardCoordinator,
     /// Verify with the `O(N)`-per-query brute-force scan instead of the
     /// per-tick snapshot index (`MKNN_ORACLE=brute`). Results are
     /// byte-identical either way — the switch exists so the equivalence and
@@ -200,6 +239,18 @@ impl Simulation {
         };
         let mut inboxes: Vec<Vec<DownlinkMsg>> = vec![Vec::new(); world.objects().len()];
 
+        // Shard tier: seed every ownership before any traffic flows (a
+        // first sighting is registration, not a boundary crossing, so
+        // nothing is charged here).
+        let mut coord = ShardCoordinator::new(bounds, config.shards);
+        for o in world.objects() {
+            coord.track_object(o.id, o.pos, o.vel, &mut metrics.net, None);
+        }
+        for spec in &specs {
+            let focal = world.position(spec.focal);
+            coord.track_query(spec.id, focal, config.k, &mut metrics.net, None);
+        }
+
         // Init handshake at tick 0.
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
@@ -210,6 +261,7 @@ impl Simulation {
                 world: &world,
                 stats: &mut metrics.net,
                 link: None,
+                coord: &mut coord,
             };
             proto.init(
                 bounds,
@@ -222,7 +274,15 @@ impl Simulation {
         }
         metrics.proto_seconds += t0.elapsed().as_secs_f64();
         metrics.ops += ops;
-        route(&outbox, &infra, &mut inboxes, &mut metrics.net, None);
+        route(
+            &outbox,
+            &infra,
+            &mut inboxes,
+            &mut metrics.net,
+            None,
+            &mut coord,
+        );
+        metrics.shard_load = coord.loads();
 
         let n_queries = specs.len();
         Simulation {
@@ -237,6 +297,7 @@ impl Simulation {
             planned_ticks: config.ticks,
             series: None,
             link,
+            coord,
             stale_streak: vec![0; n_queries],
             oracle_brute: std::env::var("MKNN_ORACLE").as_deref() == Ok("brute"),
         }
@@ -300,6 +361,27 @@ impl Simulation {
             link.begin_tick(self.tick, self.world.objects().len());
         }
 
+        // Shard tier: movement first. Block crossings hand the object off
+        // to its new owner; a focal crossing migrates the query's state to
+        // its new home shard (members = k entries).
+        for i in 0..self.world.objects().len() {
+            let o = self.world.objects()[i];
+            self.coord.track_object(
+                o.id,
+                o.pos,
+                o.vel,
+                &mut self.metrics.net,
+                self.link.as_mut(),
+            );
+        }
+        let k = self.metrics.k;
+        for qi in 0..self.specs.len() {
+            let spec = self.specs[qi];
+            let focal = self.world.position(spec.focal);
+            self.coord
+                .track_query(spec.id, focal, k, &mut self.metrics.net, self.link.as_mut());
+        }
+
         let mut ops = OpCounters::default();
         let mut uplinks = Uplinks::new();
         let t0 = Instant::now();
@@ -340,6 +422,17 @@ impl Simulation {
         } else {
             uplinks
         };
+        // Every *delivered* uplink terminates at the shard owning the
+        // sender's block and is forwarded when its query is homed elsewhere.
+        for (from, msg) in uplinks.iter() {
+            self.coord.route_uplink(
+                msg.query(),
+                self.world.position(from),
+                msg.size_bytes(),
+                &mut self.metrics.net,
+                self.link.as_mut(),
+            );
+        }
 
         // Server phase.
         let mut outbox = Outbox::new();
@@ -349,6 +442,7 @@ impl Simulation {
                 world: &self.world,
                 stats: &mut self.metrics.net,
                 link: self.link.as_mut(),
+                coord: &mut self.coord,
             };
             self.proto
                 .server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
@@ -362,7 +456,9 @@ impl Simulation {
             &mut self.inboxes,
             &mut self.metrics.net,
             self.link.as_mut(),
+            &mut self.coord,
         );
+        self.metrics.shard_load = self.coord.loads();
 
         if self.verify != VerifyMode::Off {
             self.verify_answers();
@@ -474,6 +570,7 @@ fn route(
     inboxes: &mut [Vec<DownlinkMsg>],
     stats: &mut NetStats,
     mut link: Option<&mut FaultyLink>,
+    coord: &mut ShardCoordinator,
 ) {
     if let Some(link) = link.as_deref_mut() {
         link.drain_due_down(inboxes, stats);
@@ -482,6 +579,18 @@ fn route(
         match *recipient {
             Recipient::One(id) => {
                 stats.count_unicast(msg.kind(), msg.size_bytes());
+                // A unicast into a foreign shard's block is forwarded there
+                // over the backbone. Recipients the infrastructure does not
+                // track have no block, hence no shard leg.
+                if let Some(pos) = infra.position(id) {
+                    coord.route_unicast(
+                        msg.query(),
+                        pos,
+                        msg.size_bytes(),
+                        stats,
+                        link.as_deref_mut(),
+                    );
+                }
                 if let Some(link) = link.as_deref_mut() {
                     link.deliver_down(id.index(), *msg, inboxes, stats);
                 } else if let Some(inbox) = inboxes.get_mut(id.index()) {
@@ -491,6 +600,7 @@ fn route(
             Recipient::Geocast(zone) => {
                 let cells = infra.cells_overlapping(&zone);
                 stats.count_geocast(msg.kind(), msg.size_bytes(), cells);
+                coord.route_geocast(msg.query(), &zone, stats, link.as_deref_mut());
                 if let Some(link) = link.as_deref_mut() {
                     for n in infra.range(&zone) {
                         link.deliver_down(n.id.index(), *msg, inboxes, stats);
@@ -509,6 +619,7 @@ fn route(
             }
             Recipient::Broadcast => {
                 stats.count_broadcast(msg.kind(), msg.size_bytes());
+                coord.route_broadcast(msg.query(), stats, link.as_deref_mut());
                 if let Some(link) = link.as_deref_mut() {
                     for i in 0..inboxes.len() {
                         link.deliver_down(i, *msg, inboxes, stats);
@@ -614,11 +725,13 @@ mod tests {
         }
         let n = world.objects().len() as u32;
         let mut stats = NetStats::default();
+        let mut coord = ShardCoordinator::new(world.bounds(), 1);
         let mut probe = EngineProbe {
             infra: &infra,
             world: &world,
             stats: &mut stats,
             link: None,
+            coord: &mut coord,
         };
         // Beyond the population: no such device, no traffic charged.
         assert_eq!(probe.poll(QueryId(0), ObjectId(n)), None);
@@ -649,11 +762,43 @@ mod tests {
         );
         outbox.send(Recipient::Broadcast, msg);
         let mut stats = NetStats::default();
-        route(&outbox, &infra, &mut inboxes, &mut stats, None);
+        let mut coord = ShardCoordinator::new(Rect::square(100.0), 1);
+        route(&outbox, &infra, &mut inboxes, &mut stats, None, &mut coord);
         // Device 0: hears the geocast and the broadcast. Device 1: only the
         // broadcast (it is not in the grid). Id 9: dropped in every arm.
         assert_eq!(inboxes[0].len(), 2);
         assert_eq!(inboxes[1].len(), 1);
+    }
+
+    #[test]
+    fn sharded_episode_keeps_answers_and_device_traffic_identical() {
+        let cfg = SimConfig::small();
+        let single = Simulation::new(&cfg, Box::new(Dknn::set(DknnParams::default()))).run();
+        let sharded_cfg = SimConfig { shards: 4, ..cfg };
+        let sharded =
+            Simulation::new(&sharded_cfg, Box::new(Dknn::set(DknnParams::default()))).run();
+        // Device-facing traffic and answer quality are untouched by the
+        // overlay; only the shard ledger differs.
+        let mut device_view = sharded.clone();
+        device_view.net.shard = Default::default();
+        device_view.shard_load = single.shard_load.clone();
+        assert_eq!(
+            device_view.with_clock_zeroed(),
+            single.clone().with_clock_zeroed()
+        );
+        assert_eq!(sharded.shard_load.len(), 4);
+        assert!(sharded.net.shard.total_msgs() > 0, "cross-shard legs flow");
+        assert!(
+            sharded.net.shard.handoff_msgs > 0,
+            "objects cross blocks in 60 ticks: {:?}",
+            sharded.net.shard
+        );
+        assert_eq!(
+            sharded.net.shard.retransmits, 0,
+            "perfect backbone never retransmits"
+        );
+        // Load conservation: the single server processes everything.
+        assert_eq!(single.shard_load.len(), 1);
     }
 
     #[test]

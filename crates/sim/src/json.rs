@@ -29,6 +29,11 @@ impl ToJson for SimConfig {
         if !self.fault.is_none() {
             fields.push(("fault", self.fault.to_json()));
         }
+        // Like `fault`: single-server configs (the only kind that existed
+        // before the shard tier) keep their original shape.
+        if self.shards != 1 {
+            fields.push(("shards", self.shards.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -43,6 +48,12 @@ impl FromJson for SimConfig {
             geo_cells: v.parse_field("geo_cells")?,
             verify: v.parse_field("verify")?,
             fault: v.parse_field_or_default("fault")?,
+            // The absent-field default is 1 (single server), not
+            // `u32::default()`.
+            shards: match v.get("shards") {
+                Some(s) => u32::from_json(s)?,
+                None => 1,
+            },
         })
     }
 }
@@ -75,6 +86,12 @@ impl ToJson for EpisodeMetrics {
         if self.oracle_seconds != 0.0 {
             fields.push(("oracle_seconds", self.oracle_seconds.to_json()));
         }
+        // A single-server episode records one trivial shard load; only
+        // genuinely sharded runs (G > 1) carry the distribution, so golden
+        // documents keep their pre-shard shape.
+        if self.shard_load.len() > 1 {
+            fields.push(("shard_load", self.shard_load.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -97,6 +114,7 @@ impl FromJson for EpisodeMetrics {
             max_staleness: v.parse_field_or_default("max_staleness")?,
             proto_seconds: v.parse_field("proto_seconds")?,
             oracle_seconds: v.parse_field_or_default("oracle_seconds")?,
+            shard_load: v.parse_field_or_default("shard_load")?,
         })
     }
 }
@@ -243,6 +261,42 @@ mod tests {
             verify: VerifyMode::Off,
             ..SimConfig::default()
         });
+    }
+
+    #[test]
+    fn sharded_config_round_trips_and_single_server_hides_the_key() {
+        let single = to_string(&SimConfig::default());
+        assert!(!single.contains("shards"), "got: {single}");
+        let sharded = SimConfig {
+            shards: 4,
+            ..SimConfig::default()
+        };
+        let s = to_string(&sharded);
+        assert!(s.contains("\"shards\":4"), "got: {s}");
+        roundtrip(&sharded);
+        // Pre-shard documents default to the single server, not to zero.
+        let old: SimConfig = from_str(&single).unwrap();
+        assert_eq!(old.shards, 1);
+    }
+
+    #[test]
+    fn sharded_metrics_round_trip_and_single_server_hides_the_load() {
+        let mut m = EpisodeMetrics {
+            method: "dknn-set".into(),
+            ticks: 10,
+            proto_seconds: 0.5,
+            shard_load: vec![40],
+            ..Default::default()
+        };
+        assert!(
+            !to_string(&m).contains("shard_load"),
+            "single-server load vector is omitted"
+        );
+        m.shard_load = vec![40, 10, 0, 25];
+        let s = to_string(&m);
+        assert!(s.contains("\"shard_load\":[40,10,0,25]"), "got: {s}");
+        let back: EpisodeMetrics = from_str(&s).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct EpisodeMetrics {
     /// verification is off; kept separate from [`Self::proto_seconds`] so
     /// verification cost is observable apart from the protocols under test.
     pub oracle_seconds: f64,
+    /// Per-shard load at episode end (messages each server shard processed,
+    /// indexed by shard id). Length equals the configured shard count; a
+    /// single-server episode carries one entry and omits the field from the
+    /// serialized form.
+    pub shard_load: Vec<u64>,
 }
 
 impl EpisodeMetrics {
@@ -126,6 +131,19 @@ impl EpisodeMetrics {
         self.oracle_seconds * 1e6 / self.ticks.max(1) as f64
     }
 
+    /// p99 of the per-shard load distribution (the balance headline for
+    /// E17: a well-partitioned tier keeps p99 close to mean). NaN when no
+    /// shard loads were recorded.
+    pub fn shard_load_p99(&self) -> f64 {
+        let samples: Vec<f64> = self.shard_load.iter().map(|&l| l as f64).collect();
+        crate::stats::percentile(&samples, 99.0)
+    }
+
+    /// The hottest shard's load (0 when no shard loads were recorded).
+    pub fn shard_load_max(&self) -> u64 {
+        self.shard_load.iter().copied().max().unwrap_or(0)
+    }
+
     /// These metrics with the wall-clock fields zeroed: the deterministic
     /// view. Every other field is fully determined by the seed, so this is
     /// what byte-identity gates and cross-thread-count determinism tests
@@ -177,6 +195,19 @@ mod tests {
         assert_eq!(m2.exactness(), 0.75);
         assert_eq!(m2.recall(), 0.8);
         assert!((m2.dist_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_load_summaries() {
+        let empty = EpisodeMetrics::default();
+        assert!(empty.shard_load_p99().is_nan());
+        assert_eq!(empty.shard_load_max(), 0);
+        let m = EpisodeMetrics {
+            shard_load: vec![10, 20, 30, 100],
+            ..Default::default()
+        };
+        assert_eq!(m.shard_load_max(), 100);
+        assert!(m.shard_load_p99() > 30.0 && m.shard_load_p99() <= 100.0);
     }
 
     #[test]

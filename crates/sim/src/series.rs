@@ -57,7 +57,7 @@ impl TickSeries {
         debug_assert!(
             self.samples
                 .last()
-                .map_or(true, |last| last.tick < sample.tick),
+                .is_none_or(|last| last.tick < sample.tick),
             "samples must arrive in tick order"
         );
         self.samples.push(sample);

@@ -95,6 +95,7 @@ fn frozen_world(n: usize) -> SimConfig {
         geo_cells: 10, // 10 m cells
         verify: VerifyMode::Off,
         fault: mknn_net::FaultPlan::none(),
+        shards: 1,
     }
 }
 

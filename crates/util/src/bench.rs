@@ -31,7 +31,7 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Config {
-        let fast = std::env::var("MKNN_BENCH_FAST").map_or(false, |v| v == "1");
+        let fast = std::env::var("MKNN_BENCH_FAST").is_ok_and(|v| v == "1");
         let env_usize = |key: &str, dflt: usize| {
             std::env::var(key)
                 .ok()

@@ -48,6 +48,7 @@ fn main() {
         geo_cells: 8,
         verify: VerifyMode::Assert,
         fault: FaultPlan::none(),
+        shards: 1,
     };
     // Stationary world: drive the simulation normally; all cost after init
     // should be zero — the protocol is fully quiescent.

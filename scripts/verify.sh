@@ -2,127 +2,222 @@
 # Tier-1 verification gate. Fully offline: the workspace has zero external
 # dependencies, so no network (and no crates.io) is ever needed.
 #
-#   scripts/verify.sh
+#   scripts/verify.sh              # run every stage, in order
+#   scripts/verify.sh golden shards  # run only the named stages
 #
-# Checks, in order:
-#   1. release build of the whole workspace
-#   2. the full test suite (unit + property + integration + doc tests)
-#   3. rustfmt conformance
-#   4. determinism: two runs of `expt --seed 42` must be byte-identical
-#   5. thread determinism: `expt --seed 42` under MKNN_THREADS=1 and
-#      MKNN_THREADS=4 must be byte-identical
-#   6. golden gate: `expt --seed 42` must be byte-identical to the
-#      committed golden file (scripts/golden/smoke_seed42.json) — proves
-#      FaultPlan::none() is inert and guards every metric field at once
-#   7. chaos gate: `expt --seed 42 --fault chaos` must be byte-identical
-#      across two runs AND across MKNN_THREADS=1 vs 4 — fault injection
-#      is as deterministic as the perfect link
-#   8. oracle-equivalence gate: `MKNN_ORACLE=brute expt --seed 42` must be
-#      byte-identical to the default (indexed) run — the per-tick snapshot
-#      kd-tree oracle and the O(N)-per-query brute-force scan are
-#      interchangeable down to the last tie-break
-#   9. oracle-speedup gate: on a query-heavy smoke episode the indexed
-#      oracle must not be slower than brute force (stdout stays
-#      byte-identical; the measured speedup is printed)
-#  10. (informational) parallel speedup of the fast-mode suite: elapsed
-#      time of `expt --exp all` on one worker vs. all cores
+# Stages, in default order:
+#   build        release build of the whole workspace
+#   clippy       cargo clippy --all-targets with warnings denied
+#   test         the full test suite (unit + property + integration + doc)
+#   fmt          rustfmt conformance
+#   determinism  two runs of `expt --seed 42` byte-identical, and identical
+#                across MKNN_THREADS=1 vs 4
+#   golden       `expt --seed 42` byte-identical to the committed golden
+#                file (scripts/golden/smoke_seed42.json) — proves
+#                FaultPlan::none() is inert and guards every metric field
+#   shards       `expt --seed 42 --shards 1` byte-identical to the golden
+#                file (G=1 is the single server), and G=4 byte-identical
+#                across runs, thread counts, and under the chaos preset
+#   chaos        `expt --seed 42 --fault chaos` byte-identical across two
+#                runs AND across MKNN_THREADS=1 vs 4 — fault injection is
+#                as deterministic as the perfect link
+#   oracle       MKNN_ORACLE=brute byte-identical to the indexed default,
+#                and the indexed oracle not slower on a query-heavy episode
+#   bench        the committed BENCH_shards.json parses as a BenchSummary
+#                and round-trips through the mknn_util JSON codec
+#   speedup      (informational) fast-mode suite on one worker vs all cores
+#
+# Every byte gate routes through `diff` on temp files; a failing
+# `cargo run -q` inside a capture aborts the script with a non-zero exit
+# instead of silently diffing empty output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline --workspace"
-cargo build --release --offline --workspace
+TMPDIR_VERIFY="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_VERIFY"' EXIT
 
-echo "==> cargo test -q --offline --workspace"
-cargo test -q --offline --workspace
+EXPT=(cargo run -q --release --offline -p mknn-bench --bin expt --)
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
-
-echo "==> determinism gate (expt --seed 42, twice)"
-a="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
-b="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
-if [ "$a" != "$b" ]; then
-    echo "FAIL: expt --seed 42 output differs between runs" >&2
-    exit 1
-fi
-
-echo "==> thread-determinism gate (expt --seed 42, MKNN_THREADS=1 vs 4)"
-t1="$(MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
-t4="$(MKNN_THREADS=4 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
-if [ "$t1" != "$t4" ]; then
-    echo "FAIL: expt --seed 42 output differs across thread counts" >&2
-    exit 1
-fi
-
-echo "==> golden gate (expt --seed 42 vs scripts/golden/smoke_seed42.json)"
-if ! diff -u scripts/golden/smoke_seed42.json <(printf '%s\n' "$a"); then
-    echo "FAIL: expt --seed 42 output differs from the committed golden file" >&2
-    echo "      (if the metrics schema changed on purpose, regenerate it:" >&2
-    echo "       cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 > scripts/golden/smoke_seed42.json)" >&2
-    exit 1
-fi
-
-echo "==> chaos gate (expt --seed 42 --fault chaos: two runs + thread counts)"
-c1="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
-c2="$(cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
-if [ "$c1" != "$c2" ]; then
-    echo "FAIL: expt --seed 42 --fault chaos output differs between runs" >&2
-    exit 1
-fi
-ct1="$(MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
-ct4="$(MKNN_THREADS=4 cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 --fault chaos)"
-if [ "$ct1" != "$ct4" ]; then
-    echo "FAIL: expt --seed 42 --fault chaos output differs across thread counts" >&2
-    exit 1
-fi
-if [ "$c1" == "$a" ]; then
-    echo "FAIL: the chaos fault plan had no effect on the smoke run" >&2
-    exit 1
-fi
-
-echo "==> oracle-equivalence gate (MKNN_ORACLE=brute expt --seed 42)"
-ob="$(MKNN_ORACLE=brute cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42)"
-if [ "$ob" != "$a" ]; then
-    echo "FAIL: the brute-force and indexed snapshot oracles disagree" >&2
-    exit 1
-fi
-
-# The indexed oracle pays an O(N) bulk load per verified tick, so its win
-# shows on query-heavy episodes; the smoke default (Q = 5) is too small to
-# be a fair race. Use a sized smoke run and require "not slower" (the
-# measured speedup at suite scale is recorded in EXPERIMENTS.md).
-echo "==> oracle-speedup gate (N=20000, Q=100: indexed vs brute wall time)"
-speed_args=(--seed 42 --n 20000 --queries 100 --ticks 60 --method dknn-set --timing)
-si_err="$(mktemp)"; sb_err="$(mktemp)"
-si="$(cargo run -q --release --offline -p mknn-bench --bin expt -- "${speed_args[@]}" 2>"$si_err")"
-sb="$(MKNN_ORACLE=brute cargo run -q --release --offline -p mknn-bench --bin expt -- "${speed_args[@]}" 2>"$sb_err")"
-if [ "$si" != "$sb" ]; then
-    echo "FAIL: oracle modes disagree on the sized smoke run" >&2
-    exit 1
-fi
-oi="$(sed -n 's/.*oracle=\([0-9.]*\).*/\1/p' "$si_err")"
-obr="$(sed -n 's/.*oracle=\([0-9.]*\).*/\1/p' "$sb_err")"
-rm -f "$si_err" "$sb_err"
-awk -v i="$oi" -v b="$obr" 'BEGIN {
-    printf "oracle wall time: indexed %.3fs, brute %.3fs (%.1fx)\n", i, b, b / i;
-    exit !(i <= b) }' || {
-    echo "FAIL: the indexed oracle was slower than brute force" >&2
-    exit 1
+# run_expt <outfile> [ENV=VAL ...] -- <expt args...>
+# Runs the expt binary with the given environment overrides and arguments,
+# capturing stdout into "$TMPDIR_VERIFY/<outfile>". Any non-zero exit from
+# the binary fails the whole script (set -e does not see failures inside
+# command substitutions used as arguments, so captures go through files).
+run_expt() {
+    local out="$TMPDIR_VERIFY/$1"; shift
+    local envs=()
+    while [ "$1" != "--" ]; do envs+=("$1"); shift; done
+    shift
+    if ! env "${envs[@]}" "${EXPT[@]}" "$@" > "$out"; then
+        echo "FAIL: expt $* exited non-zero" >&2
+        exit 1
+    fi
 }
 
-# Informational: wall-clock of the fast-mode suite on one worker vs. all
-# cores. On a multi-core runner the parallel run should be measurably
-# faster; on a single-core box the two are expected to tie, so this
-# prints the measurement without failing the gate.
-echo "==> parallel speedup (expt --exp all, MKNN_THREADS=1 vs default)"
-start=$(date +%s.%N)
-MKNN_THREADS=1 cargo run -q --release --offline -p mknn-bench --bin expt -- --exp all > /dev/null
-seq_end=$(date +%s.%N)
-MKNN_THREADS= cargo run -q --release --offline -p mknn-bench --bin expt -- --exp all > /dev/null
-par_end=$(date +%s.%N)
-awk -v s="$start" -v m="$seq_end" -v e="$par_end" -v cores="$(nproc)" \
-    'BEGIN { seq = m - s; par = e - m;
-             printf "sequential: %.1fs  parallel (%s cores): %.1fs  speedup: %.2fx\n",
-                    seq, cores, par, seq / par }'
+# expect_same <file_a> <file_b> <message>
+expect_same() {
+    if ! diff -u "$TMPDIR_VERIFY/$1" "$TMPDIR_VERIFY/$2" >&2; then
+        echo "FAIL: $3" >&2
+        exit 1
+    fi
+}
 
-echo "verify: OK"
+stage_build() {
+    echo "==> cargo build --release --offline --workspace"
+    cargo build --release --offline --workspace
+}
+
+stage_clippy() {
+    echo "==> cargo clippy --all-targets --offline -- -D warnings"
+    cargo clippy --all-targets --offline -- -D warnings
+}
+
+stage_test() {
+    echo "==> cargo test -q --offline --workspace"
+    cargo test -q --offline --workspace
+}
+
+stage_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+}
+
+stage_determinism() {
+    echo "==> determinism gate (expt --seed 42, twice)"
+    run_expt det_a -- --seed 42
+    run_expt det_b -- --seed 42
+    expect_same det_a det_b "expt --seed 42 output differs between runs"
+
+    echo "==> thread-determinism gate (expt --seed 42, MKNN_THREADS=1 vs 4)"
+    run_expt det_t1 MKNN_THREADS=1 -- --seed 42
+    run_expt det_t4 MKNN_THREADS=4 -- --seed 42
+    expect_same det_t1 det_t4 "expt --seed 42 output differs across thread counts"
+}
+
+stage_golden() {
+    echo "==> golden gate (expt --seed 42 vs scripts/golden/smoke_seed42.json)"
+    run_expt golden -- --seed 42
+    if ! diff -u scripts/golden/smoke_seed42.json "$TMPDIR_VERIFY/golden"; then
+        echo "FAIL: expt --seed 42 output differs from the committed golden file" >&2
+        echo "      (if the metrics schema changed on purpose, regenerate it:" >&2
+        echo "       cargo run -q --release --offline -p mknn-bench --bin expt -- --seed 42 > scripts/golden/smoke_seed42.json)" >&2
+        exit 1
+    fi
+}
+
+stage_shards() {
+    echo "==> shard gate (expt --seed 42 --shards 1 vs the golden file)"
+    run_expt sh_g1 -- --seed 42 --shards 1
+    if ! diff -u scripts/golden/smoke_seed42.json "$TMPDIR_VERIFY/sh_g1"; then
+        echo "FAIL: --shards 1 is not byte-identical to the single-server golden" >&2
+        exit 1
+    fi
+
+    echo "==> shard gate (G=4: two runs + thread counts + chaos)"
+    run_expt sh_a -- --seed 42 --shards 4
+    run_expt sh_b -- --seed 42 --shards 4
+    expect_same sh_a sh_b "expt --seed 42 --shards 4 differs between runs"
+    run_expt sh_t1 MKNN_THREADS=1 -- --seed 42 --shards 4
+    run_expt sh_t4 MKNN_THREADS=4 -- --seed 42 --shards 4
+    expect_same sh_t1 sh_t4 "expt --seed 42 --shards 4 differs across thread counts"
+    run_expt sh_c1 -- --seed 42 --shards 4 --fault chaos
+    run_expt sh_c2 -- --seed 42 --shards 4 --fault chaos
+    expect_same sh_c1 sh_c2 "expt --seed 42 --shards 4 --fault chaos differs between runs"
+    if diff -q "$TMPDIR_VERIFY/sh_g1" "$TMPDIR_VERIFY/sh_a" > /dev/null; then
+        echo "FAIL: G=4 produced no shard counters (overlay is inert)" >&2
+        exit 1
+    fi
+}
+
+stage_chaos() {
+    echo "==> chaos gate (expt --seed 42 --fault chaos: two runs + thread counts)"
+    run_expt chaos_a -- --seed 42 --fault chaos
+    run_expt chaos_b -- --seed 42 --fault chaos
+    expect_same chaos_a chaos_b "expt --seed 42 --fault chaos differs between runs"
+    run_expt chaos_t1 MKNN_THREADS=1 -- --seed 42 --fault chaos
+    run_expt chaos_t4 MKNN_THREADS=4 -- --seed 42 --fault chaos
+    expect_same chaos_t1 chaos_t4 "expt --seed 42 --fault chaos differs across thread counts"
+    run_expt chaos_ref -- --seed 42
+    if diff -q "$TMPDIR_VERIFY/chaos_ref" "$TMPDIR_VERIFY/chaos_a" > /dev/null; then
+        echo "FAIL: the chaos fault plan had no effect on the smoke run" >&2
+        exit 1
+    fi
+}
+
+stage_oracle() {
+    echo "==> oracle-equivalence gate (MKNN_ORACLE=brute expt --seed 42)"
+    run_expt or_idx -- --seed 42
+    run_expt or_brute MKNN_ORACLE=brute -- --seed 42
+    expect_same or_idx or_brute "the brute-force and indexed snapshot oracles disagree"
+
+    # The indexed oracle pays an O(N) bulk load per verified tick, so its
+    # win shows on query-heavy episodes; the smoke default (Q = 5) is too
+    # small to be a fair race. Use a sized smoke run and require "not
+    # slower" (the suite-scale speedup is recorded in EXPERIMENTS.md).
+    echo "==> oracle-speedup gate (N=20000, Q=100: indexed vs brute wall time)"
+    local speed_args=(--seed 42 --n 20000 --queries 100 --ticks 60 --method dknn-set --timing)
+    if ! "${EXPT[@]}" "${speed_args[@]}" \
+            > "$TMPDIR_VERIFY/sp_idx" 2> "$TMPDIR_VERIFY/sp_idx_err"; then
+        echo "FAIL: sized smoke run (indexed) exited non-zero" >&2
+        exit 1
+    fi
+    if ! MKNN_ORACLE=brute "${EXPT[@]}" "${speed_args[@]}" \
+            > "$TMPDIR_VERIFY/sp_brute" 2> "$TMPDIR_VERIFY/sp_brute_err"; then
+        echo "FAIL: sized smoke run (brute) exited non-zero" >&2
+        exit 1
+    fi
+    expect_same sp_idx sp_brute "oracle modes disagree on the sized smoke run"
+    local oi obr
+    oi="$(sed -n 's/.*oracle=\([0-9.]*\).*/\1/p' "$TMPDIR_VERIFY/sp_idx_err")"
+    obr="$(sed -n 's/.*oracle=\([0-9.]*\).*/\1/p' "$TMPDIR_VERIFY/sp_brute_err")"
+    awk -v i="$oi" -v b="$obr" 'BEGIN {
+        printf "oracle wall time: indexed %.3fs, brute %.3fs (%.1fx)\n", i, b, b / i;
+        exit !(i <= b) }' || {
+        echo "FAIL: the indexed oracle was slower than brute force" >&2
+        exit 1
+    }
+}
+
+stage_bench() {
+    echo "==> bench gate (BENCH_shards.json parses and round-trips)"
+    if [ ! -f BENCH_shards.json ]; then
+        echo "FAIL: BENCH_shards.json is missing (regenerate:" >&2
+        echo "      cargo run --release --offline -p mknn-bench --bin expt --" \
+             "--exp e17 --full --bench-out BENCH_shards.json)" >&2
+        exit 1
+    fi
+    "${EXPT[@]}" --check-bench BENCH_shards.json
+}
+
+stage_speedup() {
+    # Informational: wall-clock of the fast-mode suite on one worker vs.
+    # all cores. On a multi-core runner the parallel run should be
+    # measurably faster; on a single-core box the two are expected to tie,
+    # so this prints the measurement without failing the gate.
+    echo "==> parallel speedup (expt --exp all, MKNN_THREADS=1 vs default)"
+    local start seq_end par_end
+    start=$(date +%s.%N)
+    MKNN_THREADS=1 "${EXPT[@]}" --exp all > /dev/null
+    seq_end=$(date +%s.%N)
+    MKNN_THREADS= "${EXPT[@]}" --exp all > /dev/null
+    par_end=$(date +%s.%N)
+    awk -v s="$start" -v m="$seq_end" -v e="$par_end" -v cores="$(nproc)" \
+        'BEGIN { seq = m - s; par = e - m;
+                 printf "sequential: %.1fs  parallel (%s cores): %.1fs  speedup: %.2fx\n",
+                        seq, cores, par, seq / par }'
+}
+
+ALL_STAGES=(build clippy test fmt determinism golden shards chaos oracle bench speedup)
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=("${ALL_STAGES[@]}")
+fi
+for s in "${stages[@]}"; do
+    case " ${ALL_STAGES[*]} " in
+        *" $s "*) "stage_$s" ;;
+        *) echo "unknown stage: $s (valid: ${ALL_STAGES[*]})" >&2; exit 2 ;;
+    esac
+done
+
+echo "verify: OK (${stages[*]})"

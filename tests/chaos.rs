@@ -57,6 +57,7 @@ fn chaos_config(rng: &mut Rng) -> SimConfig {
         geo_cells: 16,
         verify: VerifyMode::Off,
         fault: FaultPlan::none(), // replaced per case
+        shards: 1,
     }
 }
 

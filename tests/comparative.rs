@@ -17,6 +17,7 @@ fn cfg(n: usize) -> SimConfig {
         geo_cells: 16,
         verify: VerifyMode::Off,
         fault: FaultPlan::none(),
+        shards: 1,
     }
 }
 

@@ -18,6 +18,7 @@ fn base() -> SimConfig {
         geo_cells: 16,
         verify: VerifyMode::Assert,
         fault: FaultPlan::none(),
+        shards: 1,
     }
 }
 

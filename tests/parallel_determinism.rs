@@ -22,6 +22,7 @@ fn random_point(rng: &mut Rng, label: &str) -> (String, SimConfig) {
         geo_cells: 8,
         verify: VerifyMode::Record,
         fault: FaultPlan::none(),
+        shards: 1,
     };
     (label.to_string(), cfg)
 }

@@ -66,6 +66,7 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
         geo_cells: 8,
         verify: VerifyMode::Assert,
         fault: FaultPlan::none(),
+        shards: 1,
     };
     let params = DknnParams {
         alpha: s.alpha,

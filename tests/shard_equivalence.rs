@@ -1,0 +1,121 @@
+//! Sharding is an accounting overlay: for any shard count G the protocols
+//! must produce answers, device traffic, and verification results that are
+//! byte-identical to the single-server run — the only things allowed to
+//! differ are the overlay's own counters (`net.shard`, `shard_load`). These
+//! properties pin that invariant on random worlds, under the chaos fault
+//! preset, and across worker-thread counts.
+
+use mknn_net::ShardStats;
+use mknn_util::check::forall;
+use mknn_util::Rng;
+use moving_knn::prelude::*;
+
+/// Cases per property. Each case runs a full episode per method per G, so
+/// these stay smaller than the end-to-end exactness suite.
+const CASES: u64 = 8;
+
+/// Removes everything the overlay is *allowed* to change: wall-clock,
+/// the cross-shard counters, and the per-shard load vector.
+fn strip(m: &EpisodeMetrics) -> EpisodeMetrics {
+    let mut m = m.clone().with_clock_zeroed();
+    m.net.shard = ShardStats::default();
+    m.shard_load = Vec::new();
+    m
+}
+
+fn random_config(rng: &mut Rng, fault: FaultPlan) -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec {
+            n_objects: rng.gen_range(30usize..150),
+            space_side: 800.0,
+            seed: rng.next_u64(),
+            ..WorkloadSpec::default()
+        },
+        n_queries: rng.gen_range(1usize..4),
+        k: rng.gen_range(1usize..6),
+        ticks: rng.gen_range(10u64..30),
+        geo_cells: 8,
+        verify: VerifyMode::Record,
+        fault,
+        shards: 1,
+    }
+}
+
+/// Runs every standard method once per shard count and demands the stripped
+/// metrics match the single-server baseline exactly.
+fn assert_equivalent_across_shards(cfg: &SimConfig, shard_counts: &[u32]) {
+    for method in Method::standard_suite(cfg.dknn_params()) {
+        let single = Sweep::episode(cfg, method);
+        let baseline = strip(&single);
+        for &g in shard_counts {
+            let mut sharded_cfg = cfg.clone();
+            sharded_cfg.shards = g;
+            let sharded = Sweep::episode(&sharded_cfg, method);
+            assert_eq!(
+                sharded.shard_load.len(),
+                g as usize,
+                "{}: shard_load must have one slot per shard",
+                method.name()
+            );
+            assert_eq!(
+                strip(&sharded),
+                baseline,
+                "{} diverges from single-server at G={g}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_match_single_server_on_random_worlds() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, FaultPlan::none());
+        let shards: Vec<u32> = (2..=8).collect();
+        assert_equivalent_across_shards(&cfg, &shards);
+    });
+}
+
+#[test]
+fn sharded_runs_match_single_server_under_chaos() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, FaultPlan::chaos());
+        // Chaos episodes are slower (retransmission machinery is live), so
+        // probe the interesting shard counts rather than the full range.
+        assert_equivalent_across_shards(&cfg, &[2, 5, 8]);
+    });
+}
+
+#[test]
+fn single_shard_runs_leave_the_overlay_silent() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, FaultPlan::none());
+        for method in Method::standard_suite(cfg.dknn_params()) {
+            let m = Sweep::episode(&cfg, method);
+            assert!(m.net.shard.is_empty(), "G=1 must not charge shard traffic");
+            assert!(m.shard_load.len() <= 1);
+        }
+    });
+}
+
+#[test]
+fn sharded_sweeps_are_thread_count_deterministic() {
+    forall(4, |rng| {
+        let mut cfg = random_config(rng, FaultPlan::chaos());
+        cfg.shards = 4;
+        let sweep = Sweep::over([("sharded", cfg)]).seeds(2);
+        let seq = sweep.clone().threads(1).run();
+        let par = sweep.threads(4).run();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            // Full metrics — including the overlay counters and the
+            // per-shard load vector — must agree across worker counts.
+            assert_eq!(
+                s.metrics.clone().with_clock_zeroed(),
+                p.metrics.clone().with_clock_zeroed(),
+                "{} differs across thread counts",
+                s.metrics.method
+            );
+        }
+    });
+}
