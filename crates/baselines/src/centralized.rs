@@ -107,6 +107,23 @@ impl Protocol for Centralized {
         }
     }
 
+    fn client_phase(&mut self, ctx: &mknn_net::ClientCtx, up: &mut Uplinks, ops: &mut OpCounters) {
+        // The per-device body is stateless (report-if-moved), so the
+        // shared chunked harness applies directly.
+        mknn_net::parallel_client_phase(ctx, up, ops, |_tick, me, _inbox, up, ops| {
+            ops.client_ops += 1;
+            if me.vel != mknn_geom::Vector::ZERO {
+                up.send(
+                    me.id,
+                    UplinkMsg::Position {
+                        pos: me.pos,
+                        vel: me.vel,
+                    },
+                );
+            }
+        });
+    }
+
     fn server_tick(
         &mut self,
         _tick: Tick,

@@ -117,6 +117,54 @@ impl Protocol for Periodic {
         }
     }
 
+    fn client_phase(&mut self, ctx: &mknn_net::ClientCtx, up: &mut Uplinks, ops: &mut OpCounters) {
+        // The only client state is the per-device last-reported position,
+        // so chunks of that array are independent; merge in chunk order.
+        let n = ctx.len();
+        if ctx.pool.threads() <= 1 || n < mknn_net::PAR_MIN_DEVICES {
+            for i in 0..n {
+                if ctx.is_offline(i) {
+                    continue;
+                }
+                let me = ctx.object(i);
+                self.client_tick(ctx.tick, &me, &ctx.inboxes[i], up, ops);
+            }
+            return;
+        }
+        let period = self.period;
+        let chunk = ctx.pool.chunk_size(n);
+        let parts = ctx
+            .pool
+            .map_chunks_mut(&mut self.last_reported, chunk, |base, last| {
+                let mut up_c = Uplinks::new();
+                let mut ops_c = OpCounters::default();
+                for (j, last_pos) in last.iter_mut().enumerate() {
+                    let i = base + j;
+                    if ctx.is_offline(i) {
+                        continue;
+                    }
+                    let me = ctx.object(i);
+                    ops_c.client_ops += 1;
+                    let scheduled = (ctx.tick + me.id.0 as u64).is_multiple_of(period);
+                    if scheduled && *last_pos != me.pos {
+                        up_c.send(
+                            me.id,
+                            UplinkMsg::Position {
+                                pos: me.pos,
+                                vel: me.vel,
+                            },
+                        );
+                        *last_pos = me.pos;
+                    }
+                }
+                (up_c, ops_c)
+            });
+        for (mut up_c, ops_c) in parts {
+            up.append(&mut up_c);
+            *ops += ops_c;
+        }
+    }
+
     fn server_tick(
         &mut self,
         _tick: Tick,

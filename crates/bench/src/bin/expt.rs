@@ -23,7 +23,7 @@ use mknn_net::FaultPlan;
 use mknn_sim::{render_table, write_csv, Method, SimConfig, Sweep, VerifyMode};
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: expt --exp <id|all> [--full] [--bench-out FILE] | --check-bench FILE | --list | --seed <n> [--method <name>] [--fault <none|chaos|JSON>] [--shards <G>] [--n <objects>] [--queries <q>] [--ticks <t>] [--space <side>] [--timing]";
+const USAGE: &str = "usage: expt --exp <id|all> [--full] [--bench-out FILE] | --check-bench FILE | --list | --seed <n> [--method <name>] [--fault <none|chaos|JSON>] [--shards <G>] [--n <objects>] [--queries <q>] [--ticks <t>] [--space <side>] [--threads <w>] [--timing]";
 
 /// Smoke-mode workload overrides (each `None` keeps the
 /// [`SimConfig::small`] default, so the CI golden shape is untouched).
@@ -36,6 +36,10 @@ struct SmokeOverrides {
     /// Server shards (G). `None` keeps the single-server default; G=1 is
     /// byte-identical to it (the golden gate diffs exactly that).
     shards: Option<u32>,
+    /// Pin the intra-episode client pool to this many workers (overrides
+    /// `MKNN_THREADS` for the client phase only). `None` keeps the
+    /// environment-resolved default; metrics are byte-identical either way.
+    client_threads: Option<usize>,
     /// Print per-episode wall-clock lines to stderr (stdout JSON stays
     /// clock-zeroed and byte-deterministic).
     timing: bool,
@@ -79,6 +83,16 @@ fn run_smoke(seed: u64, method: Option<&str>, fault: FaultPlan, over: &SmokeOver
     }
     if let Some(g) = over.shards {
         cfg.shards = g;
+    }
+    if let Some(t) = over.client_threads {
+        cfg.client_threads = Some(t);
+    }
+    // Malformed shapes (`--n 0`, `--space 0`, NaN sides…) used to panic
+    // deep inside episode setup; the typed validator turns them into
+    // printable CLI errors.
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
     }
     let mut sweep = Sweep::over([("smoke", cfg.clone())]);
     if let Some(name) = method {
@@ -215,6 +229,10 @@ fn main() {
                 }
                 over.shards = Some(g);
             }
+            "--threads" => {
+                i += 1;
+                over.client_threads = Some(numeric(&args, i, "--threads"));
+            }
             "--bench-out" => {
                 i += 1;
                 bench_out = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
@@ -276,9 +294,10 @@ fn main() {
         || over.ticks.is_some()
         || over.space_side.is_some()
         || over.shards.is_some()
+        || over.client_threads.is_some()
     {
         eprintln!(
-            "--n/--queries/--ticks/--space/--shards/--timing only apply to the --seed smoke mode"
+            "--n/--queries/--ticks/--space/--shards/--threads/--timing only apply to the --seed smoke mode"
         );
         std::process::exit(2);
     }

@@ -84,6 +84,7 @@ pub fn base_config(scale: Scale) -> SimConfig {
         verify: VerifyMode::Off,
         fault: FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     }
 }
 
@@ -790,10 +791,96 @@ pub fn e17(scale: Scale) -> ExpResult {
     }
 }
 
+/// E18 — intra-episode parallelism: the tick-loop benchmark behind
+/// `BENCH_tick.json` (DESIGN.md §5.2). One big oracle-off episode per
+/// client-pool width T, timing the loop itself; the paper protocol
+/// (client band checks are the hot loop being chunked) next to the
+/// client-light centralized baseline. Episodes run strictly one at a time
+/// (sweep pool pinned to 1) so each measured episode owns every core, and
+/// the clock-zeroed metrics are asserted identical across every T before
+/// any number is reported — wall time is the only thing allowed to vary.
+pub fn e18(scale: Scale) -> ExpResult {
+    let mut cfg = base_config(scale);
+    if scale.full {
+        // The north-star population: one million moving objects.
+        cfg.workload.n_objects = 1_000_000;
+        cfg.ticks = 100;
+    } else {
+        cfg.workload.n_objects = 20_000;
+        cfg.ticks = 60;
+    }
+    cfg.verify = VerifyMode::Off;
+    let widths = [1usize, 2, 4, 8];
+    let configs: Vec<(String, SimConfig)> = widths
+        .into_iter()
+        .map(|t| {
+            let mut c = cfg.clone();
+            c.client_threads = Some(t);
+            (format!("T={t}"), c)
+        })
+        .collect();
+    let params = cfg.dknn_params();
+    let methods = [Method::DknnSet(params), Method::Centralized { res: 64 }];
+    let runs = Sweep::over(configs)
+        .methods(methods.clone())
+        .threads(1)
+        .run();
+    // Pool width must never leak into results. Plan order is points-major
+    // then methods, so chunks of `methods.len()` are one width's runs.
+    let per_t: Vec<&[mknn_sim::EpisodeRun]> = runs.chunks(methods.len()).collect();
+    for group in &per_t[1..] {
+        for (run, base) in group.iter().zip(per_t[0]) {
+            assert_eq!(
+                run.metrics.clone().with_clock_zeroed(),
+                base.metrics.clone().with_clock_zeroed(),
+                "client-pool width changed the metrics: {} vs {} ({})",
+                run.label,
+                base.label,
+                run.metrics.method,
+            );
+        }
+    }
+    let mut rows = vec![vec![
+        "T".into(),
+        "method".into(),
+        "wall s".into(),
+        "ms/tick".into(),
+        "speedup".into(),
+        "msgs/tick".into(),
+    ]];
+    let mut busy = 0.0;
+    for (gi, group) in per_t.iter().enumerate() {
+        for (mi, run) in group.iter().enumerate() {
+            let ticks = run.metrics.ticks.max(1) as f64;
+            let base_wall = per_t[0][mi].wall_seconds;
+            rows.push(vec![
+                run.label.clone(),
+                run.metrics.method.clone(),
+                fmt(run.wall_seconds),
+                fmt(run.wall_seconds * 1000.0 / ticks),
+                if gi == 0 {
+                    "1.00".into()
+                } else {
+                    fmt(base_wall / run.wall_seconds.max(1e-9))
+                },
+                fmt(run.metrics.msgs_per_tick()),
+            ]);
+            busy += run.wall_seconds;
+        }
+    }
+    ExpResult {
+        id: "e18",
+        title: "Fig E18: intra-episode client-pool scaling (T ∈ {1,2,4,8})",
+        rows,
+        episode_seconds: busy,
+        bench: bench_methods(&runs),
+    }
+}
+
 /// All experiment ids in order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by id.
@@ -816,6 +903,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
         "e15" => e15(scale),
         "e16" => e16(scale),
         "e17" => e17(scale),
+        "e18" => e18(scale),
         _ => return None,
     })
 }

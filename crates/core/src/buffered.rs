@@ -460,6 +460,11 @@ impl Protocol for DknnBuffered {
         self.client.tick(tick, me, inbox, up, ops);
     }
 
+    fn client_phase(&mut self, ctx: &mknn_net::ClientCtx, up: &mut Uplinks, ops: &mut OpCounters) {
+        // Shares the dKNN client half, so it shares its chunked batch path.
+        self.client.tick_batch(ctx, up, ops);
+    }
+
     fn server_tick(
         &mut self,
         now: Tick,

@@ -133,70 +133,152 @@ impl ClientHalf {
         up: &mut Uplinks,
         ops: &mut OpCounters,
     ) {
-        let st = &mut self.states[me.id.index()];
-        let prev_pos = me.pos - me.vel;
+        tick_device(
+            &self.params,
+            self.lossy,
+            &mut self.states[me.id.index()],
+            now,
+            me,
+            inbox,
+            up,
+            ops,
+        );
+    }
 
-        // 0. Offline-gap resync (lossy mode): if this device skipped ticks,
-        //    every cached conclusion — which side of each boundary it was
-        //    on, its bands, its safe periods — may describe a world that
-        //    moved on without it. Invalidate them and re-declare each
-        //    region's side, so crossings that happened during the outage
-        //    (or whose reports died with it) are re-derived rather than
-        //    silently missed. Stale in-flight retransmissions are dropped
-        //    too: the announcement subsumes them.
-        if self.lossy && st.last_seen > 0 && now > st.last_seen + 1 {
-            for r in &mut st.regions {
-                r.inside = None;
-                r.band = None;
-                r.safe_until = 0;
-                r.announce = true;
+    /// Runs the whole population's client ticks for one engine tick,
+    /// chunked over `ctx.pool` when the world is big enough to pay for it.
+    ///
+    /// Per-device work touches only that device's [`ClientState`], so
+    /// chunks of the state array are independent; each chunk accumulates
+    /// its own [`Uplinks`] and [`OpCounters`] and the chunks merge in
+    /// chunk (= device id) order. The merged uplink stream is therefore
+    /// byte-identical to the sequential loop at any `MKNN_THREADS` or
+    /// chunk size, and the counters are sums of the same integers.
+    /// Populations below [`mknn_net::PAR_MIN_DEVICES`] (or a one-thread
+    /// pool) take the sequential path outright.
+    pub fn tick_batch(
+        &mut self,
+        ctx: &mknn_net::ClientCtx,
+        up: &mut Uplinks,
+        ops: &mut OpCounters,
+    ) {
+        let n = ctx.len();
+        debug_assert_eq!(self.states.len(), n, "one ClientState per device");
+        if ctx.pool.threads() <= 1 || n < mknn_net::PAR_MIN_DEVICES {
+            for (i, st) in self.states.iter_mut().enumerate() {
+                if ctx.is_offline(i) {
+                    continue;
+                }
+                let me = ctx.object(i);
+                tick_device(
+                    &self.params,
+                    self.lossy,
+                    st,
+                    ctx.tick,
+                    &me,
+                    &ctx.inboxes[i],
+                    up,
+                    ops,
+                );
             }
-            st.pending.clear();
+            return;
         }
-        st.last_seen = now;
+        let params = self.params;
+        let lossy = self.lossy;
+        let chunk = ctx.pool.chunk_size(n);
+        let parts = ctx
+            .pool
+            .map_chunks_mut(&mut self.states, chunk, |base, states| {
+                let mut up_c = Uplinks::new();
+                let mut ops_c = OpCounters::default();
+                for (j, st) in states.iter_mut().enumerate() {
+                    let i = base + j;
+                    if ctx.is_offline(i) {
+                        continue;
+                    }
+                    let me = ctx.object(i);
+                    tick_device(
+                        &params,
+                        lossy,
+                        st,
+                        ctx.tick,
+                        &me,
+                        &ctx.inboxes[i],
+                        &mut up_c,
+                        &mut ops_c,
+                    );
+                }
+                (up_c, ops_c)
+            });
+        for (mut up_c, ops_c) in parts {
+            up.append(&mut up_c);
+            *ops += ops_c;
+        }
+    }
+}
 
-        // 1. Ingest downlinks, in arrival order (installs precede the bands
-        //    issued under them).
-        for msg in inbox {
-            match *msg {
-                DownlinkMsg::InstallRegion {
-                    query,
+/// One device's tick body, shared by [`ClientHalf::tick`] (single device)
+/// and [`ClientHalf::tick_batch`] (whole population, possibly chunked
+/// across threads). It reads only the device's own ground truth, its own
+/// [`ClientState`], and its inbox, which is what makes the batch version's
+/// per-chunk independence sound.
+#[allow(clippy::too_many_arguments)]
+fn tick_device(
+    params: &DknnParams,
+    lossy: bool,
+    st: &mut ClientState,
+    now: Tick,
+    me: &MovingObject,
+    inbox: &[DownlinkMsg],
+    up: &mut Uplinks,
+    ops: &mut OpCounters,
+) {
+    let prev_pos = me.pos - me.vel;
+
+    // 0. Offline-gap resync (lossy mode): if this device skipped ticks,
+    //    every cached conclusion — which side of each boundary it was
+    //    on, its bands, its safe periods — may describe a world that
+    //    moved on without it. Invalidate them and re-declare each
+    //    region's side, so crossings that happened during the outage
+    //    (or whose reports died with it) are re-derived rather than
+    //    silently missed. Stale in-flight retransmissions are dropped
+    //    too: the announcement subsumes them.
+    if lossy && st.last_seen > 0 && now > st.last_seen + 1 {
+        for r in &mut st.regions {
+            r.inside = None;
+            r.band = None;
+            r.safe_until = 0;
+            r.announce = true;
+        }
+        st.pending.clear();
+    }
+    st.last_seen = now;
+
+    // 1. Ingest downlinks, in arrival order (installs precede the bands
+    //    issued under them).
+    for msg in inbox {
+        match *msg {
+            DownlinkMsg::InstallRegion {
+                query,
+                ver,
+                center,
+                vel,
+                r_out,
+            } => {
+                if st.focal_of.contains(&query) {
+                    continue; // my own query; I am excluded from it
+                }
+                let fresh = RegionVersion {
                     ver,
                     center,
                     vel,
-                    r_out,
-                } => {
-                    if st.focal_of.contains(&query) {
-                        continue; // my own query; I am excluded from it
-                    }
-                    let fresh = RegionVersion {
-                        ver,
-                        center,
-                        vel,
-                        t: r_out,
-                    };
-                    match st.regions.iter_mut().find(|r| r.query == query) {
-                        Some(r) if r.ver.ver == ver => r.last_heard = now, // heartbeat
-                        Some(r) if r.ver.ver > ver => {} // out-of-date copy; ignore
-                        Some(r) => {
-                            *r = ClientRegion {
-                                query,
-                                ver: fresh,
-                                last_heard: now,
-                                inside: None,
-                                band: None,
-                                safe_until: 0,
-                                safe_vel: Vector::ZERO,
-                                // A newer version means the server just
-                                // re-established membership from a full
-                                // probe snapshot: nothing to announce, and
-                                // retransmissions of events issued under
-                                // the old version are obsolete.
-                                announce: false,
-                            };
-                            st.pending.retain(|p| p.query != query);
-                        }
-                        None => st.regions.push(ClientRegion {
+                    t: r_out,
+                };
+                match st.regions.iter_mut().find(|r| r.query == query) {
+                    Some(r) if r.ver.ver == ver => r.last_heard = now, // heartbeat
+                    Some(r) if r.ver.ver > ver => {}                   // out-of-date copy; ignore
+                    Some(r) => {
+                        *r = ClientRegion {
                             query,
                             ver: fresh,
                             last_heard: now,
@@ -204,135 +286,121 @@ impl ClientHalf {
                             band: None,
                             safe_until: 0,
                             safe_vel: Vector::ZERO,
-                            // Fresh adoption (first install, or reinstall
-                            // after eviction/offline): if already inside,
-                            // the server may never have heard the Enter.
-                            announce: self.lossy,
-                        }),
+                            // A newer version means the server just
+                            // re-established membership from a full
+                            // probe snapshot: nothing to announce, and
+                            // retransmissions of events issued under
+                            // the old version are obsolete.
+                            announce: false,
+                        };
+                        st.pending.retain(|p| p.query != query);
                     }
-                }
-                DownlinkMsg::RemoveRegion { query } => {
-                    st.regions.retain(|r| r.query != query);
-                    st.pending.retain(|p| p.query != query);
-                }
-                DownlinkMsg::SetBand {
-                    query,
-                    ver,
-                    inner,
-                    outer,
-                } => {
-                    if let Some(r) = st
-                        .regions
-                        .iter_mut()
-                        .find(|r| r.query == query && r.ver.ver == ver)
-                    {
-                        r.band = Some((inner, outer));
-                        r.safe_until = 0;
-                    }
-                }
-                DownlinkMsg::ClearBand { query } => {
-                    if let Some(r) = st.regions.iter_mut().find(|r| r.query == query) {
-                        r.band = None;
-                        r.safe_until = 0;
-                    }
-                }
-                // Probes are answered synchronously by the harness's
-                // ProbeService, never via the mailbox.
-                DownlinkMsg::Probe { .. } => {}
-                DownlinkMsg::Ack { query, kind, .. } => {
-                    // The server heard the event: stop retransmitting it.
-                    // (Matching on query + kind suffices: at most one
-                    // critical event per query is ever pending, and a
-                    // version change drops the pending entry anyway.)
-                    st.pending.retain(|p| !(p.query == query && p.kind == kind));
+                    None => st.regions.push(ClientRegion {
+                        query,
+                        ver: fresh,
+                        last_heard: now,
+                        inside: None,
+                        band: None,
+                        safe_until: 0,
+                        safe_vel: Vector::ZERO,
+                        // Fresh adoption (first install, or reinstall
+                        // after eviction/offline): if already inside,
+                        // the server may never have heard the Enter.
+                        announce: lossy,
+                    }),
                 }
             }
-        }
-
-        // 2. Focal duties: keep the server's knowledge of the query point
-        //    current (one small message per tick the focal actually moved).
-        //    In lossy mode the report goes out every tick, moving or not:
-        //    each lost copy then ages the server's focal estimate by one
-        //    tick at most, instead of indefinitely when the single "I
-        //    stopped here" report dies in flight.
-        for &q in &st.focal_of {
-            if self.lossy || me.vel != mknn_geom::Vector::ZERO {
-                up.send(
-                    me.id,
-                    UplinkMsg::QueryMove {
-                        query: q,
-                        pos: me.pos,
-                        vel: me.vel,
-                    },
-                );
+            DownlinkMsg::RemoveRegion { query } => {
+                st.regions.retain(|r| r.query != query);
+                st.pending.retain(|p| p.query != query);
             }
-        }
-
-        // 3. Evaluate every installed region.
-        let evict_after = self.params.evict_after();
-        let lossy = self.lossy;
-        // Critical events emitted this tick; registered for retransmission
-        // after the loop (the region borrow blocks touching `pending` here).
-        let mut critical: Vec<(QueryId, MsgKind)> = Vec::new();
-        st.regions.retain_mut(|r| {
-            if now.saturating_sub(r.last_heard) > evict_after {
-                return false; // long unheard-of: provably far away, drop it
-            }
-            // Safe-period fast path: while both trajectories stay linear
-            // (the device's own velocity unchanged; the region center is
-            // linear by construction), the first possible boundary or band
-            // crossing time was computed in closed form — whole ticks of
-            // geometry can be skipped without any risk of a missed event.
-            if now < r.safe_until && me.vel == r.safe_vel {
-                return true;
-            }
-            ops.client_ops += 1;
-            let center_now = r.ver.pred_center(now);
-            let d_sq = me.pos.dist_sq(center_now);
-            let inside_now = d_sq <= r.ver.t * r.ver.t;
-            let was_inside = match r.inside {
-                Some(w) => w,
-                None => {
-                    // First evaluation after adopting this version: derive
-                    // the previous side from where the device was one tick
-                    // ago, so the adoption-lag tick cannot hide a crossing.
-                    ops.client_ops += 1;
-                    let center_prev = r.ver.pred_center(now.saturating_sub(1));
-                    prev_pos.dist_sq(center_prev) <= r.ver.t * r.ver.t
+            DownlinkMsg::SetBand {
+                query,
+                ver,
+                inner,
+                outer,
+            } => {
+                if let Some(r) = st
+                    .regions
+                    .iter_mut()
+                    .find(|r| r.query == query && r.ver.ver == ver)
+                {
+                    r.band = Some((inner, outer));
+                    r.safe_until = 0;
                 }
-            };
-            if inside_now != was_inside {
-                if inside_now {
-                    up.send(
-                        me.id,
-                        UplinkMsg::Enter {
-                            query: r.query,
-                            ver: r.ver.ver,
-                            pos: me.pos,
-                            vel: me.vel,
-                        },
-                    );
-                    if lossy {
-                        critical.push((r.query, MsgKind::Enter));
-                    }
-                } else {
-                    up.send(
-                        me.id,
-                        UplinkMsg::Leave {
-                            query: r.query,
-                            ver: r.ver.ver,
-                            pos: me.pos,
-                        },
-                    );
+            }
+            DownlinkMsg::ClearBand { query } => {
+                if let Some(r) = st.regions.iter_mut().find(|r| r.query == query) {
                     r.band = None;
-                    if lossy {
-                        critical.push((r.query, MsgKind::Leave));
-                    }
+                    r.safe_until = 0;
                 }
-            } else if inside_now && r.announce {
-                // Lossy-mode announcement: no crossing happened, but the
-                // device is inside a region it just adopted (or resynced
-                // after an outage) — make sure the server knows.
+            }
+            // Probes are answered synchronously by the harness's
+            // ProbeService, never via the mailbox.
+            DownlinkMsg::Probe { .. } => {}
+            DownlinkMsg::Ack { query, kind, .. } => {
+                // The server heard the event: stop retransmitting it.
+                // (Matching on query + kind suffices: at most one
+                // critical event per query is ever pending, and a
+                // version change drops the pending entry anyway.)
+                st.pending.retain(|p| !(p.query == query && p.kind == kind));
+            }
+        }
+    }
+
+    // 2. Focal duties: keep the server's knowledge of the query point
+    //    current (one small message per tick the focal actually moved).
+    //    In lossy mode the report goes out every tick, moving or not:
+    //    each lost copy then ages the server's focal estimate by one
+    //    tick at most, instead of indefinitely when the single "I
+    //    stopped here" report dies in flight.
+    for &q in &st.focal_of {
+        if lossy || me.vel != mknn_geom::Vector::ZERO {
+            up.send(
+                me.id,
+                UplinkMsg::QueryMove {
+                    query: q,
+                    pos: me.pos,
+                    vel: me.vel,
+                },
+            );
+        }
+    }
+
+    // 3. Evaluate every installed region.
+    let evict_after = params.evict_after();
+    // Critical events emitted this tick; registered for retransmission
+    // after the loop (the region borrow blocks touching `pending` here).
+    let mut critical: Vec<(QueryId, MsgKind)> = Vec::new();
+    st.regions.retain_mut(|r| {
+        if now.saturating_sub(r.last_heard) > evict_after {
+            return false; // long unheard-of: provably far away, drop it
+        }
+        // Safe-period fast path: while both trajectories stay linear
+        // (the device's own velocity unchanged; the region center is
+        // linear by construction), the first possible boundary or band
+        // crossing time was computed in closed form — whole ticks of
+        // geometry can be skipped without any risk of a missed event.
+        if now < r.safe_until && me.vel == r.safe_vel {
+            return true;
+        }
+        ops.client_ops += 1;
+        let center_now = r.ver.pred_center(now);
+        let d_sq = me.pos.dist_sq(center_now);
+        let inside_now = d_sq <= r.ver.t * r.ver.t;
+        let was_inside = match r.inside {
+            Some(w) => w,
+            None => {
+                // First evaluation after adopting this version: derive
+                // the previous side from where the device was one tick
+                // ago, so the adoption-lag tick cannot hide a crossing.
+                ops.client_ops += 1;
+                let center_prev = r.ver.pred_center(now.saturating_sub(1));
+                prev_pos.dist_sq(center_prev) <= r.ver.t * r.ver.t
+            }
+        };
+        if inside_now != was_inside {
+            if inside_now {
                 up.send(
                     me.id,
                     UplinkMsg::Enter {
@@ -342,106 +410,137 @@ impl ClientHalf {
                         vel: me.vel,
                     },
                 );
-                critical.push((r.query, MsgKind::Enter));
-            } else if inside_now {
-                if let Some((inner, outer)) = r.band {
-                    let d = d_sq.sqrt();
-                    if !(d > inner && d <= outer) {
-                        up.send(
-                            me.id,
-                            UplinkMsg::BandCross {
-                                query: r.query,
-                                ver: r.ver.ver,
-                                pos: me.pos,
-                                vel: me.vel,
-                            },
-                        );
-                        r.band = None; // a new band will be assigned
-                    }
+                if lossy {
+                    critical.push((r.query, MsgKind::Enter));
                 }
-            }
-            r.announce = false;
-            r.inside = Some(inside_now);
-            // Recompute the safe period from the post-event state: the
-            // earliest future time any monitored boundary can be reached.
-            ops.client_ops += 1;
-            let own = LinearMotion::new(me.pos, me.vel);
-            let center = LinearMotion::new(r.ver.pred_center(now), r.ver.vel);
-            let mut horizon = if inside_now {
-                crossing_ticks(own.first_time_beyond(&center, r.ver.t))
             } else {
-                crossing_ticks(own.first_time_within(&center, r.ver.t))
-            };
-            if inside_now {
-                if let Some((inner, outer)) = r.band {
-                    horizon = horizon
-                        .min(crossing_ticks(own.first_time_within(&center, inner)))
-                        .min(crossing_ticks(own.first_time_beyond(&center, outer)));
+                up.send(
+                    me.id,
+                    UplinkMsg::Leave {
+                        query: r.query,
+                        ver: r.ver.ver,
+                        pos: me.pos,
+                    },
+                );
+                r.band = None;
+                if lossy {
+                    critical.push((r.query, MsgKind::Leave));
                 }
             }
-            r.safe_vel = me.vel;
-            r.safe_until = now.saturating_add(horizon);
-            true
-        });
-
-        if self.lossy {
-            // 4. Register this tick's critical events for retransmission. A
-            //    new event replaces whatever was pending for the query: the
-            //    newer crossing supersedes the older one (the server only
-            //    needs the device's latest side).
-            for (query, kind) in critical {
-                st.pending.retain(|p| p.query != query);
-                st.pending.push(PendingEvent {
-                    query,
-                    kind,
-                    next_resend: now + RESEND_AFTER,
-                    backoff: RESEND_AFTER,
-                });
-            }
-
-            // 5. Retransmit overdue unacked events, rebuilt from *current*
-            //    state (current position and region version — the server
-            //    wants the present truth, not a replay). An entry whose
-            //    region vanished, or whose recorded side no longer matches
-            //    the region's, is obsolete: the region's own event flow has
-            //    taken over.
-            let regions = &st.regions;
-            st.pending.retain_mut(|p| {
-                let Some(r) = regions.iter().find(|r| r.query == p.query) else {
-                    return false;
-                };
-                let consistent = match p.kind {
-                    MsgKind::Enter => r.inside == Some(true),
-                    MsgKind::Leave => r.inside == Some(false),
-                    _ => false,
-                };
-                if !consistent {
-                    return false;
-                }
-                if now >= p.next_resend {
-                    let msg = match p.kind {
-                        MsgKind::Enter => UplinkMsg::Enter {
-                            query: p.query,
+        } else if inside_now && r.announce {
+            // Lossy-mode announcement: no crossing happened, but the
+            // device is inside a region it just adopted (or resynced
+            // after an outage) — make sure the server knows.
+            up.send(
+                me.id,
+                UplinkMsg::Enter {
+                    query: r.query,
+                    ver: r.ver.ver,
+                    pos: me.pos,
+                    vel: me.vel,
+                },
+            );
+            critical.push((r.query, MsgKind::Enter));
+        } else if inside_now {
+            if let Some((inner, outer)) = r.band {
+                let d = d_sq.sqrt();
+                if !(d > inner && d <= outer) {
+                    up.send(
+                        me.id,
+                        UplinkMsg::BandCross {
+                            query: r.query,
                             ver: r.ver.ver,
                             pos: me.pos,
                             vel: me.vel,
                         },
-                        _ => UplinkMsg::Leave {
-                            query: p.query,
-                            ver: r.ver.ver,
-                            pos: me.pos,
-                        },
-                    };
-                    up.send(me.id, msg);
-                    ops.retransmits += 1;
-                    p.backoff = (p.backoff * 2).min(RESEND_CAP);
-                    p.next_resend = now + p.backoff;
+                    );
+                    r.band = None; // a new band will be assigned
                 }
-                true
+            }
+        }
+        r.announce = false;
+        r.inside = Some(inside_now);
+        // Recompute the safe period from the post-event state: the
+        // earliest future time any monitored boundary can be reached.
+        ops.client_ops += 1;
+        let own = LinearMotion::new(me.pos, me.vel);
+        let center = LinearMotion::new(r.ver.pred_center(now), r.ver.vel);
+        let mut horizon = if inside_now {
+            crossing_ticks(own.first_time_beyond(&center, r.ver.t))
+        } else {
+            crossing_ticks(own.first_time_within(&center, r.ver.t))
+        };
+        if inside_now {
+            if let Some((inner, outer)) = r.band {
+                horizon = horizon
+                    .min(crossing_ticks(own.first_time_within(&center, inner)))
+                    .min(crossing_ticks(own.first_time_beyond(&center, outer)));
+            }
+        }
+        r.safe_vel = me.vel;
+        r.safe_until = now.saturating_add(horizon);
+        true
+    });
+
+    if lossy {
+        // 4. Register this tick's critical events for retransmission. A
+        //    new event replaces whatever was pending for the query: the
+        //    newer crossing supersedes the older one (the server only
+        //    needs the device's latest side).
+        for (query, kind) in critical {
+            st.pending.retain(|p| p.query != query);
+            st.pending.push(PendingEvent {
+                query,
+                kind,
+                next_resend: now + RESEND_AFTER,
+                backoff: RESEND_AFTER,
             });
         }
-    }
 
+        // 5. Retransmit overdue unacked events, rebuilt from *current*
+        //    state (current position and region version — the server
+        //    wants the present truth, not a replay). An entry whose
+        //    region vanished, or whose recorded side no longer matches
+        //    the region's, is obsolete: the region's own event flow has
+        //    taken over.
+        let regions = &st.regions;
+        st.pending.retain_mut(|p| {
+            let Some(r) = regions.iter().find(|r| r.query == p.query) else {
+                return false;
+            };
+            let consistent = match p.kind {
+                MsgKind::Enter => r.inside == Some(true),
+                MsgKind::Leave => r.inside == Some(false),
+                _ => false,
+            };
+            if !consistent {
+                return false;
+            }
+            if now >= p.next_resend {
+                let msg = match p.kind {
+                    MsgKind::Enter => UplinkMsg::Enter {
+                        query: p.query,
+                        ver: r.ver.ver,
+                        pos: me.pos,
+                        vel: me.vel,
+                    },
+                    _ => UplinkMsg::Leave {
+                        query: p.query,
+                        ver: r.ver.ver,
+                        pos: me.pos,
+                    },
+                };
+                up.send(me.id, msg);
+                ops.retransmits += 1;
+                p.backoff = (p.backoff * 2).min(RESEND_CAP);
+                p.next_resend = now + p.backoff;
+            }
+            true
+        });
+    }
+}
+
+impl ClientHalf {
     /// Test/diagnostic access: the safe period a device currently holds for
     /// `query` (ticks until the next mandatory geometric check).
     pub fn safe_period_of(&self, device: usize, query: QueryId) -> Option<Tick> {

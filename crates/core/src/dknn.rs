@@ -137,6 +137,13 @@ impl Protocol for Dknn {
         self.client.tick(tick, me, inbox, up, ops);
     }
 
+    fn client_phase(&mut self, ctx: &mknn_net::ClientCtx, up: &mut Uplinks, ops: &mut OpCounters) {
+        // Per-device band/region checks are independent: chunk them over
+        // the pool (byte-identical to the sequential loop by chunk-order
+        // merge; see ClientHalf::tick_batch).
+        self.client.tick_batch(ctx, up, ops);
+    }
+
     fn server_tick(
         &mut self,
         tick: Tick,

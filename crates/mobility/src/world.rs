@@ -1,7 +1,7 @@
-//! A steppable world of moving objects.
+//! A steppable world of moving objects, stored struct-of-arrays.
 
 use crate::{MotionModel, MovingObject};
-use mknn_geom::{ObjectId, Point, Rect, Tick};
+use mknn_geom::{ObjectId, Point, Rect, Tick, Vector};
 use mknn_util::Rng;
 
 /// Ground truth for one simulation episode: the object population, the
@@ -11,9 +11,25 @@ use mknn_util::Rng;
 /// objects choose to send. The simulation harness reads the world directly
 /// only to run client-side logic (each device knows its own position) and to
 /// compute oracle answers for verification.
+///
+/// # Layout
+///
+/// Positions, velocities and speed caps live in parallel arrays indexed by
+/// [`ObjectId::index`] (ids are dense: index `i` *is* `ObjectId(i)`, which
+/// [`World::new`] asserts). The struct-of-arrays layout is what the engine
+/// hot loop wants at N = 10⁶: the per-tick index update walks only
+/// [`World::moved`], and the parallel client phase hands the position slice
+/// to every worker without materializing a million `MovingObject`s per
+/// tick. [`World::objects`] still materializes the array-of-structs view
+/// for tests and diagnostics.
 pub struct World {
     bounds: Rect,
-    objects: Vec<MovingObject>,
+    pos: Vec<Point>,
+    vel: Vec<Vector>,
+    max_speed: Vec<f64>,
+    /// Indices whose *position* changed in the most recent [`World::step`]
+    /// (ascending). Empty before the first step.
+    moved: Vec<u32>,
     model: Box<dyn MotionModel>,
     move_prob: f64,
     rng: Rng,
@@ -22,6 +38,8 @@ pub struct World {
 
 impl World {
     /// Assembles a world. Prefer [`crate::WorkloadSpec::build`].
+    ///
+    /// Object ids must be dense: `objects[i].id == ObjectId(i)`.
     pub fn new(
         bounds: Rect,
         objects: Vec<MovingObject>,
@@ -30,9 +48,16 @@ impl World {
         rng: Rng,
     ) -> Self {
         debug_assert!((0.0..=1.0).contains(&move_prob));
+        debug_assert!(
+            objects.iter().enumerate().all(|(i, o)| o.id.index() == i),
+            "object ids must be dense (id i at index i)"
+        );
         World {
             bounds,
-            objects,
+            pos: objects.iter().map(|o| o.pos).collect(),
+            vel: objects.iter().map(|o| o.vel).collect(),
+            max_speed: objects.iter().map(|o| o.max_speed).collect(),
+            moved: Vec::new(),
             model,
             move_prob,
             rng,
@@ -52,41 +77,108 @@ impl World {
         self.tick
     }
 
-    /// All objects, indexed by `ObjectId::index()`.
+    /// Number of objects.
     #[inline]
-    pub fn objects(&self) -> &[MovingObject] {
-        &self.objects
+    pub fn len(&self) -> usize {
+        self.pos.len()
     }
 
-    /// One object by id.
+    /// `true` for an empty population.
     #[inline]
-    pub fn object(&self, id: ObjectId) -> &MovingObject {
-        &self.objects[id.index()]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Per-object positions, indexed by `ObjectId::index()`.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.pos
+    }
+
+    /// Per-object velocities this tick.
+    #[inline]
+    pub fn velocities(&self) -> &[Vector] {
+        &self.vel
+    }
+
+    /// Per-object speed caps.
+    #[inline]
+    pub fn max_speeds(&self) -> &[f64] {
+        &self.max_speed
+    }
+
+    /// Indices of objects whose position changed in the most recent
+    /// [`World::step`], ascending. Empty before the first step. The
+    /// engine's per-tick index maintenance walks exactly this list: an
+    /// object that did not move cannot change any spatial structure.
+    #[inline]
+    pub fn moved(&self) -> &[u32] {
+        &self.moved
+    }
+
+    /// The array-of-structs view of the population, materialized fresh on
+    /// every call (test and diagnostic API — hot paths use the slice
+    /// accessors instead).
+    pub fn objects(&self) -> Vec<MovingObject> {
+        (0..self.pos.len()).map(|i| self.object_at(i)).collect()
+    }
+
+    /// One object by id, materialized by value.
+    #[inline]
+    pub fn object(&self, id: ObjectId) -> MovingObject {
+        self.object_at(id.index())
+    }
+
+    #[inline]
+    fn object_at(&self, i: usize) -> MovingObject {
+        MovingObject {
+            id: ObjectId(i as u32),
+            pos: self.pos[i],
+            vel: self.vel[i],
+            max_speed: self.max_speed[i],
+        }
     }
 
     /// True position of `id` right now.
     #[inline]
     pub fn position(&self, id: ObjectId) -> Point {
-        self.objects[id.index()].pos
+        self.pos[id.index()]
     }
 
-    /// `(id, position)` pairs for oracle computations.
-    pub fn snapshot(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
-        self.objects.iter().map(|o| (o.id, o.pos))
+    /// `(id, position)` pairs for oracle computations and index bulk loads.
+    /// `Clone` so two-pass consumers (`GridIndex::bulk_load`-style counting
+    /// then attaching) can walk it twice without materializing.
+    pub fn snapshot(&self) -> impl Iterator<Item = (ObjectId, Point)> + Clone + '_ {
+        self.pos
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (ObjectId(i as u32), p))
     }
 
     /// Advances every object by one tick. Each object moves with probability
     /// `move_prob` (independently per tick); objects that skip a tick keep
     /// their position and report zero velocity.
+    ///
+    /// The loop is sequential by design: all objects share one RNG stream,
+    /// and the per-object draw order is part of the golden-file contract.
+    /// The parallelism lives downstream, in the consumers of the arrays
+    /// this fills.
     pub fn step(&mut self) {
         self.tick += 1;
-        for i in 0..self.objects.len() {
+        self.moved.clear();
+        for i in 0..self.pos.len() {
             if self.move_prob >= 1.0 || self.rng.gen_bool(self.move_prob) {
-                let mut obj = self.objects[i];
+                let mut obj = self.object_at(i);
+                let before = obj.pos;
                 self.model.step(i, &mut obj, self.bounds, &mut self.rng);
-                self.objects[i] = obj;
+                self.pos[i] = obj.pos;
+                self.vel[i] = obj.vel;
+                self.max_speed[i] = obj.max_speed;
+                if obj.pos != before {
+                    self.moved.push(i as u32);
+                }
             } else {
-                self.objects[i].vel = mknn_geom::Vector::ZERO;
+                self.vel[i] = Vector::ZERO;
             }
         }
     }
@@ -123,11 +215,12 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let mut w = spec.build();
-        let before: Vec<_> = w.objects().to_vec();
+        let before: Vec<_> = w.objects();
         for _ in 0..10 {
             w.step();
+            assert!(w.moved().is_empty());
         }
-        let after: Vec<_> = w.objects().to_vec();
+        let after: Vec<_> = w.objects();
         for (b, a) in before.iter().zip(&after) {
             assert_eq!(b.pos, a.pos);
         }
@@ -141,7 +234,7 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let mut w = spec.build();
-        let before: Vec<_> = w.objects().to_vec();
+        let before: Vec<_> = w.objects();
         w.step();
         let moved = w
             .objects()
@@ -150,6 +243,49 @@ mod tests {
             .filter(|(a, b)| a.pos != b.pos)
             .count();
         assert!(moved > 40 && moved < 160, "moved = {moved}");
+        assert_eq!(w.moved().len(), moved, "moved() tracks position changes");
+    }
+
+    #[test]
+    fn moved_lists_exactly_the_changed_indices_in_ascending_order() {
+        let spec = WorkloadSpec {
+            n_objects: 300,
+            move_prob: 0.7,
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.build();
+        for _ in 0..5 {
+            let before = w.objects();
+            w.step();
+            let after = w.objects();
+            let expect: Vec<u32> = before
+                .iter()
+                .zip(&after)
+                .enumerate()
+                .filter(|(_, (b, a))| b.pos != a.pos)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(w.moved(), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn soa_accessors_agree_with_the_materialized_view() {
+        let mut w = WorkloadSpec {
+            n_objects: 50,
+            ..WorkloadSpec::default()
+        }
+        .build();
+        w.step();
+        let objs = w.objects();
+        assert_eq!(objs.len(), w.len());
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(o.id, ObjectId(i as u32));
+            assert_eq!(o.pos, w.positions()[i]);
+            assert_eq!(o.vel, w.velocities()[i]);
+            assert_eq!(o.max_speed, w.max_speeds()[i]);
+            assert_eq!(*o, w.object(o.id));
+        }
     }
 
     #[test]

@@ -33,5 +33,8 @@ mod stats;
 
 pub use fault::{FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
 pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, ShardMsg, ShardMsgKind, UplinkMsg};
-pub use proto::{ObjReport, Outbox, ProbeService, Protocol, Uplinks};
+pub use proto::{
+    parallel_client_phase, ClientCtx, ObjReport, Outbox, ProbeService, Protocol, Uplinks,
+    PAR_MIN_DEVICES,
+};
 pub use stats::{NetStats, OpCounters, ShardStats};

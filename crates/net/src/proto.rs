@@ -19,6 +19,64 @@
 use crate::{DownlinkMsg, QuerySpec, Recipient, UplinkMsg};
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
 use mknn_mobility::MovingObject;
+use mknn_util::Pool;
+
+/// One tick's worth of client-side inputs, in struct-of-arrays layout.
+///
+/// The engine hands the whole device population to
+/// [`Protocol::client_phase`] as parallel slices (position, velocity,
+/// speed cap, per-device inbox) plus an optional offline mask from the
+/// fault layer, so a protocol that wants to parallelize its per-device
+/// work can chunk the index space `0..len()` directly over
+/// [`Pool::map_chunks_mut`]. Device ids are dense: index `i` *is*
+/// `ObjectId(i)`.
+pub struct ClientCtx<'a> {
+    /// The tick being processed (the world has already moved).
+    pub tick: Tick,
+    /// Per-device positions, indexed by `ObjectId::index`.
+    pub pos: &'a [Point],
+    /// Per-device velocities this tick.
+    pub vel: &'a [Vector],
+    /// Per-device speed caps.
+    pub max_speed: &'a [f64],
+    /// Per-device downlinks from the previous server tick. Offline
+    /// devices' inboxes arrive empty (the engine drops and counts their
+    /// messages before the phase).
+    pub inboxes: &'a [Vec<DownlinkMsg>],
+    /// Fault-layer offline mask for this tick (`None` on a perfect link).
+    /// Offline devices run no client logic at all.
+    pub offline: Option<&'a [bool]>,
+    /// The worker pool a parallel implementation should dispatch through.
+    /// `Pool` is a configuration value; passing it costs nothing.
+    pub pool: Pool,
+}
+
+impl ClientCtx<'_> {
+    /// Number of devices (all slices share this length).
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Returns `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Whether device `i` is offline this tick.
+    pub fn is_offline(&self, i: usize) -> bool {
+        self.offline.is_some_and(|mask| mask[i])
+    }
+
+    /// Materializes device `i`'s ground-truth state.
+    pub fn object(&self, i: usize) -> MovingObject {
+        MovingObject {
+            id: ObjectId(i as u32),
+            pos: self.pos[i],
+            vel: self.vel[i],
+            max_speed: self.max_speed[i],
+        }
+    }
+}
 
 /// A device's reply to a probe, as collected by the harness.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +124,14 @@ impl Uplinks {
     /// Drops all messages (harness-internal, between ticks).
     pub fn clear(&mut self) {
         self.items.clear();
+    }
+
+    /// Moves every message of `other` onto the end of this batch,
+    /// preserving send order. Used by chunked client phases to merge
+    /// per-chunk batches back together in chunk order, which keeps the
+    /// combined uplink stream byte-identical to a sequential pass.
+    pub fn append(&mut self, other: &mut Uplinks) {
+        self.items.append(&mut other.items);
     }
 }
 
@@ -157,6 +223,27 @@ pub trait Protocol {
         ops: &mut crate::OpCounters,
     );
 
+    /// Client logic for the whole device population at one tick.
+    ///
+    /// The default implementation is the sequential loop every method is
+    /// correct under: ascending device id, skipping offline devices. A
+    /// method whose per-device work is independent (dKNN band checks, the
+    /// centralized position report) overrides this to chunk the id space
+    /// over `ctx.pool`, merging per-chunk [`Uplinks`] in chunk order so
+    /// the uplink stream — and therefore every downstream metric — stays
+    /// byte-identical at any `MKNN_THREADS`. Implementations must
+    /// preserve the sequential contract exactly: same uplinks in the same
+    /// order, same op counts.
+    fn client_phase(&mut self, ctx: &ClientCtx, up: &mut Uplinks, ops: &mut crate::OpCounters) {
+        for i in 0..ctx.len() {
+            if ctx.is_offline(i) {
+                continue;
+            }
+            let me = ctx.object(i);
+            self.client_tick(ctx.tick, &me, &ctx.inboxes[i], up, ops);
+        }
+    }
+
     /// Server logic for tick `tick`, consuming the tick's uplinks.
     fn server_tick(
         &mut self,
@@ -208,6 +295,62 @@ pub trait Protocol {
     /// default is a no-op: an unhardened method simply degrades.
     fn set_lossy(&mut self, lossy: bool) {
         let _ = lossy;
+    }
+}
+
+/// Below this population, a parallel client phase falls back to the
+/// sequential loop: per-tick chunk dispatch overhead beats the win for
+/// small worlds, and the small-world golden gates stay trivially on the
+/// sequential path.
+pub const PAR_MIN_DEVICES: usize = 4096;
+
+/// Runs a *stateless* per-device client body over the whole population,
+/// chunked across `ctx.pool`.
+///
+/// This is the shared harness for protocols whose `client_tick` needs no
+/// mutable per-device protocol state (e.g. the centralized baseline's
+/// "report position if moved"). Each chunk accumulates its own
+/// [`Uplinks`] and [`crate::OpCounters`]; chunks merge in chunk order, so
+/// the combined uplink stream and counters are byte-identical to the
+/// sequential loop at any thread count or chunk size. Populations below
+/// [`PAR_MIN_DEVICES`] (or a one-thread pool) run sequentially.
+pub fn parallel_client_phase<F>(
+    ctx: &ClientCtx,
+    up: &mut Uplinks,
+    ops: &mut crate::OpCounters,
+    f: F,
+) where
+    F: Fn(Tick, &MovingObject, &[DownlinkMsg], &mut Uplinks, &mut crate::OpCounters) + Sync,
+{
+    let n = ctx.len();
+    let run_chunk =
+        |range: std::ops::Range<usize>, up: &mut Uplinks, ops: &mut crate::OpCounters| {
+            for i in range {
+                if ctx.is_offline(i) {
+                    continue;
+                }
+                let me = ctx.object(i);
+                f(ctx.tick, &me, &ctx.inboxes[i], up, ops);
+            }
+        };
+    if ctx.pool.threads() <= 1 || n < PAR_MIN_DEVICES {
+        run_chunk(0..n, up, ops);
+        return;
+    }
+    let chunk = ctx.pool.chunk_size(n);
+    let ranges: Vec<std::ops::Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(n))
+        .collect();
+    let parts = ctx.pool.map_indexed(ranges, |_, range| {
+        let mut up_c = Uplinks::new();
+        let mut ops_c = crate::OpCounters::default();
+        run_chunk(range, &mut up_c, &mut ops_c);
+        (up_c, ops_c)
+    });
+    for (mut up_c, ops_c) in parts {
+        up.append(&mut up_c);
+        *ops += ops_c;
     }
 }
 

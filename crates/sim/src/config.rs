@@ -47,7 +47,53 @@ pub struct SimConfig {
     /// the single-server deployment and serializes identically to
     /// configurations written before the shard tier existed.
     pub shards: u32,
+    /// Worker threads for the *intra-episode* client phase (DESIGN.md §5.2).
+    /// `None` (the default) resolves from `MKNN_THREADS` like everything
+    /// else; an explicit value pins the episode's pool regardless of the
+    /// environment, which the tick benchmark uses to sweep thread counts
+    /// in one process. Metrics are byte-identical at every value, so this
+    /// knob is absent from the serialized form when unset.
+    pub client_threads: Option<usize>,
 }
+
+/// A structurally invalid [`SimConfig`], detected before an episode runs.
+///
+/// These are the malformed-input shapes reachable from the `expt` CLI that
+/// used to die deep inside episode setup (an index panic for an empty
+/// population, a grid assertion for a zero-area space); validating up
+/// front turns them into typed, printable errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n_objects == 0`: queries need focal objects to exist.
+    EmptyPopulation,
+    /// `space_side` is not a positive finite number: every spatial
+    /// structure (grid index, shard grid, geocast paging) needs area.
+    DegenerateSpace(f64),
+    /// `client_threads == Some(0)`: a pool cannot have zero workers (unset
+    /// means "from the environment", which is the way to not choose).
+    ZeroClientThreads,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyPopulation => {
+                write!(f, "n_objects must be >= 1 (queries need focal objects)")
+            }
+            ConfigError::DegenerateSpace(side) => {
+                write!(f, "space_side must be positive and finite, got {side}")
+            }
+            ConfigError::ZeroClientThreads => {
+                write!(
+                    f,
+                    "client_threads must be >= 1 when set (unset = from MKNN_THREADS)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -60,6 +106,7 @@ impl Default for SimConfig {
             verify: VerifyMode::Record,
             fault: FaultPlan::none(),
             shards: 1,
+            client_threads: None,
         }
     }
 }
@@ -81,7 +128,25 @@ impl SimConfig {
             verify: VerifyMode::Assert,
             fault: FaultPlan::none(),
             shards: 1,
+            client_threads: None,
         }
+    }
+
+    /// Checks the structural invariants episode setup assumes, returning
+    /// the first violation as a typed error. The `expt` CLI runs this on
+    /// every user-assembled configuration before building a world.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workload.n_objects == 0 {
+            return Err(ConfigError::EmptyPopulation);
+        }
+        let side = self.workload.space_side;
+        if !(side.is_finite() && side > 0.0) {
+            return Err(ConfigError::DegenerateSpace(side));
+        }
+        if self.client_threads == Some(0) {
+            return Err(ConfigError::ZeroClientThreads);
+        }
+        Ok(())
     }
 
     /// DKNN parameters sized for this workload's speed bounds (the
@@ -137,6 +202,46 @@ mod tests {
         assert_eq!(sorted.len(), 10);
         assert_eq!(ids[0], 0);
         assert_eq!(ids[5], 500);
+    }
+
+    #[test]
+    fn validate_catches_the_panicky_input_shapes() {
+        let mut cfg = SimConfig::small();
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.workload.n_objects = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyPopulation));
+        cfg.workload.n_objects = 10;
+        for side in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            cfg.workload.space_side = side;
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::DegenerateSpace(_))),
+                "side={side}"
+            );
+        }
+        cfg.workload.space_side = 100.0;
+        cfg.client_threads = Some(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroClientThreads));
+        cfg.client_threads = Some(8);
+        assert_eq!(cfg.validate(), Ok(()));
+        // Errors print as actionable one-liners.
+        assert!(ConfigError::EmptyPopulation
+            .to_string()
+            .contains("n_objects"));
+    }
+
+    #[test]
+    fn client_threads_stays_out_of_the_serialized_form_when_unset() {
+        let cfg = SimConfig::default();
+        let s = mknn_util::to_string(&cfg);
+        assert!(!s.contains("client_threads"), "got: {s}");
+        let pinned = SimConfig {
+            client_threads: Some(8),
+            ..SimConfig::default()
+        };
+        let s = mknn_util::to_string(&pinned);
+        assert!(s.contains("\"client_threads\""), "got: {s}");
+        let back: SimConfig = mknn_util::from_str(&s).unwrap();
+        assert_eq!(pinned, back);
     }
 
     #[test]

@@ -95,15 +95,14 @@ impl ProbeService for EngineProbe<'_> {
     }
 
     fn poll(&mut self, query: QueryId, id: ObjectId) -> Option<ObjReport> {
-        // Ids the world does not track — foreign, sparse, or beyond the
-        // population — get `None` without charging any traffic: there is no
-        // device to page. (Indexing alone is not enough: a sparse id space
-        // could alias `id.index()` onto a different object's slot.)
-        let o = *self
-            .world
-            .objects()
-            .get(id.index())
-            .filter(|o| o.id == id)?;
+        // Ids the world does not track — foreign or beyond the population —
+        // get `None` without charging any traffic: there is no device to
+        // page. World ids are dense (index i is ObjectId(i), asserted at
+        // construction), so the bounds check alone identifies the device.
+        if id.index() >= self.world.len() {
+            return None;
+        }
+        let o = self.world.object(id);
         let ask = DownlinkMsg::Probe {
             query,
             zone: mknn_geom::Circle::new(o.pos, 0.0),
@@ -183,6 +182,11 @@ pub struct Simulation {
     /// byte-identical either way — the switch exists so the equivalence and
     /// speedup gates in `scripts/verify.sh` can run both paths.
     oracle_brute: bool,
+    /// Worker pool for the chunked client phase (DESIGN.md §5.2). Resolved
+    /// once at construction — from `SimConfig::client_threads` when pinned,
+    /// else from `MKNN_THREADS` — so a mid-episode environment change cannot
+    /// alter chunking.
+    pool: mknn_util::Pool,
 }
 
 /// Salt for the fault layer's RNG stream: the link must not replay the
@@ -225,10 +229,10 @@ impl Simulation {
                 k: config.k,
             })
             .collect();
-        let mut infra = GridIndex::new(bounds, config.geo_cells, config.geo_cells);
-        for o in world.objects() {
-            infra.upsert(o.id, o.pos);
-        }
+        // One bulk load instead of N upserts: identical structure (same
+        // per-cell member order), no per-object reallocation churn.
+        let infra =
+            GridIndex::bulk_load(bounds, config.geo_cells, config.geo_cells, world.snapshot());
         let mut metrics = EpisodeMetrics {
             method: proto.name().to_string(),
             ticks: 0,
@@ -237,14 +241,20 @@ impl Simulation {
             k: config.k,
             ..EpisodeMetrics::default()
         };
-        let mut inboxes: Vec<Vec<DownlinkMsg>> = vec![Vec::new(); world.objects().len()];
+        let mut inboxes: Vec<Vec<DownlinkMsg>> = vec![Vec::new(); world.len()];
 
         // Shard tier: seed every ownership before any traffic flows (a
         // first sighting is registration, not a boundary crossing, so
         // nothing is charged here).
         let mut coord = ShardCoordinator::new(bounds, config.shards);
-        for o in world.objects() {
-            coord.track_object(o.id, o.pos, o.vel, &mut metrics.net, None);
+        for (i, &pos) in world.positions().iter().enumerate() {
+            coord.track_object(
+                ObjectId(i as u32),
+                pos,
+                world.velocities()[i],
+                &mut metrics.net,
+                None,
+            );
         }
         for spec in &specs {
             let focal = world.position(spec.focal);
@@ -265,7 +275,7 @@ impl Simulation {
             };
             proto.init(
                 bounds,
-                world.objects(),
+                &world.objects(),
                 &specs,
                 &mut probe,
                 &mut outbox,
@@ -300,6 +310,10 @@ impl Simulation {
             coord,
             stale_streak: vec![0; n_queries],
             oracle_brute: std::env::var("MKNN_ORACLE").as_deref() == Ok("brute"),
+            pool: match config.client_threads {
+                Some(t) => mknn_util::Pool::new(t),
+                None => mknn_util::Pool::from_env(),
+            },
         }
     }
 
@@ -353,23 +367,30 @@ impl Simulation {
         self.tick += 1;
         self.metrics.ticks = self.tick;
         self.world.step();
-        for o in self.world.objects() {
-            self.infra.upsert(o.id, o.pos);
+        // Dirty-only index maintenance: an unmoved object's upsert was a
+        // same-cell no-op anyway, so touching only `world.moved()` leaves
+        // the grid byte-identical while skipping the (1 - move_prob)·N
+        // redundant hash-and-compare passes per tick.
+        for &i in self.world.moved() {
+            self.infra
+                .upsert(ObjectId(i), self.world.positions()[i as usize]);
         }
 
         if let Some(link) = self.link.as_mut() {
-            link.begin_tick(self.tick, self.world.objects().len());
+            link.begin_tick(self.tick, self.world.len());
         }
 
         // Shard tier: movement first. Block crossings hand the object off
         // to its new owner; a focal crossing migrates the query's state to
-        // its new home shard (members = k entries).
-        for i in 0..self.world.objects().len() {
-            let o = self.world.objects()[i];
+        // its new home shard (members = k entries). Unmoved objects are
+        // skipped: same position ⇒ same block ⇒ `track_object` is a pure
+        // no-op (velocity only matters in a Handoff, which needs a
+        // crossing).
+        for &i in self.world.moved() {
             self.coord.track_object(
-                o.id,
-                o.pos,
-                o.vel,
+                ObjectId(i),
+                self.world.positions()[i as usize],
+                self.world.velocities()[i as usize],
                 &mut self.metrics.net,
                 self.link.as_mut(),
             );
@@ -389,17 +410,36 @@ impl Simulation {
         // Client phase: each device acts on its own state + inbox. An
         // offline device neither processes nor sends; the downlinks sitting
         // in its inbox (delivered while it was still reachable) are lost.
-        for i in 0..self.world.objects().len() {
-            let inbox = std::mem::take(&mut self.inboxes[i]);
-            if self.link.as_ref().is_some_and(|l| l.is_offline(i)) {
-                for _ in &inbox {
-                    self.metrics.net.count_dropped();
+        // Drops are counted up front (a commuting tally, so the count is
+        // identical to the old interleaved accounting), then the whole
+        // phase dispatches through the protocol's chunked batch path.
+        let offline: Option<Vec<bool>> = self
+            .link
+            .as_ref()
+            .map(|link| (0..self.world.len()).map(|i| link.is_offline(i)).collect());
+        if let Some(mask) = &offline {
+            for (i, inbox) in self.inboxes.iter_mut().enumerate() {
+                if mask[i] {
+                    for _ in inbox.drain(..) {
+                        self.metrics.net.count_dropped();
+                    }
                 }
-                continue;
             }
-            let me = self.world.objects()[i];
-            self.proto
-                .client_tick(self.tick, &me, &inbox, &mut uplinks, &mut ops);
+        }
+        let ctx = mknn_net::ClientCtx {
+            tick: self.tick,
+            pos: self.world.positions(),
+            vel: self.world.velocities(),
+            max_speed: self.world.max_speeds(),
+            inboxes: &self.inboxes,
+            offline: offline.as_deref(),
+            pool: self.pool,
+        };
+        self.proto.client_phase(&ctx, &mut uplinks, &mut ops);
+        // Every inbox was consumed (or dropped) this tick; `route` refills
+        // them below for the next one.
+        for inbox in self.inboxes.iter_mut() {
+            inbox.clear();
         }
         // Every transmission is charged to the sender, delivered or not.
         for (_, msg) in uplinks.iter() {
@@ -719,11 +759,13 @@ mod tests {
     fn poll_answers_none_for_ids_the_world_does_not_track() {
         let cfg = SimConfig::small();
         let world = cfg.workload.build();
-        let mut infra = GridIndex::new(world.bounds(), cfg.geo_cells, cfg.geo_cells);
-        for o in world.objects() {
-            infra.upsert(o.id, o.pos);
-        }
-        let n = world.objects().len() as u32;
+        let infra = GridIndex::bulk_load(
+            world.bounds(),
+            cfg.geo_cells,
+            cfg.geo_cells,
+            world.snapshot(),
+        );
+        let n = world.len() as u32;
         let mut stats = NetStats::default();
         let mut coord = ShardCoordinator::new(world.bounds(), 1);
         let mut probe = EngineProbe {

@@ -34,6 +34,11 @@ impl ToJson for SimConfig {
         if self.shards != 1 {
             fields.push(("shards", self.shards.to_json()));
         }
+        // Absent unless pinned: the pool size never changes metrics, and
+        // golden documents predate the knob.
+        if let Some(t) = self.client_threads {
+            fields.push(("client_threads", t.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -53,6 +58,10 @@ impl FromJson for SimConfig {
             shards: match v.get("shards") {
                 Some(s) => u32::from_json(s)?,
                 None => 1,
+            },
+            client_threads: match v.get("client_threads") {
+                Some(t) => Some(usize::from_json(t)?),
+                None => None,
             },
         })
     }

@@ -56,14 +56,15 @@ impl SnapshotOracle {
     /// a kNN query inspects O(k) candidates in expectation regardless of
     /// population.
     pub fn build(world: &World) -> Self {
-        let n = world.objects().len();
+        let n = world.len();
         let side = (((n as f64) / 4.0).sqrt().ceil() as u32).clamp(1, 512);
-        let mut grid = GridIndex::new(world.bounds(), side, side);
-        for (id, pos) in world.snapshot() {
-            grid.upsert(id, pos);
-        }
         SnapshotOracle {
-            backend: Backend::Indexed(grid),
+            backend: Backend::Indexed(GridIndex::bulk_load(
+                world.bounds(),
+                side,
+                side,
+                world.snapshot(),
+            )),
         }
     }
 

@@ -96,6 +96,7 @@ fn frozen_world(n: usize) -> SimConfig {
         verify: VerifyMode::Off,
         fault: mknn_net::FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     }
 }
 

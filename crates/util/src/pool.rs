@@ -21,6 +21,12 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// Environment variable controlling the default worker count.
+///
+/// The accepted values are positive integers (surrounding whitespace is
+/// ignored). Anything else — unset, empty, `0`, negative, non-numeric, or
+/// overflowing — falls back to the machine's available parallelism rather
+/// than panicking or configuring a zero-worker pool; see [`threads_from`]
+/// for the exact policy and its tests.
 pub const THREADS_ENV: &str = "MKNN_THREADS";
 
 /// A fixed-width worker pool.
@@ -103,6 +109,47 @@ impl Pool {
             })
             .collect()
     }
+
+    /// The chunk length that splits `n` items into roughly
+    /// `4 × threads` pieces (clamped to at least 1).
+    ///
+    /// The oversubscription factor keeps workers busy when chunk costs are
+    /// uneven without shrinking chunks so far that queue traffic dominates.
+    /// The value can never affect *results* — chunked maps merge in chunk
+    /// order — only load balance, so callers may pick any size they like.
+    pub fn chunk_size(&self, n: usize) -> usize {
+        n.div_ceil(self.threads.max(1) * 4).max(1)
+    }
+
+    /// Applies `f` to disjoint consecutive chunks of a mutable slice
+    /// concurrently and returns the per-chunk results **in chunk order**.
+    ///
+    /// Each call receives the chunk's base offset into `items` (so per-item
+    /// identity can be reconstructed as `base + j`) and the chunk itself.
+    /// Because chunk boundaries depend only on `chunk` — never on thread
+    /// count or scheduling — and results come back in chunk order, a caller
+    /// that merges them left-to-right observes output byte-identical to a
+    /// sequential pass at any `MKNN_THREADS`. This is the slice-borrowing
+    /// counterpart of [`Pool::map_indexed`]'s `Vec` ownership transfer: the
+    /// engine hot loop uses it to run per-device client logic over its
+    /// state array without giving up ownership.
+    ///
+    /// `chunk` is clamped to at least 1. Panics in `f` propagate like
+    /// [`Pool::map_indexed`].
+    pub fn map_chunks_mut<T, R, F>(&self, items: &mut [T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        let chunk = chunk.max(1);
+        let jobs: Vec<(usize, &mut [T])> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk, c))
+            .collect();
+        self.map_indexed(jobs, |_, (base, slice)| f(base, slice))
+    }
 }
 
 impl Default for Pool {
@@ -112,9 +159,13 @@ impl Default for Pool {
 }
 
 /// Resolves a worker count from an optional `MKNN_THREADS`-style string,
-/// falling back to `fallback` when the variable is unset, empty, or not a
-/// positive integer. Split out of [`Pool::from_env`] so the policy is unit
-/// testable without touching process-global environment state.
+/// falling back to `fallback` when the variable is unset, empty (including
+/// whitespace-only), or not a positive integer (`0`, negatives,
+/// non-numeric text, fractions, and values past `usize::MAX` all fall
+/// back). The result is always ≥ 1 — even a zero `fallback` is clamped —
+/// so no caller can end up with a zero-worker pool. Split out of
+/// [`Pool::from_env`] so the policy is unit testable without touching
+/// process-global environment state.
 pub fn threads_from(var: Option<&str>, fallback: usize) -> usize {
     match var.map(str::trim) {
         Some(s) if !s.is_empty() => match s.parse::<usize>() {
@@ -218,5 +269,107 @@ mod tests {
         assert_eq!(threads_from(Some(""), 2), 2);
         assert_eq!(threads_from(None, 2), 2);
         assert_eq!(threads_from(None, 0), 1);
+    }
+
+    #[test]
+    fn threads_from_rejects_every_malformed_shape_without_panicking() {
+        // Whitespace-only, fractions, overflow, embedded junk, and a
+        // malformed fallback of 0: none may panic, none may yield 0.
+        assert_eq!(threads_from(Some("   "), 3), 3);
+        assert_eq!(threads_from(Some("\t\n"), 3), 3);
+        assert_eq!(threads_from(Some("2.5"), 3), 3);
+        assert_eq!(threads_from(Some("99999999999999999999999999"), 3), 3);
+        assert_eq!(threads_from(Some("4 workers"), 3), 3);
+        assert_eq!(threads_from(Some("0x10"), 3), 3);
+        assert_eq!(threads_from(Some("0"), 0), 1);
+        assert_eq!(threads_from(Some("oops"), 0), 1);
+        // `+8` is a valid positive integer per usize::from_str.
+        assert_eq!(threads_from(Some("+8"), 3), 8);
+    }
+
+    #[test]
+    fn zero_thread_env_still_builds_a_working_pool() {
+        // The end-to-end shape of the MKNN_THREADS=0 bug report: resolving
+        // a malformed count and mapping with it must still process work.
+        let pool = Pool::new(threads_from(Some("0"), 0));
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map_indexed(vec![1, 2, 3], |_, x| x * 2), [2, 4, 6]);
+    }
+
+    #[test]
+    fn chunk_size_covers_all_items_and_never_returns_zero() {
+        assert_eq!(Pool::new(1).chunk_size(0), 1);
+        assert_eq!(Pool::new(4).chunk_size(1), 1);
+        for threads in [1, 2, 7, 16] {
+            for n in [0usize, 1, 5, 100, 4096, 1_000_000] {
+                let c = Pool::new(threads).chunk_size(n);
+                assert!(c >= 1);
+                assert!(n.div_ceil(c.max(1)) * c >= n);
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_visits_disjoint_chunks_with_correct_offsets() {
+        let pool = Pool::new(4);
+        let mut items: Vec<usize> = (0..103).collect();
+        let sums = pool.map_chunks_mut(&mut items, 10, |base, chunk| {
+            let mut sum = 0;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                assert_eq!(*v, base + j, "offset reconstructs item identity");
+                *v += 1;
+                sum += *v;
+            }
+            (base, sum)
+        });
+        assert_eq!(items, (1..=103).collect::<Vec<_>>());
+        let bases: Vec<usize> = sums.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bases, (0..11).map(|i| i * 10).collect::<Vec<_>>());
+        let total: usize = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, (1..=103).sum::<usize>());
+    }
+
+    #[test]
+    fn map_chunks_mut_results_are_identical_at_any_thread_count_and_chunk() {
+        let reference: Vec<String> = {
+            let mut items: Vec<u32> = (0..57).collect();
+            Pool::new(1).map_chunks_mut(&mut items, 57, |base, c| format!("{base}:{}", c.len()))
+        };
+        let flat_ref: Vec<u32> = (0..57).map(|x| x * 2).collect();
+        for threads in [1, 2, 8] {
+            for chunk in [1, 3, 8, 57, 100] {
+                let pool = Pool::new(threads);
+                let mut items: Vec<u32> = (0..57).collect();
+                let labels = pool.map_chunks_mut(&mut items, chunk, |base, c| {
+                    for v in c.iter_mut() {
+                        *v *= 2;
+                    }
+                    format!("{base}:{}", c.len())
+                });
+                assert_eq!(items, flat_ref, "threads={threads} chunk={chunk}");
+                // Labels come back in chunk order; with one full-width
+                // chunk they match the sequential reference exactly.
+                if chunk >= 57 {
+                    assert_eq!(labels, reference);
+                }
+                let covered: usize = labels
+                    .iter()
+                    .map(|l| l.split(':').nth(1).unwrap().parse::<usize>().unwrap())
+                    .sum();
+                assert_eq!(covered, 57);
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_handles_empty_and_zero_chunk() {
+        let pool = Pool::new(4);
+        let mut empty: Vec<u8> = Vec::new();
+        let out = pool.map_chunks_mut(&mut empty, 8, |base, _| base);
+        assert!(out.is_empty());
+        let mut items = vec![5u8, 6];
+        // A zero chunk request clamps to 1 instead of panicking.
+        let out = pool.map_chunks_mut(&mut items, 0, |base, c| (base, c.len()));
+        assert_eq!(out, [(0, 1), (1, 1)]);
     }
 }

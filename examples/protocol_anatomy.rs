@@ -49,6 +49,7 @@ fn main() {
         verify: VerifyMode::Assert,
         fault: FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     };
     // Stationary world: drive the simulation normally; all cost after init
     // should be zero — the protocol is fully quiescent.

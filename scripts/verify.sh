@@ -25,6 +25,11 @@
 #                and the indexed oracle not slower on a query-heavy episode
 #   bench        the committed BENCH_shards.json parses as a BenchSummary
 #                and round-trips through the mknn_util JSON codec
+#   tickbench    the committed BENCH_tick.json parses; a sized smoke run
+#                (above the PAR_MIN_DEVICES threshold) is byte-identical
+#                across MKNN_THREADS/--threads 1 vs 8; fast-scale E18
+#                re-asserts cross-width identity and, on multi-core
+#                runners, that T=8 is not slower than T=1
 #   speedup      (informational) fast-mode suite on one worker vs all cores
 #
 # Every byte gate routes through `diff` on temp files; a failing
@@ -189,6 +194,52 @@ stage_bench() {
     "${EXPT[@]}" --check-bench BENCH_shards.json
 }
 
+stage_tickbench() {
+    echo "==> tick-bench gate (BENCH_tick.json parses and round-trips)"
+    if [ ! -f BENCH_tick.json ]; then
+        echo "FAIL: BENCH_tick.json is missing (regenerate:" >&2
+        echo "      cargo run --release --offline -p mknn-bench --bin expt --" \
+             "--exp e18 --full --bench-out BENCH_tick.json)" >&2
+        exit 1
+    fi
+    "${EXPT[@]}" --check-bench BENCH_tick.json
+
+    # The chunked client phase only engages above PAR_MIN_DEVICES (4096),
+    # so the standard smoke (N=400) never exercises it; this sized smoke
+    # does, across both the env knob and the pinned-pool knob.
+    echo "==> intra-episode determinism gate (N=6000, MKNN_THREADS=1 vs 8)"
+    local sized=(--seed 42 --n 6000 --queries 10 --ticks 20)
+    run_expt tb_e1 MKNN_THREADS=1 -- "${sized[@]}"
+    run_expt tb_e8 MKNN_THREADS=8 -- "${sized[@]}"
+    expect_same tb_e1 tb_e8 "sized smoke differs across MKNN_THREADS 1 vs 8"
+    run_expt tb_p1 -- "${sized[@]}" --threads 1
+    run_expt tb_p8 -- "${sized[@]}" --threads 8
+    # The config echo records the pinned width; the episodes may not differ.
+    grep -v '"client_threads"' "$TMPDIR_VERIFY/tb_p1" > "$TMPDIR_VERIFY/tb_p1n"
+    grep -v '"client_threads"' "$TMPDIR_VERIFY/tb_p8" > "$TMPDIR_VERIFY/tb_p8n"
+    expect_same tb_p1n tb_p8n "sized smoke differs across --threads 1 vs 8"
+
+    # Fast-scale E18 re-runs its in-process cross-width identity assertion
+    # and prints the measured scaling table. Whole-episode wall time has an
+    # Amdahl ceiling well under the pool width (the world step, routing and
+    # server phase stay sequential by the determinism contract; at N = 1M
+    # the parallelizable protocol share is ~54% of wall, capping even
+    # perfect scaling below 2x), so the gate requires that T=8 is *not
+    # slower* than T=1 on parallel hardware and reports the measurement;
+    # on a single-core runner the run is identity-check-only.
+    echo "==> tick-loop scaling (expt --exp e18, fast scale)"
+    "${EXPT[@]}" --exp e18 | tee "$TMPDIR_VERIFY/tb_e18"
+    if [ "$(nproc)" -ge 2 ]; then
+        awk '$1 == "T=8" && $2 == "dknn-set" { found = 1; exit !($5 >= 0.9) }
+             END { if (!found) exit 1 }' "$TMPDIR_VERIFY/tb_e18" || {
+            echo "FAIL: dknn-set at T=8 ran >10% slower than T=1 on a $(nproc)-core runner" >&2
+            exit 1
+        }
+    else
+        echo "(single-core runner: scaling measured for the record only)"
+    fi
+}
+
 stage_speedup() {
     # Informational: wall-clock of the fast-mode suite on one worker vs.
     # all cores. On a multi-core runner the parallel run should be
@@ -207,7 +258,7 @@ stage_speedup() {
                         seq, cores, par, seq / par }'
 }
 
-ALL_STAGES=(build clippy test fmt determinism golden shards chaos oracle bench speedup)
+ALL_STAGES=(build clippy test fmt determinism golden shards chaos oracle bench tickbench speedup)
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then

@@ -58,6 +58,7 @@ fn chaos_config(rng: &mut Rng) -> SimConfig {
         verify: VerifyMode::Off,
         fault: FaultPlan::none(), // replaced per case
         shards: 1,
+        client_threads: None,
     }
 }
 

@@ -18,6 +18,7 @@ fn cfg(n: usize) -> SimConfig {
         verify: VerifyMode::Off,
         fault: FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     }
 }
 

@@ -19,6 +19,7 @@ fn base() -> SimConfig {
         verify: VerifyMode::Assert,
         fault: FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     }
 }
 

@@ -23,6 +23,7 @@ fn random_point(rng: &mut Rng, label: &str) -> (String, SimConfig) {
         verify: VerifyMode::Record,
         fault: FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     };
     (label.to_string(), cfg)
 }

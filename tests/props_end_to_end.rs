@@ -67,6 +67,7 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
         verify: VerifyMode::Assert,
         fault: FaultPlan::none(),
         shards: 1,
+        client_threads: None,
     };
     let params = DknnParams {
         alpha: s.alpha,

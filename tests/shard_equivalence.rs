@@ -38,6 +38,7 @@ fn random_config(rng: &mut Rng, fault: FaultPlan) -> SimConfig {
         verify: VerifyMode::Record,
         fault,
         shards: 1,
+        client_threads: None,
     }
 }
 
