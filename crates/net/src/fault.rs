@@ -446,33 +446,42 @@ impl FaultyLink {
     /// Passes one downlink delivery (to the device at inbox index `to`)
     /// through the link. An offline receiver misses the delivery outright;
     /// otherwise loss/duplication/delay are drawn exactly like uplinks.
+    ///
+    /// Returns `true` only when at least one copy reached the inbox *this
+    /// tick* — the signal the scoped replication layer uses to decide
+    /// whether the device's acked state advanced (a delayed copy still
+    /// arrives later, but conservatively counts as a gap).
     pub fn deliver_down(
         &mut self,
         to: usize,
         msg: DownlinkMsg,
         inboxes: &mut [Vec<DownlinkMsg>],
         stats: &mut NetStats,
-    ) {
+    ) -> bool {
         if self.is_offline(to) {
             stats.count_dropped();
-            return;
+            return false;
         }
         if !self.active() {
             if let Some(inbox) = inboxes.get_mut(to) {
                 inbox.push(msg);
+                return true;
             }
-            return;
+            return false;
         }
         let (copies, delay) = self.fate(self.plan.down_loss, self.plan.down_dup, stats);
+        let mut delivered = false;
         if let Some(inbox) = inboxes.get_mut(to) {
             for _ in 0..copies {
                 inbox.push(msg);
             }
+            delivered = copies > 0;
         }
         if let Some(d) = delay {
             self.held_down
                 .push((self.now + d, ObjectId(to as u32), msg));
         }
+        delivered
     }
 
     /// Delivers every held downlink that is due at the current tick into

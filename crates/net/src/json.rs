@@ -70,6 +70,7 @@ impl MsgKind {
             MsgKind::SetBand => "SetBand",
             MsgKind::ClearBand => "ClearBand",
             MsgKind::Ack => "Ack",
+            MsgKind::AnswerPush => "AnswerPush",
         }
     }
 
@@ -130,6 +131,18 @@ impl ToJson for NetStats {
         if !self.shard.is_empty() {
             fields.push(("shard", self.shard.to_json()));
         }
+        // Scoped-downlink counters appear only when the replication layer
+        // ran, keeping legacy-mode documents byte-identical to the
+        // pre-framing format.
+        if self.frames != 0 {
+            fields.push(("frames", self.frames.to_json()));
+        }
+        if self.frame_header_bytes != 0 {
+            fields.push(("frame_header_bytes", self.frame_header_bytes.to_json()));
+        }
+        if self.delta_full_fallbacks != 0 {
+            fields.push(("delta_full_fallbacks", self.delta_full_fallbacks.to_json()));
+        }
         fields.push((
             "by_kind",
             Json::object(
@@ -162,6 +175,9 @@ impl FromJson for NetStats {
             dup_msgs: v.parse_field_or_default("dup_msgs")?,
             delayed_msgs: v.parse_field_or_default("delayed_msgs")?,
             shard: v.parse_field_or_default("shard")?,
+            frames: v.parse_field_or_default("frames")?,
+            frame_header_bytes: v.parse_field_or_default("frame_header_bytes")?,
+            delta_full_fallbacks: v.parse_field_or_default("delta_full_fallbacks")?,
         })
     }
 }
@@ -248,6 +264,30 @@ mod tests {
         // Pre-shard documents (no `shard` key) parse to the empty overlay.
         let old: NetStats = from_str(&single).unwrap();
         assert!(old.shard.is_empty());
+    }
+
+    #[test]
+    fn frame_counters_round_trip_and_hide_when_zero() {
+        let mut s = NetStats::default();
+        s.count_uplink(MsgKind::Enter, 44);
+        let legacy = to_string(&s);
+        assert!(!legacy.contains("frames"), "got: {legacy}");
+        assert!(!legacy.contains("frame_header_bytes"), "got: {legacy}");
+        assert!(!legacy.contains("delta_full_fallbacks"), "got: {legacy}");
+        s.count_frame(40, 3);
+        s.delta_full_fallbacks += 2;
+        let scoped = to_string(&s);
+        assert!(scoped.contains("\"frames\":1"), "got: {scoped}");
+        assert!(scoped.contains("\"frame_header_bytes\":3"), "got: {scoped}");
+        assert!(
+            scoped.contains("\"delta_full_fallbacks\":2"),
+            "got: {scoped}"
+        );
+        let back: NetStats = from_str(&scoped).unwrap();
+        assert_eq!(back, s);
+        // Pre-framing documents parse with the counters defaulted to zero.
+        let old: NetStats = from_str(&legacy).unwrap();
+        assert_eq!(old.frames, 0);
     }
 
     #[test]

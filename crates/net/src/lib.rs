@@ -25,12 +25,17 @@
 
 #![deny(missing_docs)]
 
+mod downlink;
 mod fault;
 mod json;
 mod msg;
 mod proto;
 mod stats;
+mod wire;
 
+pub use downlink::{
+    frame_bits, frame_header_bits, AnswerUpdate, Delivery, DownlinkBuilder, FrameItem, ReplStore,
+};
 pub use fault::{FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
 pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, ShardMsg, ShardMsgKind, UplinkMsg};
 pub use proto::{
@@ -38,3 +43,7 @@ pub use proto::{
     PAR_MIN_DEVICES,
 };
 pub use stats::{NetStats, OpCounters, ShardStats};
+pub use wire::{
+    dequantize, quantize, Wire, LINK_HEADER_BITS, MEMBER_ENTRY_BITS, PARTIAL_ENTRY_BITS,
+    QUANT_ERROR, QUANT_SCALE,
+};

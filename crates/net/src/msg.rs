@@ -16,12 +16,23 @@ pub struct QuerySpec {
     pub k: usize,
 }
 
-/// Size, in bytes, of the fixed per-message header (ids, kind tag, tick).
+/// Legacy struct-size proxy: fixed per-message header (ids, kind tag, tick).
+/// Retired as a sizing authority in favor of [`crate::Wire`]; kept only so
+/// the old model can be reported against the measured one
+/// (`expt --wire-report`).
 const HEADER: usize = 12;
-/// Size of an encoded point or vector.
+/// Legacy struct-size proxy for an encoded point or vector.
 const COORD: usize = 16;
-/// Size of an encoded scalar.
+/// Legacy struct-size proxy for an encoded scalar.
 const SCALAR: usize = 8;
+
+/// Bytes on the wire for one *unframed* transmission of `wire_bits` payload
+/// bits: modeled link-layer overhead plus the bit-packed body, rounded up to
+/// whole bytes. Per-tick frames pay the link overhead once per frame instead
+/// (see `crate::downlink`).
+fn unframed_bytes(wire_bits: usize) -> usize {
+    (crate::wire::LINK_HEADER_BITS + wire_bits).div_ceil(8)
+}
 
 /// Device → server messages.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,8 +99,16 @@ pub enum UplinkMsg {
 }
 
 impl UplinkMsg {
-    /// Encoded size under the byte model (documented in DESIGN.md §S4).
+    /// Encoded size of one unframed transmission, measured from the
+    /// bit-packed wire format ([`crate::Wire`], DESIGN.md §10).
     pub fn size_bytes(&self) -> usize {
+        unframed_bytes(crate::Wire::wire_bits(self))
+    }
+
+    /// The retired hand-summed struct-size proxy (pre-wire-format byte
+    /// model). Only the old-vs-new byte-model comparison report may call it.
+    #[deprecated(note = "sizing authority is the Wire trait; use size_bytes()")]
+    pub fn legacy_size_bytes(&self) -> usize {
         match self {
             UplinkMsg::Position { .. } => HEADER + 2 * COORD,
             UplinkMsg::Enter { .. } => HEADER + 2 * COORD + SCALAR,
@@ -197,8 +216,16 @@ pub enum DownlinkMsg {
 }
 
 impl DownlinkMsg {
-    /// Encoded size under the byte model.
+    /// Encoded size of one unframed transmission, measured from the
+    /// bit-packed wire format ([`crate::Wire`], DESIGN.md §10).
     pub fn size_bytes(&self) -> usize {
+        unframed_bytes(crate::Wire::wire_bits(self))
+    }
+
+    /// The retired hand-summed struct-size proxy (pre-wire-format byte
+    /// model). Only the old-vs-new byte-model comparison report may call it.
+    #[deprecated(note = "sizing authority is the Wire trait; use size_bytes()")]
+    pub fn legacy_size_bytes(&self) -> usize {
         match self {
             DownlinkMsg::InstallRegion { .. } => HEADER + 2 * COORD + 2 * SCALAR,
             DownlinkMsg::RemoveRegion { .. } => HEADER,
@@ -293,9 +320,17 @@ pub enum ShardMsg {
 }
 
 impl ShardMsg {
-    /// Encoded size under the byte model (DESIGN.md §9): fixed header plus
-    /// the payload the variant carries.
+    /// Encoded size of one backbone transmission, measured from the
+    /// bit-packed wire format ([`crate::Wire`], DESIGN.md §10): tag and ids
+    /// as varints plus the modeled payload the variant carries.
     pub fn size_bytes(&self) -> usize {
+        unframed_bytes(crate::Wire::wire_bits(self))
+    }
+
+    /// The retired hand-summed struct-size proxy (pre-wire-format byte
+    /// model). Only the old-vs-new byte-model comparison report may call it.
+    #[deprecated(note = "sizing authority is the Wire trait; use size_bytes()")]
+    pub fn legacy_size_bytes(&self) -> usize {
         match *self {
             ShardMsg::Fanout { .. } => HEADER + COORD + SCALAR,
             // One packed (id, distance) pair per candidate entry.
@@ -358,11 +393,15 @@ pub enum MsgKind {
     SetBand,
     ClearBand,
     Ack,
+    /// Answer replication to the focal device (`crate::downlink`): the
+    /// harness-synthesized push that ships the current top-k member list to
+    /// the device that asked the query.
+    AnswerPush,
 }
 
 impl MsgKind {
     /// All kinds, uplinks first (for stable table layouts).
-    pub const ALL: [MsgKind; 12] = [
+    pub const ALL: [MsgKind; 13] = [
         MsgKind::Position,
         MsgKind::Enter,
         MsgKind::Leave,
@@ -375,6 +414,7 @@ impl MsgKind {
         MsgKind::SetBand,
         MsgKind::ClearBand,
         MsgKind::Ack,
+        MsgKind::AnswerPush,
     ];
 
     /// Short column label.
@@ -392,6 +432,7 @@ impl MsgKind {
             MsgKind::SetBand => "set-band",
             MsgKind::ClearBand => "clr-band",
             MsgKind::Ack => "ack",
+            MsgKind::AnswerPush => "answer",
         }
     }
 }
@@ -402,15 +443,21 @@ mod tests {
     use mknn_geom::Point;
 
     #[test]
-    fn sizes_are_positive_and_header_dominated() {
+    fn sizes_are_measured_wire_bits_plus_link_overhead() {
+        // size_bytes is a thin wrapper over the Wire trait: link-layer
+        // overhead plus the bit-packed body, rounded up to whole bytes.
         let up = UplinkMsg::Leave {
             query: QueryId(0),
             ver: 0,
             pos: Point::ORIGIN,
         };
-        assert_eq!(up.size_bytes(), 36);
+        assert_eq!(
+            up.size_bytes(),
+            (crate::wire::LINK_HEADER_BITS + crate::Wire::wire_bits(&up)).div_ceil(8)
+        );
+        assert_eq!(up.size_bytes(), 7); // 3 tag + 8 query + 8 ver + 16 origin + 16 link
         let down = DownlinkMsg::RemoveRegion { query: QueryId(0) };
-        assert_eq!(down.size_bytes(), 12);
+        assert_eq!(down.size_bytes(), 4); // 4 tag + 8 query + 16 link
         let install = DownlinkMsg::InstallRegion {
             query: QueryId(0),
             ver: 0,
@@ -419,6 +466,47 @@ mod tests {
             r_out: 1.0,
         };
         assert!(install.size_bytes() > down.size_bytes());
+        // Varint ids: a bigger id costs more bits, never fewer.
+        let far = DownlinkMsg::RemoveRegion {
+            query: QueryId(u32::MAX),
+        };
+        assert!(far.size_bytes() > down.size_bytes());
+    }
+
+    #[test]
+    fn wire_model_undercuts_the_legacy_struct_proxy() {
+        // The whole point of the redesign: measured bit-packed sizes are
+        // strictly below the old hand-summed struct proxies for every
+        // smoke-scale message shape.
+        #![allow(deprecated)]
+        let msgs = [
+            DownlinkMsg::InstallRegion {
+                query: QueryId(9),
+                ver: 120,
+                center: Point::new(812.5, 409.25),
+                vel: Vector::new(1.5, -2.0),
+                r_out: 155.0,
+            },
+            DownlinkMsg::SetBand {
+                query: QueryId(9),
+                ver: 120,
+                inner: 40.0,
+                outer: f64::INFINITY,
+            },
+            DownlinkMsg::Ack {
+                query: QueryId(9),
+                ver: 120,
+                kind: MsgKind::Enter,
+            },
+        ];
+        for m in msgs {
+            assert!(
+                m.size_bytes() < m.legacy_size_bytes(),
+                "{m:?}: wire {} >= legacy {}",
+                m.size_bytes(),
+                m.legacy_size_bytes()
+            );
+        }
     }
 
     #[test]
@@ -436,12 +524,12 @@ mod tests {
         }
         .kind();
         assert_ne!(a, b);
-        assert_eq!(MsgKind::ALL.len(), 12);
+        assert_eq!(MsgKind::ALL.len(), 13);
         // Labels are unique.
         let mut labels: Vec<_> = MsgKind::ALL.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 12);
+        assert_eq!(labels.len(), 13);
     }
 
     #[test]
@@ -481,7 +569,6 @@ mod tests {
             query: QueryId(0),
             zone: Circle::new(Point::ORIGIN, 9.0),
         };
-        assert_eq!(fanout.size_bytes(), 36);
         assert_eq!(fanout.kind(), ShardMsgKind::Fanout);
         let empty = ShardMsg::PartialAnswer {
             query: QueryId(0),
@@ -491,8 +578,11 @@ mod tests {
             query: QueryId(0),
             count: 5,
         };
-        assert_eq!(empty.size_bytes(), 12);
-        assert_eq!(five.size_bytes(), 12 + 5 * 16);
+        // Each modeled candidate entry costs exactly PARTIAL_ENTRY_BITS.
+        assert_eq!(
+            five.size_bytes(),
+            empty.size_bytes() + 5 * crate::wire::PARTIAL_ENTRY_BITS / 8
+        );
         // A forward tunnels the original message on top of its own header.
         let inner = UplinkMsg::Leave {
             query: QueryId(0),
@@ -503,18 +593,25 @@ mod tests {
             query: QueryId(0),
             payload_bytes: inner.size_bytes(),
         };
-        assert_eq!(fwd.size_bytes(), 12 + 36);
+        assert!(fwd.size_bytes() > inner.size_bytes());
         let handoff = ShardMsg::Handoff {
             object: ObjectId(3),
             pos: Point::ORIGIN,
             vel: Vector::ZERO,
         };
-        assert_eq!(handoff.size_bytes(), 44);
-        let mig = ShardMsg::Migrate {
+        assert!(handoff.size_bytes() >= 6);
+        let none = ShardMsg::Migrate {
+            query: QueryId(0),
+            members: 0,
+        };
+        let ten = ShardMsg::Migrate {
             query: QueryId(0),
             members: 10,
         };
-        assert_eq!(mig.size_bytes(), 12 + 160);
+        assert_eq!(
+            ten.size_bytes(),
+            none.size_bytes() + 10 * crate::wire::MEMBER_ENTRY_BITS / 8
+        );
     }
 
     #[test]
@@ -524,7 +621,14 @@ mod tests {
             ver: 3,
             kind: MsgKind::Enter,
         };
-        assert_eq!(ack.size_bytes(), 20);
+        assert_eq!(ack.size_bytes(), 5); // 4 tag + 8 query + 8 ver + 4 kind + 16 link
         assert_eq!(ack.kind(), MsgKind::Ack);
+        let band = DownlinkMsg::SetBand {
+            query: QueryId(0),
+            ver: 3,
+            inner: 10.0,
+            outer: 20.0,
+        };
+        assert!(ack.size_bytes() < band.size_bytes());
     }
 }

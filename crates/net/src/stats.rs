@@ -154,6 +154,20 @@ pub struct NetStats {
     /// Inter-shard coordination legs of the sharded server tier. All-zero
     /// (and absent from the JSON encoding) for a single-shard server.
     pub shard: ShardStats,
+    /// Per-device downlink frames sent by the interest-scoped replication
+    /// layer: all messages to one device in one tick coalesce into one
+    /// framed packet. Zero in legacy (unframed) mode.
+    pub frames: u64,
+    /// The share of `downlink_bytes` spent on frame headers (link-layer
+    /// overhead plus tick/count bookkeeping) rather than item payloads:
+    /// `downlink_bytes` contributed by frames equals payload bytes plus
+    /// this. Zero in legacy mode.
+    pub frame_header_bytes: u64,
+    /// Full-state re-sends forced by a replication gap: a frame the fault
+    /// layer failed to deliver in full voids the device's acked state, and
+    /// every subsequent region/band/answer that had to go out whole instead
+    /// of as a delta counts here. Zero in legacy mode and on perfect links.
+    pub delta_full_fallbacks: u64,
 }
 
 impl NetStats {
@@ -213,6 +227,19 @@ impl NetStats {
     pub fn count_delayed(&mut self) {
         self.delayed_msgs += 1;
     }
+
+    /// Records one per-device downlink frame of `frame_bytes` total, of
+    /// which `header_bytes` is framing overhead (the rest is item payload).
+    /// Frames feed `downlink_bytes` — they *are* the scoped mode's downlink
+    /// transmissions — but not the logical per-kind tallies, which the
+    /// harness keeps charging per staged message so both modes report
+    /// identical message counts.
+    pub fn count_frame(&mut self, frame_bytes: u64, header_bytes: u64) {
+        debug_assert!(header_bytes <= frame_bytes);
+        self.frames += 1;
+        self.downlink_bytes += frame_bytes;
+        self.frame_header_bytes += header_bytes;
+    }
 }
 
 impl AddAssign<&NetStats> for NetStats {
@@ -230,6 +257,9 @@ impl AddAssign<&NetStats> for NetStats {
         self.dup_msgs += rhs.dup_msgs;
         self.delayed_msgs += rhs.delayed_msgs;
         self.shard += &rhs.shard;
+        self.frames += rhs.frames;
+        self.frame_header_bytes += rhs.frame_header_bytes;
+        self.delta_full_fallbacks += rhs.delta_full_fallbacks;
     }
 }
 
@@ -360,6 +390,30 @@ mod tests {
         merged += &s;
         assert_eq!(merged.total_msgs(), 2 * s.total_msgs());
         assert_eq!(merged.total_bytes(), 2 * s.total_bytes());
+    }
+
+    #[test]
+    fn frame_counters_conserve_bytes_and_merge() {
+        let mut s = NetStats::default();
+        // Two frames: total bytes split into payload and header shares.
+        s.count_frame(40, 3);
+        s.count_frame(9, 3);
+        s.delta_full_fallbacks += 1;
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.downlink_bytes, 49);
+        assert_eq!(s.frame_header_bytes, 6);
+        // Conservation: frame bytes = payload bytes + header bytes.
+        let payload = s.downlink_bytes - s.frame_header_bytes;
+        assert_eq!(payload, 43);
+        // Frames are transmissions (bytes), not logical messages.
+        assert_eq!(s.total_msgs(), 0);
+        assert_eq!(s.total_bytes(), 49);
+        let mut merged = NetStats::default();
+        merged += &s;
+        merged += &s;
+        assert_eq!(merged.frames, 4);
+        assert_eq!(merged.frame_header_bytes, 12);
+        assert_eq!(merged.delta_full_fallbacks, 2);
     }
 
     #[test]

@@ -85,8 +85,10 @@ fn uplink_byte_model_is_positive_and_bounded() {
     forall(CASES, |rng| {
         let m = uplink(rng);
         let s = m.size_bytes();
-        assert!(s >= 12, "at least a header");
-        assert!(s <= 64, "no uplink should exceed 64 bytes");
+        // At least the link header, at most the old fixed-struct proxy:
+        // bit-packing may only undercut the legacy model.
+        assert!(s >= 3, "at least a link header: {s}");
+        assert!(s <= 64, "no uplink should exceed 64 bytes: {s}");
     });
 }
 
@@ -95,7 +97,7 @@ fn downlink_byte_model_is_positive_and_bounded() {
     forall(CASES, |rng| {
         let m = downlink(rng);
         let s = m.size_bytes();
-        assert!((12..=72).contains(&s));
+        assert!((3..=72).contains(&s), "{s}");
     });
 }
 
@@ -187,7 +189,9 @@ fn kind_is_stable_under_payload_changes() {
         };
         assert_eq!(a.kind(), b.kind());
         assert_eq!(a.kind(), MsgKind::Enter);
-        assert_eq!(a.size_bytes(), b.size_bytes());
+        // Sizes are content-dependent under varint encoding, but the
+        // all-zero payload is the floor for the variant.
+        assert!(b.size_bytes() <= a.size_bytes());
     });
 }
 
@@ -270,8 +274,10 @@ fn fault_plans_round_trip_through_json() {
 }
 
 #[test]
-fn object_and_query_message_sizes_are_order_independent() {
-    // The same logical content must cost the same regardless of ids.
+fn message_sizes_grow_with_payload_magnitude() {
+    // Varints charge for the bits actually carried: a message full of
+    // large values costs at least as much as its all-small twin, and the
+    // wire model is what `size_bytes` reports (single sizing authority).
     let a = UplinkMsg::Leave {
         query: QueryId(0),
         ver: 1,
@@ -282,6 +288,6 @@ fn object_and_query_message_sizes_are_order_independent() {
         ver: u64::MAX,
         pos: Point::new(1e4, 1e4),
     };
-    assert_eq!(a.size_bytes(), b.size_bytes());
+    assert!(a.size_bytes() < b.size_bytes());
     let _ = ObjectId(3); // silence unused import lint in non-prop test
 }

@@ -1,13 +1,14 @@
 //! The simulation engine: world + infrastructure + protocol driver.
 
-use crate::{check_answer, EpisodeMetrics, SimConfig, SnapshotOracle, VerifyMode};
+use crate::{check_answer, DownlinkMode, EpisodeMetrics, SimConfig, SnapshotOracle, VerifyMode};
 use mknn_core::ShardCoordinator;
 use mknn_geom::{ObjectId, QueryId, Tick};
 use mknn_index::GridIndex;
 use mknn_mobility::World;
 use mknn_net::{
-    DownlinkMsg, FaultyLink, MsgKind, NetStats, ObjReport, OpCounters, Outbox, ProbeService,
-    Protocol, QuerySpec, Recipient, UplinkMsg, Uplinks,
+    AnswerUpdate, Delivery, DownlinkBuilder, DownlinkMsg, FaultyLink, MsgKind, NetStats, ObjReport,
+    OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Recipient, ReplStore, UplinkMsg,
+    Uplinks, Wire, LINK_HEADER_BITS,
 };
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -20,15 +21,19 @@ use std::time::Instant;
 /// indistinguishable from a lost one to a caller that waits exactly one
 /// round): the request leg can fail with the downlink loss rate, the reply
 /// leg with the uplink loss rate, and offline devices never answer.
-struct EngineProbe<'a> {
+struct EngineProbe<'a, 'b> {
     infra: &'a GridIndex,
     world: &'a World,
     stats: &'a mut NetStats,
     link: Option<&'a mut FaultyLink>,
     coord: &'a mut ShardCoordinator,
+    /// Present in scoped downlink mode: probe request legs are staged into
+    /// the tick's frames (priced per interested device) instead of being
+    /// charged per overlapped cell.
+    builder: Option<&'a mut DownlinkBuilder<'b>>,
 }
 
-impl ProbeService for EngineProbe<'_> {
+impl ProbeService for EngineProbe<'_, '_> {
     fn probe(
         &mut self,
         query: QueryId,
@@ -37,8 +42,12 @@ impl ProbeService for EngineProbe<'_> {
     ) -> Vec<ObjReport> {
         let msg = DownlinkMsg::Probe { query, zone };
         let cells = self.infra.cells_overlapping(&zone);
-        self.stats
-            .count_geocast(MsgKind::Probe, msg.size_bytes(), cells);
+        let bytes = if self.builder.is_some() {
+            0
+        } else {
+            msg.size_bytes()
+        };
+        self.stats.count_geocast(MsgKind::Probe, bytes, cells);
         // The probe zone scatters to every covering shard; each foreign one
         // merges its partial answer back at the home shard afterwards.
         self.coord
@@ -48,16 +57,22 @@ impl ProbeService for EngineProbe<'_> {
             if n.id == exclude {
                 continue;
             }
+            let mut delivery = Delivery::Delivered;
             if let Some(link) = self.link.as_deref_mut() {
                 // Request leg: an offline device never hears the geocast; an
                 // online one misses it with the downlink loss rate.
                 if link.is_offline(n.id.index()) {
                     self.stats.count_dropped();
-                    continue;
+                    delivery = Delivery::Offline;
+                } else if link.probe_leg_lost(link.plan().down_loss, self.stats) {
+                    delivery = Delivery::Lost;
                 }
-                if link.probe_leg_lost(link.plan().down_loss, self.stats) {
-                    continue;
-                }
+            }
+            if let Some(b) = self.builder.as_deref_mut() {
+                b.stage(n.id, msg, delivery);
+            }
+            if delivery != Delivery::Delivered {
+                continue;
             }
             let o = self.world.object(n.id);
             let reply = UplinkMsg::ProbeReply {
@@ -107,7 +122,12 @@ impl ProbeService for EngineProbe<'_> {
             query,
             zone: mknn_geom::Circle::new(o.pos, 0.0),
         };
-        self.stats.count_unicast(MsgKind::Probe, ask.size_bytes());
+        let bytes = if self.builder.is_some() {
+            0
+        } else {
+            ask.size_bytes()
+        };
+        self.stats.count_unicast(MsgKind::Probe, bytes);
         // A poll into a foreign block is forwarded there and the reply
         // forwarded back.
         self.coord.route_unicast(
@@ -117,14 +137,20 @@ impl ProbeService for EngineProbe<'_> {
             self.stats,
             self.link.as_deref_mut(),
         );
+        let mut delivery = Delivery::Delivered;
         if let Some(link) = self.link.as_deref_mut() {
             if link.is_offline(id.index()) {
                 self.stats.count_dropped();
-                return None;
+                delivery = Delivery::Offline;
+            } else if link.probe_leg_lost(link.plan().down_loss, self.stats) {
+                delivery = Delivery::Lost;
             }
-            if link.probe_leg_lost(link.plan().down_loss, self.stats) {
-                return None;
-            }
+        }
+        if let Some(b) = self.builder.as_deref_mut() {
+            b.stage(id, ask, delivery);
+        }
+        if delivery != Delivery::Delivered {
+            return None;
         }
         let reply = UplinkMsg::ProbeReply {
             query,
@@ -187,6 +213,18 @@ pub struct Simulation {
     /// else from `MKNN_THREADS` — so a mid-episode environment change cannot
     /// alter chunking.
     pool: mknn_util::Pool,
+    /// Interest-scoped downlink replication (DESIGN.md §10): per-device
+    /// delta/ack state, driving the frame batching in `route`. Only
+    /// consulted when `scoped` is set.
+    repl: ReplStore,
+    /// Whether `SimConfig::downlink` selected the scoped byte model.
+    scoped: bool,
+    /// Per query: the answer list most recently pushed to its focal device
+    /// (rank order for ordered protocols, canonical ascending-id order
+    /// otherwise). The push trigger — replicate when the maintained answer
+    /// differs from this — is mode-independent, so legacy and scoped
+    /// episodes push at exactly the same ticks.
+    last_sent: Vec<Vec<ObjectId>>,
 }
 
 /// Salt for the fault layer's RNG stream: the link must not replay the
@@ -265,6 +303,10 @@ impl Simulation {
         let mut outbox = Outbox::new();
         let mut ops = OpCounters::default();
         let t0 = Instant::now();
+        let scoped = config.downlink == DownlinkMode::Scoped;
+        let mut repl = ReplStore::new();
+        let mut last_sent = vec![Vec::new(); specs.len()];
+        let mut builder = scoped.then(|| repl.begin_tick(0));
         {
             let mut probe = EngineProbe {
                 infra: &infra,
@@ -272,6 +314,7 @@ impl Simulation {
                 stats: &mut metrics.net,
                 link: None,
                 coord: &mut coord,
+                builder: builder.as_mut(),
             };
             proto.init(
                 bounds,
@@ -284,14 +327,28 @@ impl Simulation {
         }
         metrics.proto_seconds += t0.elapsed().as_secs_f64();
         metrics.ops += ops;
-        route(
-            &outbox,
-            &infra,
-            &mut inboxes,
-            &mut metrics.net,
-            None,
-            &mut coord,
-        );
+        {
+            route(
+                &outbox,
+                &infra,
+                &mut inboxes,
+                &mut metrics.net,
+                None,
+                &mut coord,
+                builder.as_mut(),
+            );
+            replicate_answers(
+                proto.as_ref(),
+                &specs,
+                &mut last_sent,
+                None,
+                &mut metrics.net,
+                builder.as_mut(),
+            );
+            if let Some(b) = builder {
+                b.flush_frames(&mut metrics.net);
+            }
+        }
         metrics.shard_load = coord.loads();
 
         let n_queries = specs.len();
@@ -314,6 +371,9 @@ impl Simulation {
                 Some(t) => mknn_util::Pool::new(t),
                 None => mknn_util::Pool::from_env(),
             },
+            repl,
+            scoped,
+            last_sent,
         }
     }
 
@@ -476,6 +536,7 @@ impl Simulation {
 
         // Server phase.
         let mut outbox = Outbox::new();
+        let mut builder = self.scoped.then(|| self.repl.begin_tick(self.tick));
         {
             let mut probe = EngineProbe {
                 infra: &self.infra,
@@ -483,6 +544,7 @@ impl Simulation {
                 stats: &mut self.metrics.net,
                 link: self.link.as_mut(),
                 coord: &mut self.coord,
+                builder: builder.as_mut(),
             };
             self.proto
                 .server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
@@ -490,14 +552,32 @@ impl Simulation {
         self.metrics.proto_seconds += t0.elapsed().as_secs_f64();
         self.metrics.ops += ops;
 
-        route(
-            &outbox,
-            &self.infra,
-            &mut self.inboxes,
-            &mut self.metrics.net,
-            self.link.as_mut(),
-            &mut self.coord,
-        );
+        {
+            route(
+                &outbox,
+                &self.infra,
+                &mut self.inboxes,
+                &mut self.metrics.net,
+                self.link.as_mut(),
+                &mut self.coord,
+                builder.as_mut(),
+            );
+            // Answer replication rides the same tick's frames: the focal
+            // device of every query whose answer changed since its last
+            // push receives the new list (whole in legacy mode, as a diff
+            // against its acked copy in scoped mode).
+            replicate_answers(
+                self.proto.as_ref(),
+                &self.specs,
+                &mut self.last_sent,
+                self.link.as_ref(),
+                &mut self.metrics.net,
+                builder.as_mut(),
+            );
+            if let Some(b) = builder {
+                b.flush_frames(&mut self.metrics.net);
+            }
+        }
         self.metrics.shard_load = self.coord.loads();
 
         if self.verify != VerifyMode::Off {
@@ -600,10 +680,101 @@ impl Simulation {
     }
 }
 
+/// Answer replication (DESIGN.md §10): pushes each query's current answer
+/// to its focal device whenever it differs from what was last pushed.
+///
+/// Like probes, answer pushes are harness-level accounting traffic — they
+/// never enter an inbox and never consume fault-layer RNG, so legacy and
+/// scoped episodes stay draw-for-draw identical. In legacy mode each push
+/// is a unicast carrying the full member list; in scoped mode the logical
+/// unicast is still counted (so message tallies match across modes) but the
+/// bytes ride the tick's frame as a delta against the focal's acked copy.
+/// The delivery outcome feeding the ack machine is churn-only (an offline
+/// focal gaps), deterministic in both modes.
+fn replicate_answers(
+    proto: &dyn Protocol,
+    specs: &[QuerySpec],
+    last_sent: &mut [Vec<ObjectId>],
+    link: Option<&FaultyLink>,
+    stats: &mut NetStats,
+    mut builder: Option<&mut DownlinkBuilder>,
+) {
+    let ordered = proto.ordered_answers();
+    for (qi, spec) in specs.iter().enumerate() {
+        let mut members = proto.answer(spec.id).to_vec();
+        if !ordered {
+            members.sort_unstable_by_key(|m| m.0);
+        }
+        if members == last_sent[qi] {
+            continue;
+        }
+        match builder.as_deref_mut() {
+            Some(b) => {
+                stats.count_unicast(MsgKind::AnswerPush, 0);
+                let delivery = if link.is_none_or(|l| !l.is_offline(spec.focal.index())) {
+                    Delivery::Delivered
+                } else {
+                    Delivery::Offline
+                };
+                b.stage_answer(spec.focal, spec.id, members.clone(), ordered, delivery);
+            }
+            None => {
+                let push = AnswerUpdate::Full {
+                    query: spec.id,
+                    members: members.clone(),
+                };
+                let bytes = (LINK_HEADER_BITS + push.wire_bits()).div_ceil(8);
+                stats.count_unicast(MsgKind::AnswerPush, bytes);
+            }
+        }
+        last_sent[qi] = members;
+    }
+}
+
+/// One downlink delivery through the (possibly faulty) link, reporting
+/// whether a copy reached the inbox this tick.
+fn deliver_one(
+    to: ObjectId,
+    msg: &DownlinkMsg,
+    inboxes: &mut [Vec<DownlinkMsg>],
+    stats: &mut NetStats,
+    link: Option<&mut FaultyLink>,
+) -> bool {
+    if let Some(link) = link {
+        link.deliver_down(to.index(), *msg, inboxes, stats)
+    } else if let Some(inbox) = inboxes.get_mut(to.index()) {
+        inbox.push(*msg);
+        true
+    } else {
+        false
+    }
+}
+
+/// Classifies a delivery outcome for the ack state machine: an undelivered
+/// copy to an offline device is a churn gap (full snapshots on rejoin),
+/// an undelivered copy to an online device is plain loss/delay (the acked
+/// baseline just stalls).
+fn delivery_of(delivered: bool, to: ObjectId, link: Option<&FaultyLink>) -> Delivery {
+    if delivered {
+        Delivery::Delivered
+    } else if link.is_some_and(|l| l.is_offline(to.index())) {
+        Delivery::Offline
+    } else {
+        Delivery::Lost
+    }
+}
+
 /// Routes an outbox: charges every transmission and fills device inboxes.
 /// With a fault layer, due delayed downlinks are delivered first, then
 /// every individual delivery (one per geocast/broadcast receiver) makes its
 /// own fault draws, in deterministic recipient order.
+///
+/// With a [`DownlinkBuilder`] (scoped mode), deliveries are *identical* —
+/// same inboxes, same fault draws, same order — but bytes are not charged
+/// per message: each delivery is staged on the builder, which the caller
+/// flushes into per-device frames. Logical message counts (unicast,
+/// geocast-cell, per-kind) are charged the same in both modes. Broadcasts
+/// have no interest set and always use the legacy model.
 fn route(
     outbox: &Outbox,
     infra: &GridIndex,
@@ -611,6 +782,7 @@ fn route(
     stats: &mut NetStats,
     mut link: Option<&mut FaultyLink>,
     coord: &mut ShardCoordinator,
+    mut builder: Option<&mut DownlinkBuilder>,
 ) {
     if let Some(link) = link.as_deref_mut() {
         link.drain_due_down(inboxes, stats);
@@ -618,7 +790,12 @@ fn route(
     for (recipient, msg) in outbox.iter() {
         match *recipient {
             Recipient::One(id) => {
-                stats.count_unicast(msg.kind(), msg.size_bytes());
+                let bytes = if builder.is_some() {
+                    0
+                } else {
+                    msg.size_bytes()
+                };
+                stats.count_unicast(msg.kind(), bytes);
                 // A unicast into a foreign shard's block is forwarded there
                 // over the backbone. Recipients the infrastructure does not
                 // track have no block, hence no shard leg.
@@ -631,17 +808,40 @@ fn route(
                         link.as_deref_mut(),
                     );
                 }
-                if let Some(link) = link.as_deref_mut() {
-                    link.deliver_down(id.index(), *msg, inboxes, stats);
-                } else if let Some(inbox) = inboxes.get_mut(id.index()) {
-                    inbox.push(*msg);
+                let delivered = deliver_one(id, msg, inboxes, stats, link.as_deref_mut());
+                if let Some(b) = builder.as_deref_mut() {
+                    // Recipients without an inbox have no device to frame
+                    // to (the logical charge above still stands).
+                    if id.index() < inboxes.len() {
+                        b.stage(id, *msg, delivery_of(delivered, id, link.as_deref()));
+                    }
                 }
             }
             Recipient::Geocast(zone) => {
                 let cells = infra.cells_overlapping(&zone);
-                stats.count_geocast(msg.kind(), msg.size_bytes(), cells);
+                let bytes = if builder.is_some() {
+                    0
+                } else {
+                    msg.size_bytes()
+                };
+                stats.count_geocast(msg.kind(), bytes, cells);
                 coord.route_geocast(msg.query(), &zone, stats, link.as_deref_mut());
-                if let Some(link) = link.as_deref_mut() {
+                if let Some(b) = builder.as_deref_mut() {
+                    // Scope pass: the devices interested in this send are
+                    // exactly the zone's members (region members and
+                    // imminent entrants), in the same deterministic order
+                    // the legacy loop delivers in.
+                    let interest = DownlinkBuilder::scope(recipient, |z| {
+                        infra.range(z).into_iter().map(|n| n.id).collect()
+                    })
+                    .expect("geocasts always have an interest set");
+                    for id in interest {
+                        let delivered = deliver_one(id, msg, inboxes, stats, link.as_deref_mut());
+                        if id.index() < inboxes.len() {
+                            b.stage(id, *msg, delivery_of(delivered, id, link.as_deref()));
+                        }
+                    }
+                } else if let Some(link) = link.as_deref_mut() {
                     for n in infra.range(&zone) {
                         link.deliver_down(n.id.index(), *msg, inboxes, stats);
                     }
@@ -774,6 +974,7 @@ mod tests {
             stats: &mut stats,
             link: None,
             coord: &mut coord,
+            builder: None,
         };
         // Beyond the population: no such device, no traffic charged.
         assert_eq!(probe.poll(QueryId(0), ObjectId(n)), None);
@@ -805,7 +1006,15 @@ mod tests {
         outbox.send(Recipient::Broadcast, msg);
         let mut stats = NetStats::default();
         let mut coord = ShardCoordinator::new(Rect::square(100.0), 1);
-        route(&outbox, &infra, &mut inboxes, &mut stats, None, &mut coord);
+        route(
+            &outbox,
+            &infra,
+            &mut inboxes,
+            &mut stats,
+            None,
+            &mut coord,
+            None,
+        );
         // Device 0: hears the geocast and the broadcast. Device 1: only the
         // broadcast (it is not in the grid). Id 9: dropped in every arm.
         assert_eq!(inboxes[0].len(), 2);

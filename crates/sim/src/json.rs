@@ -5,7 +5,9 @@
 //! strings, data-carrying variants become single-key objects
 //! (`{"DknnSet": {...}}`).
 
-use crate::{EpisodeMetrics, Method, SimConfig, Summary, TickSample, TickSeries, VerifyMode};
+use crate::{
+    DownlinkMode, EpisodeMetrics, Method, SimConfig, Summary, TickSample, TickSeries, VerifyMode,
+};
 use mknn_core::DknnParams;
 use mknn_util::impl_json_struct;
 use mknn_util::json::{FromJson, Json, JsonError, ToJson};
@@ -39,6 +41,11 @@ impl ToJson for SimConfig {
         if let Some(t) = self.client_threads {
             fields.push(("client_threads", t.to_json()));
         }
+        // The scoped default is absent so documents only carry the key when
+        // they deliberately opt back into the legacy byte model.
+        if self.downlink != DownlinkMode::Scoped {
+            fields.push(("downlink", self.downlink.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -63,6 +70,7 @@ impl FromJson for SimConfig {
                 Some(t) => Some(usize::from_json(t)?),
                 None => None,
             },
+            downlink: v.parse_field_or_default("downlink")?,
         })
     }
 }
@@ -143,6 +151,26 @@ impl_json_struct!(Summary {
     min,
     max
 });
+
+impl ToJson for DownlinkMode {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            DownlinkMode::Scoped => "scoped",
+            DownlinkMode::Legacy => "legacy",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for DownlinkMode {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "scoped" => Ok(DownlinkMode::Scoped),
+            "legacy" => Ok(DownlinkMode::Legacy),
+            other => Err(JsonError::new(format!("unknown DownlinkMode `{other}`"))),
+        }
+    }
+}
 
 impl ToJson for VerifyMode {
     fn to_json(&self) -> Json {

@@ -17,12 +17,15 @@
 //! * [`pool`] — a scoped worker pool with deterministic in-order result
 //!   collection (replaces `rayon` for the experiment suite's episode
 //!   fan-out).
+//! * [`bits`] — an LSB-first bit writer/reader with varint and zigzag
+//!   codecs, the substrate under the `mknn_net` wire format.
 //!
 //! Nothing here depends on anything outside `std`.
 
 #![deny(missing_docs)]
 
 pub mod bench;
+pub mod bits;
 pub mod check;
 pub mod json;
 pub mod pool;

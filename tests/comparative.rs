@@ -19,6 +19,7 @@ fn cfg(n: usize) -> SimConfig {
         fault: FaultPlan::none(),
         shards: 1,
         client_threads: None,
+        downlink: DownlinkMode::Scoped,
     }
 }
 

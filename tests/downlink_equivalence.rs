@@ -1,0 +1,208 @@
+//! The scoped downlink (DESIGN.md §10) is a *byte-accounting* overlay: the
+//! interest scope pass, delta encoding, and per-device frame batching may
+//! only change how server → device traffic is priced, never what arrives.
+//! For any method, fault plan, shard count, or thread count, a scoped
+//! episode must produce answers and logical message tallies byte-identical
+//! to the legacy per-message model — the only counters allowed to differ
+//! are `downlink_bytes` and the frame ledger (`frames`,
+//! `frame_header_bytes`, `delta_full_fallbacks`).
+
+use mknn_net::ShardStats;
+use mknn_util::check::forall;
+use mknn_util::Rng;
+use moving_knn::prelude::*;
+
+/// Cases per property: each runs full episodes per method per mode.
+const CASES: u64 = 6;
+
+/// Removes exactly what the scoped model is allowed to change.
+fn strip_bytes(m: &EpisodeMetrics) -> EpisodeMetrics {
+    let mut m = m.clone().with_clock_zeroed();
+    m.net.downlink_bytes = 0;
+    m.net.frames = 0;
+    m.net.frame_header_bytes = 0;
+    m.net.delta_full_fallbacks = 0;
+    m
+}
+
+/// Removes what the shard overlay is allowed to change on top.
+fn strip_shards(mut m: EpisodeMetrics) -> EpisodeMetrics {
+    m.net.shard = ShardStats::default();
+    m.shard_load = Vec::new();
+    m
+}
+
+fn random_config(rng: &mut Rng, fault: FaultPlan) -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec {
+            n_objects: rng.gen_range(30usize..150),
+            space_side: 800.0,
+            seed: rng.next_u64(),
+            ..WorkloadSpec::default()
+        },
+        n_queries: rng.gen_range(1usize..4),
+        k: rng.gen_range(1usize..6),
+        ticks: rng.gen_range(10u64..30),
+        geo_cells: 8,
+        verify: VerifyMode::Record,
+        fault,
+        shards: 1,
+        client_threads: None,
+        downlink: DownlinkMode::Scoped,
+    }
+}
+
+/// A chaos preset with churn guaranteed on, so the ack-gap → full-snapshot
+/// fallback path is actually exercised.
+fn churny_chaos() -> FaultPlan {
+    FaultPlan::builder()
+        .up_loss(0.10)
+        .down_loss(0.10)
+        .duplication(0.02)
+        .delay(0.2, 2)
+        .churn(0.02, 1, 3)
+        .build()
+        .expect("preset inside builder ranges")
+}
+
+fn assert_modes_agree(cfg: &SimConfig) {
+    for method in Method::standard_suite(cfg.dknn_params()) {
+        let scoped = Sweep::episode(cfg, method);
+        let legacy_cfg = SimConfig {
+            downlink: DownlinkMode::Legacy,
+            ..cfg.clone()
+        };
+        let legacy = Sweep::episode(&legacy_cfg, method);
+        assert_eq!(
+            strip_bytes(&scoped),
+            strip_bytes(&legacy),
+            "{} diverges between downlink modes (workload seed {})",
+            method.name(),
+            cfg.workload.seed,
+        );
+        // Frames exist only under the scoped model.
+        assert_eq!(legacy.net.frames, 0, "{}", method.name());
+        assert_eq!(legacy.net.frame_header_bytes, 0, "{}", method.name());
+        assert_eq!(legacy.net.delta_full_fallbacks, 0, "{}", method.name());
+        if scoped.net.downlink_unicast_msgs + scoped.net.downlink_geocast_msgs > 0 {
+            assert!(
+                scoped.net.frames > 0,
+                "{}: scoped downlink traffic must be framed",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn modes_agree_on_everything_but_bytes_on_random_worlds() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, FaultPlan::none());
+        assert_modes_agree(&cfg);
+    });
+}
+
+#[test]
+fn modes_agree_under_chaos_churn() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, churny_chaos());
+        assert_modes_agree(&cfg);
+    });
+}
+
+#[test]
+fn answers_are_identical_tick_by_tick_across_modes() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, churny_chaos());
+        let legacy_cfg = SimConfig {
+            downlink: DownlinkMode::Legacy,
+            ..cfg.clone()
+        };
+        let p = cfg.dknn_params();
+        for method in [
+            Method::DknnSet(p),
+            Method::DknnOrder(p),
+            Method::Centralized { res: 16 },
+            Method::Naive { headroom: 1.5 },
+        ] {
+            let mut a = Simulation::new(&cfg, method.build());
+            let mut b = Simulation::new(&legacy_cfg, method.build());
+            for tick in 0..cfg.ticks {
+                a.step();
+                b.step();
+                for spec in a.specs().to_vec() {
+                    assert_eq!(
+                        a.answer(spec.id),
+                        b.answer(spec.id),
+                        "{} answers diverge at tick {tick} (seed {})",
+                        method.name(),
+                        cfg.workload.seed,
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn scoped_mode_commutes_with_the_shard_overlay() {
+    forall(CASES, |rng| {
+        let cfg = random_config(rng, churny_chaos());
+        for method in Method::standard_suite(cfg.dknn_params()) {
+            let single = strip_shards(Sweep::episode(&cfg, method).with_clock_zeroed());
+            for g in [3u32, 7] {
+                let sharded_cfg = SimConfig {
+                    shards: g,
+                    ..cfg.clone()
+                };
+                let sharded =
+                    strip_shards(Sweep::episode(&sharded_cfg, method).with_clock_zeroed());
+                assert_eq!(
+                    sharded,
+                    single,
+                    "{} scoped accounting changes under G={g}",
+                    method.name()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn scoped_sweeps_are_thread_count_deterministic() {
+    forall(3, |rng| {
+        let cfg = random_config(rng, churny_chaos());
+        let sweep = Sweep::over([("scoped", cfg)]).seeds(2);
+        let seq = sweep.clone().threads(1).run();
+        let par = sweep.threads(4).run();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(
+                s.metrics.clone().with_clock_zeroed(),
+                p.metrics.clone().with_clock_zeroed(),
+                "{} differs across thread counts",
+                s.metrics.method
+            );
+        }
+    });
+}
+
+#[test]
+fn churn_rejoins_fall_back_to_full_snapshots() {
+    // Under sustained churn the distributed methods must hit the ack-gap →
+    // full-snapshot path at least once across a handful of worlds; a zero
+    // here would mean the fallback machinery is dead code.
+    let fallbacks = std::cell::Cell::new(0u64);
+    forall(4, |rng| {
+        let mut cfg = random_config(rng, churny_chaos());
+        cfg.ticks = 40;
+        cfg.workload.n_objects = 150;
+        cfg.n_queries = 3;
+        let m = Sweep::episode(&cfg, Method::DknnSet(cfg.dknn_params()));
+        fallbacks.set(fallbacks.get() + m.net.delta_full_fallbacks);
+    });
+    assert!(
+        fallbacks.get() > 0,
+        "churn never triggered a full-snapshot fallback"
+    );
+}

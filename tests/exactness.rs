@@ -20,6 +20,7 @@ fn base() -> SimConfig {
         fault: FaultPlan::none(),
         shards: 1,
         client_threads: None,
+        downlink: DownlinkMode::Scoped,
     }
 }
 

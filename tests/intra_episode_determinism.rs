@@ -32,6 +32,7 @@ fn big_config(fault: FaultPlan, shards: u32) -> SimConfig {
         fault,
         shards,
         client_threads: None,
+        downlink: DownlinkMode::Scoped,
     }
 }
 

@@ -68,6 +68,7 @@ fn config_of(s: &Scenario) -> (SimConfig, DknnParams) {
         fault: FaultPlan::none(),
         shards: 1,
         client_threads: None,
+        downlink: DownlinkMode::Scoped,
     };
     let params = DknnParams {
         alpha: s.alpha,
