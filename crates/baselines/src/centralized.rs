@@ -146,6 +146,35 @@ impl Protocol for Centralized {
         self.evaluate(ops);
     }
 
+    fn server_crash(&mut self, block: Rect, queries: &[QueryId]) {
+        // The crashed shard's slice of the position index is lost. Moving
+        // devices re-teach their entries through the per-tick report
+        // firehose; stationary ones stay dark until the reconstruction
+        // sweep replays them at rebirth.
+        let wiped: Vec<ObjectId> = self
+            .index
+            .iter()
+            .filter(|&(_, p)| block.contains(p))
+            .map(|(id, _)| id)
+            .collect();
+        for id in wiped {
+            self.index.remove(id);
+        }
+        for &q in queries {
+            if let Some(a) = self.answers.get_mut(q.index()) {
+                a.clear();
+            }
+        }
+    }
+
+    fn server_recover(&mut self, _block: Rect, replay: &[mknn_net::ObjReport]) {
+        // The counted `Recover` sweep re-announces every object inside the
+        // reborn block; the index is whole again from this tick on.
+        for r in replay {
+            self.index.upsert(r.id, r.pos);
+        }
+    }
+
     fn answer(&self, query: QueryId) -> &[ObjectId] {
         self.answers
             .get(query.index())

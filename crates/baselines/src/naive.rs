@@ -143,6 +143,20 @@ impl Protocol for NaiveBroadcast {
         self.evaluate(probe, ops);
     }
 
+    fn server_crash(&mut self, _block: Rect, queries: &[QueryId]) {
+        // The strawman keeps only the cached answer and the adaptive zone
+        // radius per query; both are rebuilt by next tick's probe, so a
+        // crash costs one tick of answer loss plus the re-grown zone.
+        for &q in queries {
+            if let Some(a) = self.answers.get_mut(q.index()) {
+                a.clear();
+            }
+            if let Some(r) = self.radius.get_mut(q.index()) {
+                *r = self.space_diag * 0.02;
+            }
+        }
+    }
+
     fn answer(&self, query: QueryId) -> &[ObjectId] {
         self.answers
             .get(query.index())

@@ -187,6 +187,34 @@ impl Protocol for Periodic {
         self.evaluate(ops);
     }
 
+    fn server_crash(&mut self, block: Rect, queries: &[QueryId]) {
+        // The crashed shard's slice of the (already stale) index is lost.
+        // Devices only re-teach their entries on their staggered reporting
+        // schedule — and skip it entirely while parked — so the crash hole
+        // persists until the rebirth replay, on top of the baseline's
+        // normal staleness.
+        let wiped: Vec<ObjectId> = self
+            .index
+            .iter()
+            .filter(|&(_, p)| block.contains(p))
+            .map(|(id, _)| id)
+            .collect();
+        for id in wiped {
+            self.index.remove(id);
+        }
+        for &q in queries {
+            if let Some(a) = self.answers.get_mut(q.index()) {
+                a.clear();
+            }
+        }
+    }
+
+    fn server_recover(&mut self, _block: Rect, replay: &[mknn_net::ObjReport]) {
+        for r in replay {
+            self.index.upsert(r.id, r.pos);
+        }
+    }
+
     fn answer(&self, query: QueryId) -> &[ObjectId] {
         self.answers
             .get(query.index())

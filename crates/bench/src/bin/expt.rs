@@ -23,7 +23,7 @@ use mknn_net::FaultPlan;
 use mknn_sim::{render_table, write_csv, DownlinkMode, Method, SimConfig, Sweep, VerifyMode};
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: expt --exp <id|all> [--full] [--bench-out FILE] | --check-bench FILE | --list | --seed <n> [--method <name>] [--fault <none|chaos|JSON>] [--shards <G>] [--n <objects>] [--queries <q>] [--ticks <t>] [--space <side>] [--threads <w>] [--downlink <scoped|legacy>] [--timing]";
+const USAGE: &str = "usage: expt --exp <id|all> [--full] [--bench-out FILE] | --check-bench FILE | --list | --seed <n> [--method <name>] [--fault <none|chaos|crash|JSON>] [--shards <G>] [--n <objects>] [--queries <q>] [--ticks <t>] [--space <side>] [--threads <w>] [--downlink <scoped|legacy>] [--timing]";
 
 /// Smoke-mode workload overrides (each `None` keeps the
 /// [`SimConfig::small`] default, so the CI golden shape is untouched).
@@ -55,8 +55,9 @@ fn parse_fault(arg: &str) -> FaultPlan {
     match arg {
         "none" => FaultPlan::none(),
         "chaos" => FaultPlan::chaos(),
+        "crash" => FaultPlan::crash(),
         json => mknn_util::from_str(json).unwrap_or_else(|e| {
-            eprintln!("--fault wants `none`, `chaos`, or a FaultPlan JSON object: {e}");
+            eprintln!("--fault wants `none`, `chaos`, `crash`, or a FaultPlan JSON object: {e}");
             std::process::exit(2);
         }),
     }
@@ -205,7 +206,9 @@ fn main() {
             "--fault" => {
                 i += 1;
                 let arg = args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--fault requires `none`, `chaos`, or a FaultPlan JSON object");
+                    eprintln!(
+                        "--fault requires `none`, `chaos`, `crash`, or a FaultPlan JSON object"
+                    );
                     std::process::exit(2);
                 });
                 fault = parse_fault(&arg);
@@ -287,7 +290,7 @@ fn main() {
         for m in Method::standard_suite(SimConfig::small().dknn_params()) {
             println!("  {}", m.name());
         }
-        println!("fault presets (smoke mode): none, chaos, or a FaultPlan JSON object");
+        println!("fault presets (smoke mode): none, chaos, crash, or a FaultPlan JSON object");
         return;
     }
     if let Some(seed) = smoke_seed {

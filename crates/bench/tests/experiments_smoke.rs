@@ -12,7 +12,7 @@ use mknn_bench::experiments::{self, Scale};
 /// the registry.
 #[test]
 fn registry_is_complete_and_ordered() {
-    assert_eq!(experiments::ALL.len(), 19);
+    assert_eq!(experiments::ALL.len(), 20);
     for (i, id) in experiments::ALL.iter().enumerate() {
         assert_eq!(*id, format!("e{}", i + 1), "ids must be dense and ordered");
     }

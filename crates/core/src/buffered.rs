@@ -684,6 +684,20 @@ impl Protocol for DknnBuffered {
         }
     }
 
+    fn server_crash(&mut self, _block: Rect, queries: &[QueryId]) {
+        // The candidate/band structure homed on the dead shard is gone; the
+        // focal registry (spec, last reported position, version counter)
+        // survives. The next server tick rebuilds each wiped query with an
+        // expanding probe + full band re-establishment.
+        for &id in queries {
+            if let Some(q) = self.queries.get_mut(id.index()) {
+                q.cands.clear();
+                q.answer.clear();
+                q.needs_refresh = true;
+            }
+        }
+    }
+
     fn answer(&self, query: QueryId) -> &[ObjectId] {
         self.queries
             .get(query.index())

@@ -155,6 +155,18 @@ impl Protocol for Dknn {
         self.server.tick(tick, uplinks, probe, outbox, ops);
     }
 
+    fn server_crash(&mut self, _block: Rect, queries: &[QueryId]) {
+        // The crashed shard's member/band/answer state is gone; the focal
+        // registry survives (durable coordinator metadata). Recovery rides
+        // the ordinary refresh machinery: the next server tick probes and
+        // re-establishes each wiped query.
+        self.server.crash_queries(queries);
+    }
+
+    // `server_recover` stays the default no-op: DKNN's server holds no
+    // object index to re-learn — the reconstruction sweep's replayed
+    // boundary objects only matter to methods that track positions.
+
     fn answer(&self, query: QueryId) -> &[ObjectId] {
         self.server.answer(query)
     }

@@ -189,6 +189,24 @@ impl ServerHalf {
         self.queries.iter().map(|q| q.local_band_fixes).sum()
     }
 
+    /// Wipes the per-query state a crashed shard held (DESIGN.md §11): the
+    /// member list, band intervals, and cached answer are gone, so the next
+    /// server tick re-establishes each query with an expanding probe. The
+    /// focal registry entry (`spec`, last reported position/velocity, region
+    /// version counter) survives — it is re-announced by the device's
+    /// per-tick focal report before the refresh pass runs, so keeping it
+    /// models the coordinator's durable query registry without shortcutting
+    /// the member-state rebuild the experiments measure.
+    pub fn crash_queries(&mut self, queries: &[QueryId]) {
+        for &id in queries {
+            if let Some(q) = self.queries.get_mut(id.index()) {
+                q.members.clear();
+                q.answer.clear();
+                q.needs_refresh = true;
+            }
+        }
+    }
+
     /// One server tick: ingest events, patch or refresh answers, heartbeat.
     pub fn tick(
         &mut self,

@@ -24,10 +24,26 @@
 //! lossy*: a lost leg is retransmitted until delivered (drawn from a
 //! dedicated RNG stream so device-side fault fates are unperturbed), which
 //! preserves answer equivalence while still charging chaos-mode overhead.
+//!
+//! # Crash windows & failover (DESIGN.md §11)
+//!
+//! A [`CrashWindow`](mknn_net::CrashWindow) takes one shard down for a
+//! planned span of ticks. While down, the coordinator routes *around* it:
+//! every role the dead shard played is covered by its **fallback** — the
+//! nearest up shard by block-center distance (ties to the lowest id).
+//! Ownership tracked into the dead block silently homes at the fallback;
+//! `Handoff`/`Migrate` legs whose geometric target is down are **queued**
+//! until rebirth; geocast fan-outs and probe gathers are remapped through
+//! the fallback and deduplicated. At rebirth, [`ShardCoordinator::recover`]
+//! runs the counted reconstruction sweep: still-relevant queued handoffs
+//! are delivered, and each surviving shard replays the boundary objects it
+//! adopted as one [`ShardMsg::Recover`] leg, after which the objects are
+//! re-homed to the reborn owner (the sweep *is* the handoff, so the next
+//! tracking pass charges nothing extra).
 
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Vector};
-use mknn_net::{FaultyLink, NetStats, ShardMsg};
-use std::collections::BTreeMap;
+use mknn_net::{FaultyLink, NetStats, ObjReport, ShardMsg};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The spatial partition: the world rectangle cut into a near-square grid
 /// of `rows × cols = G` equal blocks.
@@ -134,6 +150,15 @@ pub struct ShardCoordinator {
     /// Smallest circle covering the world rectangle — the zone a broadcast
     /// fans out over (every shard covers part of it).
     world_zone: Circle,
+    /// Crash state per shard: `true` while inside a planned crash window.
+    down: Vec<bool>,
+    /// Covering shard per shard: self while up; while down, the nearest up
+    /// shard by block-center distance (ties to the lowest id), or self when
+    /// every shard is down (the G=1 degenerate crash).
+    fallback: Vec<u32>,
+    /// `Handoff`/`Migrate` legs whose geometric target was down when they
+    /// arose, held until that shard's rebirth.
+    queued: Vec<(u32, ShardMsg)>,
 }
 
 /// Sentinel owner for objects not yet sighted ([`ShardCoordinator`] ids are
@@ -155,12 +180,16 @@ impl ShardCoordinator {
             })
             .collect();
         let half_diag = bounds.center().dist(bounds.max);
+        let count = grid.count();
         ShardCoordinator {
             grid,
             shards,
             object_home: Vec::new(),
             query_home: BTreeMap::new(),
             world_zone: Circle::new(bounds.center(), half_diag),
+            down: vec![false; count as usize],
+            fallback: (0..count).collect(),
+            queued: Vec::new(),
         }
     }
 
@@ -189,6 +218,162 @@ impl ShardCoordinator {
         &self.shards[id as usize]
     }
 
+    /// The rectangular block owned by shard `id` (the failure domain a
+    /// crash wipes and a recovery sweep replays).
+    pub fn block_of(&self, id: u32) -> Rect {
+        self.grid.rect_of(id)
+    }
+
+    /// True while `id` is inside a planned crash window.
+    pub fn is_down(&self, id: u32) -> bool {
+        self.down[id as usize]
+    }
+
+    /// Backbone legs held for a down shard's rebirth (test hook).
+    pub fn queued_legs(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Resolves a geometric owner to the shard actually covering its role:
+    /// itself while up, its fallback while down.
+    fn effective(&self, shard: u32) -> u32 {
+        self.fallback[shard as usize]
+    }
+
+    /// Recomputes every down shard's covering fallback. Called on each
+    /// crash/recover transition — O(G²) on a tier of at most a few dozen
+    /// shards, and only at window edges.
+    fn recompute_fallbacks(&mut self) {
+        for s in 0..self.grid.count() {
+            self.fallback[s as usize] = if self.down[s as usize] {
+                self.nearest_up(s)
+            } else {
+                s
+            };
+        }
+    }
+
+    /// The nearest up shard to `s` by block-center distance, ties to the
+    /// lowest id; `s` itself when no shard is up.
+    fn nearest_up(&self, s: u32) -> u32 {
+        let c = self.grid.rect_of(s).center();
+        let mut best = s;
+        let mut best_d = f64::INFINITY;
+        for t in 0..self.grid.count() {
+            if t != s && !self.down[t as usize] {
+                let d = self.grid.rect_of(t).center().dist(c);
+                if d < best_d {
+                    best_d = d;
+                    best = t;
+                }
+            }
+        }
+        best
+    }
+
+    /// Takes `shard` down at the start of its crash window: its object-home
+    /// entries revert to untracked, its homed queries are dropped (returned
+    /// ascending so the caller can wipe the matching protocol state), and
+    /// routing fails over to the fallback shard until [`Self::recover`].
+    /// The load counter survives — it is a cumulative episode metric.
+    pub fn crash(&mut self, shard: u32) -> Vec<QueryId> {
+        self.down[shard as usize] = true;
+        self.recompute_fallbacks();
+        for home in self.object_home.iter_mut() {
+            if *home == shard {
+                *home = UNTRACKED;
+            }
+        }
+        self.shards[shard as usize].objects = 0;
+        let wiped: Vec<QueryId> = self
+            .query_home
+            .iter()
+            .filter(|&(_, &h)| h == shard)
+            .map(|(&q, _)| q)
+            .collect();
+        for q in &wiped {
+            self.query_home.remove(q);
+        }
+        self.shards[shard as usize].queries = 0;
+        wiped
+    }
+
+    /// Rebirths `shard` and runs the counted state-reconstruction sweep.
+    /// `replay` is the set of objects currently inside the reborn block
+    /// (the coordinator cannot know positions it never stores):
+    ///
+    /// 1. queued `Handoff` legs addressed to `shard` are delivered if their
+    ///    object is still in the block, dropped otherwise; queued `Migrate`
+    ///    legs are dropped (the next focal tracking re-migrates naturally);
+    /// 2. each surviving shard replays the boundary objects it adopted as
+    ///    one [`ShardMsg::Recover`] leg;
+    /// 3. the replayed objects re-home to the reborn owner, so the next
+    ///    tracking pass sees no crossing.
+    ///
+    /// Returns the number of `Recover` legs charged.
+    pub fn recover(
+        &mut self,
+        shard: u32,
+        replay: &[ObjReport],
+        stats: &mut NetStats,
+        mut fault: Option<&mut FaultyLink>,
+    ) -> usize {
+        self.down[shard as usize] = false;
+        self.recompute_fallbacks();
+
+        let in_block: BTreeSet<u32> = replay.iter().map(|r| r.id.0).collect();
+        let held = std::mem::take(&mut self.queued);
+        for (target, msg) in held {
+            if target != shard {
+                self.queued.push((target, msg));
+                continue;
+            }
+            if let ShardMsg::Handoff { object, .. } = msg {
+                if in_block.contains(&object.0) {
+                    let from = self.object_home[object.index()];
+                    if from != UNTRACKED {
+                        self.shards[from as usize].load += 1;
+                    }
+                    self.shards[shard as usize].load += 1;
+                    self.charge(msg, stats, &mut fault);
+                }
+            }
+        }
+
+        let mut by_source: BTreeMap<u32, usize> = BTreeMap::new();
+        for r in replay {
+            let idx = r.id.index();
+            let src = match self.object_home.get(idx) {
+                Some(&h) if h != UNTRACKED => self.effective(h),
+                _ => shard,
+            };
+            *by_source.entry(src).or_insert(0) += 1;
+        }
+        let mut legs = 0;
+        for (&src, &count) in &by_source {
+            if src != shard {
+                self.charge(ShardMsg::Recover { shard, count }, stats, &mut fault);
+                self.shards[src as usize].load += 1;
+                self.shards[shard as usize].load += 1;
+                legs += 1;
+            }
+        }
+        for r in replay {
+            let idx = r.id.index();
+            if idx >= self.object_home.len() {
+                self.object_home.resize(idx + 1, UNTRACKED);
+            }
+            let prev = std::mem::replace(&mut self.object_home[idx], shard);
+            if prev == UNTRACKED {
+                self.shards[shard as usize].objects += 1;
+            } else if prev != shard {
+                self.shards[prev as usize].objects -= 1;
+                self.shards[shard as usize].objects += 1;
+            }
+        }
+        legs
+    }
+
     fn charge(&mut self, msg: ShardMsg, stats: &mut NetStats, fault: &mut Option<&mut FaultyLink>) {
         stats.shard.count(&msg);
         if let Some(link) = fault.as_deref_mut() {
@@ -197,7 +382,9 @@ impl ShardCoordinator {
     }
 
     /// Observe object `id` at `pos` this tick. A block crossing charges a
-    /// [`ShardMsg::Handoff`] from the old owner to the new one.
+    /// [`ShardMsg::Handoff`] from the old owner to the new one. While the
+    /// geometric owner is down the fallback shard adopts the object, and
+    /// the leg to the dead shard is queued for its rebirth.
     pub fn track_object(
         &mut self,
         id: ObjectId,
@@ -206,7 +393,8 @@ impl ShardCoordinator {
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
     ) {
-        let now = self.grid.shard_of(pos);
+        let geo = self.grid.shard_of(pos);
+        let now = self.effective(geo);
         let idx = id.index();
         if idx >= self.object_home.len() {
             self.object_home.resize(idx + 1, UNTRACKED);
@@ -217,15 +405,15 @@ impl ShardCoordinator {
         } else if prev != now {
             self.shards[prev as usize].objects -= 1;
             self.shards[now as usize].objects += 1;
-            self.charge(
-                ShardMsg::Handoff {
-                    object: id,
-                    pos,
-                    vel,
-                },
-                stats,
-                &mut fault,
-            );
+            let msg = ShardMsg::Handoff {
+                object: id,
+                pos,
+                vel,
+            };
+            if geo != now {
+                self.queued.push((geo, msg));
+            }
+            self.charge(msg, stats, &mut fault);
             self.shards[prev as usize].load += 1;
             self.shards[now as usize].load += 1;
         }
@@ -234,6 +422,8 @@ impl ShardCoordinator {
     /// Observe query `q` with its focal object at `focal_pos`. A focal
     /// block crossing re-homes the query and charges a
     /// [`ShardMsg::Migrate`] shipping its `members`-entry server state.
+    /// While the geometric home is down the fallback shard hosts the query,
+    /// and the migrate leg to the dead shard is queued for its rebirth.
     pub fn track_query(
         &mut self,
         q: QueryId,
@@ -242,13 +432,18 @@ impl ShardCoordinator {
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
     ) {
-        let now = self.grid.shard_of(focal_pos);
+        let geo = self.grid.shard_of(focal_pos);
+        let now = self.effective(geo);
         match self.query_home.insert(q, now) {
             None => self.shards[now as usize].queries += 1,
             Some(prev) if prev != now => {
                 self.shards[prev as usize].queries -= 1;
                 self.shards[now as usize].queries += 1;
-                self.charge(ShardMsg::Migrate { query: q, members }, stats, &mut fault);
+                let msg = ShardMsg::Migrate { query: q, members };
+                if geo != now {
+                    self.queued.push((geo, msg));
+                }
+                self.charge(msg, stats, &mut fault);
                 self.shards[prev as usize].load += 1;
                 self.shards[now as usize].load += 1;
             }
@@ -267,10 +462,10 @@ impl ShardCoordinator {
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
     ) {
-        let local = self.grid.shard_of(sender_pos);
+        let local = self.effective(self.grid.shard_of(sender_pos));
         self.shards[local as usize].load += 1;
         if let Some(q) = q {
-            let home = self.query_home(q);
+            let home = self.effective(self.query_home(q));
             if home != local {
                 self.charge(
                     ShardMsg::Forward {
@@ -295,9 +490,9 @@ impl ShardCoordinator {
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
     ) {
-        let home = self.query_home(q);
+        let home = self.effective(self.query_home(q));
         self.shards[home as usize].load += 1;
-        let local = self.grid.shard_of(recipient_pos);
+        let local = self.effective(self.grid.shard_of(recipient_pos));
         if local != home {
             self.charge(
                 ShardMsg::Forward {
@@ -313,7 +508,9 @@ impl ShardCoordinator {
 
     /// Query `q`'s home shard services a zone-scoped task; each foreign
     /// covering shard receives a [`ShardMsg::Fanout`]. Returns the foreign
-    /// covering shards, ascending.
+    /// covering shards, ascending. Down shards in the covering set are
+    /// remapped to their fallback and deduplicated, so a fan-out never
+    /// addresses a dead shard (and shrinks while one is down).
     pub fn route_geocast(
         &mut self,
         q: QueryId,
@@ -321,14 +518,17 @@ impl ShardCoordinator {
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
     ) -> Vec<u32> {
-        let home = self.query_home(q);
+        let home = self.effective(self.query_home(q));
         self.shards[home as usize].load += 1;
-        let foreign: Vec<u32> = self
+        let mut foreign: Vec<u32> = self
             .grid
             .overlapping(zone)
             .into_iter()
+            .map(|s| self.effective(s))
             .filter(|&s| s != home)
             .collect();
+        foreign.sort_unstable();
+        foreign.dedup();
         for &s in &foreign {
             self.charge(
                 ShardMsg::Fanout {
@@ -377,7 +577,7 @@ impl ShardCoordinator {
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
     ) {
-        let home = self.query_home(q);
+        let home = self.effective(self.query_home(q));
         if from_shard != home {
             self.charge(
                 ShardMsg::PartialAnswer { query: q, count },

@@ -39,7 +39,7 @@
 //! legacy path, so answers are byte-identical between the two modes at any
 //! thread count and shard count. Only the measured bytes differ.
 
-use crate::wire::{self, id_bits, Wire, DOWN_TAG_BITS, LINK_HEADER_BITS};
+use crate::wire::{self, id_bits, Wire, DOWN_TAG_BITS, KIND_BITS, LINK_HEADER_BITS};
 use crate::{DownlinkMsg, NetStats, Recipient};
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Tick, Vector};
 use mknn_util::bits::{signed_bits, varint_bits, BitReader, BitWriter};
@@ -52,6 +52,7 @@ const DOWN_BAND_DELTA: u64 = 8;
 const DOWN_ANSWER_FULL: u64 = 9;
 const DOWN_ANSWER_DELTA: u64 = 10;
 const DOWN_PROBE_PING: u64 = 11;
+const DOWN_ACK_PING: u64 = 12;
 
 /// Answer replication to one device: the current top-k member list of a
 /// query, shipped to its focal device either whole or as a diff against the
@@ -269,8 +270,28 @@ pub enum FrameItem {
         /// The query the probed device replies to.
         query: QueryId,
     },
+    /// A protocol acknowledgement riding the frame as real wire traffic.
+    /// The acked version is transport bookkeeping the device can correlate
+    /// from its own retransmit slot, so the per-device copy carries only
+    /// the query tag and the kind being acked (closing the "free ack
+    /// channel" idealization: acks now cost ~2 B like a [`Self::ProbePing`],
+    /// tallied separately in [`NetStats::ack_bytes`]).
+    AckPing {
+        /// The query whose uplink is acknowledged.
+        query: QueryId,
+        /// The uplink kind being acknowledged.
+        kind: crate::MsgKind,
+    },
     /// Answer replication to the focal device.
     Answer(AnswerUpdate),
+}
+
+impl FrameItem {
+    /// True for acknowledgement items — their bytes are tallied into the
+    /// informational [`NetStats::ack_bytes`] share at flush time.
+    fn is_ack(&self) -> bool {
+        matches!(self, FrameItem::AckPing { .. })
+    }
 }
 
 impl Wire for FrameItem {
@@ -326,6 +347,11 @@ impl Wire for FrameItem {
             FrameItem::ProbePing { query } => {
                 w.write_bits(DOWN_PROBE_PING, DOWN_TAG_BITS);
                 w.write_varint(query.0 as u64);
+            }
+            FrameItem::AckPing { query, kind } => {
+                w.write_bits(DOWN_ACK_PING, DOWN_TAG_BITS);
+                w.write_varint(query.0 as u64);
+                w.write_bits(kind.code(), KIND_BITS);
             }
             FrameItem::Answer(a) => a.encode(w),
         }
@@ -394,6 +420,13 @@ impl Wire for FrameItem {
                     query: QueryId(u32::try_from(r.read_varint()?).ok()?),
                 })
             }
+            DOWN_ACK_PING => {
+                r.read_bits(DOWN_TAG_BITS)?;
+                Some(FrameItem::AckPing {
+                    query: QueryId(u32::try_from(r.read_varint()?).ok()?),
+                    kind: crate::MsgKind::from_code(r.read_bits(KIND_BITS)?)?,
+                })
+            }
             _ => None,
         }
     }
@@ -437,6 +470,7 @@ impl Wire for FrameItem {
                         .sum::<usize>()
             }
             FrameItem::ProbePing { query } => tag + id_bits(query.0),
+            FrameItem::AckPing { query, .. } => tag + id_bits(query.0) + KIND_BITS as usize,
             FrameItem::Answer(a) => a.wire_bits(),
         }
     }
@@ -671,9 +705,15 @@ impl DownlinkBuilder<'_> {
             }
             let header = frame_header_bits(self.tick, items.len());
             let payload: usize = items.iter().map(|i| i.wire_bits()).sum();
+            let ack_bits: usize = items
+                .iter()
+                .filter(|i| i.is_ack())
+                .map(|i| i.wire_bits())
+                .sum();
             let frame_bytes = (header + payload).div_ceil(8);
             let payload_bytes = payload.div_ceil(8);
             stats.count_frame(frame_bytes as u64, (frame_bytes - payload_bytes) as u64);
+            stats.ack_bytes += ack_bits.div_ceil(8) as u64;
             stats.delta_full_fallbacks += fallbacks;
             if stage.all_delivered {
                 entry.gapped = false;
@@ -821,8 +861,10 @@ fn encode_proto(
         // A probe's zone is addressing, already resolved by the scope pass:
         // the per-device copy is just the query tag the reply echoes.
         DownlinkMsg::Probe { query, .. } => FrameItem::ProbePing { query },
-        // Acks are one-shot RPC legs: no replicated state.
-        DownlinkMsg::Ack { .. } => FrameItem::Full(*msg),
+        // Acks are one-shot RPC legs: no replicated state, and the version
+        // is transport bookkeeping the device's retransmit slot already
+        // knows — only the (query, kind) correlation rides the wire.
+        DownlinkMsg::Ack { query, kind, .. } => FrameItem::AckPing { query, kind },
     }
 }
 
@@ -1097,11 +1139,10 @@ mod tests {
                     inner: 10.0,
                     outer: 20.0,
                 }),
-                FrameItem::Full(DownlinkMsg::Ack {
+                FrameItem::AckPing {
                     query: QueryId(1),
-                    ver: 1,
                     kind: MsgKind::Enter,
-                }),
+                },
             ];
             frame_bits(9, &items).div_ceil(8)
         };
@@ -1109,6 +1150,45 @@ mod tests {
             frame_one < unframed,
             "frame {frame_one} vs unframed {unframed}"
         );
+    }
+
+    #[test]
+    fn acks_ride_frames_as_counted_wire_traffic() {
+        // An acked uplink costs real downlink bytes now (satellite of the
+        // crash/failover PR): the frame carries an AckPing and the tally
+        // surfaces in the informational `ack_bytes` share.
+        let mut store = ReplStore::new();
+        let mut stats = NetStats::default();
+        let mut b = store.begin_tick(3);
+        b.stage(
+            ObjectId(4),
+            DownlinkMsg::Ack {
+                query: QueryId(1),
+                ver: 7,
+                kind: MsgKind::Enter,
+            },
+            Delivery::Delivered,
+        );
+        b.flush_frames(&mut stats);
+        assert_eq!(stats.frames, 1);
+        assert_eq!(stats.ack_bytes, 2, "tag + small id + kind ≈ 2 bytes");
+        assert!(stats.ack_bytes <= stats.downlink_bytes);
+        // The ping itself is far cheaper than the unframed Ack struct.
+        let ping = FrameItem::AckPing {
+            query: QueryId(1),
+            kind: MsgKind::Enter,
+        };
+        let full = DownlinkMsg::Ack {
+            query: QueryId(1),
+            ver: 7,
+            kind: MsgKind::Enter,
+        };
+        assert!(ping.wire_bits() < full.wire_bits());
+        // Non-ack traffic never touches the share.
+        let mut b = store.begin_tick(4);
+        b.stage(ObjectId(4), install(1, 10.0), Delivery::Delivered);
+        b.flush_frames(&mut stats);
+        assert_eq!(stats.ack_bytes, 2);
     }
 
     #[test]
@@ -1231,6 +1311,10 @@ mod tests {
                 added: vec![ObjectId(88)],
                 order: None,
             }),
+            FrameItem::AckPing {
+                query: QueryId(9),
+                kind: MsgKind::BandCross,
+            },
         ];
         for item in &items {
             let mut w = BitWriter::new();

@@ -28,6 +28,11 @@ use std::fmt;
 /// fault sequence (the shard-equivalence gates depend on this).
 const SHARD_STREAM_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
 
+/// Further salt layered on the shard stream for the one-shot crash-window
+/// schedule, so planning crashes never perturbs the backbone's retransmit
+/// fates (and vice versa). A plan with `crash_count == 0` draws nothing.
+const CRASH_WINDOW_SALT: u64 = 0x1656_67B1_9E37_79F9;
+
 /// The shard backbone retransmits a lost leg until delivery; a degenerate
 /// plan with 100 % loss would retry forever, so retries are capped (the leg
 /// is then delivered anyway — the backbone is reliable by construction).
@@ -44,6 +49,9 @@ pub enum FaultError {
     /// `churn` is positive but the offline window `[offline_min,
     /// offline_max]` is empty or starts at 0 ticks.
     BadOfflineWindow(u64, u64),
+    /// `crash_count` is positive but the crash duration window
+    /// `[crash_min, crash_max]` is empty or starts at 0 ticks.
+    BadCrashWindow(u64, u64),
 }
 
 impl fmt::Display for FaultError {
@@ -59,6 +67,12 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "offline window [{lo}, {hi}] must satisfy 1 <= min <= max"
+                )
+            }
+            FaultError::BadCrashWindow(lo, hi) => {
+                write!(
+                    f,
+                    "crash duration window [{lo}, {hi}] must satisfy 1 <= min <= max"
                 )
             }
         }
@@ -95,6 +109,16 @@ pub struct FaultPlan {
     pub offline_min: u64,
     /// Longest offline window, in ticks.
     pub offline_max: u64,
+    /// Number of server-shard crash windows planned for the episode. Each
+    /// window picks a shard deterministically, wipes its state at the start
+    /// tick and rebirths it empty after the window (see
+    /// [`FaultyLink::crash_schedule`]). `0` (the default) plans no crashes
+    /// and draws nothing.
+    pub crash_count: u32,
+    /// Shortest shard-crash window, in ticks.
+    pub crash_min: u64,
+    /// Longest shard-crash window, in ticks.
+    pub crash_max: u64,
     /// Last tick (inclusive) on which faults are injected. Already-started
     /// offline windows and already-held delayed messages still play out, but
     /// no *new* fault is drawn after this tick. [`FaultPlan::FOREVER`]
@@ -123,13 +147,18 @@ impl FaultPlan {
             churn: 0.0,
             offline_min: 0,
             offline_max: 0,
+            crash_count: 0,
+            crash_min: 0,
+            crash_max: 0,
             horizon: FaultPlan::FOREVER,
         }
     }
 
     /// A moderately hostile preset used by the chaos CI gate and quickstart
     /// examples: 10 % loss each way, occasional duplication, short delays,
-    /// and rare multi-tick device outages, for the whole episode.
+    /// and rare multi-tick device outages, for the whole episode. No shard
+    /// crashes — the preset predates the server failure domain and its
+    /// golden bytes must stay put.
     pub fn chaos() -> Self {
         FaultPlan {
             up_loss: 0.10,
@@ -141,7 +170,22 @@ impl FaultPlan {
             churn: 0.002,
             offline_min: 2,
             offline_max: 6,
+            crash_count: 0,
+            crash_min: 0,
+            crash_max: 0,
             horizon: FaultPlan::FOREVER,
+        }
+    }
+
+    /// The server-failure preset used by the recovery CI gate: a perfect
+    /// device link, but two deterministic shard crashes of 5–10 ticks each.
+    /// Isolates the cost of server amnesia from transport noise.
+    pub fn crash() -> Self {
+        FaultPlan {
+            crash_count: 2,
+            crash_min: 5,
+            crash_max: 10,
+            ..FaultPlan::none()
         }
     }
 
@@ -153,7 +197,10 @@ impl FaultPlan {
     }
 
     /// `true` when the plan can never inject a fault (the harness then
-    /// skips the link layer entirely).
+    /// skips the link layer entirely). A plan that only crashes shards is
+    /// *not* none: the device link stays perfect, but the lossy-mode
+    /// recovery machinery (acks, leases, retransmits) must be armed for the
+    /// reconstruction protocol to work.
     pub fn is_none(&self) -> bool {
         self.up_loss == 0.0
             && self.down_loss == 0.0
@@ -161,6 +208,7 @@ impl FaultPlan {
             && self.down_dup == 0.0
             && self.delay_prob == 0.0
             && self.churn == 0.0
+            && self.crash_count == 0
     }
 
     /// Validates knob sanity; returns the first problem found.
@@ -185,6 +233,9 @@ impl FaultPlan {
                 self.offline_min,
                 self.offline_max,
             ));
+        }
+        if self.crash_count > 0 && (self.crash_min == 0 || self.crash_min > self.crash_max) {
+            return Err(FaultError::BadCrashWindow(self.crash_min, self.crash_max));
         }
         Ok(())
     }
@@ -245,6 +296,14 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Plans `count` shard-crash windows of `min_ticks..=max_ticks` each.
+    pub fn crashes(mut self, count: u32, min_ticks: u64, max_ticks: u64) -> Self {
+        self.plan.crash_count = count;
+        self.plan.crash_min = min_ticks;
+        self.plan.crash_max = max_ticks;
+        self
+    }
+
     /// Sets the last tick (inclusive) on which faults are injected.
     pub fn horizon(mut self, last_tick: Tick) -> Self {
         self.plan.horizon = last_tick;
@@ -264,7 +323,7 @@ impl FaultPlanBuilder {
 // of silently mis-running an episode.
 impl ToJson for FaultPlan {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("up_loss", self.up_loss.to_json()),
             ("down_loss", self.down_loss.to_json()),
             ("up_dup", self.up_dup.to_json()),
@@ -274,8 +333,16 @@ impl ToJson for FaultPlan {
             ("churn", self.churn.to_json()),
             ("offline_min", self.offline_min.to_json()),
             ("offline_max", self.offline_max.to_json()),
-            ("horizon", self.horizon.to_json()),
-        ])
+        ];
+        // Crash knobs appear only when crashes are planned, so plans written
+        // before the server failure domain existed serialize byte-identically.
+        if self.crash_count != 0 {
+            fields.push(("crash_count", self.crash_count.to_json()));
+            fields.push(("crash_min", self.crash_min.to_json()));
+            fields.push(("crash_max", self.crash_max.to_json()));
+        }
+        fields.push(("horizon", self.horizon.to_json()));
+        Json::object(fields)
     }
 }
 
@@ -291,12 +358,31 @@ impl FromJson for FaultPlan {
             churn: v.parse_field("churn")?,
             offline_min: v.parse_field("offline_min")?,
             offline_max: v.parse_field("offline_max")?,
+            crash_count: v.parse_field_or_default("crash_count")?,
+            crash_min: v.parse_field_or_default("crash_min")?,
+            crash_max: v.parse_field_or_default("crash_max")?,
             horizon: v.parse_field("horizon")?,
         };
         plan.validate()
             .map_err(|e| JsonError::new(format!("invalid FaultPlan: {e}")))?;
         Ok(plan)
     }
+}
+
+/// One planned server-shard outage: shard `shard` is down for every tick
+/// `from <= t < until`, loses all state at `from`, and is reborn empty at
+/// `until` (when the coordinator runs the reconstruction sweep).
+///
+/// Windows from [`FaultyLink::crash_schedule`] are normalized: sorted by
+/// start tick and non-overlapping per shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The shard that goes down.
+    pub shard: u32,
+    /// First tick of the outage (state is wiped here).
+    pub from: Tick,
+    /// First tick *after* the outage (rebirth + recovery sweep here).
+    pub until: Tick,
 }
 
 /// The runtime of a [`FaultPlan`]: per-device offline windows and the
@@ -311,6 +397,9 @@ impl FromJson for FaultPlan {
 #[derive(Debug)]
 pub struct FaultyLink {
     plan: FaultPlan,
+    /// The construction seed, kept so the crash schedule can derive its own
+    /// one-shot stream without touching either live generator.
+    seed: u64,
     rng: Rng,
     /// Dedicated generator for the inter-shard backbone legs. A separate
     /// stream keeps the device-side fault sequence byte-identical whether
@@ -338,6 +427,7 @@ impl FaultyLink {
         plan.validate().expect("invalid FaultPlan");
         FaultyLink {
             plan,
+            seed,
             rng: Rng::seed_from_u64(seed),
             shard_rng: Rng::seed_from_u64(seed ^ SHARD_STREAM_SALT),
             now: 0,
@@ -350,6 +440,54 @@ impl FaultyLink {
     /// The configured plan.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Plans the episode's shard-crash windows: `crash_count` outages of
+    /// `crash_min..=crash_max` ticks each, over `shards` shards and `ticks`
+    /// episode ticks.
+    ///
+    /// The schedule is a pure function of `(plan, seed, shards, ticks)`,
+    /// drawn from a one-shot generator salted off the shard stream — neither
+    /// the device-link nor the backbone fate sequence is perturbed, and a
+    /// plan with `crash_count == 0` returns empty without drawing at all
+    /// (the no-crash golden bytes stay put). Start ticks are placed so every
+    /// rebirth lands inside the episode when the window fits; windows
+    /// overlapping on the same shard are merged. The result is sorted by
+    /// `(from, shard)`.
+    pub fn crash_schedule(&self, shards: u32, ticks: u64) -> Vec<CrashWindow> {
+        let plan = &self.plan;
+        if plan.crash_count == 0 || shards == 0 || ticks == 0 {
+            return Vec::new();
+        }
+        let mut rng = Rng::seed_from_u64(self.seed ^ SHARD_STREAM_SALT ^ CRASH_WINDOW_SALT);
+        let mut raw = Vec::with_capacity(plan.crash_count as usize);
+        for _ in 0..plan.crash_count {
+            let shard = rng.gen_range(0..=(shards as u64 - 1)) as u32;
+            let len = rng.gen_range(plan.crash_min..=plan.crash_max);
+            // Keep the rebirth in-episode when the window fits; a window
+            // longer than the episode starts at 1 and never recovers.
+            let latest_start = ticks.saturating_sub(len).max(1);
+            let from = rng.gen_range(1..=latest_start) as Tick;
+            raw.push(CrashWindow {
+                shard,
+                from,
+                until: from.saturating_add(len),
+            });
+        }
+        // Merge overlapping (or touching) windows per shard so the engine
+        // sees at most one crash/rebirth pair per shard at a time.
+        raw.sort_by_key(|w| (w.shard, w.from, w.until));
+        let mut merged: Vec<CrashWindow> = Vec::with_capacity(raw.len());
+        for w in raw {
+            match merged.last_mut() {
+                Some(prev) if prev.shard == w.shard && w.from <= prev.until => {
+                    prev.until = prev.until.max(w.until);
+                }
+                _ => merged.push(w),
+            }
+        }
+        merged.sort_by_key(|w| (w.from, w.shard));
+        merged
     }
 
     /// `true` while faults are still being injected at the current tick.
@@ -769,5 +907,97 @@ mod tests {
         let doc = mknn_util::to_string(&p).replace("\"up_loss\":0.1", "\"up_loss\":-0.1");
         let err = mknn_util::from_str::<FaultPlan>(&doc).unwrap_err();
         assert!(err.to_string().contains("up_loss"), "{err}");
+    }
+
+    #[test]
+    fn crash_knobs_round_trip_and_hide_when_zero() {
+        // Plans without crashes serialize exactly as before the knobs
+        // existed, and old documents still parse.
+        for p in [FaultPlan::none(), FaultPlan::chaos()] {
+            let doc = mknn_util::to_string(&p);
+            assert!(!doc.contains("crash"), "got: {doc}");
+            let back: FaultPlan = mknn_util::from_str(&doc).unwrap();
+            assert_eq!(back, p);
+        }
+        let p = FaultPlan::crash();
+        let doc = mknn_util::to_string(&p);
+        assert!(doc.contains("\"crash_count\":2"), "got: {doc}");
+        assert!(doc.contains("\"crash_min\":5"), "got: {doc}");
+        assert!(doc.contains("\"crash_max\":10"), "got: {doc}");
+        let back: FaultPlan = mknn_util::from_str(&doc).unwrap();
+        assert_eq!(back, p);
+        // A malformed crash window fails the parse with the typed message.
+        let bad = doc.replace("\"crash_min\":5", "\"crash_min\":20");
+        let err = mknn_util::from_str::<FaultPlan>(&bad).unwrap_err();
+        assert!(err.to_string().contains("crash"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_crash_windows() {
+        assert_eq!(
+            FaultPlan::builder().crashes(1, 0, 4).build(),
+            Err(FaultError::BadCrashWindow(0, 4))
+        );
+        assert_eq!(
+            FaultPlan::builder().crashes(1, 5, 4).build(),
+            Err(FaultError::BadCrashWindow(5, 4))
+        );
+        let p = FaultPlan::builder().crashes(2, 3, 6).build().unwrap();
+        assert!(!p.is_none(), "a crash-only plan must arm the link layer");
+        assert!(FaultPlan::crash().validate().is_ok());
+        assert!(FaultPlan::none().is_none());
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_normalized_and_in_episode() {
+        let plan = FaultPlan::builder().crashes(6, 3, 9).build().unwrap();
+        let a = FaultyLink::new(plan, 42).crash_schedule(4, 200);
+        let b = FaultyLink::new(plan, 42).crash_schedule(4, 200);
+        assert_eq!(a, b, "pure function of (plan, seed, shards, ticks)");
+        assert!(!a.is_empty());
+        for w in &a {
+            assert!(w.shard < 4);
+            assert!(w.from >= 1 && w.until > w.from);
+            assert!(w.until <= 200, "rebirth lands in-episode: {w:?}");
+            let len = w.until - w.from;
+            assert!(len >= 3, "merged windows only grow: {w:?}");
+        }
+        // Sorted by start, and non-overlapping per shard.
+        for pair in a.windows(2) {
+            assert!(pair[0].from <= pair[1].from);
+        }
+        for s in 0..4 {
+            let mut per: Vec<_> = a.iter().filter(|w| w.shard == s).collect();
+            per.sort_by_key(|w| w.from);
+            for pair in per.windows(2) {
+                assert!(pair[0].until < pair[1].from, "disjoint per shard: {a:?}");
+            }
+        }
+        // A different seed moves the schedule.
+        let c = FaultyLink::new(plan, 43).crash_schedule(4, 200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_crash_plan_schedules_nothing_and_draws_nothing() {
+        let link = FaultyLink::new(FaultPlan::chaos(), 42);
+        assert!(link.crash_schedule(8, 200).is_empty());
+        // Scheduling must not perturb the live streams: fate sequences with
+        // and without a schedule call are identical.
+        let fates = |schedule_first: bool| {
+            let mut link = FaultyLink::new(FaultPlan::chaos(), 42);
+            if schedule_first {
+                let _ = link.crash_schedule(8, 200);
+            }
+            let mut stats = NetStats::default();
+            let mut out = Vec::new();
+            link.begin_tick(1, 8);
+            for i in 0..8 {
+                link.shard_leg(36, &mut stats);
+                link.transmit_up(ObjectId(i), an_uplink(), &mut out, &mut stats);
+            }
+            (out.len(), stats.shard.retransmits)
+        };
+        assert_eq!(fates(false), fates(true));
     }
 }

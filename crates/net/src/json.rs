@@ -12,21 +12,54 @@ use std::collections::BTreeMap;
 impl_json_struct!(QuerySpec { id, focal, k });
 
 // The shard substructure is emitted by `NetStats` only when some leg was
-// actually charged, so its own encoding can stay a plain full-field struct.
-impl_json_struct!(ShardStats {
-    fanout_msgs,
-    fanout_bytes,
-    merge_msgs,
-    merge_bytes,
-    handoff_msgs,
-    handoff_bytes,
-    forward_msgs,
-    forward_bytes,
-    migrate_msgs,
-    migrate_bytes,
-    retransmits,
-    retransmit_bytes,
-});
+// actually charged. Hand-written (it used to be a plain full-field struct)
+// so the recovery counters appear only when a crash actually ran: sharded
+// documents from crash-free episodes stay byte-identical to the format that
+// predates the server failure domain, and those old documents still parse.
+impl ToJson for ShardStats {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("fanout_msgs", self.fanout_msgs.to_json()),
+            ("fanout_bytes", self.fanout_bytes.to_json()),
+            ("merge_msgs", self.merge_msgs.to_json()),
+            ("merge_bytes", self.merge_bytes.to_json()),
+            ("handoff_msgs", self.handoff_msgs.to_json()),
+            ("handoff_bytes", self.handoff_bytes.to_json()),
+            ("forward_msgs", self.forward_msgs.to_json()),
+            ("forward_bytes", self.forward_bytes.to_json()),
+            ("migrate_msgs", self.migrate_msgs.to_json()),
+            ("migrate_bytes", self.migrate_bytes.to_json()),
+            ("retransmits", self.retransmits.to_json()),
+            ("retransmit_bytes", self.retransmit_bytes.to_json()),
+        ];
+        if self.recover_msgs != 0 {
+            fields.push(("recover_msgs", self.recover_msgs.to_json()));
+            fields.push(("recover_bytes", self.recover_bytes.to_json()));
+        }
+        Json::object(fields)
+    }
+}
+
+impl FromJson for ShardStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ShardStats {
+            fanout_msgs: v.parse_field("fanout_msgs")?,
+            fanout_bytes: v.parse_field("fanout_bytes")?,
+            merge_msgs: v.parse_field("merge_msgs")?,
+            merge_bytes: v.parse_field("merge_bytes")?,
+            handoff_msgs: v.parse_field("handoff_msgs")?,
+            handoff_bytes: v.parse_field("handoff_bytes")?,
+            forward_msgs: v.parse_field("forward_msgs")?,
+            forward_bytes: v.parse_field("forward_bytes")?,
+            migrate_msgs: v.parse_field("migrate_msgs")?,
+            migrate_bytes: v.parse_field("migrate_bytes")?,
+            retransmits: v.parse_field("retransmits")?,
+            retransmit_bytes: v.parse_field("retransmit_bytes")?,
+            recover_msgs: v.parse_field_or_default("recover_msgs")?,
+            recover_bytes: v.parse_field_or_default("recover_bytes")?,
+        })
+    }
+}
 
 // Hand-written so `retransmits` is emitted only when nonzero: episodes on a
 // perfect link serialize byte-identically to documents written before the
@@ -143,6 +176,11 @@ impl ToJson for NetStats {
         if self.delta_full_fallbacks != 0 {
             fields.push(("delta_full_fallbacks", self.delta_full_fallbacks.to_json()));
         }
+        // The ack-channel byte share exists only in lossy mode; perfect-link
+        // documents stay byte-identical to the pre-ack-accounting format.
+        if self.ack_bytes != 0 {
+            fields.push(("ack_bytes", self.ack_bytes.to_json()));
+        }
         fields.push((
             "by_kind",
             Json::object(
@@ -178,6 +216,7 @@ impl FromJson for NetStats {
             frames: v.parse_field_or_default("frames")?,
             frame_header_bytes: v.parse_field_or_default("frame_header_bytes")?,
             delta_full_fallbacks: v.parse_field_or_default("delta_full_fallbacks")?,
+            ack_bytes: v.parse_field_or_default("ack_bytes")?,
         })
     }
 }
@@ -264,6 +303,35 @@ mod tests {
         // Pre-shard documents (no `shard` key) parse to the empty overlay.
         let old: NetStats = from_str(&single).unwrap();
         assert!(old.shard.is_empty());
+        // Crash-free sharded documents hide the recovery counters (the
+        // pre-crash format), and recovery legs surface them.
+        assert!(!sharded.contains("recover"), "got: {sharded}");
+        s.shard.count(&ShardMsg::Recover { shard: 1, count: 3 });
+        let crashed = to_string(&s);
+        assert!(crashed.contains("\"recover_msgs\":1"), "got: {crashed}");
+        assert!(crashed.contains("\"recover_bytes\""), "got: {crashed}");
+        let back: NetStats = from_str(&crashed).unwrap();
+        assert_eq!(back, s);
+        // Pre-crash documents parse with the counters defaulted to zero.
+        let old: NetStats = from_str(&sharded).unwrap();
+        assert_eq!(old.shard.recover_msgs, 0);
+    }
+
+    #[test]
+    fn ack_byte_share_round_trips_and_hides_when_zero() {
+        let mut s = NetStats::default();
+        s.count_uplink(MsgKind::Enter, 44);
+        let clean = to_string(&s);
+        assert!(!clean.contains("ack_bytes"), "got: {clean}");
+        s.count_unicast(MsgKind::Ack, 5);
+        s.ack_bytes += 5;
+        let lossy = to_string(&s);
+        assert!(lossy.contains("\"ack_bytes\":5"), "got: {lossy}");
+        let back: NetStats = from_str(&lossy).unwrap();
+        assert_eq!(back, s);
+        // Pre-ack-accounting documents parse with the share at zero.
+        let old: NetStats = from_str(&clean).unwrap();
+        assert_eq!(old.ack_bytes, 0);
     }
 
     #[test]

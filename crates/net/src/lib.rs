@@ -21,7 +21,8 @@
 //! * [`Protocol`] — the contract a monitoring method implements; the
 //!   simulation harness drives it and routes its messages,
 //! * [`FaultPlan`] / [`FaultyLink`] — deterministic fault injection (loss,
-//!   duplication, delay, device churn) layered over the perfect fabric.
+//!   duplication, delay, device churn, and server-shard crash windows)
+//!   layered over the perfect fabric.
 
 #![deny(missing_docs)]
 
@@ -36,7 +37,7 @@ mod wire;
 pub use downlink::{
     frame_bits, frame_header_bits, AnswerUpdate, Delivery, DownlinkBuilder, FrameItem, ReplStore,
 };
-pub use fault::{FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
+pub use fault::{CrashWindow, FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
 pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, ShardMsg, ShardMsgKind, UplinkMsg};
 pub use proto::{
     parallel_client_phase, ClientCtx, ObjReport, Outbox, ProbeService, Protocol, Uplinks,
@@ -45,5 +46,5 @@ pub use proto::{
 pub use stats::{NetStats, OpCounters, ShardStats};
 pub use wire::{
     dequantize, quantize, Wire, LINK_HEADER_BITS, MEMBER_ENTRY_BITS, PARTIAL_ENTRY_BITS,
-    QUANT_ERROR, QUANT_SCALE,
+    QUANT_ERROR, QUANT_SCALE, RECOVER_ENTRY_BITS,
 };

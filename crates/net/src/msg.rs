@@ -16,16 +16,6 @@ pub struct QuerySpec {
     pub k: usize,
 }
 
-/// Legacy struct-size proxy: fixed per-message header (ids, kind tag, tick).
-/// Retired as a sizing authority in favor of [`crate::Wire`]; kept only so
-/// the old model can be reported against the measured one
-/// (`expt --wire-report`).
-const HEADER: usize = 12;
-/// Legacy struct-size proxy for an encoded point or vector.
-const COORD: usize = 16;
-/// Legacy struct-size proxy for an encoded scalar.
-const SCALAR: usize = 8;
-
 /// Bytes on the wire for one *unframed* transmission of `wire_bits` payload
 /// bits: modeled link-layer overhead plus the bit-packed body, rounded up to
 /// whole bytes. Per-tick frames pay the link overhead once per frame instead
@@ -103,20 +93,6 @@ impl UplinkMsg {
     /// bit-packed wire format ([`crate::Wire`], DESIGN.md §10).
     pub fn size_bytes(&self) -> usize {
         unframed_bytes(crate::Wire::wire_bits(self))
-    }
-
-    /// The retired hand-summed struct-size proxy (pre-wire-format byte
-    /// model). Only the old-vs-new byte-model comparison report may call it.
-    #[deprecated(note = "sizing authority is the Wire trait; use size_bytes()")]
-    pub fn legacy_size_bytes(&self) -> usize {
-        match self {
-            UplinkMsg::Position { .. } => HEADER + 2 * COORD,
-            UplinkMsg::Enter { .. } => HEADER + 2 * COORD + SCALAR,
-            UplinkMsg::Leave { .. } => HEADER + COORD + SCALAR,
-            UplinkMsg::BandCross { .. } => HEADER + 2 * COORD + SCALAR,
-            UplinkMsg::ProbeReply { .. } => HEADER + 2 * COORD,
-            UplinkMsg::QueryMove { .. } => HEADER + 2 * COORD,
-        }
     }
 
     /// Stable label for per-kind tallies.
@@ -222,20 +198,6 @@ impl DownlinkMsg {
         unframed_bytes(crate::Wire::wire_bits(self))
     }
 
-    /// The retired hand-summed struct-size proxy (pre-wire-format byte
-    /// model). Only the old-vs-new byte-model comparison report may call it.
-    #[deprecated(note = "sizing authority is the Wire trait; use size_bytes()")]
-    pub fn legacy_size_bytes(&self) -> usize {
-        match self {
-            DownlinkMsg::InstallRegion { .. } => HEADER + 2 * COORD + 2 * SCALAR,
-            DownlinkMsg::RemoveRegion { .. } => HEADER,
-            DownlinkMsg::Probe { .. } => HEADER + COORD + SCALAR,
-            DownlinkMsg::SetBand { .. } => HEADER + 3 * SCALAR,
-            DownlinkMsg::ClearBand { .. } => HEADER,
-            DownlinkMsg::Ack { .. } => HEADER + SCALAR,
-        }
-    }
-
     /// Stable label for per-kind tallies.
     pub fn kind(&self) -> MsgKind {
         match self {
@@ -317,6 +279,16 @@ pub enum ShardMsg {
         /// Number of member entries shipped with the state.
         members: usize,
     },
+    /// State-reconstruction sweep after a shard rebirth: a surviving shard
+    /// replays the boundary objects it covered for the crashed block (id,
+    /// position, velocity per entry) so the reborn shard can rebuild its
+    /// object-home table without waiting for every device to speak.
+    Recover {
+        /// The reborn shard the replay is addressed to.
+        shard: u32,
+        /// Number of replayed object entries carried.
+        count: usize,
+    },
 }
 
 impl ShardMsg {
@@ -327,20 +299,6 @@ impl ShardMsg {
         unframed_bytes(crate::Wire::wire_bits(self))
     }
 
-    /// The retired hand-summed struct-size proxy (pre-wire-format byte
-    /// model). Only the old-vs-new byte-model comparison report may call it.
-    #[deprecated(note = "sizing authority is the Wire trait; use size_bytes()")]
-    pub fn legacy_size_bytes(&self) -> usize {
-        match *self {
-            ShardMsg::Fanout { .. } => HEADER + COORD + SCALAR,
-            // One packed (id, distance) pair per candidate entry.
-            ShardMsg::PartialAnswer { count, .. } => HEADER + count * COORD,
-            ShardMsg::Handoff { .. } => HEADER + 2 * COORD,
-            ShardMsg::Forward { payload_bytes, .. } => HEADER + payload_bytes,
-            ShardMsg::Migrate { members, .. } => HEADER + members * COORD,
-        }
-    }
-
     /// Stable label for the per-category [`crate::ShardStats`] tallies.
     pub fn kind(&self) -> ShardMsgKind {
         match self {
@@ -349,6 +307,7 @@ impl ShardMsg {
             ShardMsg::Handoff { .. } => ShardMsgKind::Handoff,
             ShardMsg::Forward { .. } => ShardMsgKind::Forward,
             ShardMsg::Migrate { .. } => ShardMsgKind::Migrate,
+            ShardMsg::Recover { .. } => ShardMsgKind::Recover,
         }
     }
 }
@@ -362,6 +321,7 @@ pub enum ShardMsgKind {
     Handoff,
     Forward,
     Migrate,
+    Recover,
 }
 
 /// Who a downlink is addressed to.
@@ -477,8 +437,20 @@ mod tests {
     fn wire_model_undercuts_the_legacy_struct_proxy() {
         // The whole point of the redesign: measured bit-packed sizes are
         // strictly below the old hand-summed struct proxies for every
-        // smoke-scale message shape.
-        #![allow(deprecated)]
+        // smoke-scale message shape. The proxy model (12 B header + 16 B
+        // per coordinate pair + 8 B per scalar) lives only here now — the
+        // Wire trait is the single sizing authority in the crate proper.
+        const HEADER: usize = 12;
+        const COORD: usize = 16;
+        const SCALAR: usize = 8;
+        let legacy = |m: &DownlinkMsg| match m {
+            DownlinkMsg::InstallRegion { .. } => HEADER + 2 * COORD + 2 * SCALAR,
+            DownlinkMsg::RemoveRegion { .. } => HEADER,
+            DownlinkMsg::Probe { .. } => HEADER + COORD + SCALAR,
+            DownlinkMsg::SetBand { .. } => HEADER + 3 * SCALAR,
+            DownlinkMsg::ClearBand { .. } => HEADER,
+            DownlinkMsg::Ack { .. } => HEADER + SCALAR,
+        };
         let msgs = [
             DownlinkMsg::InstallRegion {
                 query: QueryId(9),
@@ -501,10 +473,10 @@ mod tests {
         ];
         for m in msgs {
             assert!(
-                m.size_bytes() < m.legacy_size_bytes(),
+                m.size_bytes() < legacy(&m),
                 "{m:?}: wire {} >= legacy {}",
                 m.size_bytes(),
-                m.legacy_size_bytes()
+                legacy(&m)
             );
         }
     }
@@ -611,6 +583,14 @@ mod tests {
         assert_eq!(
             ten.size_bytes(),
             none.size_bytes() + 10 * crate::wire::MEMBER_ENTRY_BITS / 8
+        );
+        // Recovery replay legs scale by the modeled object entry, too.
+        let dry = ShardMsg::Recover { shard: 2, count: 0 };
+        assert_eq!(dry.kind(), ShardMsgKind::Recover);
+        let sweep = ShardMsg::Recover { shard: 2, count: 8 };
+        assert_eq!(
+            sweep.size_bytes(),
+            dry.size_bytes() + 8 * crate::wire::RECOVER_ENTRY_BITS / 8
         );
     }
 

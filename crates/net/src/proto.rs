@@ -296,6 +296,32 @@ pub trait Protocol {
     fn set_lossy(&mut self, lossy: bool) {
         let _ = lossy;
     }
+
+    /// A server shard covering `block` crashed: all server-side state the
+    /// failed node held is gone. `queries` lists the queries that were homed
+    /// there (their per-query member/candidate/lease state is wiped); any
+    /// object bookkeeping tied to positions inside `block` is lost too.
+    ///
+    /// The coordinator routes around the dead shard, so the logical server
+    /// tier keeps serving — a hardened method re-establishes the wiped
+    /// queries through its normal refresh machinery (probe + geocast),
+    /// which is exactly the failover cost the experiments measure. The
+    /// default is a no-op: a method with no per-query server state (or one
+    /// that rebuilds from scratch every tick) loses nothing.
+    fn server_crash(&mut self, block: Rect, queries: &[QueryId]) {
+        let _ = (block, queries);
+    }
+
+    /// The crashed shard covering `block` is back: the coordinator's
+    /// state-reconstruction sweep replays the boundary objects the surviving
+    /// shards covered for the dead block (`replay`, one entry per object
+    /// currently inside `block`). Index-based methods re-learn the replayed
+    /// positions; the default is a no-op for methods whose recovery rides
+    /// the device-side machinery instead (announce-on-adopt, lease polls,
+    /// ack-gated retransmits).
+    fn server_recover(&mut self, block: Rect, replay: &[ObjReport]) {
+        let _ = (block, replay);
+    }
 }
 
 /// Below this population, a parallel client phase falls back to the

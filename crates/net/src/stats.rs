@@ -39,6 +39,12 @@ pub struct ShardStats {
     pub retransmits: u64,
     /// Bytes spent on those retransmissions.
     pub retransmit_bytes: u64,
+    /// Post-crash state-reconstruction sweeps: boundary-object replay legs
+    /// from surviving shards to a reborn one. Zero unless a crash was
+    /// planned (and absent from the JSON encoding when zero).
+    pub recover_msgs: u64,
+    /// Bytes across all recovery replay legs.
+    pub recover_bytes: u64,
 }
 
 impl ShardStats {
@@ -56,6 +62,7 @@ impl ShardStats {
             + self.handoff_msgs
             + self.forward_msgs
             + self.migrate_msgs
+            + self.recover_msgs
             + self.retransmits
     }
 
@@ -66,6 +73,7 @@ impl ShardStats {
             + self.handoff_bytes
             + self.forward_bytes
             + self.migrate_bytes
+            + self.recover_bytes
             + self.retransmit_bytes
     }
 
@@ -93,6 +101,10 @@ impl ShardStats {
                 self.migrate_msgs += 1;
                 self.migrate_bytes += bytes;
             }
+            ShardMsgKind::Recover => {
+                self.recover_msgs += 1;
+                self.recover_bytes += bytes;
+            }
         }
     }
 
@@ -117,6 +129,8 @@ impl AddAssign<&ShardStats> for ShardStats {
         self.migrate_bytes += rhs.migrate_bytes;
         self.retransmits += rhs.retransmits;
         self.retransmit_bytes += rhs.retransmit_bytes;
+        self.recover_msgs += rhs.recover_msgs;
+        self.recover_bytes += rhs.recover_bytes;
     }
 }
 
@@ -168,6 +182,12 @@ pub struct NetStats {
     /// every subsequent region/band/answer that had to go out whole instead
     /// of as a delta counts here. Zero in legacy mode and on perfect links.
     pub delta_full_fallbacks: u64,
+    /// The share of `downlink_bytes` spent on the ack channel
+    /// ([`crate::DownlinkMsg::Ack`] transmissions): an informational split,
+    /// like `frame_header_bytes`, not an addition to the total. Acks flow
+    /// only in lossy mode, so this is zero (and absent from the JSON
+    /// encoding) on a perfect link.
+    pub ack_bytes: u64,
 }
 
 impl NetStats {
@@ -260,6 +280,7 @@ impl AddAssign<&NetStats> for NetStats {
         self.frames += rhs.frames;
         self.frame_header_bytes += rhs.frame_header_bytes;
         self.delta_full_fallbacks += rhs.delta_full_fallbacks;
+        self.ack_bytes += rhs.ack_bytes;
     }
 }
 
@@ -369,6 +390,7 @@ mod tests {
             query: QueryId(0),
             members: 2,
         });
+        s.count(&ShardMsg::Recover { shard: 1, count: 4 });
         s.count_retransmits(2, 36);
         assert!(!s.is_empty());
         assert_eq!(s.fanout_msgs, 1);
@@ -376,9 +398,11 @@ mod tests {
         assert_eq!(s.handoff_msgs, 1);
         assert_eq!(s.forward_msgs, 1);
         assert_eq!(s.migrate_msgs, 1);
+        assert_eq!(s.recover_msgs, 1);
+        assert!(s.recover_bytes > 0);
         assert_eq!(s.retransmits, 2);
         assert_eq!(s.retransmit_bytes, 72);
-        assert_eq!(s.total_msgs(), 7);
+        assert_eq!(s.total_msgs(), 8);
         assert!(s.total_bytes() > 0);
         // Shard legs never feed the device-facing headline counters.
         let mut net = NetStats::default();

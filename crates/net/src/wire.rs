@@ -48,7 +48,7 @@ pub(crate) const UP_TAG_BITS: u32 = 3;
 /// Tag width of [`DownlinkMsg`] *and* the frame-layer delta encodings that
 /// extend its tag space (codes 6..=10).
 pub(crate) const DOWN_TAG_BITS: u32 = 4;
-/// Tag width of [`ShardMsg`] (5 variants).
+/// Tag width of [`ShardMsg`] (6 variants).
 pub(crate) const SHARD_TAG_BITS: u32 = 3;
 /// Width of an encoded [`MsgKind`] code (13 kinds).
 pub(crate) const KIND_BITS: u32 = 4;
@@ -61,6 +61,11 @@ pub const PARTIAL_ENTRY_BITS: usize = 40;
 /// Modeled width of one member entry inside a query-state migration: id,
 /// quantized last-known position, and lease bookkeeping.
 pub const MEMBER_ENTRY_BITS: usize = 72;
+
+/// Modeled width of one replayed object entry inside a post-crash recovery
+/// sweep: id, quantized position and velocity — the same shape a
+/// [`ShardMsg::Handoff`] carries, packed as a batch entry.
+pub const RECOVER_ENTRY_BITS: usize = 72;
 
 /// Snaps a coordinate onto the wire lattice. Non-finite inputs saturate
 /// (`NaN` → 0) — only [`DownlinkMsg::SetBand`]'s `outer` legitimately
@@ -464,6 +469,7 @@ const SHARD_PARTIAL_ANSWER: u64 = 1;
 const SHARD_HANDOFF: u64 = 2;
 const SHARD_FORWARD: u64 = 3;
 const SHARD_MIGRATE: u64 = 4;
+const SHARD_RECOVER: u64 = 5;
 
 impl Wire for ShardMsg {
     fn encode(&self, w: &mut BitWriter) {
@@ -501,6 +507,12 @@ impl Wire for ShardMsg {
                 w.write_varint(members as u64);
                 w.write_zero_bits(members * MEMBER_ENTRY_BITS);
             }
+            ShardMsg::Recover { shard, count } => {
+                w.write_bits(SHARD_RECOVER, SHARD_TAG_BITS);
+                w.write_varint(shard as u64);
+                w.write_varint(count as u64);
+                w.write_zero_bits(count * RECOVER_ENTRY_BITS);
+            }
         }
     }
 
@@ -536,6 +548,12 @@ impl Wire for ShardMsg {
                 r.skip_bits(members.checked_mul(MEMBER_ENTRY_BITS)?)?;
                 Some(ShardMsg::Migrate { query, members })
             }
+            SHARD_RECOVER => {
+                let shard = u32::try_from(r.read_varint()?).ok()?;
+                let count = usize::try_from(r.read_varint()?).ok()?;
+                r.skip_bits(count.checked_mul(RECOVER_ENTRY_BITS)?)?;
+                Some(ShardMsg::Recover { shard, count })
+            }
             _ => None,
         }
     }
@@ -558,6 +576,11 @@ impl Wire for ShardMsg {
             } => tag + id_bits(query.0) + varint_bits(payload_bytes as u64) + payload_bytes * 8,
             ShardMsg::Migrate { query, members } => {
                 tag + id_bits(query.0) + varint_bits(members as u64) + members * MEMBER_ENTRY_BITS
+            }
+            ShardMsg::Recover { shard, count } => {
+                tag + varint_bits(shard as u64)
+                    + varint_bits(count as u64)
+                    + count * RECOVER_ENTRY_BITS
             }
         }
     }

@@ -256,6 +256,11 @@ fn fault_plan(rng: &mut Rng) -> FaultPlan {
         b = b.churn(rng.gen_range(0.0..0.05), min, max);
     }
     if rng.gen_bool(0.5) {
+        let min = rng.gen_range(1u64..=8);
+        let max = rng.gen_range(min..=min + 12);
+        b = b.crashes(rng.gen_range(1u64..=5) as u32, min, max);
+    }
+    if rng.gen_bool(0.5) {
         b = b.horizon(rng.gen_range(0u64..=1_000));
     }
     b.build()

@@ -131,7 +131,7 @@ fn any_downlink(rng: &mut Rng) -> DownlinkMsg {
 
 fn any_shard(rng: &mut Rng) -> ShardMsg {
     let query = QueryId(any_id(rng));
-    match rng.gen_range(0u32..5) {
+    match rng.gen_range(0u32..6) {
         0 => ShardMsg::Fanout {
             query,
             zone: Circle::new(lattice_pt(rng), any_radius(rng)),
@@ -149,9 +149,13 @@ fn any_shard(rng: &mut Rng) -> ShardMsg {
             query,
             payload_bytes: rng.gen_range(0usize..200),
         },
-        _ => ShardMsg::Migrate {
+        4 => ShardMsg::Migrate {
             query,
             members: rng.gen_range(0usize..100),
+        },
+        _ => ShardMsg::Recover {
+            shard: rng.gen_range(0u64..64) as u32,
+            count: rng.gen_range(0usize..500),
         },
     }
 }
@@ -265,6 +269,10 @@ fn boundary_values_round_trip() {
         ShardMsg::Forward {
             query: QueryId(7),
             payload_bytes: 0,
+        },
+        ShardMsg::Recover {
+            shard: u32::MAX,
+            count: 0,
         },
     ];
     for m in &shards {

@@ -6,9 +6,9 @@ use mknn_geom::{ObjectId, QueryId, Tick};
 use mknn_index::GridIndex;
 use mknn_mobility::World;
 use mknn_net::{
-    AnswerUpdate, Delivery, DownlinkBuilder, DownlinkMsg, FaultyLink, MsgKind, NetStats, ObjReport,
-    OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Recipient, ReplStore, UplinkMsg,
-    Uplinks, Wire, LINK_HEADER_BITS,
+    AnswerUpdate, CrashWindow, Delivery, DownlinkBuilder, DownlinkMsg, FaultyLink, MsgKind,
+    NetStats, ObjReport, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Recipient,
+    ReplStore, UplinkMsg, Uplinks, Wire, LINK_HEADER_BITS,
 };
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -225,6 +225,11 @@ pub struct Simulation {
     /// differs from this — is mode-independent, so legacy and scoped
     /// episodes push at exactly the same ticks.
     last_sent: Vec<Vec<ObjectId>>,
+    /// The episode's planned shard-crash windows (DESIGN.md §11), resolved
+    /// once at construction from the fault plan — a pure function of
+    /// `(plan, seed, shards, ticks)`, so reruns and thread counts agree.
+    /// Empty without a link or under a crash-free plan.
+    crashes: Vec<CrashWindow>,
 }
 
 /// Salt for the fault layer's RNG stream: the link must not replay the
@@ -247,6 +252,10 @@ impl Simulation {
     pub fn new(config: &SimConfig, mut proto: Box<dyn Protocol>) -> Self {
         let link = (!config.fault.is_none())
             .then(|| FaultyLink::new(config.fault, config.workload.seed ^ FAULT_SEED_SALT));
+        let crashes = link
+            .as_ref()
+            .map(|l| l.crash_schedule(config.shards, config.ticks))
+            .unwrap_or_default();
         if link.is_some() {
             proto.set_lossy(true);
         }
@@ -374,7 +383,68 @@ impl Simulation {
             repl,
             scoped,
             last_sent,
+            crashes,
         }
+    }
+
+    /// The episode's planned shard-crash windows (empty without a
+    /// crash-scheduling fault plan). Tests and experiments read this to
+    /// align reconvergence measurements with the rebirth ticks.
+    pub fn crash_windows(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Applies this tick's planned crash-window edges (DESIGN.md §11).
+    ///
+    /// Rebirths run first: a shard whose window ends this tick runs the
+    /// counted state-reconstruction sweep — the coordinator delivers held
+    /// `Handoff` legs, charges one `Recover` leg per surviving source
+    /// shard, and re-homes the replayed objects — then the protocol is
+    /// handed the replay so index-based methods re-learn the block.
+    /// New crashes follow: the coordinator drops the shard's object homes
+    /// and homed queries and fails routing over to the covering fallback,
+    /// and the protocol wipes the matching per-query server state. Windows
+    /// are normalized per shard, so the two edge kinds never collide on
+    /// the same shard in one tick.
+    fn apply_crash_transitions(&mut self) {
+        for wi in 0..self.crashes.len() {
+            let w = self.crashes[wi];
+            if w.until != self.tick {
+                continue;
+            }
+            let block = self.coord.block_of(w.shard);
+            // The replay set is every object currently inside the reborn
+            // block — exactly what the surviving shards (which adopted the
+            // block's movers) plus the coordinator's durable registry (the
+            // parked remainder) can reconstruct between them.
+            let replay: Vec<ObjReport> = (0..self.world.len())
+                .filter(|&i| block.contains(self.world.positions()[i]))
+                .map(|i| ObjReport {
+                    id: ObjectId(i as u32),
+                    pos: self.world.positions()[i],
+                    vel: self.world.velocities()[i],
+                })
+                .collect();
+            self.coord
+                .recover(w.shard, &replay, &mut self.metrics.net, self.link.as_mut());
+            self.proto.server_recover(block, &replay);
+        }
+        for wi in 0..self.crashes.len() {
+            let w = self.crashes[wi];
+            if w.from != self.tick {
+                continue;
+            }
+            let wiped = self.coord.crash(w.shard);
+            self.metrics.shard_crashes += 1;
+            self.proto
+                .server_crash(self.coord.block_of(w.shard), &wiped);
+        }
+        let down_now = self
+            .crashes
+            .iter()
+            .filter(|w| w.from <= self.tick && self.tick < w.until)
+            .count() as u64;
+        self.metrics.crash_down_ticks += down_now;
     }
 
     /// The tick's ground-truth oracle, honoring the `MKNN_ORACLE` override.
@@ -438,6 +508,13 @@ impl Simulation {
 
         if let Some(link) = self.link.as_mut() {
             link.begin_tick(self.tick, self.world.len());
+        }
+
+        // Crash-window edges before any tracking: a shard reborn this tick
+        // must finish its reconstruction sweep (and a newly dead one must
+        // be failed over) before movement hands objects around.
+        if !self.crashes.is_empty() {
+            self.apply_crash_transitions();
         }
 
         // Shard tier: movement first. Block crossings hand the object off

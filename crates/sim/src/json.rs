@@ -109,6 +109,14 @@ impl ToJson for EpisodeMetrics {
         if self.shard_load.len() > 1 {
             fields.push(("shard_load", self.shard_load.to_json()));
         }
+        // Crash accounting exists only under crash-scheduling fault plans;
+        // omit-when-zero keeps every pre-crash document byte-identical.
+        if self.shard_crashes != 0 {
+            fields.push(("shard_crashes", self.shard_crashes.to_json()));
+        }
+        if self.crash_down_ticks != 0 {
+            fields.push(("crash_down_ticks", self.crash_down_ticks.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -132,6 +140,8 @@ impl FromJson for EpisodeMetrics {
             proto_seconds: v.parse_field("proto_seconds")?,
             oracle_seconds: v.parse_field_or_default("oracle_seconds")?,
             shard_load: v.parse_field_or_default("shard_load")?,
+            shard_crashes: v.parse_field_or_default("shard_crashes")?,
+            crash_down_ticks: v.parse_field_or_default("crash_down_ticks")?,
         })
     }
 }

@@ -46,6 +46,12 @@ pub struct EpisodeMetrics {
     /// single-server episode carries one entry and omits the field from the
     /// serialized form.
     pub shard_load: Vec<u64>,
+    /// Shard crash windows that started during the episode (DESIGN.md §11).
+    /// Zero unless the fault plan schedules crashes.
+    pub shard_crashes: u64,
+    /// Total shard-down exposure: one unit per down shard per tick, summed
+    /// over the episode (two shards down for the same 5 ticks count 10).
+    pub crash_down_ticks: u64,
 }
 
 impl EpisodeMetrics {

@@ -21,6 +21,10 @@
 #   chaos        `expt --seed 42 --fault chaos` byte-identical across two
 #                runs AND across MKNN_THREADS=1 vs 4 — fault injection is
 #                as deterministic as the perfect link
+#   recovery     `expt --seed 42 --shards 4 --fault crash` byte-identical
+#                across two runs and MKNN_THREADS=1 vs 4, with crash
+#                metrics actually present, plus the bounded-reconvergence
+#                property suite (tests/shard_recovery.rs)
 #   oracle       MKNN_ORACLE=brute byte-identical to the indexed default,
 #                and the indexed oracle not slower on a query-heavy episode
 #   bench        the committed BENCH_shards.json parses as a BenchSummary
@@ -152,6 +156,33 @@ stage_chaos() {
         echo "FAIL: the chaos fault plan had no effect on the smoke run" >&2
         exit 1
     fi
+}
+
+stage_recovery() {
+    echo "==> recovery gate (expt --seed 42 --shards 4 --fault crash: two runs + thread counts)"
+    run_expt rec_a -- --seed 42 --shards 4 --fault crash
+    run_expt rec_b -- --seed 42 --shards 4 --fault crash
+    expect_same rec_a rec_b "expt --seed 42 --shards 4 --fault crash differs between runs"
+    run_expt rec_t1 MKNN_THREADS=1 -- --seed 42 --shards 4 --fault crash
+    run_expt rec_t4 MKNN_THREADS=4 -- --seed 42 --shards 4 --fault crash
+    expect_same rec_t1 rec_t4 "expt --seed 42 --shards 4 --fault crash differs across thread counts"
+
+    # The crash plan must actually schedule windows on the smoke world
+    # (crash counters are omit-when-zero, so their presence proves it),
+    # and a crash-free G=4 run must not carry any of them.
+    if ! grep -q '"shard_crashes"' "$TMPDIR_VERIFY/rec_a"; then
+        echo "FAIL: the crash preset scheduled no shard crashes on the smoke run" >&2
+        exit 1
+    fi
+    run_expt rec_ref -- --seed 42 --shards 4
+    if grep -Eq '"(shard_crashes|crash_down_ticks|recover_msgs|recover_bytes)"' \
+            "$TMPDIR_VERIFY/rec_ref"; then
+        echo "FAIL: a crash-free run leaked crash/recovery counters" >&2
+        exit 1
+    fi
+
+    echo "==> reconvergence-bound gate (tests/shard_recovery.rs)"
+    cargo test -q --release --offline --test shard_recovery
 }
 
 stage_oracle() {
@@ -303,7 +334,7 @@ stage_speedup() {
                         seq, cores, par, seq / par }'
 }
 
-ALL_STAGES=(build clippy test fmt determinism golden shards chaos oracle bench tickbench wire speedup)
+ALL_STAGES=(build clippy test fmt determinism golden shards chaos recovery oracle bench tickbench wire speedup)
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then

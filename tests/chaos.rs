@@ -101,6 +101,58 @@ fn exact_methods_reconverge_after_random_fault_bursts() {
 }
 
 #[test]
+fn exact_methods_reconverge_after_chaos_with_a_crash_burst() {
+    // Server amnesia on top of transport chaos: the same bounded burst,
+    // plus 1–2 shard-crash windows whose rebirths land inside the burst,
+    // over a sharded tier. The clean tail must still absorb both failure
+    // domains at once (tests/shard_recovery.rs isolates the crash-only
+    // bound; this is the combined worst case).
+    forall(6, |rng| {
+        let mut cfg = chaos_config(rng);
+        cfg.shards = 4;
+        cfg.ticks = BURST + CLEAN_TAIL + 40;
+        let mut plan = bounded_burst(rng);
+        plan.crash_count = rng.gen_range(1u64..=2) as u32;
+        plan.crash_min = rng.gen_range(2u64..=3);
+        plan.crash_max = plan.crash_min + rng.gen_range(0u64..=3);
+        plan.validate().expect("crash knobs are in range");
+        cfg.fault = plan;
+        let p = cfg.dknn_params();
+        for method in [
+            Method::DknnSet(p),
+            Method::DknnOrder(p),
+            Method::DknnBuffer {
+                params: p,
+                buffer: 3,
+            },
+            Method::Centralized { res: 16 },
+        ] {
+            // Crash windows are placed over the whole episode, not just the
+            // burst — step far enough past the last rebirth that the tail
+            // contract applies to both failure kinds.
+            let mut sim = Simulation::new(&cfg, method.build());
+            let last_rebirth = sim
+                .crash_windows()
+                .iter()
+                .map(|w| w.until)
+                .max()
+                .expect("plan schedules crashes");
+            for _ in 0..last_rebirth.max(BURST) + CLEAN_TAIL {
+                sim.step();
+            }
+            assert_eq!(
+                sim.inexact_queries(),
+                0,
+                "{} did not absorb chaos + crash burst (windows {:?}, seed {})",
+                method.name(),
+                sim.crash_windows(),
+                cfg.workload.seed,
+            );
+        }
+    });
+}
+
+#[test]
 fn reconvergence_survives_the_chaos_preset_bounded_to_a_burst() {
     // The named preset used by `expt --fault chaos` and the verify script,
     // cut off at the burst horizon so the clean-tail contract applies.

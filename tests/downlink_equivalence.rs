@@ -5,7 +5,9 @@
 //! episode must produce answers and logical message tallies byte-identical
 //! to the legacy per-message model — the only counters allowed to differ
 //! are `downlink_bytes` and the frame ledger (`frames`,
-//! `frame_header_bytes`, `delta_full_fallbacks`).
+//! `frame_header_bytes`, `delta_full_fallbacks`, and the `ack_bytes`
+//! share, which splits frame payload and exists only under the measured
+//! wire model).
 
 use mknn_net::ShardStats;
 use mknn_util::check::forall;
@@ -22,6 +24,7 @@ fn strip_bytes(m: &EpisodeMetrics) -> EpisodeMetrics {
     m.net.frames = 0;
     m.net.frame_header_bytes = 0;
     m.net.delta_full_fallbacks = 0;
+    m.net.ack_bytes = 0;
     m
 }
 
