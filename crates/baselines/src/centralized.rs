@@ -1,10 +1,11 @@
 //! The centralized monitoring baseline.
 
-use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
-use mknn_index::GridIndex;
+use crate::partitioned::PartitionedTier;
+use mknn_geom::{ObjectId, QueryId, Rect, Tick};
 use mknn_mobility::MovingObject;
 use mknn_net::{
-    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, UplinkMsg, Uplinks,
+    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, ServerPhase, UplinkMsg,
+    Uplinks,
 };
 
 /// Centralized continuous kNN monitoring (the classic server-side
@@ -14,40 +15,20 @@ use mknn_net::{
 ///
 /// Answers are exact with respect to true positions. The price is the Θ(N)
 /// uplink firehose — the quantity the distributed protocols eliminate.
+///
+/// Under a sharded deployment the server state partitions by ownership (see
+/// [`PartitionedTier`]): each shard indexes the objects reporting to it and
+/// answers its homed queries by federated evaluation over all partitions.
 #[derive(Debug)]
 pub struct Centralized {
-    grid_res: u32,
-    index: GridIndex,
-    queries: Vec<QuerySpec>,
-    answers: Vec<Vec<ObjectId>>,
-    q_pos: Vec<Point>,
-    empty: Vec<ObjectId>,
+    tier: PartitionedTier,
 }
 
 impl Centralized {
     /// Creates the baseline with a `grid_res × grid_res` server index.
     pub fn new(grid_res: u32) -> Self {
         Centralized {
-            grid_res,
-            index: GridIndex::new(Rect::square(1.0), 1, 1),
-            queries: Vec::new(),
-            answers: Vec::new(),
-            q_pos: Vec::new(),
-            empty: Vec::new(),
-        }
-    }
-
-    fn evaluate(&mut self, ops: &mut OpCounters) {
-        for (qi, spec) in self.queries.iter().enumerate() {
-            // k+1 then drop the focal object if it shows up.
-            let (nn, work) = self.index.knn_counted(self.q_pos[qi], spec.k + 1);
-            ops.server_ops += work;
-            self.answers[qi] = nn
-                .into_iter()
-                .filter(|n| n.id != spec.focal)
-                .take(spec.k)
-                .map(|n| n.id)
-                .collect();
+            tier: PartitionedTier::new(grid_res),
         }
     }
 }
@@ -72,18 +53,7 @@ impl Protocol for Centralized {
         _outbox: &mut Outbox,
         ops: &mut OpCounters,
     ) {
-        self.index = GridIndex::new(bounds, self.grid_res, self.grid_res);
-        for o in objects {
-            self.index.upsert(o.id, o.pos);
-            ops.server_ops += 1;
-        }
-        self.queries = queries.to_vec();
-        self.q_pos = queries
-            .iter()
-            .map(|s| objects[s.focal.index()].pos)
-            .collect();
-        self.answers = vec![Vec::new(); queries.len()];
-        self.evaluate(ops);
+        self.tier.init(bounds, objects, queries, ops);
     }
 
     fn client_tick(
@@ -132,60 +102,36 @@ impl Protocol for Centralized {
         _outbox: &mut Outbox,
         ops: &mut OpCounters,
     ) {
-        for (from, msg) in uplinks.iter() {
-            if let UplinkMsg::Position { pos, .. } = msg {
-                self.index.upsert(from, *pos);
-                ops.server_ops += 1;
-                for (qi, spec) in self.queries.iter().enumerate() {
-                    if spec.focal == from {
-                        self.q_pos[qi] = *pos;
-                    }
-                }
-            }
-        }
-        self.evaluate(ops);
+        self.tier.tick_monolithic(uplinks, ops);
     }
 
-    fn server_crash(&mut self, block: Rect, queries: &[QueryId]) {
+    fn server_phase(&mut self, phase: &mut ServerPhase<'_, '_>) {
+        self.tier.server_phase(phase);
+    }
+
+    fn server_crash(&mut self, _shard: u32, block: Rect, queries: &[QueryId]) {
         // The crashed shard's slice of the position index is lost. Moving
         // devices re-teach their entries through the per-tick report
         // firehose; stationary ones stay dark until the reconstruction
         // sweep replays them at rebirth.
-        let wiped: Vec<ObjectId> = self
-            .index
-            .iter()
-            .filter(|&(_, p)| block.contains(p))
-            .map(|(id, _)| id)
-            .collect();
-        for id in wiped {
-            self.index.remove(id);
-        }
-        for &q in queries {
-            if let Some(a) = self.answers.get_mut(q.index()) {
-                a.clear();
-            }
-        }
+        self.tier.crash(block, queries);
     }
 
-    fn server_recover(&mut self, _block: Rect, replay: &[mknn_net::ObjReport]) {
+    fn server_recover(&mut self, shard: u32, _block: Rect, replay: &[mknn_net::ObjReport]) {
         // The counted `Recover` sweep re-announces every object inside the
         // reborn block; the index is whole again from this tick on.
-        for r in replay {
-            self.index.upsert(r.id, r.pos);
-        }
+        self.tier.recover(shard, replay);
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.answers
-            .get(query.index())
-            .map_or(&self.empty, |a| a.as_slice())
+        self.tier.answer(query)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mknn_geom::{Circle, Vector};
+    use mknn_geom::{Circle, Point, Vector};
     use mknn_net::ObjReport;
 
     struct NoProbe;

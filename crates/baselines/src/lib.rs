@@ -17,6 +17,7 @@
 
 mod centralized;
 mod naive;
+mod partitioned;
 mod periodic;
 
 pub use centralized::Centralized;

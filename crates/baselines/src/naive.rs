@@ -3,8 +3,27 @@
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
 use mknn_mobility::MovingObject;
 use mknn_net::{
-    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, UplinkMsg, Uplinks,
+    run_shard_tasks, DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec,
+    ServerPhase, UplinkMsg, Uplinks,
 };
+use std::collections::BTreeMap;
+
+/// Per-query server record: the cached answer and the adaptive zone radius.
+#[derive(Debug, Clone)]
+struct NState {
+    spec: QuerySpec,
+    q_pos: Point,
+    radius: f64,
+    answer: Vec<ObjectId>,
+}
+
+/// The query records one shard hosts, keyed by query id (ascending
+/// iteration keeps the G=1 byte trace identical to the historical
+/// dense-`Vec` order).
+#[derive(Debug, Default)]
+struct NaiveShard {
+    queries: BTreeMap<u32, NState>,
+}
 
 /// Naive distributed processing: every tick, for every query, the server
 /// geocasts a probe over an adaptive zone around the query position and
@@ -13,14 +32,21 @@ use mknn_net::{
 /// Exact and simple, but the probe fan-out (zone cells + ~k replies) is paid
 /// *every tick for every query*, even when nothing moved — the monitoring
 /// protocols exist precisely to amortize this.
+///
+/// The strawman's server state is purely per-query, so the sharded
+/// deployment partitions it by query home: each shard probes for its homed
+/// queries through its own probe channel.
 #[derive(Debug)]
 pub struct NaiveBroadcast {
     /// Zone radius multiplier applied to the last k-th distance.
     headroom: f64,
-    queries: Vec<QuerySpec>,
-    answers: Vec<Vec<ObjectId>>,
-    q_pos: Vec<Point>,
-    radius: Vec<f64>,
+    /// Client-side registry (focal → query), shared by every device.
+    specs: Vec<QuerySpec>,
+    /// Per-shard query records (a single entry until the first partitioned
+    /// server phase forks the tier).
+    shards: Vec<NaiveShard>,
+    /// Hosting shard per query id.
+    home_of: Vec<u32>,
     space_diag: f64,
     empty: Vec<ObjectId>,
 }
@@ -32,38 +58,68 @@ impl NaiveBroadcast {
         assert!(headroom > 1.0);
         NaiveBroadcast {
             headroom,
-            queries: Vec::new(),
-            answers: Vec::new(),
-            q_pos: Vec::new(),
-            radius: Vec::new(),
+            specs: Vec::new(),
+            shards: vec![NaiveShard::default()],
+            home_of: Vec::new(),
             space_diag: 1.0,
             empty: Vec::new(),
         }
     }
 
-    fn evaluate(&mut self, probe: &mut dyn ProbeService, ops: &mut OpCounters) {
-        for (qi, spec) in self.queries.iter().enumerate() {
-            let center = self.q_pos[qi];
-            let mut r = self.radius[qi].clamp(1.0, self.space_diag);
-            let replies = loop {
-                let replies = probe.probe(spec.id, Circle::new(center, r), spec.focal);
-                ops.server_ops += replies.len() as u64 + 1;
-                if replies.len() >= spec.k || r >= self.space_diag {
-                    break replies;
-                }
-                r = (r * 2.0).min(self.space_diag);
-            };
-            let mut scored: Vec<(f64, ObjectId)> = replies
-                .iter()
-                .map(|o| (o.pos.dist_sq(center), o.id))
-                .collect();
-            scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-            self.answers[qi] = scored.iter().take(spec.k).map(|&(_, id)| id).collect();
-            // Next tick's zone: the current k-th distance plus headroom.
-            if let Some(&(d2, _)) = scored.get(spec.k.saturating_sub(1)) {
-                self.radius[qi] = d2.sqrt() * self.headroom;
+    /// One query's probe-until-k loop (identical on every shard).
+    fn evaluate_state(
+        state: &mut NState,
+        probe: &mut dyn ProbeService,
+        ops: &mut OpCounters,
+        space_diag: f64,
+        headroom: f64,
+    ) {
+        let center = state.q_pos;
+        let mut r = state.radius.clamp(1.0, space_diag);
+        let replies = loop {
+            let replies = probe.probe(state.spec.id, Circle::new(center, r), state.spec.focal);
+            ops.server_ops += replies.len() as u64 + 1;
+            if replies.len() >= state.spec.k || r >= space_diag {
+                break replies;
             }
+            r = (r * 2.0).min(space_diag);
+        };
+        let mut scored: Vec<(f64, ObjectId)> = replies
+            .iter()
+            .map(|o| (o.pos.dist_sq(center), o.id))
+            .collect();
+        scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        state.answer = scored
+            .iter()
+            .take(state.spec.k)
+            .map(|&(_, id)| id)
+            .collect();
+        // Next tick's zone: the current k-th distance plus headroom.
+        if let Some(&(d2, _)) = scored.get(state.spec.k.saturating_sub(1)) {
+            state.radius = d2.sqrt() * headroom;
         }
+    }
+
+    /// Evaluates every query ascending query id across the whole tier —
+    /// the monolithic evaluation order.
+    fn evaluate_all(&mut self, probe: &mut dyn ProbeService, ops: &mut OpCounters) {
+        let (space_diag, headroom) = (self.space_diag, self.headroom);
+        let mut ids: Vec<u32> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.queries.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        for qi in ids {
+            let h = self.home_of[qi as usize] as usize;
+            let state = self.shards[h].queries.get_mut(&qi).expect("home directory");
+            Self::evaluate_state(state, probe, ops, space_diag, headroom);
+        }
+    }
+
+    fn holder(&self, query: QueryId) -> Option<&NaiveShard> {
+        let h = self.home_of.get(query.index()).copied().unwrap_or(0) as usize;
+        self.shards.get(h.min(self.shards.len() - 1))
     }
 }
 
@@ -88,14 +144,21 @@ impl Protocol for NaiveBroadcast {
         ops: &mut OpCounters,
     ) {
         self.space_diag = bounds.min.dist(bounds.max);
-        self.queries = queries.to_vec();
-        self.q_pos = queries
-            .iter()
-            .map(|s| objects[s.focal.index()].pos)
-            .collect();
-        self.radius = vec![self.space_diag * 0.02; queries.len()];
-        self.answers = vec![Vec::new(); queries.len()];
-        self.evaluate(probe, ops);
+        self.specs = queries.to_vec();
+        self.shards = vec![NaiveShard::default()];
+        self.home_of = vec![0; queries.len()];
+        for spec in queries {
+            self.shards[0].queries.insert(
+                spec.id.0,
+                NState {
+                    spec: *spec,
+                    q_pos: objects[spec.focal.index()].pos,
+                    radius: self.space_diag * 0.02,
+                    answer: Vec::new(),
+                },
+            );
+        }
+        self.evaluate_all(probe, ops);
     }
 
     fn client_tick(
@@ -108,7 +171,8 @@ impl Protocol for NaiveBroadcast {
     ) {
         // Only focal devices speak unprompted (probe replies are handled by
         // the harness's synchronous channel).
-        for (qi, spec) in self.queries.iter().enumerate() {
+        for si in 0..self.specs.len() {
+            let spec = self.specs[si];
             if spec.focal == me.id && me.vel != Vector::ZERO {
                 up.send(
                     me.id,
@@ -118,7 +182,11 @@ impl Protocol for NaiveBroadcast {
                         vel: me.vel,
                     },
                 );
-                self.q_pos[qi] = me.pos; // client-side mirror; server reads uplink
+                // Client-side mirror; the server reads the uplink.
+                let h = self.home_of.get(spec.id.index()).copied().unwrap_or(0) as usize;
+                if let Some(q) = self.shards[h].queries.get_mut(&spec.id.0) {
+                    q.q_pos = me.pos;
+                }
             }
         }
     }
@@ -133,34 +201,92 @@ impl Protocol for NaiveBroadcast {
     ) {
         for (from, msg) in uplinks.iter() {
             if let UplinkMsg::QueryMove { query, pos, .. } = msg {
-                if let Some(q) = self.queries.get(query.index()) {
-                    if q.focal == from {
-                        self.q_pos[query.index()] = *pos;
+                let h = self.home_of.get(query.index()).copied().unwrap_or(0) as usize;
+                if let Some(q) = self.shards[h].queries.get_mut(&query.0) {
+                    if q.spec.focal == from {
+                        q.q_pos = *pos;
                     }
                 }
             }
         }
-        self.evaluate(probe, ops);
+        self.evaluate_all(probe, ops);
     }
 
-    fn server_crash(&mut self, _block: Rect, queries: &[QueryId]) {
+    fn server_phase(&mut self, phase: &mut ServerPhase<'_, '_>) {
+        debug_assert!(
+            phase
+                .tasks
+                .iter()
+                .enumerate()
+                .all(|(i, t)| t.shard as usize == i),
+            "tasks must be dense ascending shard ids"
+        );
+        while self.shards.len() < phase.tasks.len() {
+            self.shards.push(NaiveShard::default());
+        }
+        // Re-home query records to this tick's coordinator homes.
+        if self.home_of.len() < phase.homes.len() {
+            self.home_of.resize(phase.homes.len(), 0);
+        }
+        for (q, (&new_home, old_home)) in
+            phase.homes.iter().zip(self.home_of.iter_mut()).enumerate()
+        {
+            if *old_home != new_home {
+                if let Some(state) = self.shards[*old_home as usize].queries.remove(&(q as u32)) {
+                    self.shards[new_home as usize]
+                        .queries
+                        .insert(q as u32, state);
+                }
+                *old_home = new_home;
+            }
+        }
+        // Each shard ingests its homed QueryMoves and probes for its homed
+        // queries through its own probe channel — per-query state never
+        // crosses shards mid-phase.
+        let (space_diag, headroom) = (self.space_diag, self.headroom);
+        run_shard_tasks(phase.pool, &mut self.shards, phase.tasks, |shard, task| {
+            let up = std::mem::take(&mut task.uplinks);
+            for (from, msg) in up.iter() {
+                if let UplinkMsg::QueryMove { query, pos, .. } = msg {
+                    if let Some(q) = shard.queries.get_mut(&query.0) {
+                        if q.spec.focal == from {
+                            q.q_pos = *pos;
+                        }
+                    }
+                }
+            }
+            for state in shard.queries.values_mut() {
+                Self::evaluate_state(
+                    state,
+                    task.probe.as_mut(),
+                    &mut task.ops,
+                    space_diag,
+                    headroom,
+                );
+            }
+        });
+    }
+
+    fn server_crash(&mut self, _shard: u32, _block: Rect, queries: &[QueryId]) {
         // The strawman keeps only the cached answer and the adaptive zone
         // radius per query; both are rebuilt by next tick's probe, so a
-        // crash costs one tick of answer loss plus the re-grown zone.
-        for &q in queries {
-            if let Some(a) = self.answers.get_mut(q.index()) {
-                a.clear();
-            }
-            if let Some(r) = self.radius.get_mut(q.index()) {
-                *r = self.space_diag * 0.02;
+        // crash costs one tick of answer loss plus the re-grown zone. Each
+        // query lives in exactly one shard, so the sweep touches exactly
+        // its holder.
+        for shard in &mut self.shards {
+            for &q in queries {
+                if let Some(state) = shard.queries.get_mut(&q.0) {
+                    state.answer.clear();
+                    state.radius = self.space_diag * 0.02;
+                }
             }
         }
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.answers
-            .get(query.index())
-            .map_or(&self.empty, |a| a.as_slice())
+        self.holder(query)
+            .and_then(|s| s.queries.get(&query.0))
+            .map_or(&self.empty, |q| q.answer.as_slice())
     }
 }
 

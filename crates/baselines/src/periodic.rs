@@ -1,10 +1,11 @@
 //! The periodic (lazy) reporting baseline.
 
+use crate::partitioned::PartitionedTier;
 use mknn_geom::{ObjectId, Point, QueryId, Rect, Tick};
-use mknn_index::GridIndex;
 use mknn_mobility::MovingObject;
 use mknn_net::{
-    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, UplinkMsg, Uplinks,
+    DownlinkMsg, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, ServerPhase, UplinkMsg,
+    Uplinks,
 };
 
 /// Periodic centralized monitoring (YPK-CNN-style): each device reports its
@@ -16,18 +17,16 @@ use mknn_net::{
 /// only *approximate* between a device's reports — the experiment harness
 /// measures the resulting error instead of asserting exactness
 /// ([`Protocol::guarantees_exact`] is `false`).
+///
+/// The server side shares the [`PartitionedTier`] with [`crate::Centralized`]
+/// — the two baselines differ only in the client reporting policy.
 #[derive(Debug)]
 pub struct Periodic {
     period: u64,
-    grid_res: u32,
-    index: GridIndex,
-    queries: Vec<QuerySpec>,
-    answers: Vec<Vec<ObjectId>>,
-    q_pos: Vec<Point>,
+    tier: PartitionedTier,
     /// Per-device position at its last report (devices skip a scheduled
     /// report when they have not moved since).
     last_reported: Vec<Point>,
-    empty: Vec<ObjectId>,
 }
 
 impl Periodic {
@@ -37,32 +36,14 @@ impl Periodic {
         assert!(period >= 1);
         Periodic {
             period,
-            grid_res,
-            index: GridIndex::new(Rect::square(1.0), 1, 1),
-            queries: Vec::new(),
-            answers: Vec::new(),
-            q_pos: Vec::new(),
+            tier: PartitionedTier::new(grid_res),
             last_reported: Vec::new(),
-            empty: Vec::new(),
         }
     }
 
     /// The configured reporting period.
     pub fn period(&self) -> u64 {
         self.period
-    }
-
-    fn evaluate(&mut self, ops: &mut OpCounters) {
-        for (qi, spec) in self.queries.iter().enumerate() {
-            let (nn, work) = self.index.knn_counted(self.q_pos[qi], spec.k + 1);
-            ops.server_ops += work;
-            self.answers[qi] = nn
-                .into_iter()
-                .filter(|n| n.id != spec.focal)
-                .take(spec.k)
-                .map(|n| n.id)
-                .collect();
-        }
     }
 }
 
@@ -80,19 +61,8 @@ impl Protocol for Periodic {
         _outbox: &mut Outbox,
         ops: &mut OpCounters,
     ) {
-        self.index = GridIndex::new(bounds, self.grid_res, self.grid_res);
         self.last_reported = objects.iter().map(|o| o.pos).collect();
-        for o in objects {
-            self.index.upsert(o.id, o.pos);
-            ops.server_ops += 1;
-        }
-        self.queries = queries.to_vec();
-        self.q_pos = queries
-            .iter()
-            .map(|s| objects[s.focal.index()].pos)
-            .collect();
-        self.answers = vec![Vec::new(); queries.len()];
-        self.evaluate(ops);
+        self.tier.init(bounds, objects, queries, ops);
     }
 
     fn client_tick(
@@ -173,56 +143,32 @@ impl Protocol for Periodic {
         _outbox: &mut Outbox,
         ops: &mut OpCounters,
     ) {
-        for (from, msg) in uplinks.iter() {
-            if let UplinkMsg::Position { pos, .. } = msg {
-                self.index.upsert(from, *pos);
-                ops.server_ops += 1;
-                for (qi, spec) in self.queries.iter().enumerate() {
-                    if spec.focal == from {
-                        self.q_pos[qi] = *pos;
-                    }
-                }
-            }
-        }
-        self.evaluate(ops);
+        self.tier.tick_monolithic(uplinks, ops);
     }
 
-    fn server_crash(&mut self, block: Rect, queries: &[QueryId]) {
+    fn server_phase(&mut self, phase: &mut ServerPhase<'_, '_>) {
+        self.tier.server_phase(phase);
+    }
+
+    fn server_crash(&mut self, _shard: u32, block: Rect, queries: &[QueryId]) {
         // The crashed shard's slice of the (already stale) index is lost.
         // Devices only re-teach their entries on their staggered reporting
         // schedule — and skip it entirely while parked — so the crash hole
         // persists until the rebirth replay, on top of the baseline's
         // normal staleness.
-        let wiped: Vec<ObjectId> = self
-            .index
-            .iter()
-            .filter(|&(_, p)| block.contains(p))
-            .map(|(id, _)| id)
-            .collect();
-        for id in wiped {
-            self.index.remove(id);
-        }
-        for &q in queries {
-            if let Some(a) = self.answers.get_mut(q.index()) {
-                a.clear();
-            }
-        }
+        self.tier.crash(block, queries);
     }
 
-    fn server_recover(&mut self, _block: Rect, replay: &[mknn_net::ObjReport]) {
-        for r in replay {
-            self.index.upsert(r.id, r.pos);
-        }
+    fn server_recover(&mut self, shard: u32, _block: Rect, replay: &[mknn_net::ObjReport]) {
+        self.tier.recover(shard, replay);
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.answers
-            .get(query.index())
-            .map_or(&self.empty, |a| a.as_slice())
+        self.tier.answer(query)
     }
 
     fn effective_center(&self, query: QueryId) -> Option<Point> {
-        self.q_pos.get(query.index()).copied()
+        self.tier.q_pos(query)
     }
 
     fn guarantees_exact(&self) -> bool {

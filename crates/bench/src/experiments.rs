@@ -736,7 +736,10 @@ pub fn e16(scale: Scale) -> ExpResult {
 /// into G grid-partitioned shards. Device traffic and answers are identical
 /// at every G (the overlay is pure coordination); what varies — and what
 /// this figure reports — is the backbone overhead (fan-out, merge, handoff,
-/// forward legs) and how evenly the per-shard load spreads (p99 vs. max).
+/// forward legs), how evenly the per-shard load spreads (p99 vs. max), and
+/// the measured server-phase parallelism: per-shard task seconds summed
+/// over the tier vs. the wall time of the dispatch window (`srv-speedup` =
+/// their ratio; > 1 means shard tasks genuinely overlapped).
 pub fn e17(scale: Scale) -> ExpResult {
     let mut cfg = base_config(scale);
     if scale.full {
@@ -765,12 +768,26 @@ pub fn e17(scale: Scale) -> ExpResult {
         "fanout/tick".into(),
         "p99-load".into(),
         "max-load".into(),
+        "server-s".into(),
+        "shard-s".into(),
+        "srv-speedup".into(),
     ]];
     let mut busy = 0.0;
-    let runs = Sweep::over(configs).run();
+    // At paper scale the per-shard and server-phase clocks are the
+    // headline, so episodes run one at a time (like E18): each measured
+    // episode owns the machine and the `MKNN_THREADS`-wide shard pool is
+    // the only parallelism in flight. Fast scale keeps the concurrent
+    // sweep — there the timing columns are recorded, not gated.
+    let sweep = Sweep::over(configs);
+    let runs = if scale.full {
+        sweep.threads(1).run()
+    } else {
+        sweep.run()
+    };
     for run in &runs {
         let m = &run.metrics;
         let ticks = m.ticks.max(1) as f64;
+        let shard_sum: f64 = m.shard_seconds.iter().sum();
         rows.push(vec![
             run.label.clone(),
             m.method.clone(),
@@ -780,6 +797,9 @@ pub fn e17(scale: Scale) -> ExpResult {
             fmt(m.net.shard.fanout_msgs as f64 / ticks),
             fmt(m.shard_load_p99()),
             fmt(m.shard_load_max() as f64),
+            fmt(m.server_seconds),
+            fmt(shard_sum),
+            fmt(shard_sum / m.server_seconds.max(1e-9)),
         ]);
         busy += run.wall_seconds;
     }
@@ -848,6 +868,8 @@ pub fn e18(scale: Scale) -> ExpResult {
         "ms/tick".into(),
         "speedup".into(),
         "msgs/tick".into(),
+        "client-s".into(),
+        "server-s".into(),
     ]];
     let mut busy = 0.0;
     for (gi, group) in per_t.iter().enumerate() {
@@ -865,6 +887,8 @@ pub fn e18(scale: Scale) -> ExpResult {
                     fmt(base_wall / run.wall_seconds.max(1e-9))
                 },
                 fmt(run.metrics.msgs_per_tick()),
+                fmt(run.metrics.client_seconds),
+                fmt(run.metrics.server_seconds),
             ]);
             busy += run.wall_seconds;
         }

@@ -22,6 +22,25 @@ pub struct BenchMethod {
     pub wall_seconds: f64,
     /// Summed wall seconds inside protocol code.
     pub proto_seconds: f64,
+    /// Summed wall seconds of the per-device client phase.
+    pub client_seconds: f64,
+    /// Summed wall seconds of the (parallel) server phase, measured at the
+    /// dispatch site: shard tasks run concurrently inside this window.
+    pub server_seconds: f64,
+    /// Summed wall seconds of uplink/downlink routing.
+    pub route_seconds: f64,
+    /// Summed per-shard task seconds: the total protocol work the shard
+    /// tasks performed, added up over shards. With G shards on enough
+    /// cores this exceeds `server_seconds` — their ratio is the measured
+    /// parallel speedup of the server phase.
+    pub shard_seconds_sum: f64,
+    /// The busiest single shard's summed task seconds (the critical path
+    /// of a perfectly scheduled server phase).
+    pub shard_seconds_max: f64,
+    /// `shard_seconds_sum / server_seconds`: how many shards' worth of
+    /// work the parallel server phase retired per wall second. 0 when no
+    /// server time was recorded.
+    pub server_speedup: f64,
     /// Summed wall seconds verifying against the oracle.
     pub oracle_seconds: f64,
     /// Total device-facing messages across the episodes.
@@ -66,6 +85,12 @@ impl_json_struct!(BenchMethod {
     episodes,
     wall_seconds,
     proto_seconds,
+    client_seconds,
+    server_seconds,
+    route_seconds,
+    shard_seconds_sum,
+    shard_seconds_max,
+    server_speedup,
     oracle_seconds,
     total_msgs,
     total_bytes,
@@ -104,6 +129,12 @@ pub fn bench_methods(runs: &[EpisodeRun]) -> Vec<BenchMethod> {
                     episodes: 0,
                     wall_seconds: 0.0,
                     proto_seconds: 0.0,
+                    client_seconds: 0.0,
+                    server_seconds: 0.0,
+                    route_seconds: 0.0,
+                    shard_seconds_sum: 0.0,
+                    shard_seconds_max: 0.0,
+                    server_speedup: 0.0,
                     oracle_seconds: 0.0,
                     total_msgs: 0,
                     total_bytes: 0,
@@ -117,6 +148,11 @@ pub fn bench_methods(runs: &[EpisodeRun]) -> Vec<BenchMethod> {
         cell.episodes += 1;
         cell.wall_seconds += run.wall_seconds;
         cell.proto_seconds += m.proto_seconds;
+        cell.client_seconds += m.client_seconds;
+        cell.server_seconds += m.server_seconds;
+        cell.route_seconds += m.route_seconds;
+        cell.shard_seconds_sum += m.shard_seconds.iter().sum::<f64>();
+        cell.shard_seconds_max += m.shard_seconds.iter().copied().fold(0.0, f64::max);
         cell.oracle_seconds += m.oracle_seconds;
         cell.total_msgs += m.net.total_msgs();
         cell.total_bytes += m.net.total_bytes();
@@ -126,6 +162,13 @@ pub fn bench_methods(runs: &[EpisodeRun]) -> Vec<BenchMethod> {
             cell.shard_load_p99 = cell.shard_load_p99.max(p99);
         }
         cell.shard_load_max = cell.shard_load_max.max(m.shard_load_max());
+    }
+    for cell in &mut out {
+        cell.server_speedup = if cell.server_seconds > 0.0 {
+            cell.shard_seconds_sum / cell.server_seconds
+        } else {
+            0.0
+        };
     }
     out
 }
@@ -142,6 +185,12 @@ mod tests {
             episodes: 2,
             wall_seconds: 1.5,
             proto_seconds: 0.75,
+            client_seconds: 0.3,
+            server_seconds: 0.25,
+            route_seconds: 0.2,
+            shard_seconds_sum: 0.5,
+            shard_seconds_max: 0.15,
+            server_speedup: 2.0,
             oracle_seconds: 0.25,
             total_msgs: 10_000,
             total_bytes: 440_000,

@@ -26,9 +26,10 @@ use crate::{ClientHalf, DknnParams, RegionVersion};
 use mknn_geom::{Circle, ObjectId, Point, QueryId, Rect, Tick, Vector};
 use mknn_mobility::MovingObject;
 use mknn_net::{
-    DownlinkMsg, MsgKind, ObjReport, OpCounters, Outbox, ProbeService, Protocol, QuerySpec,
-    Recipient, UplinkMsg, Uplinks,
+    run_shard_tasks, DownlinkMsg, MsgKind, ObjReport, OpCounters, Outbox, ProbeService, Protocol,
+    QuerySpec, Recipient, ServerPhase, UplinkMsg, Uplinks,
 };
+use std::collections::BTreeMap;
 
 /// One candidate: an object inside the monitoring region, with its band.
 #[derive(Debug, Clone, Copy)]
@@ -63,19 +64,33 @@ impl BufQuery {
     }
 }
 
+/// One partition of the buffered server tier: the per-query candidate
+/// structures homed at one shard, keyed by query id (ascending iteration
+/// keeps the G=1 byte trace identical to the historical dense-`Vec` order).
+#[derive(Debug)]
+struct BufServer {
+    params: DknnParams,
+    /// Spare candidates targeted beyond k at each refresh.
+    buffer: usize,
+    queries: BTreeMap<u32, BufQuery>,
+    space_diag: f64,
+    current_tick: Tick,
+    /// Lossy-transport hardening (acks, idempotent duplicates, candidate
+    /// leases); off by default for perfect-link byte-identity.
+    lossy: bool,
+}
+
 /// The buffered-candidate protocol. See the module docs.
 #[derive(Debug)]
 pub struct DknnBuffered {
     params: DknnParams,
-    /// Spare candidates targeted beyond k at each refresh.
-    buffer: usize,
     client: ClientHalf,
-    queries: Vec<BufQuery>,
-    space_diag: f64,
-    current_tick: Tick,
+    /// One partition per shard of the deployed server tier; a single entry
+    /// until the first partitioned server phase forks the tier lazily.
+    servers: Vec<BufServer>,
+    /// Hosting shard per query id (mirror of the coordinator's directory).
+    home_of: Vec<u32>,
     empty: Vec<ObjectId>,
-    /// Lossy-transport hardening (acks, idempotent duplicates, candidate
-    /// leases); off by default for perfect-link byte-identity.
     lossy: bool,
 }
 
@@ -97,11 +112,16 @@ impl DknnBuffered {
         params.validate()?;
         Ok(DknnBuffered {
             params,
-            buffer: buffer.max(2),
             client: ClientHalf::new(params, 0),
-            queries: Vec::new(),
-            space_diag: 1.0,
-            current_tick: 0,
+            servers: vec![BufServer {
+                params,
+                buffer: buffer.max(2),
+                queries: BTreeMap::new(),
+                space_diag: 1.0,
+                current_tick: 0,
+                lossy: false,
+            }],
+            home_of: Vec::new(),
             empty: Vec::new(),
             lossy: false,
         })
@@ -109,28 +129,58 @@ impl DknnBuffered {
 
     /// The configured buffer size.
     pub fn buffer(&self) -> usize {
-        self.buffer
+        self.servers[0].buffer
     }
 
     /// Full refreshes performed so far (diagnostics).
     pub fn refreshes(&self) -> u64 {
-        self.queries.iter().map(|q| q.refreshes).sum()
+        self.servers
+            .iter()
+            .flat_map(|s| s.queries.values())
+            .map(|q| q.refreshes)
+            .sum()
     }
 
     /// Locally patched events (insert/remove/re-split) so far.
     pub fn local_fixes(&self) -> u64 {
-        self.queries.iter().map(|q| q.local_fixes).sum()
+        self.servers
+            .iter()
+            .flat_map(|s| s.queries.values())
+            .map(|q| q.local_fixes)
+            .sum()
+    }
+
+    /// The partition hosting `query` (partition 0 until first homed).
+    fn server_of(&self, query: QueryId) -> &BufServer {
+        let h = self.home_of.get(query.index()).copied().unwrap_or(0) as usize;
+        &self.servers[h.min(self.servers.len() - 1)]
+    }
+}
+
+impl BufServer {
+    /// A fresh partition with this one's configuration and no queries.
+    fn fork_empty(&self) -> BufServer {
+        BufServer {
+            params: self.params,
+            buffer: self.buffer,
+            queries: BTreeMap::new(),
+            space_diag: self.space_diag,
+            current_tick: self.current_tick,
+            lossy: self.lossy,
+        }
     }
 
     fn establish(
         &mut self,
-        qi: usize,
+        qi: u32,
         reports: &mut [ObjReport],
         now: Tick,
         outbox: &mut Outbox,
         ops: &mut OpCounters,
     ) {
-        let q = &mut self.queries[qi];
+        let buffer = self.buffer;
+        let params = self.params;
+        let q = self.queries.get_mut(&qi).expect("query homed here");
         let k = q.spec.k;
         let c = q.q_pos;
         ops.server_ops += reports.len() as u64;
@@ -139,7 +189,7 @@ impl DknnBuffered {
             let db = b.pos.dist_sq(c);
             da.total_cmp(&db).then(a.id.cmp(&b.id))
         });
-        let target = k + self.buffer;
+        let target = k + buffer;
         let mut kept = reports.len().min(target);
         // Region containment is `d <= r_out`, so every report tied (in
         // distance) with the last kept one must be banded too: grid-like
@@ -157,7 +207,7 @@ impl DknnBuffered {
         let r_out = match reports.get(kept) {
             Some(next) => {
                 let d_next = next.pos.dist(c);
-                d_last + self.params.alpha * (d_next - d_last)
+                d_last + params.alpha * (d_next - d_last)
             }
             None => d_last + (0.1 * d_last).max(1.0),
         };
@@ -171,7 +221,7 @@ impl DknnBuffered {
         q.needs_refresh = false;
         q.refreshes += 1;
         outbox.send(
-            Recipient::Geocast(Circle::new(c, r_out + self.params.margin())),
+            Recipient::Geocast(Circle::new(c, r_out + params.margin())),
             DownlinkMsg::InstallRegion {
                 query: q.spec.id,
                 ver: now,
@@ -213,18 +263,18 @@ impl DknnBuffered {
 
     fn refresh(
         &mut self,
-        qi: usize,
+        qi: u32,
         now: Tick,
         probe: &mut dyn ProbeService,
         outbox: &mut Outbox,
         ops: &mut OpCounters,
     ) {
         let (qid, focal, k, base_r, c) = {
-            let q = &self.queries[qi];
+            let q = &self.queries[&qi];
             (q.spec.id, q.spec.focal, q.spec.k, q.ver.t, q.q_pos)
         };
         let drift = {
-            let q = &self.queries[qi];
+            let q = &self.queries[&qi];
             q.q_pos.dist(q.ver.pred_center(now))
         };
         let need = k + self.buffer;
@@ -373,7 +423,7 @@ impl DknnBuffered {
     }
 
     fn heal(&self, query: QueryId, to: ObjectId, outbox: &mut Outbox) {
-        let q = &self.queries[query.index()];
+        let q = &self.queries[&query.0];
         outbox.send(
             Recipient::One(to),
             DownlinkMsg::InstallRegion {
@@ -385,87 +435,9 @@ impl DknnBuffered {
             },
         );
     }
-}
-
-impl Protocol for DknnBuffered {
-    fn name(&self) -> &'static str {
-        "dknn-buffer"
-    }
-
-    fn set_lossy(&mut self, lossy: bool) {
-        self.lossy = lossy;
-        self.client.set_lossy(lossy);
-    }
-
-    fn init(
-        &mut self,
-        bounds: Rect,
-        objects: &[MovingObject],
-        queries: &[QuerySpec],
-        _probe: &mut dyn ProbeService,
-        outbox: &mut Outbox,
-        ops: &mut OpCounters,
-    ) {
-        self.space_diag = bounds.min.dist(bounds.max);
-        self.client = ClientHalf::new(self.params, objects.len());
-        self.client.set_lossy(self.lossy);
-        self.queries.clear();
-        for (i, spec) in queries.iter().enumerate() {
-            assert_eq!(spec.id.index(), i, "query ids must be dense and in order");
-            self.client.set_focal(spec.focal.index(), spec.id);
-            let focal = &objects[spec.focal.index()];
-            self.queries.push(BufQuery {
-                spec: *spec,
-                ver: RegionVersion {
-                    ver: 0,
-                    center: focal.pos,
-                    vel: focal.vel,
-                    t: 0.0,
-                },
-                q_pos: focal.pos,
-                q_vel: focal.vel,
-                cands: Vec::new(),
-                answer: Vec::new(),
-                last_broadcast: 0,
-                needs_refresh: false,
-                events_tick: 0,
-                refreshes: 0,
-                local_fixes: 0,
-            });
-            // Initial establishment from the registration snapshot.
-            let mut reports: Vec<ObjReport> = objects
-                .iter()
-                .filter(|o| o.id != spec.focal)
-                .map(|o| ObjReport {
-                    id: o.id,
-                    pos: o.pos,
-                    vel: o.vel,
-                })
-                .collect();
-            ops.server_ops += reports.len() as u64;
-            self.establish(i, &mut reports, 0, outbox, ops);
-            // establish() counts as a refresh; the initial one is free-form.
-            self.queries[i].refreshes = 0;
-        }
-    }
-
-    fn client_tick(
-        &mut self,
-        tick: Tick,
-        me: &MovingObject,
-        inbox: &[DownlinkMsg],
-        up: &mut Uplinks,
-        ops: &mut OpCounters,
-    ) {
-        self.client.tick(tick, me, inbox, up, ops);
-    }
-
-    fn client_phase(&mut self, ctx: &mknn_net::ClientCtx, up: &mut Uplinks, ops: &mut OpCounters) {
-        // Shares the dKNN client half, so it shares its chunked batch path.
-        self.client.tick_batch(ctx, up, ops);
-    }
-
-    fn server_tick(
+    /// One partition tick: ingest this shard's events, patch or refresh its
+    /// homed queries, heartbeat.
+    fn tick(
         &mut self,
         now: Tick,
         uplinks: &Uplinks,
@@ -474,7 +446,7 @@ impl Protocol for DknnBuffered {
         ops: &mut OpCounters,
     ) {
         self.current_tick = now;
-        for q in &mut self.queries {
+        for q in self.queries.values_mut() {
             q.events_tick = 0;
         }
         let mut heals: Vec<(ObjectId, QueryId)> = Vec::new();
@@ -482,7 +454,7 @@ impl Protocol for DknnBuffered {
         for (from, msg) in uplinks.iter() {
             match *msg {
                 UplinkMsg::QueryMove { query, pos, vel } => {
-                    if let Some(q) = self.queries.get_mut(query.index()) {
+                    if let Some(q) = self.queries.get_mut(&query.0) {
                         if q.spec.focal == from {
                             q.q_pos = pos;
                             q.q_vel = vel;
@@ -494,9 +466,9 @@ impl Protocol for DknnBuffered {
                 } => {
                     let max_cands = self
                         .queries
-                        .get(query.index())
+                        .get(&query.0)
                         .map(|q| q.spec.k + 2 * self.buffer);
-                    let Some(q) = self.queries.get_mut(query.index()) else {
+                    let Some(q) = self.queries.get_mut(&query.0) else {
                         continue;
                     };
                     ops.server_ops += 1;
@@ -544,7 +516,7 @@ impl Protocol for DknnBuffered {
                     }
                 }
                 UplinkMsg::Leave { query, ver, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else {
+                    let Some(q) = self.queries.get_mut(&query.0) else {
                         continue;
                     };
                     ops.server_ops += 1;
@@ -574,7 +546,7 @@ impl Protocol for DknnBuffered {
                 UplinkMsg::BandCross {
                     query, ver, pos, ..
                 } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else {
+                    let Some(q) = self.queries.get_mut(&query.0) else {
                         continue;
                     };
                     ops.server_ops += 1;
@@ -621,7 +593,7 @@ impl Protocol for DknnBuffered {
         // to a refresh. Mirrors the basic server's member leases.
         if self.lossy {
             let ttl = self.params.lease_ttl();
-            for q in &mut self.queries {
+            for q in self.queries.values_mut() {
                 if q.needs_refresh {
                     continue;
                 }
@@ -647,10 +619,11 @@ impl Protocol for DknnBuffered {
             }
         }
 
-        for qi in 0..self.queries.len() {
+        let ids: Vec<u32> = self.queries.keys().copied().collect();
+        for qi in ids {
             ops.server_ops += 1;
             let (drifted, due_heartbeat) = {
-                let q = &self.queries[qi];
+                let q = &self.queries[&qi];
                 let drift = q.q_pos.dist(q.ver.pred_center(now));
                 (
                     drift > self.params.query_drift,
@@ -658,12 +631,15 @@ impl Protocol for DknnBuffered {
                 )
             };
             if drifted {
-                self.queries[qi].needs_refresh = true;
+                self.queries
+                    .get_mut(&qi)
+                    .expect("key snapshot")
+                    .needs_refresh = true;
             }
-            if self.queries[qi].needs_refresh {
+            if self.queries[&qi].needs_refresh {
                 self.refresh(qi, now, probe, outbox, ops);
             } else if due_heartbeat {
-                let q = &mut self.queries[qi];
+                let q = self.queries.get_mut(&qi).expect("key snapshot");
                 let zone = Circle::new(q.ver.pred_center(now), q.ver.t + self.params.margin());
                 outbox.send(
                     Recipient::Geocast(zone),
@@ -683,31 +659,194 @@ impl Protocol for DknnBuffered {
             self.heal(query, id, outbox);
         }
     }
+}
 
-    fn server_crash(&mut self, _block: Rect, queries: &[QueryId]) {
+impl Protocol for DknnBuffered {
+    fn name(&self) -> &'static str {
+        "dknn-buffer"
+    }
+
+    fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
+        self.client.set_lossy(lossy);
+        for server in &mut self.servers {
+            server.lossy = lossy;
+        }
+    }
+
+    fn init(
+        &mut self,
+        bounds: Rect,
+        objects: &[MovingObject],
+        queries: &[QuerySpec],
+        _probe: &mut dyn ProbeService,
+        outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.client = ClientHalf::new(self.params, objects.len());
+        self.client.set_lossy(self.lossy);
+        // Registration is a single-server act: the tier forks into its
+        // partitions lazily at the first partitioned server phase.
+        self.servers.truncate(1);
+        let server = &mut self.servers[0];
+        server.space_diag = bounds.min.dist(bounds.max);
+        server.queries.clear();
+        self.home_of = vec![0; queries.len()];
+        for (i, spec) in queries.iter().enumerate() {
+            assert_eq!(spec.id.index(), i, "query ids must be dense and in order");
+            self.client.set_focal(spec.focal.index(), spec.id);
+            let focal = &objects[spec.focal.index()];
+            server.queries.insert(
+                spec.id.0,
+                BufQuery {
+                    spec: *spec,
+                    ver: RegionVersion {
+                        ver: 0,
+                        center: focal.pos,
+                        vel: focal.vel,
+                        t: 0.0,
+                    },
+                    q_pos: focal.pos,
+                    q_vel: focal.vel,
+                    cands: Vec::new(),
+                    answer: Vec::new(),
+                    last_broadcast: 0,
+                    needs_refresh: false,
+                    events_tick: 0,
+                    refreshes: 0,
+                    local_fixes: 0,
+                },
+            );
+            // Initial establishment from the registration snapshot.
+            let mut reports: Vec<ObjReport> = objects
+                .iter()
+                .filter(|o| o.id != spec.focal)
+                .map(|o| ObjReport {
+                    id: o.id,
+                    pos: o.pos,
+                    vel: o.vel,
+                })
+                .collect();
+            ops.server_ops += reports.len() as u64;
+            server.establish(spec.id.0, &mut reports, 0, outbox, ops);
+            // establish() counts as a refresh; the initial one is free-form.
+            server
+                .queries
+                .get_mut(&spec.id.0)
+                .expect("just inserted")
+                .refreshes = 0;
+        }
+    }
+
+    fn client_tick(
+        &mut self,
+        tick: Tick,
+        me: &MovingObject,
+        inbox: &[DownlinkMsg],
+        up: &mut Uplinks,
+        ops: &mut OpCounters,
+    ) {
+        self.client.tick(tick, me, inbox, up, ops);
+    }
+
+    fn client_phase(&mut self, ctx: &mknn_net::ClientCtx, up: &mut Uplinks, ops: &mut OpCounters) {
+        // Shares the dKNN client half, so it shares its chunked batch path.
+        self.client.tick_batch(ctx, up, ops);
+    }
+
+    fn server_tick(
+        &mut self,
+        now: Tick,
+        uplinks: &Uplinks,
+        probe: &mut dyn ProbeService,
+        outbox: &mut Outbox,
+        ops: &mut OpCounters,
+    ) {
+        self.servers[0].tick(now, uplinks, probe, outbox, ops);
+    }
+
+    fn server_phase(&mut self, phase: &mut ServerPhase<'_, '_>) {
+        debug_assert!(
+            phase
+                .tasks
+                .iter()
+                .enumerate()
+                .all(|(i, t)| t.shard as usize == i),
+            "tasks must be dense ascending shard ids"
+        );
+        // Fork the tier lazily to the deployment width.
+        while self.servers.len() < phase.tasks.len() {
+            let next = self.servers[0].fork_empty();
+            self.servers.push(next);
+        }
+        // Migrate per-query candidate state to this tick's coordinator
+        // homes (the state a Migrate leg ships between shards).
+        if self.home_of.len() < phase.homes.len() {
+            self.home_of.resize(phase.homes.len(), 0);
+        }
+        for (q, (&new_home, old_home)) in
+            phase.homes.iter().zip(self.home_of.iter_mut()).enumerate()
+        {
+            if *old_home != new_home {
+                if let Some(state) = self.servers[*old_home as usize].queries.remove(&(q as u32)) {
+                    self.servers[new_home as usize]
+                        .queries
+                        .insert(q as u32, state);
+                }
+                *old_home = new_home;
+            }
+        }
+        // Partitions tick independently on the uplinks homed at their
+        // shard; per-query state never crosses partitions mid-phase, so
+        // the parallel dispatch is deterministic at any thread count.
+        let tick = phase.tick;
+        run_shard_tasks(
+            phase.pool,
+            &mut self.servers,
+            phase.tasks,
+            |server, task| {
+                let up = std::mem::take(&mut task.uplinks);
+                server.tick(
+                    tick,
+                    &up,
+                    task.probe.as_mut(),
+                    &mut task.outbox,
+                    &mut task.ops,
+                );
+            },
+        );
+    }
+
+    fn server_crash(&mut self, _shard: u32, _block: Rect, queries: &[QueryId]) {
         // The candidate/band structure homed on the dead shard is gone; the
         // focal registry (spec, last reported position, version counter)
         // survives. The next server tick rebuilds each wiped query with an
-        // expanding probe + full band re-establishment.
-        for &id in queries {
-            if let Some(q) = self.queries.get_mut(id.index()) {
-                q.cands.clear();
-                q.answer.clear();
-                q.needs_refresh = true;
+        // expanding probe + full band re-establishment. Each query lives in
+        // exactly one partition, so the sweep touches exactly its holder.
+        for server in &mut self.servers {
+            for &id in queries {
+                if let Some(q) = server.queries.get_mut(&id.0) {
+                    q.cands.clear();
+                    q.answer.clear();
+                    q.needs_refresh = true;
+                }
             }
         }
     }
 
     fn answer(&self, query: QueryId) -> &[ObjectId] {
-        self.queries
-            .get(query.index())
+        self.server_of(query)
+            .queries
+            .get(&query.0)
             .map_or(&self.empty, |q| q.answer.as_slice())
     }
 
     fn effective_center(&self, query: QueryId) -> Option<Point> {
-        self.queries
-            .get(query.index())
-            .map(|q| q.ver.pred_center(self.current_tick))
+        let server = self.server_of(query);
+        server
+            .queries
+            .get(&query.0)
+            .map(|q| q.ver.pred_center(server.current_tick))
     }
 
     fn ordered_answers(&self) -> bool {
@@ -794,7 +933,7 @@ mod tests {
             &[ObjectId(1), ObjectId(2), ObjectId(3)]
         );
         // Region boundary lies between the 5th and 6th object (50 and 60).
-        let q = &p.queries[0];
+        let q = &p.servers[0].queries[&0];
         assert_eq!(q.cands.len(), 5);
         assert!(q.ver.t > 50.0 && q.ver.t < 60.0, "r_out = {}", q.ver.t);
         // Bands were unicast to every candidate.
@@ -875,7 +1014,7 @@ mod tests {
                 ObjectId(id),
                 UplinkMsg::Leave {
                     query: QueryId(0),
-                    ver: p.queries[0].ver.ver,
+                    ver: p.servers[0].queries[&0].ver.ver,
                     pos: Point::new(999.0, 0.0),
                 },
             );

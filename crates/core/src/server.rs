@@ -13,6 +13,7 @@ use mknn_net::{
     DownlinkMsg, MsgKind, ObjReport, OpCounters, Outbox, ProbeService, QuerySpec, Recipient,
     UplinkMsg, Uplinks,
 };
+use std::collections::BTreeMap;
 
 /// One maintained member of a query answer.
 #[derive(Debug, Clone, Copy)]
@@ -51,12 +52,19 @@ pub(crate) struct ServerQuery {
     pub local_band_fixes: u64,
 }
 
-/// The server half of the protocol.
+/// The server half of the protocol — one *partition* of the server tier.
+///
+/// Under a sharded deployment each shard runs its own `ServerHalf` holding
+/// exactly the queries homed there (keyed by query id; the `BTreeMap`
+/// iterates ascending, which at G=1 is the historical dense-`Vec` order, so
+/// the single-shard byte trace is unchanged). Queries move between
+/// partitions via [`Self::take_query`] / [`Self::insert_query`] when the
+/// coordinator migrates them.
 #[derive(Debug)]
 pub struct ServerHalf {
     params: DknnParams,
     mode: Mode,
-    pub(crate) queries: Vec<ServerQuery>,
+    pub(crate) queries: BTreeMap<u32, ServerQuery>,
     space_diag: f64,
     empty: Vec<ObjectId>,
     current_tick: Tick,
@@ -72,12 +80,43 @@ impl ServerHalf {
         ServerHalf {
             params,
             mode,
-            queries: Vec::new(),
+            queries: BTreeMap::new(),
             space_diag: 1.0,
             empty: Vec::new(),
             current_tick: 0,
             lossy: false,
         }
+    }
+
+    /// A fresh partition with this half's configuration (parameters, mode,
+    /// world diagonal, lossy switch, clock) and no queries — the starting
+    /// point for a sibling shard when the tier is split.
+    pub fn fork_empty(&self) -> ServerHalf {
+        ServerHalf {
+            params: self.params,
+            mode: self.mode,
+            queries: BTreeMap::new(),
+            space_diag: self.space_diag,
+            empty: Vec::new(),
+            current_tick: self.current_tick,
+            lossy: self.lossy,
+        }
+    }
+
+    /// Removes query `id`'s server state from this partition (a migrate leg
+    /// shipping it to another shard).
+    pub(crate) fn take_query(&mut self, id: u32) -> Option<ServerQuery> {
+        self.queries.remove(&id)
+    }
+
+    /// Installs migrated server state for query `id` into this partition.
+    pub(crate) fn insert_query(&mut self, id: u32, q: ServerQuery) {
+        self.queries.insert(id, q);
+    }
+
+    /// Number of queries homed in this partition.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
     }
 
     /// Enables (or disables) the lossy-transport recovery machinery. Call
@@ -161,32 +200,32 @@ impl ServerHalf {
                 outbox,
                 ops,
             );
-            self.queries.push(q);
+            self.queries.insert(spec.id.0, q);
         }
     }
 
     /// The maintained answer of `query` (member order).
     pub fn answer(&self, query: QueryId) -> &[ObjectId] {
         self.queries
-            .get(query.index())
+            .get(&query.0)
             .map_or(&self.empty, |q| q.answer.as_slice())
     }
 
     /// The effective query center the current answer refers to.
     pub fn effective_center(&self, query: QueryId) -> Option<Point> {
         self.queries
-            .get(query.index())
+            .get(&query.0)
             .map(|q| q.ver.pred_center(self.current_tick))
     }
 
     /// Total refreshes across queries (experiments/diagnostics).
     pub fn total_refreshes(&self) -> u64 {
-        self.queries.iter().map(|q| q.refreshes).sum()
+        self.queries.values().map(|q| q.refreshes).sum()
     }
 
     /// Total locally patched band events (ordered mode diagnostics).
     pub fn total_band_fixes(&self) -> u64 {
-        self.queries.iter().map(|q| q.local_band_fixes).sum()
+        self.queries.values().map(|q| q.local_band_fixes).sum()
     }
 
     /// Wipes the per-query state a crashed shard held (DESIGN.md §11): the
@@ -199,7 +238,7 @@ impl ServerHalf {
     /// the member-state rebuild the experiments measure.
     pub fn crash_queries(&mut self, queries: &[QueryId]) {
         for &id in queries {
-            if let Some(q) = self.queries.get_mut(id.index()) {
+            if let Some(q) = self.queries.get_mut(&id.0) {
                 q.members.clear();
                 q.answer.clear();
                 q.needs_refresh = true;
@@ -217,7 +256,7 @@ impl ServerHalf {
         ops: &mut OpCounters,
     ) {
         self.current_tick = now;
-        for q in &mut self.queries {
+        for q in self.queries.values_mut() {
             q.band_events_tick = 0;
         }
         let mut heals: Vec<(ObjectId, QueryId)> = Vec::new();
@@ -225,7 +264,7 @@ impl ServerHalf {
         for (from, msg) in uplinks.iter() {
             match *msg {
                 UplinkMsg::QueryMove { query, pos, vel } => {
-                    if let Some(q) = self.queries.get_mut(query.index()) {
+                    if let Some(q) = self.queries.get_mut(&query.0) {
                         if q.spec.focal == from {
                             q.q_pos = pos;
                             q.q_vel = vel;
@@ -233,7 +272,7 @@ impl ServerHalf {
                     }
                 }
                 UplinkMsg::Enter { query, ver, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else {
+                    let Some(q) = self.queries.get_mut(&query.0) else {
                         continue;
                     };
                     ops.server_ops += 1;
@@ -265,7 +304,7 @@ impl ServerHalf {
                     q.needs_refresh = true;
                 }
                 UplinkMsg::Leave { query, ver, .. } => {
-                    let Some(q) = self.queries.get_mut(query.index()) else {
+                    let Some(q) = self.queries.get_mut(&query.0) else {
                         continue;
                     };
                     ops.server_ops += 1;
@@ -292,7 +331,7 @@ impl ServerHalf {
                 UplinkMsg::BandCross {
                     query, ver, pos, ..
                 } => {
-                    let Some(qi) = self.queries.get_mut(query.index()) else {
+                    let Some(qi) = self.queries.get_mut(&query.0) else {
                         continue;
                     };
                     if ver != qi.ver.ver {
@@ -331,7 +370,7 @@ impl ServerHalf {
         if self.lossy {
             let ttl = self.params.lease_ttl();
             let mode = self.mode;
-            for q in &mut self.queries {
+            for q in self.queries.values_mut() {
                 if q.needs_refresh {
                     continue; // the refresh below re-leases every member
                 }
@@ -360,7 +399,7 @@ impl ServerHalf {
         }
 
         // Refresh / heartbeat pass.
-        for q in &mut self.queries {
+        for q in self.queries.values_mut() {
             ops.server_ops += 1;
             let drift = q.q_pos.dist(q.ver.pred_center(now));
             if drift > self.params.query_drift {
@@ -398,7 +437,7 @@ impl ServerHalf {
 
         // Heal devices that evaluated a stale version.
         for (id, query) in heals {
-            let q = &self.queries[query.index()];
+            let q = &self.queries[&query.0];
             outbox.send(
                 Recipient::One(id),
                 DownlinkMsg::InstallRegion {
@@ -744,7 +783,7 @@ mod tests {
             s.answer(QueryId(0)),
             &[ObjectId(1), ObjectId(2), ObjectId(3)]
         );
-        let q = &s.queries[0];
+        let q = &s.queries[&0];
         // d_3 = 30, d_4 = 40 → midpoint threshold 35.
         assert!((q.ver.t - 35.0).abs() < 1e-9);
         // One geocast install, no bands in set mode.
@@ -1014,7 +1053,7 @@ mod tests {
             })
             .collect();
         assert_eq!(acks.len(), 1, "the retransmission loop needs its ack");
-        assert_eq!(s.queries[0].members[0].heard, 1, "lease renewed");
+        assert_eq!(s.queries[&0].members[0].heard, 1, "lease renewed");
     }
 
     #[test]

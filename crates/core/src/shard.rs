@@ -208,6 +208,19 @@ impl ShardCoordinator {
         self.query_home.get(&q).copied().unwrap_or(0)
     }
 
+    /// The shard of query `q` resolved through crash failover: its home
+    /// while up, the home's fallback while down. This is the shard whose
+    /// partition actually hosts the query's server state this tick.
+    pub fn effective_home(&self, q: QueryId) -> u32 {
+        self.effective(self.query_home(q))
+    }
+
+    /// The shard covering position `p` resolved through crash failover —
+    /// the partition a device report surfacing at `p` terminates in.
+    pub fn effective_shard_of(&self, p: Point) -> u32 {
+        self.effective(self.grid.shard_of(p))
+    }
+
     /// Per-shard load counters, indexed by shard id.
     pub fn loads(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.load).collect()
@@ -453,7 +466,10 @@ impl ShardCoordinator {
 
     /// An uplink from a device at `sender_pos` arrived at its local shard.
     /// If it belongs to a query homed elsewhere it is forwarded over the
-    /// backbone ([`ShardMsg::Forward`]).
+    /// backbone ([`ShardMsg::Forward`]). Returns the shard the uplink
+    /// terminates at — the query's home for query-scoped traffic, the
+    /// local shard for position reports — which is the partition whose
+    /// server instance consumes the message.
     pub fn route_uplink(
         &mut self,
         q: Option<QueryId>,
@@ -461,7 +477,7 @@ impl ShardCoordinator {
         payload_bytes: usize,
         stats: &mut NetStats,
         mut fault: Option<&mut FaultyLink>,
-    ) {
+    ) -> u32 {
         let local = self.effective(self.grid.shard_of(sender_pos));
         self.shards[local as usize].load += 1;
         if let Some(q) = q {
@@ -477,6 +493,9 @@ impl ShardCoordinator {
                 );
                 self.shards[home as usize].load += 1;
             }
+            home
+        } else {
+            local
         }
     }
 

@@ -33,6 +33,16 @@ const SHARD_STREAM_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
 /// fates (and vice versa). A plan with `crash_count == 0` draws nothing.
 const CRASH_WINDOW_SALT: u64 = 0x1656_67B1_9E37_79F9;
 
+/// Salt separating the per-query fate streams from the device-link stream.
+/// Every query-scoped delivery (uplink, downlink, probe leg) draws from its
+/// query's own generator, so a query's fate sequence depends only on its own
+/// event order — never on how deliveries of *other* queries interleave with
+/// it. That interleaving is exactly what changes when the server tier is
+/// partitioned (per-shard outboxes merge in shard order, not global query
+/// order), so per-query streams are what keeps chaos episodes byte-identical
+/// across shard counts.
+const QUERY_STREAM_SALT: u64 = 0x94D0_49BB_1331_11EB;
+
 /// The shard backbone retransmits a lost leg until delivery; a degenerate
 /// plan with 100 % loss would retry forever, so retries are capped (the leg
 /// is then delivered anyway — the backbone is reliable by construction).
@@ -211,6 +221,56 @@ impl FaultPlan {
             && self.crash_count == 0
     }
 
+    /// `true` while faults are still injected at tick `now` (the horizon is
+    /// inclusive).
+    pub fn active_at(&self, now: Tick) -> bool {
+        now <= self.horizon
+    }
+
+    /// Per-delivery fault fate drawn from `rng`: returns how many copies to
+    /// deliver now (0, 1 or 2) and an optional delay in ticks for one
+    /// further copy, charging losses/duplicates/delays to `stats`.
+    ///
+    /// The caller picks the stream (`rng`) and gates on
+    /// [`FaultPlan::active_at`]; [`FaultyLink`] routes query-scoped traffic
+    /// through per-query streams, and the engine's per-shard probe services
+    /// use this directly with the streams they were handed.
+    pub fn draw_fate(
+        &self,
+        rng: &mut Rng,
+        loss: f64,
+        dup: f64,
+        stats: &mut NetStats,
+    ) -> (u32, Option<u64>) {
+        if loss > 0.0 && rng.gen_bool(loss) {
+            stats.count_dropped();
+            return (0, None);
+        }
+        let mut copies = 1;
+        if dup > 0.0 && rng.gen_bool(dup) {
+            stats.count_duplicated();
+            copies += 1;
+        }
+        if self.delay_prob > 0.0 && rng.gen_bool(self.delay_prob) {
+            stats.count_delayed();
+            let d = rng.gen_range(1..=self.max_delay);
+            copies -= 1;
+            return (copies, Some(d));
+        }
+        (copies, None)
+    }
+
+    /// One probe-channel leg drawn from `rng`: `true` when the leg is lost
+    /// (charged as one dropped message). The caller gates on
+    /// [`FaultPlan::active_at`].
+    pub fn draw_leg_lost(&self, rng: &mut Rng, loss: f64, stats: &mut NetStats) -> bool {
+        if loss > 0.0 && rng.gen_bool(loss) {
+            stats.count_dropped();
+            return true;
+        }
+        false
+    }
+
     /// Validates knob sanity; returns the first problem found.
     pub fn validate(&self) -> Result<(), FaultError> {
         for (name, v) in [
@@ -385,6 +445,76 @@ pub struct CrashWindow {
     pub until: Tick,
 }
 
+/// The lazily-instantiated per-query fate generators of one episode.
+///
+/// Query `q`'s stream is seeded `base ^ mix(q)` the first time it is used,
+/// so which queries ever draw — and in what global interleaving — cannot
+/// perturb any other query's sequence. The set can be [`split`] into
+/// disjoint per-shard groups for the parallel server phase and
+/// [`absorb`]ed back afterwards; a stream's state travels with it, so a
+/// query's draws stay globally sequenced across the sequential and parallel
+/// parts of the tick.
+///
+/// [`split`]: QueryStreams::split
+/// [`absorb`]: QueryStreams::absorb
+#[derive(Debug, Default)]
+pub struct QueryStreams {
+    base: u64,
+    rngs: std::collections::BTreeMap<u32, Rng>,
+}
+
+/// SplitMix64-style finalizer decorrelating per-query seeds.
+fn mix(q: u32) -> u64 {
+    let mut z = q as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl QueryStreams {
+    fn new(base: u64) -> Self {
+        QueryStreams {
+            base,
+            rngs: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The fate generator of query `q`, created on first use.
+    pub fn rng(&mut self, q: mknn_geom::QueryId) -> &mut Rng {
+        let base = self.base;
+        self.rngs
+            .entry(q.0)
+            .or_insert_with(|| Rng::seed_from_u64(base ^ mix(q.0)))
+    }
+
+    /// Moves the streams of each `groups[i]` into a new `QueryStreams`,
+    /// preserving stream state; queries listed in no group stay behind.
+    /// Children lazily create streams for their own queries exactly as the
+    /// parent would have.
+    pub fn split(&mut self, groups: &[Vec<u32>]) -> Vec<QueryStreams> {
+        groups
+            .iter()
+            .map(|g| {
+                let mut child = QueryStreams::new(self.base);
+                for &q in g {
+                    if let Some(r) = self.rngs.remove(&q) {
+                        child.rngs.insert(q, r);
+                    }
+                }
+                child
+            })
+            .collect()
+    }
+
+    /// Moves every stream of `parts` back (inverse of
+    /// [`QueryStreams::split`]).
+    pub fn absorb(&mut self, parts: Vec<QueryStreams>) {
+        for part in parts {
+            self.rngs.extend(part.rngs);
+        }
+    }
+}
+
 /// The runtime of a [`FaultPlan`]: per-device offline windows and the
 /// in-flight queues of delayed messages.
 ///
@@ -400,12 +530,18 @@ pub struct FaultyLink {
     /// The construction seed, kept so the crash schedule can derive its own
     /// one-shot stream without touching either live generator.
     seed: u64,
+    /// Generator for traffic with no query scope: churn windows and
+    /// `Position` uplinks. Both are drawn in device order, which the shard
+    /// layout cannot perturb.
     rng: Rng,
     /// Dedicated generator for the inter-shard backbone legs. A separate
     /// stream keeps the device-side fault sequence byte-identical whether
     /// the server runs as one shard or sixteen: shard legs may draw any
     /// number of times without perturbing `rng`.
     shard_rng: Rng,
+    /// Per-query fate streams for all query-scoped traffic (see
+    /// [`QueryStreams`]).
+    queries: QueryStreams,
     now: Tick,
     /// Per device: offline while `now < offline_until[i]`.
     offline_until: Vec<Tick>,
@@ -430,6 +566,7 @@ impl FaultyLink {
             seed,
             rng: Rng::seed_from_u64(seed),
             shard_rng: Rng::seed_from_u64(seed ^ SHARD_STREAM_SALT),
+            queries: QueryStreams::new(seed ^ QUERY_STREAM_SALT),
             now: 0,
             offline_until: Vec::new(),
             held_up: Vec::new(),
@@ -492,7 +629,12 @@ impl FaultyLink {
 
     /// `true` while faults are still being injected at the current tick.
     fn active(&self) -> bool {
-        self.now <= self.plan.horizon
+        self.plan.active_at(self.now)
+    }
+
+    /// The tick the link was last advanced to by [`FaultyLink::begin_tick`].
+    pub fn now(&self) -> Tick {
+        self.now
     }
 
     /// Advances the link to `now` and draws this tick's churn: each online
@@ -519,33 +661,35 @@ impl FaultyLink {
         self.offline_until.get(idx).is_some_and(|&t| self.now < t)
     }
 
-    /// Per-delivery fault fate, shared by both directions. Returns how many
-    /// copies to deliver now (0, 1 or 2) and an optional delay in ticks for
-    /// one further copy.
-    fn fate(&mut self, loss: f64, dup: f64, stats: &mut NetStats) -> (u32, Option<u64>) {
-        if loss > 0.0 && self.rng.gen_bool(loss) {
-            stats.count_dropped();
-            return (0, None);
+    /// The stream a message's fate is drawn from: the message's query
+    /// stream when it has a query scope, the device-order main stream
+    /// otherwise.
+    fn stream_for(&mut self, query: Option<mknn_geom::QueryId>) -> &mut Rng {
+        match query {
+            Some(q) => self.queries.rng(q),
+            None => &mut self.rng,
         }
-        let mut copies = 1;
-        if dup > 0.0 && self.rng.gen_bool(dup) {
-            stats.count_duplicated();
-            copies += 1;
-        }
-        if self.plan.delay_prob > 0.0 && self.rng.gen_bool(self.plan.delay_prob) {
-            stats.count_delayed();
-            let d = self.rng.gen_range(1..=self.plan.max_delay);
-            copies -= 1;
-            return (copies, Some(d));
-        }
-        (copies, None)
+    }
+
+    /// Moves the fate streams of each `groups[i]` out of the link so the
+    /// parallel server phase can hand each shard its own queries' streams
+    /// (see [`QueryStreams::split`]). Must be matched by
+    /// [`FaultyLink::restore_query_streams`] before the next query-scoped
+    /// draw on the link.
+    pub fn split_query_streams(&mut self, groups: &[Vec<u32>]) -> Vec<QueryStreams> {
+        self.queries.split(groups)
+    }
+
+    /// Returns the streams taken by [`FaultyLink::split_query_streams`].
+    pub fn restore_query_streams(&mut self, parts: Vec<QueryStreams>) {
+        self.queries.absorb(parts);
     }
 
     /// Passes one uplink through the link. Delivered copies are appended to
     /// `out`; losses, duplicates and delays are charged to `stats`. The
     /// transmission itself must already have been charged by the caller —
     /// the sender spends the radio energy whether or not the network
-    /// delivers.
+    /// delivers. Query-scoped uplinks draw from their query's stream.
     pub fn transmit_up(
         &mut self,
         from: ObjectId,
@@ -557,7 +701,9 @@ impl FaultyLink {
             out.push((from, msg));
             return;
         }
-        let (copies, delay) = self.fate(self.plan.up_loss, self.plan.up_dup, stats);
+        let plan = self.plan;
+        let rng = self.stream_for(msg.query());
+        let (copies, delay) = plan.draw_fate(rng, plan.up_loss, plan.up_dup, stats);
         for _ in 0..copies {
             out.push((from, msg));
         }
@@ -607,7 +753,9 @@ impl FaultyLink {
             }
             return false;
         }
-        let (copies, delay) = self.fate(self.plan.down_loss, self.plan.down_dup, stats);
+        let plan = self.plan;
+        let rng = self.stream_for(Some(msg.query()));
+        let (copies, delay) = plan.draw_fate(rng, plan.down_loss, plan.down_dup, stats);
         let mut delivered = false;
         if let Some(inbox) = inboxes.get_mut(to) {
             for _ in 0..copies {
@@ -662,20 +810,23 @@ impl FaultyLink {
         }
     }
 
-    /// Loss draw for the synchronous probe channel: `true` when the round
-    /// trip to the device at inbox index `idx` fails. The downlink leg and
-    /// the uplink leg are drawn separately so the per-direction knobs keep
-    /// their meaning; an offline device always fails. Each failed leg is
-    /// charged as one dropped message.
-    pub fn probe_leg_lost(&mut self, loss: f64, stats: &mut NetStats) -> bool {
+    /// Loss draw for the synchronous probe channel: `true` when one leg of
+    /// the round trip for `query` fails. The downlink leg and the uplink
+    /// leg are drawn separately so the per-direction knobs keep their
+    /// meaning; an offline device always fails. Each failed leg is charged
+    /// as one dropped message. Probe legs are query-scoped, so they draw
+    /// from the query's stream.
+    pub fn probe_leg_lost(
+        &mut self,
+        query: mknn_geom::QueryId,
+        loss: f64,
+        stats: &mut NetStats,
+    ) -> bool {
         if !self.active() || loss == 0.0 {
             return false;
         }
-        if self.rng.gen_bool(loss) {
-            stats.count_dropped();
-            return true;
-        }
-        false
+        let plan = self.plan;
+        plan.draw_leg_lost(self.queries.rng(query), loss, stats)
     }
 }
 
@@ -851,6 +1002,112 @@ mod tests {
                 sizes.push(out.len());
             }
             sizes
+        };
+        assert_eq!(fates(false), fates(true));
+    }
+
+    #[test]
+    fn query_fates_are_invariant_to_cross_query_interleaving() {
+        // The defining property of the per-query streams: reordering
+        // deliveries *across* queries (what a partitioned server tier does
+        // when per-shard outboxes merge in shard order) must not change any
+        // single query's fate sequence.
+        let plan = FaultPlan::chaos();
+        let uplink_for = |q: u32| UplinkMsg::Leave {
+            query: QueryId(q),
+            ver: 0,
+            pos: Point::ORIGIN,
+        };
+        let fates_of_q0 = |interleaved: bool| {
+            let mut link = FaultyLink::new(plan, 42);
+            let mut stats = NetStats::default();
+            let mut sizes = Vec::new();
+            for t in 1..=30 {
+                link.begin_tick(t, 4);
+                let mut out = Vec::new();
+                for round in 0..4 {
+                    if interleaved {
+                        // Other queries' traffic woven between q0's sends.
+                        for q in 1..=3 {
+                            link.transmit_up(ObjectId(q), uplink_for(q), &mut out, &mut stats);
+                        }
+                    }
+                    let before = out.len();
+                    link.transmit_up(ObjectId(0), uplink_for(0), &mut out, &mut stats);
+                    sizes.push(out.len() - before + round - round);
+                }
+            }
+            sizes
+        };
+        assert_eq!(fates_of_q0(false), fates_of_q0(true));
+    }
+
+    #[test]
+    fn query_streams_split_and_absorb_preserve_state() {
+        // Drawing from a split-out stream must continue exactly where the
+        // link's own stream would have, and absorbing it back must let the
+        // link continue where the split-out draws stopped.
+        let plan = FaultPlan::chaos();
+        let downlink_for = |q: u32| DownlinkMsg::RemoveRegion { query: QueryId(q) };
+        let run = |split_in_middle: bool| {
+            let mut link = FaultyLink::new(plan, 42);
+            let mut stats = NetStats::default();
+            let mut inboxes = vec![Vec::new(); 2];
+            let mut delivered = Vec::new();
+            for t in 1..=20 {
+                link.begin_tick(t, 2);
+                delivered.push(link.deliver_down(0, downlink_for(0), &mut inboxes, &mut stats));
+                if split_in_middle {
+                    let mut parts = link.split_query_streams(&[vec![0], vec![1]]);
+                    for (qi, part) in parts.iter_mut().enumerate() {
+                        // Same draw the link itself would have made.
+                        let q = QueryId(qi as u32);
+                        let _ =
+                            plan.draw_fate(part.rng(q), plan.down_loss, plan.down_dup, &mut stats);
+                    }
+                    link.restore_query_streams(parts);
+                } else {
+                    for q in 0..2 {
+                        delivered.push(link.deliver_down(
+                            1,
+                            downlink_for(q),
+                            &mut inboxes,
+                            &mut stats,
+                        ));
+                    }
+                }
+                delivered.push(link.deliver_down(0, downlink_for(0), &mut inboxes, &mut stats));
+            }
+            delivered
+        };
+        // Filter to query 0's direct deliveries (indices 0 and 2 of each
+        // tick in the split run line up with 0 and 3 in the inline run).
+        let with_split = run(true);
+        let inline = run(false);
+        let q0_split: Vec<bool> = with_split.chunks(2).flat_map(|c| c.to_vec()).collect();
+        let q0_inline: Vec<bool> = inline.chunks(4).flat_map(|c| vec![c[0], c[3]]).collect();
+        assert_eq!(q0_split, q0_inline);
+    }
+
+    #[test]
+    fn probe_legs_draw_from_the_query_stream() {
+        // Probe legs for one query must not perturb another query's
+        // delivery fates, and must themselves be deterministic.
+        let plan = FaultPlan::chaos();
+        let fates = |with_probe_legs: bool| {
+            let mut link = FaultyLink::new(plan, 42);
+            let mut stats = NetStats::default();
+            let mut out = Vec::new();
+            for t in 1..=20 {
+                link.begin_tick(t, 4);
+                for i in 0..4 {
+                    if with_probe_legs {
+                        let _ = link.probe_leg_lost(QueryId(9), plan.down_loss, &mut stats);
+                    }
+                    link.transmit_up(ObjectId(i), an_uplink(), &mut out, &mut stats);
+                }
+            }
+            out.len()
         };
         assert_eq!(fates(false), fates(true));
     }

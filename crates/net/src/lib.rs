@@ -37,11 +37,11 @@ mod wire;
 pub use downlink::{
     frame_bits, frame_header_bits, AnswerUpdate, Delivery, DownlinkBuilder, FrameItem, ReplStore,
 };
-pub use fault::{CrashWindow, FaultError, FaultPlan, FaultPlanBuilder, FaultyLink};
+pub use fault::{CrashWindow, FaultError, FaultPlan, FaultPlanBuilder, FaultyLink, QueryStreams};
 pub use msg::{DownlinkMsg, MsgKind, QuerySpec, Recipient, ShardMsg, ShardMsgKind, UplinkMsg};
 pub use proto::{
-    parallel_client_phase, ClientCtx, ObjReport, Outbox, ProbeService, Protocol, Uplinks,
-    PAR_MIN_DEVICES,
+    parallel_client_phase, run_shard_tasks, ClientCtx, ObjReport, Outbox, ProbeService, Protocol,
+    ServerPhase, ShardTask, Uplinks, PAR_MIN_DEVICES,
 };
 pub use stats::{NetStats, OpCounters, ShardStats};
 pub use wire::{

@@ -171,6 +171,15 @@ impl Outbox {
     pub fn clear(&mut self) {
         self.items.clear();
     }
+
+    /// Moves every downlink of `other` onto the end of this outbox,
+    /// preserving send order. The engine uses it to merge per-shard
+    /// outboxes in ascending shard-id order after a parallel server phase,
+    /// which keeps the combined downlink stream deterministic at any
+    /// thread count.
+    pub fn append(&mut self, other: &mut Outbox) {
+        self.items.append(&mut other.items);
+    }
 }
 
 /// Synchronous probe channel provided by the harness.
@@ -189,6 +198,78 @@ pub trait ProbeService {
     /// Unicast position request to one device (charged as one downlink
     /// probe plus one uplink reply). Returns `None` for unknown devices.
     fn poll(&mut self, query: QueryId, id: ObjectId) -> Option<ObjReport>;
+}
+
+/// One shard's slice of a partitioned server tick.
+///
+/// The engine builds one task per server shard: the uplinks routed to that
+/// shard (query-scoped traffic goes to the query's home shard, `Position`
+/// reports to the shard covering the reported position), a shard-local
+/// [`ProbeService`] whose coordination charges are deferred and replayed in
+/// shard order after the phase, and fresh per-shard accumulators. The
+/// protocol consumes the task inside [`Protocol::server_phase`]; the engine
+/// merges outboxes, ops, and stats back in ascending shard-id order.
+pub struct ShardTask<'p> {
+    /// The shard this task belongs to (its index in `ServerPhase::tasks`).
+    pub shard: u32,
+    /// The uplinks routed to this shard this tick, in global arrival order
+    /// filtered to the shard.
+    pub uplinks: Uplinks,
+    /// Shard-local probe channel (safe to use from a worker thread).
+    pub probe: Box<dyn ProbeService + Send + 'p>,
+    /// Downlinks this shard emits this tick.
+    pub outbox: Outbox,
+    /// Computation charged by this shard this tick.
+    pub ops: crate::OpCounters,
+    /// Wall-clock seconds this shard's server work took (stamped by
+    /// [`run_shard_tasks`], accumulated into the episode's per-shard
+    /// timing breakdown).
+    pub seconds: f64,
+}
+
+/// Everything a [`Protocol`] needs to run one partitioned server tick.
+pub struct ServerPhase<'e, 'p> {
+    /// The tick being processed.
+    pub tick: Tick,
+    /// Home shard per query id (dense, indexed by `QueryId::index`). The
+    /// coordinator keeps this current across focal migrations and crash
+    /// failover *before* the phase runs, so a protocol can re-home its
+    /// per-query state by diffing against its own directory.
+    pub homes: &'e [u32],
+    /// Maps a position to the (effective) shard covering it — the same
+    /// routing the engine used to split `Position` uplinks over the tasks.
+    /// Protocols that partition an object index by position use it to
+    /// place entries; it accounts for crash failover.
+    pub route: &'e (dyn Fn(Point) -> u32 + Sync),
+    /// The worker pool to dispatch per-shard work through.
+    pub pool: Pool,
+    /// One task per shard, ascending shard id.
+    pub tasks: &'e mut [ShardTask<'p>],
+}
+
+/// Dispatches one closure per `(state, task)` pair over `pool`, stamping
+/// each task's wall time.
+///
+/// This is the shared harness for partitioned server phases: a protocol
+/// keeps a per-shard state vector, zips it with the phase's tasks, and
+/// provides the per-shard tick body. Each invocation sees only its own
+/// shard's state and task, so the dispatch is safe at any thread count;
+/// determinism comes from the engine merging task outputs in ascending
+/// shard-id order afterwards. `f` must not touch state it does not own —
+/// cross-shard effects go through the probe service or are precomputed
+/// sequentially before the dispatch.
+pub fn run_shard_tasks<'p, S, F>(pool: Pool, states: &mut [S], tasks: &mut [ShardTask<'p>], f: F)
+where
+    S: Send,
+    F: Fn(&mut S, &mut ShardTask<'p>) + Sync,
+{
+    debug_assert_eq!(states.len(), tasks.len());
+    let jobs: Vec<(&mut S, &mut ShardTask<'p>)> = states.iter_mut().zip(tasks.iter_mut()).collect();
+    pool.map_indexed(jobs, |_, (state, task)| {
+        let t0 = std::time::Instant::now();
+        f(state, task);
+        task.seconds += t0.elapsed().as_secs_f64();
+    });
 }
 
 /// A continuous moving-kNN monitoring method (client + server halves).
@@ -254,6 +335,49 @@ pub trait Protocol {
         ops: &mut crate::OpCounters,
     );
 
+    /// Server logic for one tick of a *partitioned* server tier: one task
+    /// per shard, each holding the uplinks routed to it.
+    ///
+    /// Every protocol in this workspace overrides this with real per-shard
+    /// state (per-shard query maps, partial indexes) dispatched over
+    /// `phase.pool` via [`run_shard_tasks`]; the contract is that answers,
+    /// ops, and all device-facing traffic are byte-identical to the
+    /// monolithic [`Protocol::server_tick`] at one shard, and invariant
+    /// across shard and thread counts.
+    ///
+    /// The default implementation keeps unpartitioned (e.g. mock)
+    /// protocols working: with one task it is exactly the monolithic tick;
+    /// with several it merges the task uplinks in ascending shard order
+    /// and runs the monolithic tick against shard 0's accumulators — the
+    /// old "accounting overlay" semantics.
+    fn server_phase(&mut self, phase: &mut ServerPhase<'_, '_>) {
+        let t0 = std::time::Instant::now();
+        if let [task] = phase.tasks {
+            self.server_tick(
+                phase.tick,
+                &std::mem::take(&mut task.uplinks),
+                task.probe.as_mut(),
+                &mut task.outbox,
+                &mut task.ops,
+            );
+            task.seconds += t0.elapsed().as_secs_f64();
+            return;
+        }
+        let mut all = Uplinks::new();
+        for task in phase.tasks.iter_mut() {
+            all.append(&mut task.uplinks);
+        }
+        let first = &mut phase.tasks[0];
+        self.server_tick(
+            phase.tick,
+            &all,
+            first.probe.as_mut(),
+            &mut first.outbox,
+            &mut first.ops,
+        );
+        first.seconds += t0.elapsed().as_secs_f64();
+    }
+
     /// The currently maintained answer of `query`: neighbor ids in
     /// canonical order (ascending distance, ties by id). The slice length
     /// may be < k only when fewer than k objects exist.
@@ -297,10 +421,11 @@ pub trait Protocol {
         let _ = lossy;
     }
 
-    /// A server shard covering `block` crashed: all server-side state the
-    /// failed node held is gone. `queries` lists the queries that were homed
-    /// there (their per-query member/candidate/lease state is wiped); any
-    /// object bookkeeping tied to positions inside `block` is lost too.
+    /// Server shard `shard`, covering `block`, crashed: all server-side
+    /// state the failed node held is gone. `queries` lists the queries that
+    /// were homed there (their per-query member/candidate/lease state is
+    /// wiped); any object bookkeeping tied to positions inside `block` is
+    /// lost too.
     ///
     /// The coordinator routes around the dead shard, so the logical server
     /// tier keeps serving — a hardened method re-establishes the wiped
@@ -308,19 +433,19 @@ pub trait Protocol {
     /// which is exactly the failover cost the experiments measure. The
     /// default is a no-op: a method with no per-query server state (or one
     /// that rebuilds from scratch every tick) loses nothing.
-    fn server_crash(&mut self, block: Rect, queries: &[QueryId]) {
-        let _ = (block, queries);
+    fn server_crash(&mut self, shard: u32, block: Rect, queries: &[QueryId]) {
+        let _ = (shard, block, queries);
     }
 
-    /// The crashed shard covering `block` is back: the coordinator's
+    /// Crashed shard `shard`, covering `block`, is back: the coordinator's
     /// state-reconstruction sweep replays the boundary objects the surviving
     /// shards covered for the dead block (`replay`, one entry per object
     /// currently inside `block`). Index-based methods re-learn the replayed
-    /// positions; the default is a no-op for methods whose recovery rides
-    /// the device-side machinery instead (announce-on-adopt, lease polls,
-    /// ack-gated retransmits).
-    fn server_recover(&mut self, block: Rect, replay: &[ObjReport]) {
-        let _ = (block, replay);
+    /// positions into the reborn shard's partition; the default is a no-op
+    /// for methods whose recovery rides the device-side machinery instead
+    /// (announce-on-adopt, lease polls, ack-gated retransmits).
+    fn server_recover(&mut self, shard: u32, block: Rect, replay: &[ObjReport]) {
+        let _ = (shard, block, replay);
     }
 }
 

@@ -2,13 +2,14 @@
 
 use crate::{check_answer, DownlinkMode, EpisodeMetrics, SimConfig, SnapshotOracle, VerifyMode};
 use mknn_core::ShardCoordinator;
-use mknn_geom::{ObjectId, QueryId, Tick};
+use mknn_geom::{Circle, ObjectId, Point, QueryId, Tick};
 use mknn_index::GridIndex;
 use mknn_mobility::World;
 use mknn_net::{
-    AnswerUpdate, CrashWindow, Delivery, DownlinkBuilder, DownlinkMsg, FaultyLink, MsgKind,
-    NetStats, ObjReport, OpCounters, Outbox, ProbeService, Protocol, QuerySpec, Recipient,
-    ReplStore, UplinkMsg, Uplinks, Wire, LINK_HEADER_BITS,
+    AnswerUpdate, CrashWindow, Delivery, DownlinkBuilder, DownlinkMsg, FaultPlan, FaultyLink,
+    MsgKind, NetStats, ObjReport, OpCounters, Outbox, ProbeService, Protocol, QuerySpec,
+    QueryStreams, Recipient, ReplStore, ServerPhase, ShardTask, UplinkMsg, Uplinks, Wire,
+    LINK_HEADER_BITS,
 };
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -64,7 +65,7 @@ impl ProbeService for EngineProbe<'_, '_> {
                 if link.is_offline(n.id.index()) {
                     self.stats.count_dropped();
                     delivery = Delivery::Offline;
-                } else if link.probe_leg_lost(link.plan().down_loss, self.stats) {
+                } else if link.probe_leg_lost(query, link.plan().down_loss, self.stats) {
                     delivery = Delivery::Lost;
                 }
             }
@@ -85,7 +86,7 @@ impl ProbeService for EngineProbe<'_, '_> {
             if let Some(link) = self.link.as_deref_mut() {
                 // Reply leg: the device transmitted (charged above) but the
                 // uplink may still be lost in flight.
-                if link.probe_leg_lost(link.plan().up_loss, self.stats) {
+                if link.probe_leg_lost(query, link.plan().up_loss, self.stats) {
                     continue;
                 }
             }
@@ -142,7 +143,7 @@ impl ProbeService for EngineProbe<'_, '_> {
             if link.is_offline(id.index()) {
                 self.stats.count_dropped();
                 delivery = Delivery::Offline;
-            } else if link.probe_leg_lost(link.plan().down_loss, self.stats) {
+            } else if link.probe_leg_lost(query, link.plan().down_loss, self.stats) {
                 delivery = Delivery::Lost;
             }
         }
@@ -167,7 +168,7 @@ impl ProbeService for EngineProbe<'_, '_> {
             self.link.as_deref_mut(),
         );
         if let Some(link) = self.link.as_deref_mut() {
-            if link.probe_leg_lost(link.plan().up_loss, self.stats) {
+            if link.probe_leg_lost(query, link.plan().up_loss, self.stats) {
                 return None;
             }
         }
@@ -176,6 +177,197 @@ impl ProbeService for EngineProbe<'_, '_> {
             pos: o.pos,
             vel: o.vel,
         })
+    }
+}
+
+/// A coordinator side effect recorded by a [`ShardProbe`] during the
+/// parallel server phase. The coordinator is shared *read-only* across the
+/// phase's worker threads, so its mutating charges (backbone legs, shard
+/// load bumps, backbone fault draws) are logged per shard and replayed in
+/// ascending shard order after the phase — the replay order is a pure
+/// function of the shard partition, so metrics are identical at any thread
+/// count, and at `G = 1` the single log preserves the exact monolithic
+/// charge order.
+enum CoordCharge {
+    /// `probe` scattered a zone to its covering shards.
+    ProbeScatter { query: QueryId, zone: Circle },
+    /// Delivered probe replies surfaced at `shard` and merge at the home.
+    ProbeGather {
+        query: QueryId,
+        shard: u32,
+        count: usize,
+    },
+    /// `poll` paged a device at `pos` (request leg).
+    RouteUnicast {
+        query: QueryId,
+        pos: Point,
+        bytes: usize,
+    },
+    /// `poll`'s reply surfaced at the shard owning `pos` (reply leg).
+    RouteUplink {
+        query: QueryId,
+        pos: Point,
+        bytes: usize,
+    },
+}
+
+/// Per-shard accumulation buffer for one server phase: everything a shard's
+/// worker produces that must merge into engine-global state afterwards.
+#[derive(Default)]
+struct ShardBuf {
+    /// Device-facing traffic this shard's probes charged (commutative
+    /// counters; merged in ascending shard order).
+    stats: NetStats,
+    /// The fault-fate streams of this shard's homed queries, moved out of
+    /// the [`FaultyLink`] for the phase and restored afterwards. `None` on
+    /// a perfect link.
+    streams: Option<QueryStreams>,
+    /// Deferred coordinator charges, in issue order.
+    charges: Vec<CoordCharge>,
+    /// Probe deliveries to stage on the scoped downlink builder (empty in
+    /// legacy mode).
+    staged: Vec<(ObjectId, DownlinkMsg, Delivery)>,
+}
+
+/// The per-shard probe channel handed to [`ShardTask`]s: behaviorally
+/// identical to [`EngineProbe`], but safe to drive from a worker thread.
+/// Shared engine state (`infra`, `world`, `coord`, the offline mask) is
+/// read-only; everything it must mutate — traffic counters, fault draws
+/// from this shard's query streams, coordinator charges, builder stagings —
+/// lands in the shard's own [`ShardBuf`], which the engine merges and
+/// replays in ascending shard order after the phase.
+struct ShardProbe<'a> {
+    infra: &'a GridIndex,
+    /// True positions and velocities, indexed by `ObjectId::index` (the
+    /// slices, not the [`World`], which is not `Sync` across workers).
+    pos: &'a [Point],
+    vel: &'a [mknn_geom::Vector],
+    /// This tick's offline mask (present iff a fault link is active).
+    offline: Option<&'a [bool]>,
+    /// The fault plan, copied out of the link (`None` on a perfect link).
+    plan: Option<FaultPlan>,
+    tick: Tick,
+    /// Scoped downlink mode: probe request legs are staged into frames
+    /// (priced per interested device) instead of charged per message.
+    scoped: bool,
+    coord: &'a mknn_core::ShardCoordinator,
+    buf: &'a mut ShardBuf,
+}
+
+impl ShardProbe<'_> {
+    fn is_offline(&self, idx: usize) -> bool {
+        self.offline
+            .is_some_and(|m| m.get(idx).copied().unwrap_or(false))
+    }
+
+    /// One probe-leg loss draw from `query`'s fate stream — the same gate
+    /// and draw as [`FaultyLink::probe_leg_lost`], against the split-out
+    /// copy of the stream.
+    fn leg_lost(&mut self, query: QueryId, loss: f64) -> bool {
+        match (&self.plan, self.buf.streams.as_mut()) {
+            (Some(plan), Some(streams)) if plan.active_at(self.tick) => {
+                plan.draw_leg_lost(streams.rng(query), loss, &mut self.buf.stats)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl ProbeService for ShardProbe<'_> {
+    fn probe(&mut self, query: QueryId, zone: Circle, exclude: ObjectId) -> Vec<ObjReport> {
+        let msg = DownlinkMsg::Probe { query, zone };
+        let cells = self.infra.cells_overlapping(&zone);
+        let bytes = if self.scoped { 0 } else { msg.size_bytes() };
+        self.buf.stats.count_geocast(MsgKind::Probe, bytes, cells);
+        self.buf
+            .charges
+            .push(CoordCharge::ProbeScatter { query, zone });
+        let down_loss = self.plan.map_or(0.0, |p| p.down_loss);
+        let up_loss = self.plan.map_or(0.0, |p| p.up_loss);
+        let mut out = Vec::new();
+        for n in self.infra.range(&zone) {
+            if n.id == exclude {
+                continue;
+            }
+            let mut delivery = Delivery::Delivered;
+            if self.is_offline(n.id.index()) {
+                self.buf.stats.count_dropped();
+                delivery = Delivery::Offline;
+            } else if self.leg_lost(query, down_loss) {
+                delivery = Delivery::Lost;
+            }
+            if self.scoped {
+                self.buf.staged.push((n.id, msg, delivery));
+            }
+            if delivery != Delivery::Delivered {
+                continue;
+            }
+            let (pos, vel) = (self.pos[n.id.index()], self.vel[n.id.index()]);
+            let reply = UplinkMsg::ProbeReply { query, pos, vel };
+            self.buf
+                .stats
+                .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+            if self.leg_lost(query, up_loss) {
+                continue;
+            }
+            out.push(ObjReport { id: n.id, pos, vel });
+        }
+        let mut per_shard: BTreeMap<u32, usize> = BTreeMap::new();
+        for r in &out {
+            *per_shard.entry(self.coord.shard_of(r.pos)).or_insert(0) += 1;
+        }
+        for (shard, count) in per_shard {
+            self.buf.charges.push(CoordCharge::ProbeGather {
+                query,
+                shard,
+                count,
+            });
+        }
+        out
+    }
+
+    fn poll(&mut self, query: QueryId, id: ObjectId) -> Option<ObjReport> {
+        if id.index() >= self.pos.len() {
+            return None;
+        }
+        let (pos, vel) = (self.pos[id.index()], self.vel[id.index()]);
+        let ask = DownlinkMsg::Probe {
+            query,
+            zone: Circle::new(pos, 0.0),
+        };
+        let bytes = if self.scoped { 0 } else { ask.size_bytes() };
+        self.buf.stats.count_unicast(MsgKind::Probe, bytes);
+        self.buf.charges.push(CoordCharge::RouteUnicast {
+            query,
+            pos,
+            bytes: ask.size_bytes(),
+        });
+        let mut delivery = Delivery::Delivered;
+        if self.is_offline(id.index()) {
+            self.buf.stats.count_dropped();
+            delivery = Delivery::Offline;
+        } else if self.leg_lost(query, self.plan.map_or(0.0, |p| p.down_loss)) {
+            delivery = Delivery::Lost;
+        }
+        if self.scoped {
+            self.buf.staged.push((id, ask, delivery));
+        }
+        if delivery != Delivery::Delivered {
+            return None;
+        }
+        let reply = UplinkMsg::ProbeReply { query, pos, vel };
+        self.buf
+            .stats
+            .count_uplink(MsgKind::ProbeReply, reply.size_bytes());
+        self.buf.charges.push(CoordCharge::RouteUplink {
+            query,
+            pos,
+            bytes: reply.size_bytes(),
+        });
+        if self.leg_lost(query, self.plan.map_or(0.0, |p| p.up_loss)) {
+            return None;
+        }
+        Some(ObjReport { id, pos, vel })
     }
 }
 
@@ -230,6 +422,10 @@ pub struct Simulation {
     /// `(plan, seed, shards, ticks)`, so reruns and thread counts agree.
     /// Empty without a link or under a crash-free plan.
     crashes: Vec<CrashWindow>,
+    /// This tick's per-device offline mask, kept across ticks so the hot
+    /// loop refills it in place instead of allocating O(N) every tick.
+    /// Only meaningful during a tick of a faulty episode.
+    offline_buf: Vec<bool>,
 }
 
 /// Salt for the fault layer's RNG stream: the link must not replay the
@@ -334,8 +530,13 @@ impl Simulation {
                 &mut ops,
             );
         }
-        metrics.proto_seconds += t0.elapsed().as_secs_f64();
+        // The init handshake is server-side setup work; the routing that
+        // delivers its outbox is charged to the route split below. Both
+        // feed `proto_seconds`, composed the same way as a stepped tick.
+        let init_secs = t0.elapsed().as_secs_f64();
+        metrics.server_seconds += init_secs;
         metrics.ops += ops;
+        let t_route = Instant::now();
         {
             route(
                 &outbox,
@@ -358,6 +559,9 @@ impl Simulation {
                 b.flush_frames(&mut metrics.net);
             }
         }
+        let route_secs = t_route.elapsed().as_secs_f64();
+        metrics.route_seconds += route_secs;
+        metrics.proto_seconds += init_secs + route_secs;
         metrics.shard_load = coord.loads();
 
         let n_queries = specs.len();
@@ -384,6 +588,7 @@ impl Simulation {
             scoped,
             last_sent,
             crashes,
+            offline_buf: Vec::new(),
         }
     }
 
@@ -427,7 +632,7 @@ impl Simulation {
                 .collect();
             self.coord
                 .recover(w.shard, &replay, &mut self.metrics.net, self.link.as_mut());
-            self.proto.server_recover(block, &replay);
+            self.proto.server_recover(w.shard, block, &replay);
         }
         for wi in 0..self.crashes.len() {
             let w = self.crashes[wi];
@@ -437,7 +642,7 @@ impl Simulation {
             let wiped = self.coord.crash(w.shard);
             self.metrics.shard_crashes += 1;
             self.proto
-                .server_crash(self.coord.block_of(w.shard), &wiped);
+                .server_crash(w.shard, self.coord.block_of(w.shard), &wiped);
         }
         let down_now = self
             .crashes
@@ -542,7 +747,6 @@ impl Simulation {
 
         let mut ops = OpCounters::default();
         let mut uplinks = Uplinks::new();
-        let t0 = Instant::now();
 
         // Client phase: each device acts on its own state + inbox. An
         // offline device neither processes nor sends; the downlinks sitting
@@ -550,11 +754,19 @@ impl Simulation {
         // Drops are counted up front (a commuting tally, so the count is
         // identical to the old interleaved accounting), then the whole
         // phase dispatches through the protocol's chunked batch path.
-        let offline: Option<Vec<bool>> = self
-            .link
-            .as_ref()
-            .map(|link| (0..self.world.len()).map(|i| link.is_offline(i)).collect());
-        if let Some(mask) = &offline {
+        // The mask lives in a persistent buffer refilled in place — the
+        // former per-tick Vec allocation was O(N) in the hot loop.
+        let t_client = Instant::now();
+        self.offline_buf.clear();
+        let offline: Option<&[bool]> = match self.link.as_ref() {
+            Some(link) => {
+                self.offline_buf
+                    .extend((0..self.world.len()).map(|i| link.is_offline(i)));
+                Some(&self.offline_buf)
+            }
+            None => None,
+        };
+        if let Some(mask) = offline {
             for (i, inbox) in self.inboxes.iter_mut().enumerate() {
                 if mask[i] {
                     for _ in inbox.drain(..) {
@@ -569,7 +781,7 @@ impl Simulation {
             vel: self.world.velocities(),
             max_speed: self.world.max_speeds(),
             inboxes: &self.inboxes,
-            offline: offline.as_deref(),
+            offline,
             pool: self.pool,
         };
         self.proto.client_phase(&ctx, &mut uplinks, &mut ops);
@@ -578,6 +790,10 @@ impl Simulation {
         for inbox in self.inboxes.iter_mut() {
             inbox.clear();
         }
+        let client_secs = t_client.elapsed().as_secs_f64();
+
+        // Route phase, uplink side.
+        let t_route = Instant::now();
         // Every transmission is charged to the sender, delivered or not.
         for (_, msg) in uplinks.iter() {
             self.metrics.net.count_uplink(msg.kind(), msg.size_bytes());
@@ -601,34 +817,157 @@ impl Simulation {
         };
         // Every *delivered* uplink terminates at the shard owning the
         // sender's block and is forwarded when its query is homed elsewhere.
+        // The terminal shard picks the server partition that consumes the
+        // message, splitting the global stream into per-shard task inputs
+        // (each shard sees its slice in global arrival order).
+        let g = self.coord.count() as usize;
+        let mut split: Vec<Uplinks> = (0..g).map(|_| Uplinks::new()).collect();
         for (from, msg) in uplinks.iter() {
-            self.coord.route_uplink(
+            let dest = self.coord.route_uplink(
                 msg.query(),
                 self.world.position(from),
                 msg.size_bytes(),
                 &mut self.metrics.net,
                 self.link.as_mut(),
             );
+            split[dest as usize].send(from, *msg);
         }
+        let mut route_secs = t_route.elapsed().as_secs_f64();
 
-        // Server phase.
+        // Server phase: one task per shard, dispatched over the pool. Each
+        // task drives the shard's partition of the protocol's server state
+        // through a read-only [`ShardProbe`]; the coordinator's charges and
+        // the scoped builder's stagings are deferred into per-shard buffers
+        // and replayed in ascending shard order below, so the episode's
+        // metrics are byte-identical at any thread count.
+        let t_server = Instant::now();
         let mut outbox = Outbox::new();
         let mut builder = self.scoped.then(|| self.repl.begin_tick(self.tick));
-        {
-            let mut probe = EngineProbe {
-                infra: &self.infra,
-                world: &self.world,
-                stats: &mut self.metrics.net,
-                link: self.link.as_mut(),
-                coord: &mut self.coord,
-                builder: builder.as_mut(),
-            };
-            self.proto
-                .server_tick(self.tick, &uplinks, &mut probe, &mut outbox, &mut ops);
+        let homes: Vec<u32> = self
+            .specs
+            .iter()
+            .map(|s| self.coord.effective_home(s.id))
+            .collect();
+        let mut bufs: Vec<ShardBuf> = (0..g).map(|_| ShardBuf::default()).collect();
+        if let Some(link) = self.link.as_mut() {
+            // Each shard's task draws probe fates from its homed queries'
+            // streams; moving the streams out (and back afterwards) keeps
+            // every draw on the same per-query sequence as the monolith.
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); g];
+            for (qi, &home) in homes.iter().enumerate() {
+                groups[home as usize].push(qi as u32);
+            }
+            for (buf, streams) in bufs.iter_mut().zip(link.split_query_streams(&groups)) {
+                buf.streams = Some(streams);
+            }
         }
-        self.metrics.proto_seconds += t0.elapsed().as_secs_f64();
+        let plan = self.link.as_ref().map(|l| *l.plan());
+        let offline_mask: Option<&[bool]> = self.link.is_some().then_some(&self.offline_buf);
+        let mut tasks: Vec<ShardTask> = Vec::with_capacity(g);
+        for (shard, (buf, up)) in bufs.iter_mut().zip(split).enumerate() {
+            tasks.push(ShardTask {
+                shard: shard as u32,
+                uplinks: up,
+                probe: Box::new(ShardProbe {
+                    infra: &self.infra,
+                    pos: self.world.positions(),
+                    vel: self.world.velocities(),
+                    offline: offline_mask,
+                    plan,
+                    tick: self.tick,
+                    scoped: self.scoped,
+                    coord: &self.coord,
+                    buf,
+                }),
+                outbox: Outbox::new(),
+                ops: OpCounters::default(),
+                seconds: 0.0,
+            });
+        }
+        {
+            let coord = &self.coord;
+            let route_fn = move |p: Point| coord.effective_shard_of(p);
+            let mut phase = ServerPhase {
+                tick: self.tick,
+                homes: &homes,
+                route: &route_fn,
+                pool: self.pool,
+                tasks: &mut tasks,
+            };
+            self.proto.server_phase(&mut phase);
+        }
+        // Merge in ascending shard order: outbox concatenation, op totals,
+        // and the per-shard wall-time breakdown.
+        if self.metrics.shard_seconds.len() < g {
+            self.metrics.shard_seconds.resize(g, 0.0);
+        }
+        for mut task in tasks {
+            outbox.append(&mut task.outbox);
+            ops += task.ops;
+            self.metrics.shard_seconds[task.shard as usize] += task.seconds;
+        }
+        // Replay each shard's deferred side effects against the real
+        // coordinator/link/builder, ascending — deterministic regardless of
+        // which worker ran which task when.
+        for buf in bufs.iter_mut() {
+            self.metrics.net += &buf.stats;
+            for charge in buf.charges.drain(..) {
+                match charge {
+                    CoordCharge::ProbeScatter { query, zone } => {
+                        self.coord.probe_scatter(
+                            query,
+                            &zone,
+                            &mut self.metrics.net,
+                            self.link.as_mut(),
+                        );
+                    }
+                    CoordCharge::ProbeGather {
+                        query,
+                        shard,
+                        count,
+                    } => {
+                        self.coord.probe_gather(
+                            query,
+                            shard,
+                            count,
+                            &mut self.metrics.net,
+                            self.link.as_mut(),
+                        );
+                    }
+                    CoordCharge::RouteUnicast { query, pos, bytes } => {
+                        self.coord.route_unicast(
+                            query,
+                            pos,
+                            bytes,
+                            &mut self.metrics.net,
+                            self.link.as_mut(),
+                        );
+                    }
+                    CoordCharge::RouteUplink { query, pos, bytes } => {
+                        self.coord.route_uplink(
+                            Some(query),
+                            pos,
+                            bytes,
+                            &mut self.metrics.net,
+                            self.link.as_mut(),
+                        );
+                    }
+                }
+            }
+            if let Some(b) = builder.as_mut() {
+                for (to, msg, delivery) in buf.staged.drain(..) {
+                    b.stage(to, msg, delivery);
+                }
+            }
+        }
+        if let Some(link) = self.link.as_mut() {
+            link.restore_query_streams(bufs.into_iter().filter_map(|b| b.streams).collect());
+        }
+        let server_secs = t_server.elapsed().as_secs_f64();
         self.metrics.ops += ops;
 
+        // Route phase, downlink side.
+        let t_route = Instant::now();
         {
             route(
                 &outbox,
@@ -655,6 +994,11 @@ impl Simulation {
                 b.flush_frames(&mut self.metrics.net);
             }
         }
+        route_secs += t_route.elapsed().as_secs_f64();
+        self.metrics.client_seconds += client_secs;
+        self.metrics.server_seconds += server_secs;
+        self.metrics.route_seconds += route_secs;
+        self.metrics.proto_seconds += client_secs + server_secs + route_secs;
         self.metrics.shard_load = self.coord.loads();
 
         if self.verify != VerifyMode::Off {

@@ -97,9 +97,23 @@ impl ToJson for EpisodeMetrics {
             fields.push(("max_staleness", self.max_staleness.to_json()));
         }
         fields.push(("proto_seconds", self.proto_seconds.to_json()));
-        // Omit-when-zero like the staleness fields: clock-zeroed documents
-        // (golden files, determinism gates) predate this field and must not
-        // change shape.
+        // The per-phase timing splits are omit-when-zero like the staleness
+        // fields: clock-zeroed documents (golden files, determinism gates)
+        // predate them and must not change shape.
+        if self.client_seconds != 0.0 {
+            fields.push(("client_seconds", self.client_seconds.to_json()));
+        }
+        if self.server_seconds != 0.0 {
+            fields.push(("server_seconds", self.server_seconds.to_json()));
+        }
+        if self.route_seconds != 0.0 {
+            fields.push(("route_seconds", self.route_seconds.to_json()));
+        }
+        // Like `shard_load` below: only a genuinely sharded tier carries a
+        // per-shard timing breakdown.
+        if self.shard_seconds.len() > 1 {
+            fields.push(("shard_seconds", self.shard_seconds.to_json()));
+        }
         if self.oracle_seconds != 0.0 {
             fields.push(("oracle_seconds", self.oracle_seconds.to_json()));
         }
@@ -138,6 +152,10 @@ impl FromJson for EpisodeMetrics {
             staleness_sum: v.parse_field_or_default("staleness_sum")?,
             max_staleness: v.parse_field_or_default("max_staleness")?,
             proto_seconds: v.parse_field("proto_seconds")?,
+            client_seconds: v.parse_field_or_default("client_seconds")?,
+            server_seconds: v.parse_field_or_default("server_seconds")?,
+            route_seconds: v.parse_field_or_default("route_seconds")?,
+            shard_seconds: v.parse_field_or_default("shard_seconds")?,
             oracle_seconds: v.parse_field_or_default("oracle_seconds")?,
             shard_load: v.parse_field_or_default("shard_load")?,
             shard_crashes: v.parse_field_or_default("shard_crashes")?,
@@ -379,6 +397,44 @@ mod tests {
         m.net.count_dropped();
         m.oracle_seconds = 0.375;
         roundtrip(&m);
+    }
+
+    #[test]
+    fn phase_timing_round_trips_and_zeroed_documents_keep_shape() {
+        let mut m = EpisodeMetrics {
+            method: "dknn-set".into(),
+            ticks: 5,
+            proto_seconds: 1.0,
+            ..Default::default()
+        };
+        let s = to_string(&m);
+        for field in [
+            "client_seconds",
+            "server_seconds",
+            "route_seconds",
+            "shard_seconds",
+        ] {
+            assert!(!s.contains(field), "clock-zeroed documents omit {field}");
+        }
+        m.client_seconds = 0.25;
+        m.server_seconds = 0.5;
+        m.route_seconds = 0.25;
+        m.shard_seconds = vec![0.3, 0.2];
+        roundtrip(&m);
+        // A single-server timing vector is omitted, like `shard_load`.
+        m.shard_seconds = vec![0.5];
+        assert!(!to_string(&m).contains("shard_seconds"));
+    }
+
+    #[test]
+    fn metrics_json_never_carries_nan_or_inf_tokens() {
+        // Empty-distribution accessors clamp to finite values, and no field
+        // of a default episode may serialize a NaN/Infinity token (which
+        // would not even be valid JSON).
+        let empty = EpisodeMetrics::default();
+        assert!(empty.shard_load_p99().is_finite());
+        let doc = to_string(&empty).to_ascii_lowercase();
+        assert!(!doc.contains("nan") && !doc.contains("inf"), "got: {doc}");
     }
 
     #[test]

@@ -33,9 +33,27 @@ pub struct EpisodeMetrics {
     pub staleness_sum: u64,
     /// Longest run of consecutive inexact checks any single query suffered.
     pub max_staleness: u64,
-    /// Wall-clock seconds spent inside protocol code (client + server),
-    /// excluding world stepping and oracle checks.
+    /// Wall-clock seconds spent inside protocol code (client + server +
+    /// routing), excluding world stepping and oracle checks. Equals the sum
+    /// of the three phase splits below (up to fp accumulation order).
     pub proto_seconds: f64,
+    /// Wall-clock seconds of the client phase: per-device protocol logic
+    /// plus the offline-mask/inbox bookkeeping that feeds it.
+    pub client_seconds: f64,
+    /// Wall-clock seconds of the server phase: per-shard task dispatch,
+    /// the protocols' partitioned server ticks, and the post-phase merge.
+    pub server_seconds: f64,
+    /// Wall-clock seconds of routing: uplink charging and per-shard
+    /// splitting before the server phase, downlink delivery and answer
+    /// replication after it.
+    pub route_seconds: f64,
+    /// Wall-clock seconds each server shard's task spent inside protocol
+    /// code, indexed by shard id and summed over the episode. The parallel
+    /// speedup of the server phase is `sum(shard_seconds) /
+    /// server_seconds` (up to dispatch overhead). Empty until the first
+    /// step; single-server episodes omit the field from the serialized
+    /// form.
+    pub shard_seconds: Vec<f64>,
     /// Wall-clock seconds spent verifying answers against the ground-truth
     /// oracle (snapshot-index build + all per-query checks). Zero when
     /// verification is off; kept separate from [`Self::proto_seconds`] so
@@ -138,9 +156,13 @@ impl EpisodeMetrics {
     }
 
     /// p99 of the per-shard load distribution (the balance headline for
-    /// E17: a well-partitioned tier keeps p99 close to mean). NaN when no
-    /// shard loads were recorded.
+    /// E17: a well-partitioned tier keeps p99 close to mean). 0 when no
+    /// shard loads were recorded — the accessor feeds JSON reports, which
+    /// must never see a NaN token.
     pub fn shard_load_p99(&self) -> f64 {
+        if self.shard_load.is_empty() {
+            return 0.0;
+        }
         let samples: Vec<f64> = self.shard_load.iter().map(|&l| l as f64).collect();
         crate::stats::percentile(&samples, 99.0)
     }
@@ -156,6 +178,10 @@ impl EpisodeMetrics {
     /// compare.
     pub fn with_clock_zeroed(mut self) -> Self {
         self.proto_seconds = 0.0;
+        self.client_seconds = 0.0;
+        self.server_seconds = 0.0;
+        self.route_seconds = 0.0;
+        self.shard_seconds.clear();
         self.oracle_seconds = 0.0;
         self
     }
@@ -206,7 +232,7 @@ mod tests {
     #[test]
     fn shard_load_summaries() {
         let empty = EpisodeMetrics::default();
-        assert!(empty.shard_load_p99().is_nan());
+        assert_eq!(empty.shard_load_p99(), 0.0, "empty loads must not be NaN");
         assert_eq!(empty.shard_load_max(), 0);
         let m = EpisodeMetrics {
             shard_load: vec![10, 20, 30, 100],
@@ -214,6 +240,27 @@ mod tests {
         };
         assert_eq!(m.shard_load_max(), 100);
         assert!(m.shard_load_p99() > 30.0 && m.shard_load_p99() <= 100.0);
+    }
+
+    #[test]
+    fn clock_zeroing_strips_every_timing_field() {
+        let m = EpisodeMetrics {
+            proto_seconds: 1.5,
+            client_seconds: 0.5,
+            server_seconds: 0.75,
+            route_seconds: 0.25,
+            shard_seconds: vec![0.4, 0.35],
+            oracle_seconds: 0.125,
+            ..Default::default()
+        };
+        let z = m.with_clock_zeroed();
+        assert_eq!(z.proto_seconds, 0.0);
+        assert_eq!(z.client_seconds, 0.0);
+        assert_eq!(z.server_seconds, 0.0);
+        assert_eq!(z.route_seconds, 0.0);
+        assert!(z.shard_seconds.is_empty());
+        assert_eq!(z.oracle_seconds, 0.0);
+        assert_eq!(z, EpisodeMetrics::default());
     }
 
     #[test]

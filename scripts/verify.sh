@@ -137,6 +137,12 @@ stage_shards() {
     run_expt sh_c1 -- --seed 42 --shards 4 --fault chaos
     run_expt sh_c2 -- --seed 42 --shards 4 --fault chaos
     expect_same sh_c1 sh_c2 "expt --seed 42 --shards 4 --fault chaos differs between runs"
+
+    echo "==> shard gate (parallel server phase: G=4 chaos, 1 vs 8 pool workers)"
+    run_expt sh_ct1 MKNN_THREADS=1 -- --seed 42 --shards 4 --fault chaos
+    run_expt sh_ct8 MKNN_THREADS=8 -- --seed 42 --shards 4 --fault chaos
+    expect_same sh_ct1 sh_ct8 \
+        "parallel server phase is not byte-identical across pool widths (G=4 chaos)"
     if diff -q "$TMPDIR_VERIFY/sh_g1" "$TMPDIR_VERIFY/sh_a" > /dev/null; then
         echo "FAIL: G=4 produced no shard counters (overlay is inert)" >&2
         exit 1
@@ -257,12 +263,14 @@ stage_tickbench() {
 
     # Fast-scale E18 re-runs its in-process cross-width identity assertion
     # and prints the measured scaling table. Whole-episode wall time has an
-    # Amdahl ceiling well under the pool width (the world step, routing and
-    # server phase stay sequential by the determinism contract; at N = 1M
-    # the parallelizable protocol share is ~54% of wall, capping even
-    # perfect scaling below 2x), so the gate requires that T=8 is *not
-    # slower* than T=1 on parallel hardware and reports the measurement;
-    # on a single-core runner the run is identity-check-only.
+    # Amdahl ceiling well under the pool width (the world step and routing
+    # stay sequential by the determinism contract, and E18 runs a single
+    # server shard so its server phase is one task; at N = 1M the
+    # parallelizable protocol share is ~54% of wall, capping even perfect
+    # scaling below 2x — E17 measures the sharded server phase's own
+    # parallelism), so the gate requires that T=8 is *not slower* than T=1
+    # on parallel hardware and reports the measurement; on a single-core
+    # runner the run is identity-check-only.
     echo "==> tick-loop scaling (expt --exp e18, fast scale)"
     "${EXPT[@]}" --exp e18 | tee "$TMPDIR_VERIFY/tb_e18"
     if [ "$(nproc)" -ge 2 ]; then

@@ -101,6 +101,68 @@ fn single_shard_runs_leave_the_overlay_silent() {
 }
 
 #[test]
+fn server_phase_is_thread_count_invariant_at_g4_under_chaos() {
+    // The server phase dispatches one real protocol task per shard over the
+    // worker pool. Everything except wall-clock — answers, device traffic,
+    // the overlay counters, shard loads — must be byte-identical whether
+    // those tasks run on 1 worker or 8.
+    forall(4, |rng| {
+        let mut cfg = random_config(rng, FaultPlan::chaos());
+        cfg.shards = 4;
+        for method in Method::standard_suite(cfg.dknn_params()) {
+            let mut seq_cfg = cfg.clone();
+            seq_cfg.client_threads = Some(1);
+            let mut par_cfg = cfg.clone();
+            par_cfg.client_threads = Some(8);
+            let seq = Sweep::episode(&seq_cfg, method);
+            let par = Sweep::episode(&par_cfg, method);
+            assert_eq!(
+                seq.clone().with_clock_zeroed(),
+                par.clone().with_clock_zeroed(),
+                "{} server phase diverges between 1 and 8 pool workers at G=4",
+                method.name()
+            );
+        }
+    });
+}
+
+#[test]
+fn phase_timings_partition_proto_seconds() {
+    // The monolithic protocol clock is split into client/server/route
+    // phases; the parts must sum back to the whole (fp accumulation order
+    // aside) and the per-shard clocks must cover every shard.
+    forall(2, |rng| {
+        let mut cfg = random_config(rng, FaultPlan::none());
+        cfg.shards = 4;
+        for method in Method::standard_suite(cfg.dknn_params()) {
+            let m = Sweep::episode(&cfg, method);
+            let sum = m.client_seconds + m.server_seconds + m.route_seconds;
+            let tol = 1e-9 + m.proto_seconds.abs() * 1e-6;
+            assert!(
+                (m.proto_seconds - sum).abs() <= tol,
+                "{}: proto_seconds {} != client {} + server {} + route {}",
+                method.name(),
+                m.proto_seconds,
+                m.client_seconds,
+                m.server_seconds,
+                m.route_seconds,
+            );
+            assert_eq!(
+                m.shard_seconds.len(),
+                4,
+                "{}: one shard clock per shard",
+                method.name()
+            );
+            assert!(
+                m.shard_seconds.iter().all(|s| s.is_finite() && *s >= 0.0),
+                "{}: shard clocks must be finite and non-negative",
+                method.name()
+            );
+        }
+    });
+}
+
+#[test]
 fn sharded_sweeps_are_thread_count_deterministic() {
     forall(4, |rng| {
         let mut cfg = random_config(rng, FaultPlan::chaos());
